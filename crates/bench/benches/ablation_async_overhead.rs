@@ -1,0 +1,42 @@
+//! Ablation: the per-tile control-instruction overhead of the cp.async
+//! pipeline. The paper's Fig 9 traces async's cost to a 30-40% control
+//! inflation; this sweep shows how the modelled overhead moves the
+//! async-vs-standard verdict for a compute-bound kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim_bench::quick_criterion;
+use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
+use hetsim_gpu::kernel::KernelStyle;
+use hetsim_gpu::GpuConfig;
+use hetsim_workloads::{micro, InputSize};
+use hetsim_runtime::GpuProgram;
+
+fn bench(c: &mut Criterion) {
+    println!("\n==== Ablation: async control overhead vs gemm kernel time ====");
+    let w = micro::gemm(InputSize::Large);
+    let kernels = w.kernels();
+    let k = kernels[0];
+    for ctrl in [0.0, 2.0, 4.0, 8.0, 16.0] {
+        let mut cfg = GpuConfig::a100();
+        cfg.async_ctrl_per_thread_tile = ctrl;
+        let exec = KernelExecutor::new(cfg);
+        let std = exec.execute(k, KernelStyle::Direct, &ExecEnv::standard());
+        let asy = exec.execute(k, KernelStyle::StagedAsync, &ExecEnv::standard());
+        println!(
+            "ctrl/thread/tile {ctrl:>4}: async/standard kernel = {:.3}",
+            asy.cycles / std.cycles
+        );
+    }
+
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    c.bench_function("ablation/gemm_async_exec", |b| {
+        b.iter(|| exec.execute(k, KernelStyle::StagedAsync, &ExecEnv::standard()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

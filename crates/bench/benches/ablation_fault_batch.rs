@@ -1,0 +1,36 @@
+//! Ablation: how the UVM fault-batch capacity (the Kim et al. batching
+//! optimization, §2.1) shapes the plain-uvm kernel inflation. Smaller
+//! batches mean more driver round trips per faulting kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim_bench::quick_criterion;
+use hetsim_runtime::{Device, Runner, TransferMode};
+use hetsim_workloads::{micro, InputSize};
+
+fn bench(c: &mut Criterion) {
+    println!("\n==== Ablation: fault batch capacity vs uvm kernel time ====");
+    let w = micro::vector_seq(InputSize::Large);
+    for capacity in [1u32, 16, 64, 256, 512] {
+        let mut device = Device::a100_epyc();
+        device.uvm.fault.batch_capacity = capacity;
+        let runner = Runner::new(device);
+        let r = runner.run_base(&w, TransferMode::Uvm);
+        println!(
+            "batch_capacity {capacity:>4}: kernel {} (faults {})",
+            r.kernel,
+            r.counters.uvm.page_faults()
+        );
+    }
+
+    let runner = Runner::new(Device::a100_epyc());
+    c.bench_function("ablation/fault_batch_run", |b| {
+        b.iter(|| runner.run_base(&w, TransferMode::Uvm))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

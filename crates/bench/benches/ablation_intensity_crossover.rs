@@ -1,0 +1,39 @@
+//! Ablation: arithmetic intensity vs the async/standard verdict. The
+//! paper's conclusion advises cp.async + prefetch for "GB-level
+//! memory-bounded applications"; this sweep locates the crossover where
+//! the advice flips.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim_bench::quick_criterion;
+use hetsim_runtime::report::Component;
+use hetsim_runtime::{Device, Runner, TransferMode};
+use hetsim_workloads::{micro, InputSize};
+
+fn bench(c: &mut Criterion) {
+    println!("\n==== Ablation: arithmetic intensity (fp/elem) vs async kernel benefit ====");
+    let runner = Runner::new(Device::a100_epyc());
+    for fp in [0.5, 2.0, 8.0, 32.0, 128.0, 512.0] {
+        let w = micro::vector_seq_intensity(InputSize::Large, fp);
+        let std = runner.run_base(&w, TransferMode::Standard);
+        let asy = runner.run_base(&w, TransferMode::Async);
+        let k_ratio =
+            asy.kernel.as_nanos() as f64 / std.kernel.as_nanos().max(1) as f64;
+        println!(
+            "fp/elem {fp:>6}: async/standard kernel = {k_ratio:.3} (std kernel {})",
+            std.kernel
+        );
+        let _ = Component::Kernel;
+    }
+
+    let w = micro::vector_seq_intensity(InputSize::Large, 8.0);
+    c.bench_function("ablation/intensity_point", |b| {
+        b.iter(|| Runner::new(Device::a100_epyc()).run_base(&w, TransferMode::Async))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

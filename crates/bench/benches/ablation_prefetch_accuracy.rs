@@ -1,0 +1,41 @@
+//! Ablation: prefetch coverage vs access regularity. Sweeps the coverage
+//! handed to the UVM space directly and reports memcpy/kernel for the
+//! prefetch mode — the mechanism behind the lud/nw findings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim_bench::quick_criterion;
+use hetsim_engine::time::Nanos;
+use hetsim_mem::addr::Addr;
+use hetsim_mem::link::CpuGpuLink;
+use hetsim_uvm::space::{UvmConfig, UvmSpace};
+
+fn bench(c: &mut Criterion) {
+    println!("\n==== Ablation: prefetch coverage vs residual fault cost ====");
+    let link = CpuGpuLink::pcie4_a100();
+    let bytes = 512u64 << 20;
+    for coverage in [0.0, 0.25, 0.45, 0.72, 0.93, 1.0] {
+        let mut space = UvmSpace::new(UvmConfig::a100());
+        space.managed_alloc(Addr::new(0), bytes);
+        let prefetch: Nanos = space.prefetch_range(Addr::new(0), bytes, coverage, &link);
+        let fr = space.demand_touch_range(Addr::new(0), bytes, false, true, &link);
+        println!(
+            "coverage {coverage:.2}: prefetch {} + demand {} (stall {})",
+            prefetch, fr.transfer, fr.stall
+        );
+    }
+
+    c.bench_function("ablation/prefetch_512mb", |b| {
+        b.iter(|| {
+            let mut space = UvmSpace::new(UvmConfig::a100());
+            space.managed_alloc(Addr::new(0), bytes);
+            space.prefetch_range(Addr::new(0), bytes, 0.93, &link)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: block/tile sampling width vs extrapolation error. The
+//! executor simulates a handful of blocks and tiles and extrapolates;
+//! this sweep quantifies how much the answer moves with the sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim_bench::quick_criterion;
+use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
+use hetsim_gpu::kernel::KernelStyle;
+use hetsim_gpu::GpuConfig;
+use hetsim_runtime::GpuProgram;
+use hetsim_workloads::{micro, InputSize};
+
+fn bench(c: &mut Criterion) {
+    println!("\n==== Ablation: sampling width vs kernel-time estimate ====");
+    let w = micro::conv2d(InputSize::Large);
+    let kernels = w.kernels();
+    let k = kernels[0];
+    let reference = KernelExecutor::new(GpuConfig::a100())
+        .with_sample_blocks(48)
+        .with_max_sampled_tiles(1024)
+        .execute(k, KernelStyle::Direct, &ExecEnv::standard());
+    for blocks in [1u64, 2, 4, 6, 12, 24] {
+        let exec = KernelExecutor::new(GpuConfig::a100()).with_sample_blocks(blocks);
+        let r = exec.execute(k, KernelStyle::Direct, &ExecEnv::standard());
+        println!(
+            "sample_blocks {blocks:>3}: kernel estimate off by {:+.2}%",
+            (r.cycles / reference.cycles - 1.0) * 100.0
+        );
+    }
+
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    c.bench_function("ablation/conv2d_exec_6_blocks", |b| {
+        b.iter(|| exec.execute(k, KernelStyle::Direct, &ExecEnv::standard()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Extension: UVM oversubscription (the Shao et al. regime the paper
+//! cites): footprints beyond device memory thrash the eviction path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::extensions::{oversubscription_sweep, oversubscription_table};
+use hetsim_bench::quick_criterion;
+use hetsim_workloads::{micro, InputSize};
+
+fn bench(c: &mut Criterion) {
+    println!("\n==== Extension: UVM oversubscription sweep (vector_seq @ medium) ====");
+    let points = oversubscription_sweep(
+        || micro::vector_seq(InputSize::Medium),
+        &[0.5, 1.0, 1.25, 1.5, 2.0, 4.0],
+    );
+    println!("{}", oversubscription_table(&points));
+
+    c.bench_function("ext/oversubscription_point", |b| {
+        b.iter(|| oversubscription_sweep(|| micro::vector_seq(InputSize::Small), &[2.0]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

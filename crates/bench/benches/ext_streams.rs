@@ -1,0 +1,31 @@
+//! Extension: the classic multi-stream copy/compute overlap (the prior
+//! art of the paper's §2.2) evaluated against the same workloads, for
+//! comparison with UVM prefetch and cp.async.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::extensions::{overlap_table, overlapped_standard};
+use hetsim_bench::quick_criterion;
+use hetsim_runtime::{Device, Runner};
+use hetsim_workloads::{suite, InputSize};
+
+fn bench(c: &mut Criterion) {
+    let runner = Runner::new(Device::a100_epyc());
+    println!("\n==== Extension: multi-stream overlap of explicit copies ====");
+    for name in ["vector_seq", "kmeans", "gemm"] {
+        let w = suite::by_name(name, InputSize::Large).expect("workload");
+        println!("-- {name} @ large, 8 chunks --");
+        println!("{}", overlap_table(&runner, &w, 8));
+    }
+
+    let w = suite::by_name("vector_seq", InputSize::Large).expect("workload");
+    c.bench_function("ext/overlap_schedule", |b| {
+        b.iter(|| overlapped_standard(&runner, &w, 8, 4))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Fig 4: overall-execution-time distributions of
+//! the 7 microbenchmarks over 30 runs at all six input sizes and all five
+//! transfer modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{paper_experiment, quick_criterion};
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::{micro, InputSize};
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    let grid = figures::fig4(&exp, &InputSize::ALL);
+    println!("\n==== Figure 4: micro distributions (mean/std/cv per cell) ====");
+    println!("{}", grid.to_table());
+
+    // Time one representative cell: a 30-run distribution of vector_seq.
+    let w = micro::vector_seq(InputSize::Large);
+    c.bench_function("fig04/vector_seq_large_distribution", |b| {
+        b.iter(|| exp.distribution(&w, TransferMode::Standard))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates the paper's Fig 5: standard deviation over mean of 30 runs
+//! per input size, with the geo-mean row showing Large and Super are the
+//! most stable sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{paper_experiment, quick_criterion};
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    let grid = figures::fig4(&exp, &InputSize::ALL);
+    println!("\n==== Figure 5: std/mean stability per size ====");
+    println!("{}", figures::fig5(&grid, &InputSize::ALL));
+
+    c.bench_function("fig05/stability_from_grid", |b| {
+        b.iter(|| figures::fig5(&grid, &InputSize::ALL))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

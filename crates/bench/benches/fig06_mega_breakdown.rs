@@ -1,0 +1,29 @@
+//! Regenerates the paper's Fig 6: the per-run breakdown of vector_seq at
+//! Mega (32 GB) inputs, where the memcpy component is unstable because the
+//! footprint approaches a single host-DRAM chip's capacity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{paper_experiment, quick_criterion};
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    let mb = figures::fig6(&exp);
+    println!("\n==== Figure 6: Mega vector_seq 30-run breakdown ====");
+    println!("{}", mb.to_table());
+    println!(
+        "component CV: memcpy {:.3}  allocation {:.3}  gpu_kernel {:.3}",
+        mb.component_cv(|r| r.memcpy),
+        mb.component_cv(|r| r.alloc),
+        mb.component_cv(|r| r.kernel)
+    );
+
+    c.bench_function("fig06/mega_breakdown", |b| b.iter(|| figures::fig6(&exp)));
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

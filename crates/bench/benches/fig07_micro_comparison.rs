@@ -1,0 +1,31 @@
+//! Regenerates the paper's Fig 7: side-by-side comparison of the five
+//! transfer modes on the 7 microbenchmarks at Large and Super inputs,
+//! normalized to `standard`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim::headline::Headline;
+use hetsim_bench::{paper_experiment, quick_criterion};
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    for size in InputSize::main_experiment_sizes() {
+        let s = figures::fig7(&exp, size);
+        println!("\n==== Figure 7: micro comparison @ {size} ====");
+        println!("{}", s.to_table());
+        println!("{}", Headline::from_suite(&s).to_table());
+    }
+
+    let large = figures::fig7(&exp, InputSize::Large);
+    c.bench_function("fig07/headline_aggregation", |b| {
+        b.iter(|| Headline::from_suite(&large))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates the paper's Fig 8: the 14 real-world applications compared
+//! across the five transfer modes at Super inputs, plus the §4.1.2 and §6
+//! aggregates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim::headline::{Headline, Section6};
+use hetsim_bench::{paper_experiment, quick_criterion};
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::{suite, InputSize};
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    let s = figures::fig8(&exp);
+    println!("\n==== Figure 8: application comparison @ super ====");
+    println!("{}", s.to_table());
+    println!("{}", Headline::from_suite(&s).to_table());
+    println!("{}", Section6::from_suite(&s).to_table());
+
+    let w = suite::by_name("kmeans", InputSize::Medium).expect("kmeans");
+    c.bench_function("fig08/kmeans_medium_all_modes", |b| {
+        b.iter(|| {
+            TransferMode::ALL
+                .map(|m| exp.runner().run_base(&w, m).total())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

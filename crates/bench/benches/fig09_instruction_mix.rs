@@ -1,0 +1,43 @@
+//! Regenerates the paper's Fig 9: control and integer instruction counts
+//! for gemm, lud, and yolov3 across the five modes — Async Memcpy's
+//! control-instruction inflation is the cost side of its pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{paper_experiment, quick_criterion};
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    let counters = figures::fig9_fig10(&exp, InputSize::Large);
+    println!("\n==== Figure 9: instruction mix (control / integer) ====");
+    for r in counters.rows() {
+        println!(
+            "{:<8} {:<20} control {:>14}  integer {:>14}",
+            r.workload,
+            r.mode.name(),
+            r.control,
+            r.integer
+        );
+    }
+    for w in figures::DEEP_DIVE_WORKLOADS {
+        let std = counters.row(w, TransferMode::Standard).expect("row");
+        let asy = counters.row(w, TransferMode::Async).expect("row");
+        println!(
+            "{w}: async control inflation {:+.2}%",
+            (asy.control as f64 / std.control as f64 - 1.0) * 100.0
+        );
+    }
+
+    c.bench_function("fig09/counter_collection", |b| {
+        b.iter(|| figures::fig9_fig10(&exp, InputSize::Tiny))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

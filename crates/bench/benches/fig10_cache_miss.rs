@@ -1,0 +1,35 @@
+//! Regenerates the paper's Fig 10: unified L1/texture cache global load
+//! and store miss rates for gemm, lud, and yolov3 — staging through shared
+//! memory slashes lud's miss rates, the root cause of its Async Memcpy
+//! speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{paper_experiment, quick_criterion};
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = paper_experiment();
+    let counters = figures::fig9_fig10(&exp, InputSize::Large);
+    println!("\n==== Figure 10: L1 global load/store miss rates ====");
+    for r in counters.rows() {
+        println!(
+            "{:<8} {:<20} load {:.4}  store {:.4}",
+            r.workload,
+            r.mode.name(),
+            r.load_miss_rate,
+            r.store_miss_rate
+        );
+    }
+
+    c.bench_function("fig10/counter_collection", |b| {
+        b.iter(|| figures::fig9_fig10(&exp, InputSize::Tiny))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Fig 11: sensitivity of vector_seq to the number
+//! of CUDA blocks (4096 -> 16, 256 threads per block). Takeaway 4's first
+//! half: performance is *not* sensitive to block count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{quick_criterion, quick_experiment};
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = quick_experiment();
+    let sweep = figures::fig11(&exp, InputSize::Large);
+    println!("\n==== Figure 11: block-count sweep (normalized totals) ====");
+    println!("{}", sweep.to_table());
+    println!("-- kernel-time series (where the sensitivity lives) --");
+    println!("{}", sweep.kernel_table());
+
+    c.bench_function("fig11/one_sweep_point", |b| {
+        let w = hetsim_workloads::micro::vector_seq_custom(InputSize::Large, 256, 256);
+        b.iter(|| exp.compare_modes(&w))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

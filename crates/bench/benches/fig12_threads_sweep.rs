@@ -1,0 +1,47 @@
+//! Regenerates the paper's Fig 12: sensitivity of vector_seq to threads
+//! per block (1024 -> 32, 64 blocks). Takeaway 4's second half: fewer
+//! threads expose latency, and the async pipeline tolerates it better.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{quick_criterion, quick_experiment};
+use hetsim_runtime::report::Component;
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = quick_experiment();
+    let sweep = figures::fig12(&exp, InputSize::Large);
+    println!("\n==== Figure 12: threads-per-block sweep (normalized totals) ====");
+    println!("{}", sweep.to_table());
+    println!("-- kernel-time series (where the sensitivity lives) --");
+    println!("{}", sweep.kernel_table());
+    println!("-- kernel-time ratios vs 128 threads (the paper's 3.95x) --");
+    let k = |threads: u64, mode: TransferMode| {
+        let p = sweep
+            .points()
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .expect("point");
+        p.1.mean(mode).component(Component::Kernel).as_nanos() as f64
+    };
+    for mode in [TransferMode::Standard, TransferMode::Async] {
+        println!(
+            "{:<10} kernel(32)/kernel(128) = {:.2}",
+            mode.name(),
+            k(32, mode) / k(128, mode)
+        );
+    }
+
+    c.bench_function("fig12/one_sweep_point", |b| {
+        let w = hetsim_workloads::micro::vector_seq_custom(InputSize::Large, 64, 128);
+        b.iter(|| exp.compare_modes(&w))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's Fig 13: sensitivity of vector_seq to the
+//! L1-cache/shared-memory partition (2 KB -> 128 KB shared). Takeaway 5:
+//! too little shared memory hurts Async Memcpy, too little L1 hurts UVM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::figures;
+use hetsim_bench::{quick_criterion, quick_experiment};
+use hetsim_workloads::InputSize;
+
+fn bench(c: &mut Criterion) {
+    let exp = quick_experiment();
+    let sweep = figures::fig13(&exp, InputSize::Large);
+    println!("\n==== Figure 13: shared-memory carveout sweep (normalized totals) ====");
+    println!("{}", sweep.to_table());
+    println!("-- kernel-time series (where the sensitivity lives) --");
+    println!("{}", sweep.kernel_table());
+
+    c.bench_function("fig13/one_sweep_point", |b| {
+        let w = hetsim_workloads::micro::vector_seq_shared(InputSize::Large, 32 * 1024);
+        b.iter(|| exp.compare_modes(&w))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates the paper's Fig 14 / §6.2: the proposed inter-job data
+//! transfer model. Overlapping job i+1's allocation with job i's GPU work
+//! recovers the >30% the paper estimates, measured here on simulated
+//! uvm_prefetch_async runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetsim::batch::{InterJobPipeline, JobStages};
+use hetsim_bench::{quick_criterion, quick_experiment};
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::{suite, InputSize};
+
+fn bench(c: &mut Criterion) {
+    let exp = quick_experiment();
+    println!("\n==== Figure 14: inter-job pipeline (64-job batches, super inputs) ====");
+    for name in ["vector_seq", "kmeans", "yolov3"] {
+        let w = suite::by_name(name, InputSize::Super).expect("workload");
+        let report = exp.runner().run_base(&w, TransferMode::UvmPrefetchAsync);
+        let stages = JobStages::from_report(&report);
+        let est = InterJobPipeline::homogeneous(stages, 64).estimate();
+        println!(
+            "{name:<12} sequential {} -> pipelined {}  improvement {:.2}%",
+            est.sequential,
+            est.pipelined,
+            est.improvement() * 100.0
+        );
+    }
+
+    let w = suite::by_name("kmeans", InputSize::Super).expect("kmeans");
+    let report = exp.runner().run_base(&w, TransferMode::UvmPrefetchAsync);
+    let stages = JobStages::from_report(&report);
+    c.bench_function("fig14/64_job_schedule", |b| {
+        b.iter(|| InterJobPipeline::homogeneous(stages, 64).estimate())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! # hetsim-bench
+//!
+//! The benchmark harness of the hetsim reproduction. Every bench target
+//! regenerates one of the paper's tables or figures — it *prints the data
+//! series the paper plots* and then times a representative slice of the
+//! simulation with Criterion. The `ablation_*` targets sweep the
+//! simulator's own design knobs (fault batch size, prefetch coverage,
+//! async control overhead, block/tile sampling) to show how sensitive the
+//! reproduced results are to each modelling choice.
+//!
+//! Run everything with `cargo bench --workspace`; each target's figure
+//! data appears on stdout before its timing samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hetsim::experiment::Experiment;
+
+/// Criterion configuration shared by all figure benches: tiny sample
+/// counts, since each iteration is a full simulator run.
+pub fn quick_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+/// The experiment configuration used when regenerating figure data inside
+/// a bench: full 30-run methodology.
+pub fn paper_experiment() -> Experiment {
+    Experiment::new().with_runs(30)
+}
+
+/// A faster experiment for the expensive sweeps.
+pub fn quick_experiment() -> Experiment {
+    Experiment::new().with_runs(10)
+}

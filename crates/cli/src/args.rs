@@ -1,0 +1,102 @@
+//! Minimal flag parsing for the artifact CLI — no external dependency.
+
+use hetsim_workloads::InputSize;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// `--workload NAME`
+    pub workload: Option<String>,
+    /// `--size tiny|small|medium|large|super|mega` (default: large).
+    pub size: InputSize,
+    /// `--runs N` (default: 30, the paper's methodology).
+    pub runs: u64,
+    /// `--csv`: emit CSV instead of aligned tables.
+    pub csv: bool,
+    /// `--study blocks|threads|carveout`.
+    pub study: Option<String>,
+    /// `--out DIR`.
+    pub out: Option<String>,
+    /// `--jobs N` (default 16).
+    pub jobs: u32,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: None,
+            size: InputSize::Large,
+            runs: 30,
+            csv: false,
+            study: None,
+            out: None,
+            jobs: 16,
+        }
+    }
+}
+
+impl Args {
+    /// Splits `argv` into `(command, options)`; `None` on empty or
+    /// malformed input.
+    pub fn parse(argv: &[String]) -> Option<(String, Args)> {
+        let mut it = argv.iter();
+        let command = it.next()?.clone();
+        let mut args = Args::default();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--csv" => args.csv = true,
+                "--workload" => args.workload = Some(it.next()?.clone()),
+                "--study" => args.study = Some(it.next()?.clone()),
+                "--out" => args.out = Some(it.next()?.clone()),
+                "--size" => {
+                    let v = it.next()?;
+                    args.size = InputSize::ALL.into_iter().find(|s| s.name() == v)?;
+                }
+                "--runs" => args.runs = it.next()?.parse().ok()?,
+                "--jobs" => args.jobs = it.next()?.parse().ok()?,
+                _ => return None,
+            }
+        }
+        Some((command, args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let (cmd, a) = Args::parse(&v(&[
+            "run", "--workload", "lud", "--size", "super", "--runs", "5", "--csv",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "run");
+        assert_eq!(a.workload.as_deref(), Some("lud"));
+        assert_eq!(a.size, InputSize::Super);
+        assert_eq!(a.runs, 5);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn defaults() {
+        let (_, a) = Args::parse(&v(&["micro"])).unwrap();
+        assert_eq!(a.size, InputSize::Large);
+        assert_eq!(a.runs, 30);
+        assert!(!a.csv);
+        assert_eq!(a.jobs, 16);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Args::parse(&v(&[])).is_none());
+        assert!(Args::parse(&v(&["run", "--size", "giga"])).is_none());
+        assert!(Args::parse(&v(&["run", "--runs", "abc"])).is_none());
+        assert!(Args::parse(&v(&["run", "--bogus"])).is_none());
+        assert!(Args::parse(&v(&["run", "--workload"])).is_none());
+    }
+}

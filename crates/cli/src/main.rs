@@ -1,0 +1,251 @@
+//! `hetsim` — the artifact workflow of the reproduction as one binary.
+//!
+//! Mirrors the paper's appendix scripts (`run_micro_all.py`,
+//! `run_real_all.py`, `run_micro_sensitivity.py`, `process_perf.py`) as
+//! subcommands:
+//!
+//! ```text
+//! hetsim-cli list
+//! hetsim-cli run --workload kmeans --size super [--runs 30] [--csv]
+//! hetsim-cli micro --size large [--runs 30] [--csv]
+//! hetsim-cli apps [--runs 30] [--csv]
+//! hetsim-cli counters [--size large]
+//! hetsim-cli sensitivity --study blocks|threads|carveout [--size large]
+//! hetsim-cli figures --out DIR      # write every figure's CSV + SVG
+//! hetsim-cli interjob [--workload W] [--jobs N]
+//! ```
+
+use hetsim::batch::{InterJobPipeline, JobStages};
+use hetsim::experiment::Experiment;
+use hetsim::figures;
+use hetsim::headline::{Headline, Section6};
+use hetsim_counters::report::Table;
+use hetsim_counters::svg::BarChart;
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::{suite, InputSize};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, args)) = Args::parse(&argv) else {
+        print_usage();
+        return ExitCode::FAILURE;
+    };
+    match dispatch(&command, &args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(command: &str, args: &Args) -> Result<(), String> {
+    match command {
+        "list" => cmd_list(),
+        "run" => cmd_run(args),
+        "micro" => cmd_micro(args),
+        "apps" => cmd_apps(args),
+        "counters" => cmd_counters(args),
+        "sensitivity" => cmd_sensitivity(args),
+        "figures" => cmd_figures(args),
+        "interjob" => cmd_interjob(args),
+        "alternatives" => cmd_alternatives(args),
+        other => Err(format!("unknown command `{other}` (try `hetsim-cli list`)")),
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: hetsim-cli <command> [options]\n\
+         commands:\n\
+         \u{20}  list                               list the 21 Table 2 workloads\n\
+         \u{20}  run --workload W [--size S]        five-mode comparison for one workload\n\
+         \u{20}  micro [--size S]                   Fig 7: the microbenchmark suite\n\
+         \u{20}  apps [--size S]                    Fig 8: the application suite\n\
+         \u{20}  counters [--size S]                Figs 9/10: gemm/lud/yolov3 deep dive\n\
+         \u{20}  sensitivity --study X [--size S]   Figs 11-13 (blocks|threads|carveout)\n\
+         \u{20}  figures --out DIR                  write every figure's CSV to DIR\n\
+         \u{20}  interjob [--workload W] [--jobs N] Fig 14: inter-job pipeline estimate\n\
+         options: --size tiny|small|medium|large|super|mega  --runs N  --csv"
+    );
+}
+
+fn emit(table: &Table, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let mut t = Table::new(vec!["workload", "suite", "description"]);
+    for e in suite::micro_names() {
+        t.row(vec![e.name.into(), "micro".into(), e.description.into()]);
+    }
+    for e in suite::app_names() {
+        t.row(vec![e.name.into(), "apps".into(), e.description.into()]);
+    }
+    println!("{t}");
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let name = args.workload.as_deref().ok_or("run needs --workload")?;
+    let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
+    let exp = Experiment::new().with_runs(args.runs);
+    let cmp = exp.compare_modes(&w);
+    println!(
+        "{name} @ {} ({} runs, {} MB footprint)",
+        args.size,
+        args.runs,
+        hetsim_runtime::GpuProgram::footprint(&w) >> 20
+    );
+    emit(&cmp.to_table(), args.csv);
+    Ok(())
+}
+
+fn cmd_micro(args: &Args) -> Result<(), String> {
+    let exp = Experiment::new().with_runs(args.runs);
+    let s = figures::fig7(&exp, args.size);
+    println!("Fig 7: microbenchmarks @ {}", args.size);
+    emit(&s.to_table(), args.csv);
+    emit(&Headline::from_suite(&s).to_table(), args.csv);
+    Ok(())
+}
+
+fn cmd_apps(args: &Args) -> Result<(), String> {
+    let exp = Experiment::new().with_runs(args.runs);
+    let s = figures::fig8_at(&exp, args.size);
+    println!("Fig 8: applications @ {}", args.size);
+    emit(&s.to_table(), args.csv);
+    emit(&Headline::from_suite(&s).to_table(), args.csv);
+    emit(&Section6::from_suite(&s).to_table(), args.csv);
+    Ok(())
+}
+
+fn cmd_counters(args: &Args) -> Result<(), String> {
+    let exp = Experiment::new().with_runs(args.runs);
+    let c = figures::fig9_fig10(&exp, args.size);
+    println!("Figs 9/10: counters @ {}", args.size);
+    emit(&c.to_table(), args.csv);
+    Ok(())
+}
+
+fn cmd_sensitivity(args: &Args) -> Result<(), String> {
+    let exp = Experiment::new().with_runs(args.runs);
+    let study = args.study.as_deref().ok_or("sensitivity needs --study")?;
+    let sweep = match study {
+        "blocks" => figures::fig11(&exp, args.size),
+        "threads" => figures::fig12(&exp, args.size),
+        "carveout" => figures::fig13(&exp, args.size),
+        other => return Err(format!("unknown study {other} (blocks|threads|carveout)")),
+    };
+    println!("sensitivity ({study}) @ {}", args.size);
+    emit(&sweep.to_table(), args.csv);
+    Ok(())
+}
+
+fn cmd_interjob(args: &Args) -> Result<(), String> {
+    let name = args.workload.as_deref().unwrap_or("vector_seq");
+    let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
+    let exp = Experiment::new().with_runs(args.runs);
+    let report = exp.runner().run_base(&w, TransferMode::UvmPrefetchAsync);
+    let pipeline = InterJobPipeline::homogeneous(JobStages::from_report(&report), args.jobs);
+    println!("Fig 14: inter-job pipeline, {name} @ {} x {} jobs", args.size, args.jobs);
+    emit(&pipeline.to_table(), args.csv);
+    Ok(())
+}
+
+fn cmd_alternatives(args: &Args) -> Result<(), String> {
+    let name = args.workload.as_deref().ok_or("alternatives needs --workload")?;
+    let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
+    let runner = hetsim_runtime::Runner::new(hetsim_runtime::Device::a100_epyc());
+    println!("transfer-hiding alternatives: {name} @ {}", args.size);
+    emit(&hetsim::extensions::alternatives_table(&runner, &w), args.csv);
+    Ok(())
+}
+
+fn cmd_figures(args: &Args) -> Result<(), String> {
+    let out = args.out.as_deref().ok_or("figures needs --out DIR")?;
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    let exp = Experiment::new().with_runs(args.runs);
+
+    let mut files: HashMap<&str, String> = HashMap::new();
+    eprintln!("fig4/fig5 ...");
+    let grid = figures::fig4(&exp, &InputSize::ALL);
+    files.insert("fig04_distributions.csv", grid.to_table().to_csv());
+    files.insert(
+        "fig05_stability.csv",
+        figures::fig5(&grid, &InputSize::ALL).to_csv(),
+    );
+    eprintln!("fig6 ...");
+    files.insert("fig06_mega_breakdown.csv", figures::fig6(&exp).to_table().to_csv());
+    eprintln!("fig7 ...");
+    let micro_large = figures::fig7(&exp, InputSize::Large);
+    files.insert("fig07_micro_large.csv", micro_large.to_table().to_csv());
+    files.insert(
+        "fig07_micro_large.svg",
+        suite_chart("Fig 7: microbenchmarks @ large", &micro_large),
+    );
+    files.insert(
+        "fig07_micro_super.csv",
+        figures::fig7(&exp, InputSize::Super).to_table().to_csv(),
+    );
+    eprintln!("fig8 ...");
+    let apps = figures::fig8(&exp);
+    files.insert("fig08_apps_super.csv", apps.to_table().to_csv());
+    files.insert("fig08_apps_super.svg", suite_chart("Fig 8: applications @ super", &apps));
+    files.insert("headline_apps.csv", Headline::from_suite(&apps).to_table().to_csv());
+    files.insert("section6_shares.csv", Section6::from_suite(&apps).to_table().to_csv());
+    eprintln!("fig9/fig10 ...");
+    files.insert(
+        "fig09_fig10_counters.csv",
+        figures::fig9_fig10(&exp, InputSize::Large).to_table().to_csv(),
+    );
+    eprintln!("fig11..fig13 ...");
+    files.insert(
+        "fig11_blocks.csv",
+        figures::fig11(&exp, InputSize::Large).to_table().to_csv(),
+    );
+    files.insert(
+        "fig12_threads.csv",
+        figures::fig12(&exp, InputSize::Large).to_table().to_csv(),
+    );
+    files.insert(
+        "fig13_carveout.csv",
+        figures::fig13(&exp, InputSize::Large).to_table().to_csv(),
+    );
+
+    for (name, contents) in files {
+        let path = format!("{out}/{name}");
+        std::fs::write(&path, contents).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Renders a suite comparison as the paper's grouped-bar figure style.
+fn suite_chart(title: &str, suite: &figures::SuiteComparison) -> String {
+    let mut chart = BarChart::new(title, "time normalized to standard");
+    let names: Vec<String> = suite
+        .comparisons()
+        .iter()
+        .map(|c| c.workload().to_string())
+        .collect();
+    chart.categories(&names);
+    for mode in TransferMode::ALL {
+        let values: Vec<f64> = suite
+            .comparisons()
+            .iter()
+            .map(|c| c.normalized_total(mode))
+            .collect();
+        chart.series(mode.name(), &values);
+    }
+    chart.render()
+}

@@ -1,0 +1,255 @@
+//! The §6.2 inter-job data-transfer model (the paper's Fig 14),
+//! implemented.
+//!
+//! The paper observes that once UVM + Async Memcpy shrink transfer time,
+//! allocation (`cudaMallocManaged` + `cudaFree`) becomes the bottleneck —
+//! ~38% of the total — and proposes overlapping job *i+1*'s CPU-side
+//! allocation with job *i*'s GPU work (the KaaS batch-processing setting).
+//! [`InterJobPipeline`] evaluates that proposal: it schedules a batch of
+//! jobs with and without the overlap on the discrete-event engine and
+//! reports the throughput gain — the ">30% additional improvement" the
+//! paper estimates.
+
+use hetsim_counters::report::Table;
+use hetsim_engine::time::{Nanos, SimTime};
+use hetsim_runtime::{RunReport, Timeline};
+
+/// One job's stage costs in the batch pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobStages {
+    /// CPU-side stage: allocation + free.
+    pub cpu: Nanos,
+    /// GPU-side stage: data transfer + kernel.
+    pub gpu: Nanos,
+}
+
+impl JobStages {
+    /// Derives the stages from a measured run report (the fixed system
+    /// overhead is per-process, not per-job, and is excluded).
+    pub fn from_report(report: &RunReport) -> Self {
+        JobStages {
+            cpu: report.alloc,
+            gpu: report.memcpy + report.kernel,
+        }
+    }
+
+    /// Sequential cost of the job.
+    pub fn total(&self) -> Nanos {
+        self.cpu + self.gpu
+    }
+}
+
+/// The batch scheduler comparing the current model against the proposed
+/// inter-job overlap.
+#[derive(Debug, Clone)]
+pub struct InterJobPipeline {
+    jobs: Vec<JobStages>,
+}
+
+/// The outcome of scheduling one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineEstimate {
+    /// Total time without inter-job overlap (today's model: jobs strictly
+    /// serialized).
+    pub sequential: Nanos,
+    /// Total time with job *i+1*'s CPU stage overlapped with job *i*'s GPU
+    /// stage.
+    pub pipelined: Nanos,
+}
+
+impl PipelineEstimate {
+    /// Fractional improvement, `1 - pipelined / sequential`.
+    pub fn improvement(&self) -> f64 {
+        let s = self.sequential.as_nanos() as f64;
+        if s == 0.0 {
+            0.0
+        } else {
+            1.0 - self.pipelined.as_nanos() as f64 / s
+        }
+    }
+}
+
+impl InterJobPipeline {
+    /// A batch of `count` identical jobs with the given stage costs.
+    pub fn homogeneous(stages: JobStages, count: u32) -> Self {
+        InterJobPipeline {
+            jobs: vec![stages; count as usize],
+        }
+    }
+
+    /// A batch of heterogeneous jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is empty.
+    pub fn new(jobs: Vec<JobStages>) -> Self {
+        assert!(!jobs.is_empty(), "batch needs at least one job");
+        InterJobPipeline { jobs }
+    }
+
+    /// The jobs.
+    pub fn jobs(&self) -> &[JobStages] {
+        &self.jobs
+    }
+
+    /// Schedules the batch both ways.
+    ///
+    /// The pipelined schedule is the classic two-stage pipeline: job *i*'s
+    /// GPU stage may start once its CPU stage is done *and* job *i-1*'s
+    /// GPU stage has drained; CPU stages run ahead on the otherwise-idle
+    /// host.
+    pub fn estimate(&self) -> PipelineEstimate {
+        let sequential: Nanos = self.jobs.iter().map(|j| j.total()).sum();
+
+        // Event-driven two-stage pipeline simulation.
+        let mut cpu_free = Nanos::ZERO; // when the host is next available
+        let mut gpu_free = Nanos::ZERO; // when the device is next available
+        let mut end = Nanos::ZERO;
+        for j in &self.jobs {
+            let cpu_done = cpu_free + j.cpu;
+            cpu_free = cpu_done;
+            let gpu_start = cpu_done.max(gpu_free);
+            gpu_free = gpu_start + j.gpu;
+            end = gpu_free;
+        }
+        PipelineEstimate {
+            sequential,
+            pipelined: end,
+        }
+    }
+
+    /// Renders the two schedules of the paper's Fig 14 as timelines:
+    /// `(without_overlap, with_overlap)`, each with a `cpu` and a `gpu`
+    /// lane.
+    pub fn timelines(&self) -> (Timeline, Timeline) {
+        let mut serial = Timeline::new();
+        let mut clock = SimTime::ZERO;
+        for (i, j) in self.jobs.iter().enumerate() {
+            serial.record_for("cpu", format!("alloc[{i}]"), clock, j.cpu);
+            clock += j.cpu;
+            serial.record_for("gpu", format!("kernel[{i}]"), clock, j.gpu);
+            clock += j.gpu;
+        }
+
+        let mut piped = Timeline::new();
+        let mut cpu_free = SimTime::ZERO;
+        let mut gpu_free = SimTime::ZERO;
+        for (i, j) in self.jobs.iter().enumerate() {
+            piped.record_for("cpu", format!("alloc[{i}]"), cpu_free, j.cpu);
+            let cpu_done = cpu_free + j.cpu;
+            cpu_free = cpu_done;
+            let gpu_start = cpu_done.max(gpu_free);
+            piped.record_for("gpu", format!("kernel[{i}]"), gpu_start, j.gpu);
+            gpu_free = gpu_start + j.gpu;
+        }
+        (serial, piped)
+    }
+
+    /// Renders the estimate for a range of batch sizes (prefixes of the
+    /// job list).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec!["jobs", "sequential_ns", "pipelined_ns", "improvement"]);
+        for n in 1..=self.jobs.len() {
+            let e = InterJobPipeline::new(self.jobs[..n].to_vec()).estimate();
+            t.row(vec![
+                n.to_string(),
+                e.sequential.as_nanos().to_string(),
+                e.pipelined.as_nanos().to_string(),
+                format!("{:.2}%", e.improvement() * 100.0),
+            ]);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(cpu_ms: u64, gpu_ms: u64) -> JobStages {
+        JobStages {
+            cpu: Nanos::from_millis(cpu_ms),
+            gpu: Nanos::from_millis(gpu_ms),
+        }
+    }
+
+    #[test]
+    fn single_job_cannot_overlap() {
+        let e = InterJobPipeline::homogeneous(job(40, 60), 1).estimate();
+        assert_eq!(e.sequential, e.pipelined);
+        assert_eq!(e.improvement(), 0.0);
+    }
+
+    #[test]
+    fn long_batch_converges_to_bottleneck_stage() {
+        // CPU 40ms, GPU 60ms: pipelined steady state is GPU-bound, so per
+        // job the cost approaches 60ms instead of 100ms -> 40% improvement.
+        let e = InterJobPipeline::homogeneous(job(40, 60), 100).estimate();
+        let per_job = e.pipelined.as_nanos() as f64 / 100.0;
+        assert!((per_job / 60e6 - 1.0).abs() < 0.01, "per job {per_job}");
+        assert!(e.improvement() > 0.35, "{}", e.improvement());
+    }
+
+    #[test]
+    fn cpu_bound_batches_are_cpu_limited() {
+        let e = InterJobPipeline::homogeneous(job(80, 20), 50).estimate();
+        let per_job = e.pipelined.as_nanos() as f64 / 50.0;
+        assert!(per_job >= 80e6 * 0.99);
+    }
+
+    #[test]
+    fn pipelined_never_slower_never_better_than_bound() {
+        let jobs = vec![job(10, 90), job(50, 50), job(90, 10), job(30, 30)];
+        let e = InterJobPipeline::new(jobs.clone()).estimate();
+        assert!(e.pipelined <= e.sequential);
+        // Lower bound: max of total CPU and total GPU work.
+        let cpu: Nanos = jobs.iter().map(|j| j.cpu).sum();
+        let gpu: Nanos = jobs.iter().map(|j| j.gpu).sum();
+        assert!(e.pipelined >= cpu.max(gpu));
+    }
+
+    #[test]
+    fn paper_shape_thirty_percent_headroom() {
+        // §6: allocation ~37.66% and GPU work ~62% of the post-UVM+async
+        // breakdown; overlapping them should buy >30%.
+        let e = InterJobPipeline::homogeneous(job(377, 623), 64).estimate();
+        assert!(
+            e.improvement() > 0.3,
+            "improvement {:.3} should exceed 30%",
+            e.improvement()
+        );
+    }
+
+    #[test]
+    fn timelines_match_estimates() {
+        let p = InterJobPipeline::homogeneous(job(40, 60), 4);
+        let (serial, piped) = p.timelines();
+        let est = p.estimate();
+        assert_eq!(
+            serial.horizon().as_nanos(),
+            est.sequential.as_nanos(),
+            "serial timeline horizon equals the sequential estimate"
+        );
+        assert_eq!(
+            piped.horizon().as_nanos(),
+            est.pipelined.as_nanos(),
+            "pipelined timeline horizon equals the pipelined estimate"
+        );
+        // Two lanes, four jobs each.
+        assert_eq!(serial.len(), 8);
+        assert!(piped.render(60).contains("cpu"));
+    }
+
+    #[test]
+    fn table_rows_per_prefix() {
+        let p = InterJobPipeline::homogeneous(job(10, 10), 4);
+        assert_eq!(p.to_table().len(), 4);
+        assert_eq!(p.jobs().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_batch_rejected() {
+        let _ = InterJobPipeline::new(vec![]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The multi-run measurement harness.
+//!
+//! The paper runs every configuration 30 times and reports means,
+//! distributions, and std/mean stability (§3.3). [`Experiment`] reproduces
+//! that methodology: one deterministic base simulation per
+//! `(workload, mode)` plus per-run measurement noise, so a 30-run
+//! distribution costs one cache simulation, not thirty.
+
+use hetsim_counters::report::Table;
+use hetsim_engine::stats::Summary;
+use hetsim_engine::time::Nanos;
+use hetsim_runtime::report::Component;
+use hetsim_runtime::{Device, GpuProgram, RunReport, Runner, TransferMode};
+
+/// A configured experiment: a device plus a run count.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    runner: Runner,
+    runs: u64,
+}
+
+impl Experiment {
+    /// An experiment on the paper's platform with its 30-run methodology.
+    pub fn new() -> Self {
+        Experiment {
+            runner: Runner::new(Device::a100_epyc()),
+            runs: 30,
+        }
+    }
+
+    /// Overrides the run count (tests use fewer runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is zero.
+    pub fn with_runs(mut self, runs: u64) -> Self {
+        assert!(runs > 0, "experiment needs at least one run");
+        self.runs = runs;
+        self
+    }
+
+    /// Uses a custom device (sensitivity studies re-point the carveout).
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.runner = Runner::new(device);
+        self
+    }
+
+    /// The underlying runner.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Run count.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// The full run distribution for one `(workload, mode)` pair.
+    pub fn distribution(&self, program: &dyn GpuProgram, mode: TransferMode) -> Vec<RunReport> {
+        let base = self.runner.run_base(program, mode);
+        (0..self.runs)
+            .map(|i| self.runner.apply_noise(&base, program, mode, i))
+            .collect()
+    }
+
+    /// Mean breakdown over the distribution.
+    pub fn mean(&self, program: &dyn GpuProgram, mode: TransferMode) -> MeanReport {
+        MeanReport::from_distribution(&self.distribution(program, mode))
+    }
+
+    /// Means for all five modes, for normalized side-by-side comparison
+    /// (the format of the paper's Figs 7, 8, 11–13).
+    pub fn compare_modes(&self, program: &dyn GpuProgram) -> ModeComparison {
+        let means = TransferMode::ALL.map(|m| self.mean(program, m));
+        ModeComparison {
+            workload: program.name().to_string(),
+            means,
+        }
+    }
+}
+
+impl Default for Experiment {
+    fn default() -> Self {
+        Experiment::new()
+    }
+}
+
+/// Mean time components over a run distribution, plus the total's summary
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeanReport {
+    /// Mean allocation time.
+    pub alloc: Nanos,
+    /// Mean transfer time.
+    pub memcpy: Nanos,
+    /// Mean kernel time.
+    pub kernel: Nanos,
+    /// Mean fixed system overhead.
+    pub system: Nanos,
+    /// Summary statistics of the per-run totals (for Figs 4–5).
+    pub total_summary: Summary,
+}
+
+impl MeanReport {
+    /// Aggregates a run distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty.
+    pub fn from_distribution(reports: &[RunReport]) -> Self {
+        assert!(!reports.is_empty(), "empty distribution");
+        let n = reports.len() as u64;
+        let sum = |f: fn(&RunReport) -> Nanos| -> Nanos {
+            reports.iter().map(f).sum::<Nanos>() / n
+        };
+        let totals: Vec<Nanos> = reports.iter().map(|r| r.total()).collect();
+        MeanReport {
+            alloc: sum(|r| r.alloc),
+            memcpy: sum(|r| r.memcpy),
+            kernel: sum(|r| r.kernel),
+            system: sum(|r| r.system),
+            total_summary: Summary::from_nanos(&totals),
+        }
+    }
+
+    /// Mean overall execution time (alloc + memcpy + kernel + system).
+    pub fn total(&self) -> Nanos {
+        self.alloc + self.memcpy + self.kernel + self.system
+    }
+
+    /// Mean three-component time, the quantity the paper's normalized
+    /// breakdown figures plot.
+    pub fn breakdown_total(&self) -> Nanos {
+        self.alloc + self.memcpy + self.kernel
+    }
+
+    /// One mean component.
+    pub fn component(&self, c: Component) -> Nanos {
+        match c {
+            Component::Alloc => self.alloc,
+            Component::Memcpy => self.memcpy,
+            Component::Kernel => self.kernel,
+        }
+    }
+}
+
+/// Per-mode mean breakdowns for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModeComparison {
+    workload: String,
+    means: [MeanReport; 5],
+}
+
+impl ModeComparison {
+    /// The workload name.
+    pub fn workload(&self) -> &str {
+        &self.workload
+    }
+
+    /// The mean breakdown for one mode.
+    pub fn mean(&self, mode: TransferMode) -> &MeanReport {
+        &self.means[mode_index(mode)]
+    }
+
+    /// Mean total time under `mode`.
+    pub fn mean_total(&self, mode: TransferMode) -> Nanos {
+        self.mean(mode).breakdown_total()
+    }
+
+    /// Mode total normalized to `standard` (the y-axis of Figs 7/8).
+    pub fn normalized_total(&self, mode: TransferMode) -> f64 {
+        let std = self.mean_total(TransferMode::Standard).as_nanos() as f64;
+        if std == 0.0 {
+            return 0.0;
+        }
+        self.mean_total(mode).as_nanos() as f64 / std
+    }
+
+    /// One component normalized to the standard mode's total.
+    pub fn normalized_component(&self, mode: TransferMode, c: Component) -> f64 {
+        let std = self.mean_total(TransferMode::Standard).as_nanos() as f64;
+        if std == 0.0 {
+            return 0.0;
+        }
+        self.mean(mode).component(c).as_nanos() as f64 / std
+    }
+
+    /// Percent improvement of `mode` over `standard` (positive = faster),
+    /// the number the paper's abstract quotes.
+    pub fn improvement_pct(&self, mode: TransferMode) -> f64 {
+        (1.0 - self.normalized_total(mode)) * 100.0
+    }
+
+    /// Renders the comparison as a table of normalized components.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "mode", "gpu_kernel", "memcpy", "allocation", "total", "vs standard",
+        ]);
+        for mode in TransferMode::ALL {
+            t.row(vec![
+                mode.name().to_string(),
+                format!("{:.3}", self.normalized_component(mode, Component::Kernel)),
+                format!("{:.3}", self.normalized_component(mode, Component::Memcpy)),
+                format!("{:.3}", self.normalized_component(mode, Component::Alloc)),
+                format!("{:.3}", self.normalized_total(mode)),
+                format!("{:+.2}%", self.improvement_pct(mode)),
+            ]);
+        }
+        t
+    }
+}
+
+pub(crate) fn mode_index(mode: TransferMode) -> usize {
+    TransferMode::ALL
+        .iter()
+        .position(|&m| m == mode)
+        .expect("mode in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_workloads::{micro, InputSize};
+
+    fn exp() -> Experiment {
+        Experiment::new().with_runs(4)
+    }
+
+    #[test]
+    fn distribution_length_and_determinism() {
+        let w = micro::vector_seq(InputSize::Small);
+        let e = exp();
+        let d1 = e.distribution(&w, TransferMode::Standard);
+        let d2 = e.distribution(&w, TransferMode::Standard);
+        assert_eq!(d1.len(), 4);
+        assert_eq!(d1, d2, "distributions must be reproducible");
+        // Noise differentiates runs.
+        assert_ne!(d1[0].total(), d1[1].total());
+    }
+
+    #[test]
+    fn mean_report_aggregates() {
+        let w = micro::vector_seq(InputSize::Small);
+        let e = exp();
+        let m = e.mean(&w, TransferMode::Standard);
+        assert!(m.total() > Nanos::ZERO);
+        assert_eq!(
+            m.total(),
+            m.alloc + m.memcpy + m.kernel + m.system
+        );
+        assert_eq!(m.total_summary.len(), 4);
+    }
+
+    #[test]
+    fn normalization_is_one_for_standard() {
+        let w = micro::vector_seq(InputSize::Small);
+        let cmp = exp().compare_modes(&w);
+        assert!((cmp.normalized_total(TransferMode::Standard) - 1.0).abs() < 1e-12);
+        let comp_sum = cmp.normalized_component(TransferMode::Standard, Component::Alloc)
+            + cmp.normalized_component(TransferMode::Standard, Component::Memcpy)
+            + cmp.normalized_component(TransferMode::Standard, Component::Kernel);
+        assert!((comp_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_has_five_mode_rows() {
+        let w = micro::saxpy(InputSize::Tiny);
+        let t = exp().compare_modes(&w).to_table();
+        assert_eq!(t.len(), 5);
+        assert!(t.to_string().contains("uvm_prefetch_async"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let _ = Experiment::new().with_runs(0);
+    }
+}

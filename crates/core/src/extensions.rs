@@ -1,0 +1,302 @@
+//! Extension studies beyond the paper's evaluation, built from the same
+//! substrate:
+//!
+//! * [`overlapped_standard`] — the *classic* transfer-hiding technique the
+//!   paper's §2.2 describes as a decade of prior work: split the explicit
+//!   copies into chunks and pipeline them against the kernel over CUDA
+//!   streams. This gives the repository the natural third point of
+//!   comparison (streams vs UVM-prefetch vs cp.async).
+//! * [`pinned_standard`] — explicit copies from *pinned* host memory
+//!   (`cudaHostAlloc`), the other classic fix for pageable-copy overhead;
+//! * [`oversubscription_sweep`] — what happens when the managed footprint
+//!   exceeds device memory (the regime of Shao et al., cited in §2.1):
+//!   UVM keeps working but thrashes the eviction path.
+
+use hetsim_counters::report::Table;
+use hetsim_engine::time::Nanos;
+use hetsim_mem::link::LinkPath;
+use hetsim_runtime::stream::{Engine, StreamSchedule};
+use hetsim_runtime::{Device, GpuProgram, Runner, TransferMode};
+use hetsim_workloads::spec::Workload;
+
+/// The outcome of stream-pipelining a standard-mode run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverlapEstimate {
+    /// Serial time of the pipelined region (H2D + kernel + D2H).
+    pub serial: Nanos,
+    /// Pipelined time of the same region.
+    pub overlapped: Nanos,
+    /// Allocation + system time that no stream can hide.
+    pub unhidden: Nanos,
+}
+
+impl OverlapEstimate {
+    /// End-to-end serial total.
+    pub fn serial_total(&self) -> Nanos {
+        self.serial + self.unhidden
+    }
+
+    /// End-to-end pipelined total.
+    pub fn overlapped_total(&self) -> Nanos {
+        self.overlapped + self.unhidden
+    }
+
+    /// End-to-end improvement fraction.
+    pub fn improvement(&self) -> f64 {
+        let s = self.serial_total().as_nanos() as f64;
+        if s == 0.0 {
+            0.0
+        } else {
+            1.0 - self.overlapped_total().as_nanos() as f64 / s
+        }
+    }
+}
+
+/// Evaluates the classic multi-stream copy/compute overlap on a program's
+/// standard-mode costs: the explicit copies and the kernel are split into
+/// `chunks` chunks spread over `streams` streams.
+///
+/// # Panics
+///
+/// Panics if `chunks` or `streams` is zero.
+pub fn overlapped_standard(
+    runner: &Runner,
+    program: &dyn GpuProgram,
+    chunks: u32,
+    streams: u32,
+) -> OverlapEstimate {
+    assert!(chunks > 0 && streams > 0, "need chunks and streams");
+    let base = runner.run_base(program, TransferMode::Standard);
+    // The H2D and D2H shares of the measured memcpy time.
+    let h2d_bytes = base.counters.transfer.h2d_bytes();
+    let total_bytes = base.counters.transfer.total_bytes().max(1);
+    let h2d = base
+        .memcpy
+        .scale(h2d_bytes as f64 / total_bytes as f64);
+    let d2h = base.memcpy.saturating_sub(h2d);
+
+    let schedule = StreamSchedule::chunked_pipeline(
+        chunks,
+        streams,
+        h2d / chunks as u64,
+        base.kernel / chunks as u64,
+        d2h / chunks as u64,
+    );
+    let outcome = schedule.run();
+    OverlapEstimate {
+        serial: base.memcpy + base.kernel,
+        overlapped: outcome.makespan(),
+        unhidden: base.alloc + base.system,
+    }
+}
+
+/// Renders an overlap comparison across stream counts.
+pub fn overlap_table(runner: &Runner, program: &dyn GpuProgram, chunks: u32) -> Table {
+    let mut t = Table::new(vec!["streams", "pipelined_region", "total", "improvement"]);
+    for streams in [1u32, 2, 4, 8] {
+        let e = overlapped_standard(runner, program, chunks, streams);
+        t.row(vec![
+            streams.to_string(),
+            e.overlapped.to_string(),
+            e.overlapped_total().to_string(),
+            format!("{:.2}%", e.improvement() * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Re-prices a standard-mode run's explicit copies at pinned-host DMA
+/// bandwidth (`cudaHostAlloc` + `cudaMemcpy`): the classic alternative to
+/// both UVM and stream pipelining. Pinning costs extra allocation time
+/// (page-locking scales with size), which is why the paper's workloads
+/// don't default to it.
+pub fn pinned_standard(runner: &Runner, program: &dyn GpuProgram) -> hetsim_runtime::RunReport {
+    let mut report = runner.run_base(program, TransferMode::Standard);
+    let link = &runner.device().link;
+    let mut memcpy = Nanos::ZERO;
+    for b in program.buffers() {
+        if b.role.is_input() {
+            memcpy += link.transfer_time(LinkPath::PinnedCopy, b.bytes);
+        }
+        if b.role.is_output() {
+            memcpy += link.transfer_time(LinkPath::PinnedCopy, b.bytes);
+        }
+    }
+    report.memcpy = memcpy;
+    // cudaHostAlloc page-locks every page: ~30 ms/GiB on top of malloc.
+    let gib = program.footprint() as f64 / (1u64 << 30) as f64;
+    report.alloc += Nanos::from_millis(30).scale(gib);
+    report
+}
+
+/// Compares the transfer-hiding alternatives on one program: pageable
+/// standard, pinned standard, 4-stream overlap, and uvm_prefetch.
+pub fn alternatives_table(runner: &Runner, program: &dyn GpuProgram) -> Table {
+    let std = runner.run_base(program, TransferMode::Standard);
+    let pinned = pinned_standard(runner, program);
+    let overlap = overlapped_standard(runner, program, 8, 4);
+    let pf = runner.run_base(program, TransferMode::UvmPrefetch);
+    let base = std.total().as_nanos() as f64;
+    let mut t = Table::new(vec!["approach", "total", "vs standard"]);
+    let mut row = |name: &str, total: Nanos| {
+        t.row(vec![
+            name.to_string(),
+            total.to_string(),
+            format!("{:+.2}%", (1.0 - total.as_nanos() as f64 / base) * 100.0),
+        ]);
+    };
+    row("standard (pageable)", std.total());
+    row("standard (pinned)", pinned.total());
+    row("standard + 4 streams", overlap.overlapped_total());
+    row("uvm_prefetch", pf.total());
+    t
+}
+
+/// One point of the oversubscription sweep.
+#[derive(Debug, Clone)]
+pub struct OversubscriptionPoint {
+    /// Footprint over device capacity.
+    pub ratio: f64,
+    /// Normalized total vs the fits-in-memory run of the same mode.
+    pub slowdown: f64,
+    /// Chunks evicted during the run.
+    pub evictions: u64,
+}
+
+/// Sweeps device capacity below a workload's footprint and measures the
+/// `uvm` mode's degradation. `build` constructs the workload; ratios are
+/// footprint/capacity (1.0 = exactly fits).
+pub fn oversubscription_sweep(
+    build: impl Fn() -> Workload,
+    ratios: &[f64],
+) -> Vec<OversubscriptionPoint> {
+    let w = build();
+    let footprint = w.footprint();
+
+    let run_with_capacity = |capacity: u64| {
+        let mut device = Device::a100_epyc();
+        device.uvm.device_capacity = capacity;
+        let runner = Runner::new(device);
+        runner.run_base(&w, TransferMode::Uvm)
+    };
+
+    // Baseline: plenty of device memory.
+    let base = run_with_capacity(footprint * 2);
+    let base_total = base.total().as_nanos() as f64;
+
+    ratios
+        .iter()
+        .map(|&ratio| {
+            assert!(ratio > 0.0, "ratio must be positive");
+            let capacity = ((footprint as f64 / ratio) as u64).max(1 << 20);
+            let r = run_with_capacity(capacity);
+            OversubscriptionPoint {
+                ratio,
+                slowdown: r.total().as_nanos() as f64 / base_total,
+                evictions: r.counters.uvm.pages_evicted(),
+            }
+        })
+        .collect()
+}
+
+/// Renders an oversubscription sweep.
+pub fn oversubscription_table(points: &[OversubscriptionPoint]) -> Table {
+    let mut t = Table::new(vec!["footprint/capacity", "slowdown", "evictions"]);
+    for p in points {
+        t.row(vec![
+            format!("{:.2}", p.ratio),
+            format!("{:.3}x", p.slowdown),
+            p.evictions.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Checks a stream schedule invariant used by tests: the compute engine is
+/// never idle between the first and last kernel when streams ≥ 2 and the
+/// kernel is the bottleneck stage.
+pub fn compute_bound_utilization(chunks: u32, streams: u32) -> f64 {
+    let s = StreamSchedule::chunked_pipeline(
+        chunks,
+        streams,
+        Nanos::from_micros(5),
+        Nanos::from_micros(20),
+        Nanos::from_micros(5),
+    );
+    s.run().utilization(Engine::Compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_workloads::{micro, InputSize};
+
+    #[test]
+    fn overlap_helps_transfer_bound_programs() {
+        let runner = Runner::new(Device::a100_epyc());
+        let w = micro::vector_seq(InputSize::Medium);
+        let serial = overlapped_standard(&runner, &w, 8, 1);
+        let piped = overlapped_standard(&runner, &w, 8, 4);
+        assert!(piped.overlapped < serial.overlapped);
+        assert!(piped.improvement() > 0.0);
+        // Lower bound: the pipelined region can't beat its longest stage.
+        let base = runner.run_base(&w, TransferMode::Standard);
+        assert!(piped.overlapped >= base.kernel.min(base.memcpy) / 8u64);
+    }
+
+    #[test]
+    fn overlap_cannot_hide_allocation() {
+        let runner = Runner::new(Device::a100_epyc());
+        let w = micro::saxpy(InputSize::Small);
+        let e = overlapped_standard(&runner, &w, 4, 4);
+        let base = runner.run_base(&w, TransferMode::Standard);
+        assert_eq!(e.unhidden, base.alloc + base.system);
+        assert!(e.overlapped_total() >= e.unhidden);
+    }
+
+    #[test]
+    fn oversubscription_degrades_monotonically() {
+        let points = oversubscription_sweep(
+            || micro::vector_seq(InputSize::Small),
+            &[1.0, 1.5, 2.0],
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].evictions, 0, "exact fit evicts nothing");
+        assert!(points[2].evictions > points[1].evictions);
+        assert!(points[2].slowdown >= points[1].slowdown * 0.99);
+        assert!(points[1].slowdown >= 1.0);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_saturates_sms() {
+        let u = compute_bound_utilization(16, 4);
+        assert!(u > 0.85, "compute engine should stay busy, got {u}");
+    }
+
+    #[test]
+    fn pinned_beats_pageable_copies_but_costs_allocation() {
+        let runner = Runner::new(Device::a100_epyc());
+        let w = micro::vector_seq(InputSize::Medium);
+        let std = runner.run_base(&w, TransferMode::Standard);
+        let pinned = pinned_standard(&runner, &w);
+        assert!(pinned.memcpy < std.memcpy, "pinned DMA is faster");
+        assert!(pinned.alloc > std.alloc, "page-locking costs allocation time");
+        assert_eq!(pinned.kernel, std.kernel, "kernels are untouched");
+    }
+
+    #[test]
+    fn alternatives_table_has_four_rows() {
+        let runner = Runner::new(Device::a100_epyc());
+        let w = micro::saxpy(InputSize::Small);
+        assert_eq!(alternatives_table(&runner, &w).len(), 4);
+    }
+
+    #[test]
+    fn tables_render() {
+        let runner = Runner::new(Device::a100_epyc());
+        let w = micro::saxpy(InputSize::Tiny);
+        assert_eq!(overlap_table(&runner, &w, 4).len(), 4);
+        let pts = oversubscription_sweep(|| micro::vector_seq(InputSize::Tiny), &[1.0]);
+        assert_eq!(oversubscription_table(&pts).len(), 1);
+    }
+}

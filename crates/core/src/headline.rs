@@ -1,0 +1,205 @@
+//! The paper's §4 headline aggregates and §6 shares.
+//!
+//! These are the numbers the abstract and discussion quote: geo-mean
+//! performance gains per mode, memcpy-time savings, kernel-time overheads,
+//! the breakdown share shift once UVM + Async Memcpy are enabled, and the
+//! achieved-occupancy improvement.
+
+use crate::figures::SuiteComparison;
+use hetsim_counters::report::Table;
+use hetsim_engine::stats::geomean;
+use hetsim_engine::time::Nanos;
+use hetsim_runtime::report::Component;
+use hetsim_runtime::TransferMode;
+
+/// Aggregate per-mode statistics over a suite comparison.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    rows: Vec<HeadlineRow>,
+}
+
+/// One mode's aggregates.
+#[derive(Debug, Clone)]
+pub struct HeadlineRow {
+    /// The mode.
+    pub mode: TransferMode,
+    /// Geo-mean percent improvement of overall time vs standard
+    /// (positive = faster).
+    pub improvement_pct: f64,
+    /// Geo-mean percent memcpy-time savings vs standard.
+    pub memcpy_savings_pct: f64,
+    /// Geo-mean percent extra kernel time vs standard (positive = more
+    /// kernel time).
+    pub kernel_overhead_pct: f64,
+}
+
+impl Headline {
+    /// Computes the aggregates from a suite comparison.
+    pub fn from_suite(suite: &SuiteComparison) -> Self {
+        let rows = TransferMode::ALL
+            .map(|mode| {
+                let memcpy_ratio: Vec<f64> = suite
+                    .comparisons()
+                    .iter()
+                    .map(|c| {
+                        ratio(
+                            c.mean(mode).component(Component::Memcpy),
+                            c.mean(TransferMode::Standard).component(Component::Memcpy),
+                        )
+                    })
+                    .collect();
+                let kernel_ratio: Vec<f64> = suite
+                    .comparisons()
+                    .iter()
+                    .map(|c| {
+                        ratio(
+                            c.mean(mode).component(Component::Kernel),
+                            c.mean(TransferMode::Standard).component(Component::Kernel),
+                        )
+                    })
+                    .collect();
+                HeadlineRow {
+                    mode,
+                    improvement_pct: suite.geomean_improvement_pct(mode),
+                    memcpy_savings_pct: (1.0 - geomean(&memcpy_ratio)) * 100.0,
+                    kernel_overhead_pct: (geomean(&kernel_ratio) - 1.0) * 100.0,
+                }
+            })
+            .to_vec();
+        Headline { rows }
+    }
+
+    /// One mode's row.
+    pub fn row(&self, mode: TransferMode) -> &HeadlineRow {
+        self.rows
+            .iter()
+            .find(|r| r.mode == mode)
+            .expect("all modes present")
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[HeadlineRow] {
+        &self.rows
+    }
+
+    /// Renders the aggregates.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "mode",
+            "overall_improvement",
+            "memcpy_savings",
+            "kernel_overhead",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.mode.name().to_string(),
+                format!("{:+.2}%", r.improvement_pct),
+                format!("{:+.2}%", r.memcpy_savings_pct),
+                format!("{:+.2}%", r.kernel_overhead_pct),
+            ]);
+        }
+        t
+    }
+}
+
+fn ratio(new: Nanos, base: Nanos) -> f64 {
+    if base.is_zero() {
+        1.0
+    } else {
+        new.as_nanos() as f64 / base.as_nanos() as f64
+    }
+}
+
+/// The §6 quantities: breakdown shares and achieved occupancy, averaged
+/// over a suite, for `standard` vs `uvm_prefetch_async`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Section6 {
+    /// Mean memcpy share of the breakdown under standard.
+    pub memcpy_share_standard: f64,
+    /// Mean memcpy share under uvm_prefetch_async.
+    pub memcpy_share_pfa: f64,
+    /// Mean allocation share under standard.
+    pub alloc_share_standard: f64,
+    /// Mean allocation share under uvm_prefetch_async.
+    pub alloc_share_pfa: f64,
+}
+
+impl Section6 {
+    /// Computes the shares from a suite comparison.
+    pub fn from_suite(suite: &SuiteComparison) -> Self {
+        let share = |mode: TransferMode, c: Component| -> f64 {
+            let shares: Vec<f64> = suite
+                .comparisons()
+                .iter()
+                .map(|cmp| {
+                    let m = cmp.mean(mode);
+                    let total = m.breakdown_total().as_nanos() as f64;
+                    if total == 0.0 {
+                        0.0
+                    } else {
+                        m.component(c).as_nanos() as f64 / total
+                    }
+                })
+                .collect();
+            shares.iter().sum::<f64>() / shares.len().max(1) as f64
+        };
+        Section6 {
+            memcpy_share_standard: share(TransferMode::Standard, Component::Memcpy),
+            memcpy_share_pfa: share(TransferMode::UvmPrefetchAsync, Component::Memcpy),
+            alloc_share_standard: share(TransferMode::Standard, Component::Alloc),
+            alloc_share_pfa: share(TransferMode::UvmPrefetchAsync, Component::Alloc),
+        }
+    }
+
+    /// Renders the share shift.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(vec!["share", "standard", "uvm_prefetch_async"]);
+        t.row(vec![
+            "memcpy".into(),
+            format!("{:.2}%", self.memcpy_share_standard * 100.0),
+            format!("{:.2}%", self.memcpy_share_pfa * 100.0),
+        ]);
+        t.row(vec![
+            "allocation".into(),
+            format!("{:.2}%", self.alloc_share_standard * 100.0),
+            format!("{:.2}%", self.alloc_share_pfa * 100.0),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+    use crate::figures::fig8_at;
+    use hetsim_workloads::InputSize;
+
+    #[test]
+    fn headline_standard_is_neutral() {
+        let exp = Experiment::new().with_runs(2);
+        let suite = fig8_at(&exp, InputSize::Tiny);
+        let h = Headline::from_suite(&suite);
+        let std = h.row(TransferMode::Standard);
+        assert!(std.improvement_pct.abs() < 1e-9);
+        assert!(std.memcpy_savings_pct.abs() < 1e-9);
+        assert!(std.kernel_overhead_pct.abs() < 1e-9);
+        assert_eq!(h.rows().len(), 5);
+    }
+
+    #[test]
+    fn section6_shares_are_fractions() {
+        let exp = Experiment::new().with_runs(2);
+        let suite = fig8_at(&exp, InputSize::Tiny);
+        let s = Section6::from_suite(&suite);
+        for x in [
+            s.memcpy_share_standard,
+            s.memcpy_share_pfa,
+            s.alloc_share_standard,
+            s.alloc_share_pfa,
+        ] {
+            assert!((0.0..=1.0).contains(&x), "{x}");
+        }
+        assert!(s.to_table().to_string().contains("allocation"));
+    }
+}

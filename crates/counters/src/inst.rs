@@ -1,0 +1,217 @@
+//! GPU instruction-mix counters (the Fig 9 metric).
+//!
+//! The paper compares total counts of memory, floating-point, integer, and
+//! control instructions across the five transfer-mode setups, and traces the
+//! Async Memcpy overhead to a ~30–40% control-instruction increase. The
+//! simulator's block executor charges instructions into an
+//! [`InstructionMix`] while it replays a kernel's address stream.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The instruction classes the paper's profiling distinguishes (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstClass {
+    /// Global/shared memory load instructions.
+    MemLoad,
+    /// Global/shared memory store instructions.
+    MemStore,
+    /// Floating-point arithmetic.
+    Fp,
+    /// Integer arithmetic (addressing, loop counters, pipeline indices).
+    Int,
+    /// Control flow (branches, barriers, pipeline commit/wait).
+    Control,
+}
+
+impl InstClass {
+    /// All classes, in display order.
+    pub const ALL: [InstClass; 5] = [
+        InstClass::MemLoad,
+        InstClass::MemStore,
+        InstClass::Fp,
+        InstClass::Int,
+        InstClass::Control,
+    ];
+
+    /// Stable short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            InstClass::MemLoad => "mem_load",
+            InstClass::MemStore => "mem_store",
+            InstClass::Fp => "fp",
+            InstClass::Int => "int",
+            InstClass::Control => "control",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            InstClass::MemLoad => 0,
+            InstClass::MemStore => 1,
+            InstClass::Fp => 2,
+            InstClass::Int => 3,
+            InstClass::Control => 4,
+        }
+    }
+}
+
+impl fmt::Display for InstClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counts of executed instructions per [`InstClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstructionMix {
+    counts: [u64; 5],
+}
+
+impl InstructionMix {
+    /// An all-zero mix.
+    pub fn new() -> Self {
+        InstructionMix::default()
+    }
+
+    /// Records `n` executed instructions of class `class`.
+    pub fn record(&mut self, class: InstClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Count for one class.
+    pub fn get(&self, class: InstClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total dynamic instruction count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Memory instructions (loads + stores).
+    pub fn mem(&self) -> u64 {
+        self.get(InstClass::MemLoad) + self.get(InstClass::MemStore)
+    }
+
+    /// Fraction of the total contributed by `class`; zero for an empty mix.
+    pub fn fraction(&self, class: InstClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(class) as f64 / total as f64
+        }
+    }
+
+    /// Multiplies every count by `factor`, used when extrapolating sampled
+    /// blocks to the full grid.
+    ///
+    /// Rounds to the nearest count.
+    pub fn scale(&self, factor: f64) -> InstructionMix {
+        let mut out = InstructionMix::new();
+        for c in InstClass::ALL {
+            out.counts[c.index()] = (self.get(c) as f64 * factor).round() as u64;
+        }
+        out
+    }
+
+    /// Iterates `(class, count)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (InstClass, u64)> + '_ {
+        InstClass::ALL.into_iter().map(move |c| (c, self.get(c)))
+    }
+}
+
+impl Add for InstructionMix {
+    type Output = InstructionMix;
+    fn add(self, rhs: InstructionMix) -> InstructionMix {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for InstructionMix {
+    fn add_assign(&mut self, rhs: InstructionMix) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += rhs.counts[i];
+        }
+    }
+}
+
+impl fmt::Display for InstructionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (c, n) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{c}={n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut m = InstructionMix::new();
+        m.record(InstClass::Fp, 10);
+        m.record(InstClass::Fp, 5);
+        m.record(InstClass::MemLoad, 3);
+        m.record(InstClass::MemStore, 2);
+        assert_eq!(m.get(InstClass::Fp), 15);
+        assert_eq!(m.mem(), 5);
+        assert_eq!(m.total(), 20);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut m = InstructionMix::new();
+        for (i, c) in InstClass::ALL.into_iter().enumerate() {
+            m.record(c, (i as u64 + 1) * 7);
+        }
+        let s: f64 = InstClass::ALL.iter().map(|&c| m.fraction(c)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_mix_fraction_is_zero() {
+        let m = InstructionMix::new();
+        assert_eq!(m.fraction(InstClass::Control), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn merge_mixes() {
+        let mut a = InstructionMix::new();
+        a.record(InstClass::Int, 4);
+        let mut b = InstructionMix::new();
+        b.record(InstClass::Int, 6);
+        b.record(InstClass::Control, 1);
+        let c = a + b;
+        assert_eq!(c.get(InstClass::Int), 10);
+        assert_eq!(c.get(InstClass::Control), 1);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        let mut m = InstructionMix::new();
+        m.record(InstClass::Fp, 3);
+        let s = m.scale(2.5);
+        assert_eq!(s.get(InstClass::Fp), 8);
+    }
+
+    #[test]
+    fn display_lists_all_classes() {
+        let m = InstructionMix::new();
+        let s = m.to_string();
+        for c in InstClass::ALL {
+            assert!(s.contains(c.name()), "{s} missing {c}");
+        }
+    }
+}

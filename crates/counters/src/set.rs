@@ -1,0 +1,94 @@
+//! The aggregate counter set attached to every simulated run.
+
+use crate::{CacheCounters, InstructionMix, Occupancy, TransferCounters, UvmCounters};
+use std::ops::{Add, AddAssign};
+
+/// Everything the simulator measures about one kernel or one whole run.
+///
+/// Populated by the GPU/memory/UVM models; consumed by the experiment layer
+/// to produce the paper's figures. Merging two sets (`+`) sums the additive
+/// counters and keeps the *maximum* occupancy figures (occupancy is a
+/// fraction, not an additive count).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CounterSet {
+    /// Dynamic instruction mix (Fig 9).
+    pub inst: InstructionMix,
+    /// Unified L1/texture cache hit/miss counts (Fig 10).
+    pub l1: CacheCounters,
+    /// L2 cache hit/miss counts.
+    pub l2: CacheCounters,
+    /// Host↔device traffic.
+    pub transfer: TransferCounters,
+    /// UVM fault/migration activity.
+    pub uvm: UvmCounters,
+    /// Occupancy figures.
+    pub occupancy: Occupancy,
+}
+
+impl CounterSet {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+}
+
+impl Add for CounterSet {
+    type Output = CounterSet;
+    fn add(self, rhs: CounterSet) -> CounterSet {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for CounterSet {
+    fn add_assign(&mut self, rhs: CounterSet) {
+        self.inst += rhs.inst;
+        self.l1 += rhs.l1;
+        self.l2 += rhs.l2;
+        self.transfer += rhs.transfer;
+        self.uvm += rhs.uvm;
+        self.occupancy = Occupancy::new(
+            self.occupancy.theoretical().max(rhs.occupancy.theoretical()),
+            self.occupancy.achieved().max(rhs.occupancy.achieved()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InstClass;
+    use hetsim_engine::time::Nanos;
+
+    #[test]
+    fn merge_sums_counters_and_maxes_occupancy() {
+        let mut a = CounterSet::new();
+        a.inst.record(InstClass::Fp, 10);
+        a.l1.record_load(false);
+        a.occupancy = Occupancy::new(0.5, 0.2);
+
+        let mut b = CounterSet::new();
+        b.inst.record(InstClass::Fp, 5);
+        b.transfer.record_h2d_copy(100, Nanos::from_nanos(10));
+        b.uvm.record_migrated_pages(2);
+        b.occupancy = Occupancy::new(0.25, 0.4);
+
+        let c = a + b;
+        assert_eq!(c.inst.get(InstClass::Fp), 15);
+        assert_eq!(c.l1.load_misses(), 1);
+        assert_eq!(c.transfer.h2d_bytes(), 100);
+        assert_eq!(c.uvm.pages_migrated(), 2);
+        assert_eq!(c.occupancy.theoretical(), 0.5);
+        assert_eq!(c.occupancy.achieved(), 0.4);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let c = CounterSet::new();
+        assert_eq!(c.inst.total(), 0);
+        assert_eq!(c.l1.accesses(), 0);
+        assert_eq!(c.transfer.total_bytes(), 0);
+        assert_eq!(c.uvm.page_faults(), 0);
+    }
+}

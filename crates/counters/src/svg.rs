@@ -1,0 +1,281 @@
+//! A dependency-free SVG emitter for the paper's figure styles.
+//!
+//! Two chart shapes cover every figure in the paper: grouped bars
+//! (Figs 5, 7–13: workloads × modes) and stacked bars (the breakdown
+//! shades: gpu_kernel / memcpy / allocation). [`BarChart`] renders both to
+//! plain SVG strings that the CLI writes next to the CSVs, so the artifact
+//! produces viewable figures without a plotting stack.
+
+use std::fmt::Write as _;
+
+/// Chart geometry.
+const WIDTH: f64 = 960.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_BOTTOM: f64 = 80.0;
+const MARGIN_TOP: f64 = 40.0;
+const MARGIN_RIGHT: f64 = 20.0;
+
+/// The five-series palette (one colour per transfer mode, matching the
+/// paper's five setups).
+const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+];
+
+/// A grouped (optionally stacked) bar chart.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_counters::svg::BarChart;
+///
+/// let mut c = BarChart::new("Fig 7 (excerpt)", "normalized time");
+/// c.series("standard", &[1.0, 1.0]);
+/// c.series("uvm_prefetch", &[0.47, 0.51]);
+/// c.categories(&["vector_seq", "saxpy"]);
+/// let svg = c.render();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("vector_seq"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    y_label: String,
+    categories: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+    stacked: bool,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new<T: Into<String>, Y: Into<String>>(title: T, y_label: Y) -> Self {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            ..BarChart::default()
+        }
+    }
+
+    /// Sets the category (x axis) labels.
+    pub fn categories<S: AsRef<str>>(&mut self, names: &[S]) -> &mut Self {
+        self.categories = names.iter().map(|s| s.as_ref().to_string()).collect();
+        self
+    }
+
+    /// Adds one series (one bar per category).
+    pub fn series<S: Into<String>>(&mut self, name: S, values: &[f64]) -> &mut Self {
+        self.series.push((name.into(), values.to_vec()));
+        self
+    }
+
+    /// Stacks the series instead of grouping them (breakdown figures).
+    pub fn stacked(&mut self, on: bool) -> &mut Self {
+        self.stacked = on;
+        self
+    }
+
+    /// Renders the SVG document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths disagree with the category count, or
+    /// if the chart has no data.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let n_cat = self
+            .categories
+            .len()
+            .max(self.series.iter().map(|(_, v)| v.len()).max().unwrap_or(0));
+        assert!(n_cat > 0, "chart has no categories");
+        for (name, v) in &self.series {
+            assert_eq!(v.len(), n_cat, "series {name} has wrong length");
+        }
+
+        let max_value = if self.stacked {
+            (0..n_cat)
+                .map(|i| self.series.iter().map(|(_, v)| v[i].max(0.0)).sum::<f64>())
+                .fold(0.0f64, f64::max)
+        } else {
+            self.series
+                .iter()
+                .flat_map(|(_, v)| v.iter())
+                .fold(0.0f64, |a, &b| a.max(b))
+        }
+        .max(1e-12);
+
+        let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+        let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+        let y_of = |v: f64| MARGIN_TOP + plot_h * (1.0 - v / (max_value * 1.05));
+
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" font-family="sans-serif" font-size="12">"#
+        );
+        let _ = write!(
+            s,
+            r#"<text x="{}" y="20" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_LEFT,
+            esc(&self.title)
+        );
+        // Y axis with 5 gridlines.
+        for i in 0..=5 {
+            let v = max_value * 1.05 * i as f64 / 5.0;
+            let y = y_of(v);
+            let _ = write!(
+                s,
+                r##"<line x1="{MARGIN_LEFT}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" text-anchor="end">{v:.2}</text>"##,
+                WIDTH - MARGIN_RIGHT,
+                MARGIN_LEFT - 6.0,
+                y + 4.0
+            );
+        }
+        let _ = write!(
+            s,
+            r#"<text x="14" y="{:.1}" transform="rotate(-90 14 {:.1})" text-anchor="middle">{}</text>"#,
+            MARGIN_TOP + plot_h / 2.0,
+            MARGIN_TOP + plot_h / 2.0,
+            esc(&self.y_label)
+        );
+
+        let group_w = plot_w / n_cat as f64;
+        let n_series = self.series.len() as f64;
+        for (ci, _) in (0..n_cat).enumerate() {
+            let gx = MARGIN_LEFT + group_w * ci as f64;
+            if self.stacked {
+                let bar_w = (group_w * 0.6).min(60.0);
+                let x = gx + (group_w - bar_w) / 2.0;
+                let mut acc = 0.0;
+                for (si, (_, v)) in self.series.iter().enumerate() {
+                    let v0 = acc;
+                    acc += v[ci].max(0.0);
+                    let y1 = y_of(acc);
+                    let y0 = y_of(v0);
+                    let _ = write!(
+                        s,
+                        r#"<rect x="{x:.1}" y="{y1:.1}" width="{bar_w:.1}" height="{:.1}" fill="{}"/>"#,
+                        (y0 - y1).max(0.0),
+                        PALETTE[si % PALETTE.len()]
+                    );
+                }
+            } else {
+                let bar_w = (group_w * 0.8 / n_series).min(40.0);
+                for (si, (_, v)) in self.series.iter().enumerate() {
+                    let x = gx + group_w * 0.1 + bar_w * si as f64;
+                    let y = y_of(v[ci].max(0.0));
+                    let _ = write!(
+                        s,
+                        r#"<rect x="{x:.1}" y="{y:.1}" width="{bar_w:.1}" height="{:.1}" fill="{}"/>"#,
+                        (MARGIN_TOP + plot_h - y).max(0.0),
+                        PALETTE[si % PALETTE.len()]
+                    );
+                }
+            }
+            // Category label.
+            let label = self
+                .categories
+                .get(ci)
+                .cloned()
+                .unwrap_or_else(|| ci.to_string());
+            let lx = gx + group_w / 2.0;
+            let ly = MARGIN_TOP + plot_h + 14.0;
+            let _ = write!(
+                s,
+                r#"<text x="{lx:.1}" y="{ly:.1}" text-anchor="end" transform="rotate(-35 {lx:.1} {ly:.1})">{}</text>"#,
+                esc(&label)
+            );
+        }
+
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let x = MARGIN_LEFT + 140.0 * si as f64;
+            let y = HEIGHT - 14.0;
+            let _ = write!(
+                s,
+                r#"<rect x="{x:.1}" y="{:.1}" width="12" height="12" fill="{}"/><text x="{:.1}" y="{y:.1}">{}</text>"#,
+                y - 11.0,
+                PALETTE[si % PALETTE.len()],
+                x + 16.0,
+                esc(name)
+            );
+        }
+        s.push_str("</svg>");
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        let mut c = BarChart::new("test", "y");
+        c.categories(&["a", "b", "c"]);
+        c.series("s1", &[1.0, 2.0, 3.0]);
+        c.series("s2", &[3.0, 2.0, 1.0]);
+        c
+    }
+
+    #[test]
+    fn renders_valid_envelope() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // 2 series x 3 categories = 6 bars + legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 6 + 2);
+    }
+
+    #[test]
+    fn labels_and_legend_present() {
+        let svg = chart().render();
+        for label in ["test", "s1", "s2", "a", "b", "c"] {
+            assert!(svg.contains(label), "missing {label}");
+        }
+    }
+
+    #[test]
+    fn stacked_bars_one_per_category() {
+        let mut c = chart();
+        c.stacked(true);
+        let svg = c.render();
+        assert_eq!(svg.matches("<rect").count(), 6 + 2);
+    }
+
+    #[test]
+    fn escapes_markup() {
+        let mut c = BarChart::new("a<b&c>", "y");
+        c.categories(&["x"]);
+        c.series("s", &[1.0]);
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b&amp;c&gt;"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn zero_values_render() {
+        let mut c = BarChart::new("z", "y");
+        c.categories(&["x"]);
+        c.series("s", &[0.0]);
+        let svg = c.render();
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn mismatched_series_rejected() {
+        let mut c = BarChart::new("bad", "y");
+        c.categories(&["a", "b"]);
+        c.series("s", &[1.0]);
+        let _ = c.render();
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_chart_rejected() {
+        let _ = BarChart::new("empty", "y").render();
+    }
+}

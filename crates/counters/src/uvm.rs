@@ -1,0 +1,166 @@
+//! UVM subsystem counters.
+//!
+//! The paper attributes the `uvm` configuration's 2–2.2× kernel-time
+//! inflation to GPU far faults and their batched servicing (§4.1.1, citing
+//! Allen & Ge). These counters expose that machinery: fault counts, batch
+//! counts, pages moved by demand migration vs. prefetch, and the total
+//! fault-service stall charged to the kernel.
+
+use hetsim_engine::time::Nanos;
+use std::ops::{Add, AddAssign};
+
+/// Counters for the unified-virtual-memory subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UvmCounters {
+    page_faults: u64,
+    fault_batches: u64,
+    pages_migrated: u64,
+    pages_prefetched: u64,
+    pages_evicted: u64,
+    fault_stall: Nanos,
+}
+
+impl UvmCounters {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        UvmCounters::default()
+    }
+
+    /// Records `faults` far faults serviced in one batch with total stall
+    /// `stall`.
+    pub fn record_fault_batch(&mut self, faults: u64, stall: Nanos) {
+        self.page_faults += faults;
+        self.fault_batches += 1;
+        self.fault_stall += stall;
+    }
+
+    /// Records pages moved host→device by demand migration.
+    pub fn record_migrated_pages(&mut self, pages: u64) {
+        self.pages_migrated += pages;
+    }
+
+    /// Records pages moved host→device by an explicit prefetch.
+    pub fn record_prefetched_pages(&mut self, pages: u64) {
+        self.pages_prefetched += pages;
+    }
+
+    /// Records pages evicted device→host (oversubscription path).
+    pub fn record_evicted_pages(&mut self, pages: u64) {
+        self.pages_evicted += pages;
+    }
+
+    /// Total GPU far faults.
+    pub fn page_faults(&self) -> u64 {
+        self.page_faults
+    }
+
+    /// Number of serviced fault batches.
+    pub fn fault_batches(&self) -> u64 {
+        self.fault_batches
+    }
+
+    /// Pages moved by demand migration.
+    pub fn pages_migrated(&self) -> u64 {
+        self.pages_migrated
+    }
+
+    /// Pages moved by explicit prefetch.
+    pub fn pages_prefetched(&self) -> u64 {
+        self.pages_prefetched
+    }
+
+    /// Pages evicted back to the host.
+    pub fn pages_evicted(&self) -> u64 {
+        self.pages_evicted
+    }
+
+    /// Total kernel stall attributable to fault servicing.
+    pub fn fault_stall(&self) -> Nanos {
+        self.fault_stall
+    }
+
+    /// Mean faults per batch; zero when no batch was serviced.
+    pub fn faults_per_batch(&self) -> f64 {
+        if self.fault_batches == 0 {
+            0.0
+        } else {
+            self.page_faults as f64 / self.fault_batches as f64
+        }
+    }
+
+    /// Fraction of touched pages that were satisfied by prefetch rather than
+    /// demand migration; zero when nothing moved.
+    pub fn prefetch_coverage(&self) -> f64 {
+        let total = self.pages_migrated + self.pages_prefetched;
+        if total == 0 {
+            0.0
+        } else {
+            self.pages_prefetched as f64 / total as f64
+        }
+    }
+}
+
+impl Add for UvmCounters {
+    type Output = UvmCounters;
+    fn add(self, rhs: UvmCounters) -> UvmCounters {
+        let mut out = self;
+        out += rhs;
+        out
+    }
+}
+
+impl AddAssign for UvmCounters {
+    fn add_assign(&mut self, rhs: UvmCounters) {
+        self.page_faults += rhs.page_faults;
+        self.fault_batches += rhs.fault_batches;
+        self.pages_migrated += rhs.pages_migrated;
+        self.pages_prefetched += rhs.pages_prefetched;
+        self.pages_evicted += rhs.pages_evicted;
+        self.fault_stall += rhs.fault_stall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_batches_accumulate() {
+        let mut u = UvmCounters::new();
+        u.record_fault_batch(200, Nanos::from_micros(38));
+        u.record_fault_batch(56, Nanos::from_micros(38));
+        assert_eq!(u.page_faults(), 256);
+        assert_eq!(u.fault_batches(), 2);
+        assert_eq!(u.fault_stall(), Nanos::from_micros(76));
+        assert_eq!(u.faults_per_batch(), 128.0);
+    }
+
+    #[test]
+    fn prefetch_coverage() {
+        let mut u = UvmCounters::new();
+        u.record_prefetched_pages(75);
+        u.record_migrated_pages(25);
+        assert!((u.prefetch_coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(UvmCounters::new().prefetch_coverage(), 0.0);
+    }
+
+    #[test]
+    fn empty_rates_are_zero() {
+        let u = UvmCounters::new();
+        assert_eq!(u.faults_per_batch(), 0.0);
+        assert_eq!(u.fault_stall(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = UvmCounters::new();
+        a.record_fault_batch(10, Nanos::from_nanos(100));
+        a.record_evicted_pages(3);
+        let mut b = UvmCounters::new();
+        b.record_migrated_pages(7);
+        let c = a + b;
+        assert_eq!(c.page_faults(), 10);
+        assert_eq!(c.pages_migrated(), 7);
+        assert_eq!(c.pages_evicted(), 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Bandwidth and latency primitives for transfer-cost models.
+//!
+//! Every link in the simulated system (PCIe, HBM, DDR4, UVM migration path)
+//! is characterized by a [`Bandwidth`] and a fixed per-operation [`Latency`];
+//! [`Bandwidth::transfer_time`] converts a byte count into simulated time.
+
+use crate::time::Nanos;
+use std::fmt;
+
+/// A link bandwidth in bytes per second.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::bandwidth::Bandwidth;
+/// // Pageable-host cudaMemcpy effective throughput.
+/// let pcie = Bandwidth::from_gib_per_sec(6.2);
+/// let t = pcie.transfer_time(6_657_199_309); // ~6.2 GiB
+/// assert!((t.as_secs_f64() - 1.0).abs() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Bandwidth {
+    bytes_per_sec: f64,
+}
+
+impl Bandwidth {
+    /// Creates a bandwidth from raw bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is not finite and positive.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        assert!(
+            bps.is_finite() && bps > 0.0,
+            "bandwidth must be positive and finite"
+        );
+        Bandwidth { bytes_per_sec: bps }
+    }
+
+    /// Creates a bandwidth from GiB/s (2^30 bytes per second).
+    pub fn from_gib_per_sec(gib: f64) -> Self {
+        Bandwidth::from_bytes_per_sec(gib * (1u64 << 30) as f64)
+    }
+
+    /// Creates a bandwidth from GB/s (10^9 bytes per second), the unit in
+    /// vendor datasheets.
+    pub fn from_gb_per_sec(gb: f64) -> Self {
+        Bandwidth::from_bytes_per_sec(gb * 1e9)
+    }
+
+    /// Raw bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// In GB/s (10^9).
+    pub fn as_gb_per_sec(self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+
+    /// Time to move `bytes` at this bandwidth (no fixed latency).
+    pub fn transfer_time(self, bytes: u64) -> Nanos {
+        Nanos::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+    }
+
+    /// Derates the bandwidth by `factor` in `(0, 1]` — e.g. cross-NUMA-chip
+    /// host traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn derate(self, factor: f64) -> Bandwidth {
+        assert!(factor > 0.0 && factor <= 1.0, "derate factor out of (0,1]");
+        Bandwidth::from_bytes_per_sec(self.bytes_per_sec * factor)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GB/s", self.as_gb_per_sec())
+    }
+}
+
+/// A fixed per-operation latency.
+///
+/// Wraps [`Nanos`] to distinguish "cost per operation" from generic elapsed
+/// time in model signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Latency(Nanos);
+
+impl Latency {
+    /// Zero latency.
+    pub const ZERO: Latency = Latency(Nanos::ZERO);
+
+    /// Creates a latency from a duration.
+    pub const fn new(d: Nanos) -> Self {
+        Latency(d)
+    }
+
+    /// Creates a latency from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Latency(Nanos::from_nanos(ns))
+    }
+
+    /// Creates a latency from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Latency(Nanos::from_micros(us))
+    }
+
+    /// The wrapped duration.
+    pub const fn as_nanos(self) -> Nanos {
+        self.0
+    }
+
+    /// Total cost of `n` back-to-back operations.
+    pub fn times(self, n: u64) -> Nanos {
+        self.0 * n
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Full cost of one transfer over a link: fixed latency + size / bandwidth.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::bandwidth::{link_transfer_time, Bandwidth, Latency};
+/// let t = link_transfer_time(Latency::from_micros(2), Bandwidth::from_gb_per_sec(10.0), 10_000);
+/// assert_eq!(t.as_nanos(), 2_000 + 1_000);
+/// ```
+pub fn link_transfer_time(latency: Latency, bw: Bandwidth, bytes: u64) -> Nanos {
+    latency.as_nanos() + bw.transfer_time(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let bw = Bandwidth::from_gb_per_sec(1.0);
+        assert_eq!(bw.transfer_time(1_000_000_000), Nanos::from_secs(1));
+        assert_eq!(bw.transfer_time(500_000_000), Nanos::from_millis(500));
+        assert_eq!(bw.transfer_time(0), Nanos::ZERO);
+    }
+
+    #[test]
+    fn gib_vs_gb_units() {
+        let gib = Bandwidth::from_gib_per_sec(1.0);
+        let gb = Bandwidth::from_gb_per_sec(1.0);
+        assert!(gib.bytes_per_sec() > gb.bytes_per_sec());
+        assert_eq!(gib.bytes_per_sec(), (1u64 << 30) as f64);
+    }
+
+    #[test]
+    fn derate_reduces_bandwidth() {
+        let bw = Bandwidth::from_gb_per_sec(10.0).derate(0.5);
+        assert!((bw.as_gb_per_sec() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn derate_rejects_zero() {
+        let _ = Bandwidth::from_gb_per_sec(1.0).derate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bandwidth_rejects_negative() {
+        let _ = Bandwidth::from_bytes_per_sec(-5.0);
+    }
+
+    #[test]
+    fn latency_times() {
+        let l = Latency::from_micros(3);
+        assert_eq!(l.times(4), Nanos::from_micros(12));
+        assert_eq!(Latency::ZERO.times(100), Nanos::ZERO);
+    }
+
+    #[test]
+    fn link_transfer_combines_terms() {
+        let t = link_transfer_time(
+            Latency::from_nanos(100),
+            Bandwidth::from_gb_per_sec(1.0),
+            2_000,
+        );
+        assert_eq!(t, Nanos::from_nanos(100 + 2_000));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Bandwidth::from_gb_per_sec(6.2).to_string(), "6.20 GB/s");
+        assert_eq!(Latency::from_micros(2).to_string(), "2.000us");
+    }
+}

@@ -1,0 +1,190 @@
+//! Busy-interval accounting for utilization and occupancy metrics.
+//!
+//! Section 6 of the paper reports GPU occupancy rising from 25.15% to 37.79%
+//! once data transfer overlaps computation. [`BusyTracker`] records the busy
+//! intervals of a resource (an SM pool, a DMA engine, the host allocator) and
+//! reports the fraction of a window the resource was active, merging
+//! overlapping intervals so concurrent work is not double counted.
+
+use crate::time::{Nanos, SimTime};
+
+/// Records busy intervals of a single logical resource.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::resource::BusyTracker;
+/// use hetsim_engine::time::SimTime;
+///
+/// let mut sm = BusyTracker::new();
+/// sm.record(SimTime::from_nanos(0), SimTime::from_nanos(40));
+/// sm.record(SimTime::from_nanos(30), SimTime::from_nanos(60)); // overlaps
+/// assert_eq!(sm.busy_within(SimTime::from_nanos(0), SimTime::from_nanos(100)).as_nanos(), 60);
+/// assert!((sm.utilization(SimTime::from_nanos(0), SimTime::from_nanos(100)) - 0.6).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BusyTracker {
+    /// Recorded `(start, end)` intervals, unmerged until queried.
+    intervals: Vec<(SimTime, SimTime)>,
+}
+
+impl BusyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        BusyTracker::default()
+    }
+
+    /// Records a busy interval `[start, end)`.
+    ///
+    /// Zero-length and inverted intervals are ignored rather than rejected:
+    /// cost models frequently produce zero-duration steps.
+    pub fn record(&mut self, start: SimTime, end: SimTime) {
+        if end > start {
+            self.intervals.push((start, end));
+        }
+    }
+
+    /// Records a busy interval starting at `start` lasting `dur`.
+    pub fn record_for(&mut self, start: SimTime, dur: Nanos) {
+        self.record(start, start + dur);
+    }
+
+    /// Number of raw recorded intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total busy time within `[from, to)`, with overlapping recordings
+    /// merged.
+    pub fn busy_within(&self, from: SimTime, to: SimTime) -> Nanos {
+        if to <= from || self.intervals.is_empty() {
+            return Nanos::ZERO;
+        }
+        let mut clipped: Vec<(u64, u64)> = self
+            .intervals
+            .iter()
+            .filter_map(|&(s, e)| {
+                let s = s.max(from).as_nanos();
+                let e = e.as_nanos().min(to.as_nanos());
+                (e > s).then_some((s, e))
+            })
+            .collect();
+        clipped.sort_unstable();
+        let mut busy = 0u64;
+        let mut cur: Option<(u64, u64)> = None;
+        for (s, e) in clipped {
+            match cur {
+                Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                Some((cs, ce)) => {
+                    busy += ce - cs;
+                    cur = Some((s, e));
+                    let _ = cs;
+                }
+                None => cur = Some((s, e)),
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            busy += ce - cs;
+        }
+        Nanos::from_nanos(busy)
+    }
+
+    /// Fraction of `[from, to)` the resource was busy, in `[0, 1]`.
+    ///
+    /// Returns zero for an empty window.
+    pub fn utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        let window = to.saturating_duration_since(from);
+        if window.is_zero() {
+            return 0.0;
+        }
+        self.busy_within(from, to).as_nanos() as f64 / window.as_nanos() as f64
+    }
+
+    /// The end of the last recorded interval, or time zero.
+    pub fn horizon(&self) -> SimTime {
+        self.intervals
+            .iter()
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Clears all recordings.
+    pub fn clear(&mut self) {
+        self.intervals.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disjoint_intervals_sum() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(10));
+        b.record(t(20), t(35));
+        assert_eq!(b.busy_within(t(0), t(100)), Nanos::from_nanos(25));
+    }
+
+    #[test]
+    fn overlaps_merge() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(50));
+        b.record(t(25), t(75));
+        b.record(t(74), t(80));
+        assert_eq!(b.busy_within(t(0), t(100)), Nanos::from_nanos(80));
+    }
+
+    #[test]
+    fn adjacent_intervals_merge_without_gap() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(10));
+        b.record(t(10), t(20));
+        assert_eq!(b.busy_within(t(0), t(100)), Nanos::from_nanos(20));
+    }
+
+    #[test]
+    fn clipping_to_window() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(100));
+        assert_eq!(b.busy_within(t(40), t(60)), Nanos::from_nanos(20));
+        assert_eq!(b.busy_within(t(200), t(300)), Nanos::ZERO);
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let mut b = BusyTracker::new();
+        b.record(t(0), t(25));
+        assert!((b.utilization(t(0), t(100)) - 0.25).abs() < 1e-12);
+        assert_eq!(b.utilization(t(5), t(5)), 0.0, "empty window");
+    }
+
+    #[test]
+    fn ignores_degenerate_records() {
+        let mut b = BusyTracker::new();
+        b.record(t(10), t(10));
+        b.record(t(20), t(5));
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.horizon(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn horizon_and_clear() {
+        let mut b = BusyTracker::new();
+        b.record_for(t(10), Nanos::from_nanos(15));
+        assert_eq!(b.horizon(), t(25));
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! Summary statistics used by the paper's methodology.
+//!
+//! Section 3.3 of the paper selects input sizes by looking at the standard
+//! deviation over the mean of 30 runs (Fig 5) and at run-time distributions
+//! (Fig 4). [`Summary`] computes exactly those quantities, plus the geometric
+//! mean the results section reports across workloads.
+
+use crate::time::Nanos;
+
+/// Summary statistics over a sample of observations.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::stats::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    n: usize,
+    mean: f64,
+    std: f64,
+    min: f64,
+    max: f64,
+    sorted: Vec<f64>,
+}
+
+impl Summary {
+    /// Builds a summary from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "summary of empty sample set");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            sorted,
+        }
+    }
+
+    /// Builds a summary from durations, in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_nanos(samples: &[Nanos]) -> Self {
+        let xs: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        Summary::from_samples(&xs)
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the sample set is empty (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation.
+    pub fn std(&self) -> f64 {
+        self.std
+    }
+
+    /// Coefficient of variation, `std / mean` — the Fig 5 stability metric.
+    ///
+    /// Returns zero for a zero mean (all-zero samples).
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Linear-interpolated percentile, `p` in `[0, 100]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        if self.n == 1 {
+            return self.sorted[0];
+        }
+        let rank = p / 100.0 * (self.n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Half-width of the normal-approximation 95% confidence interval on the
+    /// mean.
+    pub fn ci95_half_width(&self) -> f64 {
+        1.96 * self.std / (self.n as f64).sqrt()
+    }
+}
+
+/// A fixed-bin histogram over a sample range — the compact form of the
+/// paper's Fig 4 run-time distributions.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::stats::Histogram;
+/// let h = Histogram::from_samples(&[1.0, 1.1, 1.2, 5.0], 4);
+/// assert_eq!(h.bins().iter().sum::<usize>(), 4);
+/// assert_eq!(h.bins()[0], 3, "the cluster lands in the first bin");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the sample
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `bins` is zero.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "histogram of empty sample set");
+        assert!(bins > 0, "histogram needs at least one bin");
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = (hi - lo).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &x in samples {
+            let i = (((x - lo) / width) * bins as f64) as usize;
+            counts[i.min(bins - 1)] += 1;
+        }
+        Histogram {
+            lo,
+            hi,
+            bins: counts,
+        }
+    }
+
+    /// Lower edge of the first bin.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the last bin.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[usize] {
+        &self.bins
+    }
+
+    /// Renders a one-line sparkline (`▁▂▃▄▅▆▇█`) of the distribution.
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        self.bins
+            .iter()
+            .map(|&c| LEVELS[(c * (LEVELS.len() - 1)).div_ceil(max).min(LEVELS.len() - 1)])
+            .collect()
+    }
+}
+
+/// Geometric mean of positive values.
+///
+/// Values `<= 0` are skipped (they would make the product meaningless);
+/// returns zero if nothing remains.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::stats::geomean;
+/// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Percentage change of `new` relative to `base`: positive means `new` is
+/// faster/smaller is NOT implied — this is the raw `(new - base) / base`.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_engine::stats::pct_change;
+/// assert_eq!(pct_change(100.0, 120.0), 20.0);
+/// ```
+pub fn pct_change(base: f64, new: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (new - base) / base * 100.0
+    }
+}
+
+/// Speedup of `new` over `base` (`base / new`), the convention the paper
+/// uses for "X× speedups over standard".
+pub fn speedup(base: f64, new: f64) -> f64 {
+    if new == 0.0 {
+        f64::INFINITY
+    } else {
+        base / new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.std(), 2.0);
+        assert_eq!(s.cv(), 0.4);
+        assert_eq!(s.len(), 8);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+        assert_eq!(s.median(), 2.5);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.median(), 3.5);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn zero_mean_cv_is_zero() {
+        let s = Summary::from_samples(&[0.0, 0.0]);
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn from_nanos_matches_f64() {
+        let s = Summary::from_nanos(&[Nanos::from_nanos(10), Nanos::from_nanos(20)]);
+        assert_eq!(s.mean(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_samples_panic() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn histogram_counts_conserve_samples() {
+        let xs = [0.0, 0.5, 1.0, 1.5, 2.0, 2.0, 2.0];
+        let h = Histogram::from_samples(&xs, 4);
+        assert_eq!(h.bins().iter().sum::<usize>(), xs.len());
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 2.0);
+        // 1.5 plus the three max values land in the last bin.
+        assert_eq!(*h.bins().last().unwrap(), 4);
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = Histogram::from_samples(&[3.0, 3.0], 5);
+        assert_eq!(h.bins().iter().sum::<usize>(), 2);
+        assert_eq!(h.sparkline().chars().count(), 5);
+    }
+
+    #[test]
+    fn sparkline_height_tracks_counts() {
+        let h = Histogram::from_samples(&[1.0, 1.0, 1.0, 1.0, 9.0], 2);
+        let s: Vec<char> = h.sparkline().chars().collect();
+        assert!(s[0] > s[1], "the dense bin renders taller: {s:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn histogram_empty_panics() {
+        let _ = Histogram::from_samples(&[], 4);
+    }
+
+    #[test]
+    fn geomean_skips_nonpositive() {
+        assert!((geomean(&[2.0, 8.0, 0.0, -3.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(geomean(&[0.0]), 0.0);
+    }
+
+    #[test]
+    fn pct_change_and_speedup() {
+        assert_eq!(pct_change(200.0, 150.0), -25.0);
+        assert_eq!(pct_change(0.0, 5.0), 0.0);
+        assert_eq!(speedup(200.0, 100.0), 2.0);
+        assert!(speedup(1.0, 0.0).is_infinite());
+    }
+}

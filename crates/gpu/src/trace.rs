@@ -1,0 +1,400 @@
+//! Trace-recorded kernels: capture a kernel model's address streams and
+//! replay them later — or load a trace produced by an external tool.
+//!
+//! The paper's methodology is profiling-based; this module is the
+//! simulator's equivalent of attaching a profiler. [`KernelTrace::record`]
+//! snapshots the per-tile access streams of sampled blocks from any
+//! [`KernelModel`]; the trace itself implements `KernelModel`, so it can be
+//! executed, diffed, or serialized to a plain-text format
+//! ([`KernelTrace::to_trace_text`] / [`KernelTrace::from_trace_text`]) that
+//! external tracers can also emit — one line per access:
+//!
+//! ```text
+//! S L 0x10000000080     # stream load
+//! G L 0x10000000100     # staged-form stream load (halo overfetch)
+//! L S 0x20000000000     # local store
+//! T                     # tile boundary
+//! B                     # block boundary
+//! ```
+//!
+//! `G` records capture the kernel's staged-form stream (the one `cp.async`
+//! rewrites execute); when absent, the staged stream equals the plain one.
+
+use crate::kernel::{KernelModel, KernelStyle, LaunchConfig, TileOps};
+use hetsim_mem::addr::MemAccess;
+use hetsim_uvm::prefetch::Regularity;
+use std::fmt;
+
+/// A recorded (or externally supplied) kernel trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrace {
+    name: String,
+    launch: LaunchConfig,
+    ops: TileOps,
+    regularity: Regularity,
+    standard_style: KernelStyle,
+    invocations: u64,
+    /// Per recorded block, per tile, the (stream, staged stream, local)
+    /// access lists.
+    blocks: Vec<Vec<TileRecord>>,
+}
+
+type TileRecord = (Vec<MemAccess>, Vec<MemAccess>, Vec<MemAccess>);
+
+/// Error from parsing a textual trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl KernelTrace {
+    /// Records `sample_blocks` evenly spread blocks of `kernel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_blocks` is zero.
+    pub fn record(kernel: &dyn KernelModel, sample_blocks: u64) -> Self {
+        assert!(sample_blocks > 0, "must record at least one block");
+        let launch = kernel.launch();
+        let grid = launch.grid_blocks;
+        let samples = sample_blocks.min(grid);
+        let tiles = kernel.tiles_per_block().max(1);
+        let mut blocks = Vec::with_capacity(samples as usize);
+        for s in 0..samples {
+            let block = s * grid / samples;
+            let mut per_tile = Vec::with_capacity(tiles as usize);
+            for tile in 0..tiles {
+                let mut stream = Vec::new();
+                let mut staged = Vec::new();
+                let mut local = Vec::new();
+                kernel.stream_accesses(block, tile, &mut stream);
+                kernel.staged_stream_accesses(block, tile, &mut staged);
+                kernel.local_accesses(block, tile, &mut local);
+                per_tile.push((stream, staged, local));
+            }
+            blocks.push(per_tile);
+        }
+        KernelTrace {
+            name: format!("{}.trace", kernel.name()),
+            launch,
+            ops: kernel.tile_ops(),
+            regularity: kernel.regularity(),
+            standard_style: kernel.standard_style(),
+            invocations: kernel.invocations(),
+            blocks,
+        }
+    }
+
+    /// Number of recorded blocks.
+    pub fn recorded_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total recorded accesses across blocks and tiles.
+    pub fn recorded_accesses(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.iter())
+            .map(|(s, _, l)| s.len() + l.len())
+            .sum()
+    }
+
+    /// Serializes to the plain-text trace format.
+    pub fn to_trace_text(&self) -> String {
+        let mut out = String::new();
+        for block in &self.blocks {
+            for (stream, staged, local) in block {
+                for a in stream {
+                    push_access(&mut out, 'S', a);
+                }
+                if staged != stream {
+                    for a in staged {
+                        push_access(&mut out, 'G', a);
+                    }
+                }
+                for a in local {
+                    push_access(&mut out, 'L', a);
+                }
+                out.push_str("T\n");
+            }
+            out.push_str("B\n");
+        }
+        out
+    }
+
+    /// Parses the plain-text trace format. `launch`, `ops`, and the other
+    /// kernel-level attributes must be supplied by the caller — the trace
+    /// carries only the access streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on malformed lines.
+    pub fn from_trace_text(
+        name: &str,
+        launch: LaunchConfig,
+        ops: TileOps,
+        regularity: Regularity,
+        text: &str,
+    ) -> Result<Self, ParseTraceError> {
+        let mut blocks = Vec::new();
+        let mut tiles: Vec<TileRecord> = Vec::new();
+        let mut stream = Vec::new();
+        let mut staged: Vec<MemAccess> = Vec::new();
+        let mut local = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |message: &str| ParseTraceError {
+                line: i + 1,
+                message: message.to_string(),
+            };
+            match line.chars().next().unwrap() {
+                'T' => {
+                    let stream = std::mem::take(&mut stream);
+                    let staged = std::mem::take(&mut staged);
+                    let staged = if staged.is_empty() { stream.clone() } else { staged };
+                    tiles.push((stream, staged, std::mem::take(&mut local)));
+                }
+                'B' => {
+                    if !stream.is_empty() || !staged.is_empty() || !local.is_empty() {
+                        let stream = std::mem::take(&mut stream);
+                        let staged = std::mem::take(&mut staged);
+                        let staged =
+                            if staged.is_empty() { stream.clone() } else { staged };
+                        tiles.push((stream, staged, std::mem::take(&mut local)));
+                    }
+                    if tiles.is_empty() {
+                        return Err(err("block with no tiles"));
+                    }
+                    blocks.push(std::mem::take(&mut tiles));
+                }
+                'S' | 'L' | 'G' => {
+                    let mut parts = line.split_whitespace();
+                    let class = parts.next().unwrap();
+                    let kind = parts.next().ok_or_else(|| err("missing access kind"))?;
+                    let addr = parts.next().ok_or_else(|| err("missing address"))?;
+                    let addr = addr.strip_prefix("0x").unwrap_or(addr);
+                    let addr =
+                        u64::from_str_radix(addr, 16).map_err(|_| err("bad hex address"))?;
+                    let access = match kind {
+                        "L" => MemAccess::global_load(addr),
+                        "S" => MemAccess::global_store(addr),
+                        _ => return Err(err("access kind must be L or S")),
+                    };
+                    match class {
+                        "S" => stream.push(access),
+                        "G" => staged.push(access),
+                        _ => local.push(access),
+                    }
+                }
+                _ => return Err(err("unknown record type")),
+            }
+        }
+        if !stream.is_empty() || !staged.is_empty() || !local.is_empty() || !tiles.is_empty() {
+            return Err(ParseTraceError {
+                line: text.lines().count(),
+                message: "trace ends mid-block (missing B)".to_string(),
+            });
+        }
+        if blocks.is_empty() {
+            return Err(ParseTraceError {
+                line: 0,
+                message: "empty trace".to_string(),
+            });
+        }
+        Ok(KernelTrace {
+            name: name.to_string(),
+            launch,
+            ops,
+            regularity,
+            standard_style: KernelStyle::Direct,
+            invocations: 1,
+            blocks,
+        })
+    }
+
+    fn block_slot(&self, block: u64) -> &Vec<TileRecord> {
+        // Unrecorded blocks replay a recorded one (round robin), the same
+        // representativeness assumption the sampling executor makes.
+        &self.blocks[(block % self.blocks.len() as u64) as usize]
+    }
+}
+
+fn push_access(out: &mut String, class: char, a: &MemAccess) {
+    let kind = if a.kind.is_load() { 'L' } else { 'S' };
+    out.push_str(&format!("{class} {kind} {:#x}\n", a.addr.as_u64()));
+}
+
+impl KernelModel for KernelTrace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn launch(&self) -> LaunchConfig {
+        self.launch
+    }
+    fn tiles_per_block(&self) -> u64 {
+        self.blocks[0].len() as u64
+    }
+    fn stream_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+        let tiles = self.block_slot(block);
+        if let Some((stream, _, _)) = tiles.get(tile as usize) {
+            out.extend_from_slice(stream);
+        }
+    }
+    fn staged_stream_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+        let tiles = self.block_slot(block);
+        if let Some((_, staged, _)) = tiles.get(tile as usize) {
+            out.extend_from_slice(staged);
+        }
+    }
+    fn local_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+        let tiles = self.block_slot(block);
+        if let Some((_, _, local)) = tiles.get(tile as usize) {
+            out.extend_from_slice(local);
+        }
+    }
+    fn tile_ops(&self) -> TileOps {
+        self.ops
+    }
+    fn regularity(&self) -> Regularity {
+        self.regularity
+    }
+    fn standard_style(&self) -> KernelStyle {
+        self.standard_style
+    }
+    fn invocations(&self) -> u64 {
+        self.invocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{ExecEnv, KernelExecutor};
+    use crate::GpuConfig;
+
+    struct TinyKernel;
+
+    impl KernelModel for TinyKernel {
+        fn name(&self) -> &str {
+            "tiny"
+        }
+        fn launch(&self) -> LaunchConfig {
+            LaunchConfig::new(16, 64, 0)
+        }
+        fn tiles_per_block(&self) -> u64 {
+            2
+        }
+        fn stream_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+            for i in 0..4 {
+                out.push(MemAccess::global_load((block * 2 + tile) * 512 + i * 128));
+            }
+        }
+        fn local_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+            out.push(MemAccess::global_store(
+                (1 << 30) + (block * 2 + tile) * 128,
+            ));
+        }
+        fn tile_ops(&self) -> TileOps {
+            TileOps::new(64.0, 32.0, 8.0)
+        }
+        fn regularity(&self) -> Regularity {
+            Regularity::Regular
+        }
+    }
+
+    #[test]
+    fn record_captures_streams() {
+        let t = KernelTrace::record(&TinyKernel, 4);
+        assert_eq!(t.recorded_blocks(), 4);
+        assert_eq!(t.tiles_per_block(), 2);
+        // 4 blocks x 2 tiles x (4 stream + 1 local).
+        assert_eq!(t.recorded_accesses(), 4 * 2 * 5);
+    }
+
+    #[test]
+    fn replay_matches_original_for_recorded_blocks() {
+        let t = KernelTrace::record(&TinyKernel, 16);
+        for block in 0..16 {
+            for tile in 0..2 {
+                let mut orig = Vec::new();
+                let mut replay = Vec::new();
+                TinyKernel.stream_accesses(block, tile, &mut orig);
+                t.stream_accesses(block, tile, &mut replay);
+                assert_eq!(orig, replay, "block {block} tile {tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn executing_trace_matches_executing_original() {
+        let exec = KernelExecutor::new(GpuConfig::a100());
+        let t = KernelTrace::record(&TinyKernel, 16);
+        let a = exec.execute(&TinyKernel, KernelStyle::Direct, &ExecEnv::standard());
+        let b = exec.execute(&t, KernelStyle::Direct, &ExecEnv::standard());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.l1, b.l1);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = KernelTrace::record(&TinyKernel, 3);
+        let text = t.to_trace_text();
+        let parsed = KernelTrace::from_trace_text(
+            "tiny.trace",
+            TinyKernel.launch(),
+            TinyKernel.tile_ops(),
+            Regularity::Regular,
+            &text,
+        )
+        .expect("round trip");
+        assert_eq!(parsed.recorded_blocks(), 3);
+        assert_eq!(parsed.recorded_accesses(), t.recorded_accesses());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t.stream_accesses(1, 1, &mut a);
+        parsed.stream_accesses(1, 1, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        let launch = LaunchConfig::new(1, 32, 0);
+        let ops = TileOps::default();
+        let bad = |text: &str| {
+            KernelTrace::from_trace_text("x", launch, ops, Regularity::Regular, text)
+                .unwrap_err()
+        };
+        assert!(bad("").to_string().contains("empty"));
+        assert!(bad("S L zzz\nT\nB\n").to_string().contains("bad hex"));
+        assert!(bad("S L 0x10\n").to_string().contains("missing B"));
+        assert!(bad("Q L 0x10\nT\nB\n").to_string().contains("unknown"));
+        assert!(bad("S X 0x10\nT\nB\n").to_string().contains("L or S"));
+        assert!(bad("B\n").to_string().contains("no tiles"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\nS L 0x100\n\nT # end of tile\nB\n";
+        let t = KernelTrace::from_trace_text(
+            "c",
+            LaunchConfig::new(1, 32, 0),
+            TileOps::default(),
+            Regularity::Regular,
+            text,
+        )
+        .unwrap();
+        assert_eq!(t.recorded_accesses(), 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the kernel executor.
+
+use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
+use hetsim_gpu::kernel::{KernelModel, KernelStyle, LaunchConfig, TileOps};
+use hetsim_gpu::GpuConfig;
+use hetsim_mem::addr::MemAccess;
+use hetsim_uvm::prefetch::Regularity;
+use proptest::prelude::*;
+
+/// A parameterized synthetic kernel for property tests.
+#[derive(Debug, Clone)]
+struct PropKernel {
+    blocks: u64,
+    threads: u32,
+    tiles: u64,
+    lines: u64,
+    fp: f64,
+}
+
+impl KernelModel for PropKernel {
+    fn name(&self) -> &str {
+        "prop_kernel"
+    }
+    fn launch(&self) -> LaunchConfig {
+        LaunchConfig::new(self.blocks, self.threads, 32 * 1024)
+    }
+    fn tiles_per_block(&self) -> u64 {
+        self.tiles
+    }
+    fn stream_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+        let base = (block * self.tiles + tile) * self.lines * 128;
+        for i in 0..self.lines {
+            out.push(MemAccess::global_load(base + i * 128));
+        }
+    }
+    fn local_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+        let base = (1u64 << 41) + (block * self.tiles + tile) * self.lines * 128;
+        for i in 0..self.lines / 2 {
+            out.push(MemAccess::global_store(base + i * 128));
+        }
+    }
+    fn tile_ops(&self) -> TileOps {
+        TileOps::new(self.fp, self.fp / 2.0, self.fp / 8.0)
+    }
+    fn regularity(&self) -> Regularity {
+        Regularity::Regular
+    }
+}
+
+fn kernel_strategy() -> impl Strategy<Value = PropKernel> {
+    (1u64..2048, 1u32..1024, 1u64..32, 1u64..64, 0.0f64..1e5).prop_map(
+        |(blocks, threads, tiles, lines, fp)| PropKernel {
+            blocks,
+            threads,
+            tiles,
+            lines,
+            fp,
+        },
+    )
+}
+
+fn styles() -> impl Strategy<Value = KernelStyle> {
+    prop::sample::select(vec![
+        KernelStyle::Direct,
+        KernelStyle::StagedSync,
+        KernelStyle::StagedAsync,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Kernel time is always positive and finite for any geometry.
+    #[test]
+    fn kernel_time_positive(k in kernel_strategy(), style in styles()) {
+        let exec = KernelExecutor::new(GpuConfig::a100());
+        let r = exec.execute(&k, style, &ExecEnv::standard());
+        prop_assert!(r.cycles.is_finite());
+        prop_assert!(r.cycles > 0.0);
+        prop_assert!(r.theoretical_occupancy > 0.0 && r.theoretical_occupancy <= 1.0);
+    }
+
+    /// A translation penalty never makes a kernel faster.
+    #[test]
+    fn translation_penalty_monotone(k in kernel_strategy(), style in styles(), pen in 1.0f64..3.0) {
+        let exec = KernelExecutor::new(GpuConfig::a100());
+        let base = exec.execute(&k, style, &ExecEnv::standard());
+        let slow = exec.execute(&k, style, &ExecEnv::new(pen, 0.0));
+        prop_assert!(slow.cycles >= base.cycles * 0.999);
+    }
+
+    /// A warm L2 never makes a kernel slower, and never increases HBM
+    /// traffic.
+    #[test]
+    fn warm_l2_monotone(k in kernel_strategy(), style in styles(), warm in 0.0f64..=1.0) {
+        let exec = KernelExecutor::new(GpuConfig::a100());
+        let cold = exec.execute(&k, style, &ExecEnv::standard());
+        let warmed = exec.execute(&k, style, &ExecEnv::new(1.0, warm));
+        prop_assert!(warmed.cycles <= cold.cycles * 1.001);
+        prop_assert!(warmed.hbm_load_bytes <= cold.hbm_load_bytes);
+    }
+
+    /// Doubling the grid never shrinks total instruction counts.
+    #[test]
+    fn grid_scaling_monotone(k in kernel_strategy(), style in styles()) {
+        let exec = KernelExecutor::new(GpuConfig::a100());
+        let small = exec.execute(&k, style, &ExecEnv::standard());
+        let mut big = k.clone();
+        big.blocks *= 2;
+        let doubled = exec.execute(&big, style, &ExecEnv::standard());
+        prop_assert!(doubled.inst.total() >= small.inst.total());
+        prop_assert!(doubled.cycles >= small.cycles * 0.999);
+    }
+
+    /// Async always inflates the control-instruction count over sync
+    /// staging for the same kernel.
+    #[test]
+    fn async_control_overhead_holds(k in kernel_strategy()) {
+        use hetsim_counters::InstClass;
+        let exec = KernelExecutor::new(GpuConfig::a100());
+        let sync = exec.execute(&k, KernelStyle::StagedSync, &ExecEnv::standard());
+        let asy = exec.execute(&k, KernelStyle::StagedAsync, &ExecEnv::standard());
+        prop_assert!(asy.inst.get(InstClass::Control) > sync.inst.get(InstClass::Control));
+    }
+}

@@ -1,0 +1,273 @@
+//! A set-associative, LRU, write-allocate cache model.
+//!
+//! One [`Cache`] instance models the per-SM unified L1/texture cache (whose
+//! capacity is whatever the [carveout](crate::carveout) leaves after shared
+//! memory) and another the device-wide L2. The model is functional, not
+//! cycle-accurate: it classifies each access as hit or miss and maintains
+//! the [`CacheCounters`] behind the paper's Fig 10.
+
+use crate::addr::{AccessKind, Addr};
+use hetsim_counters::CacheCounters;
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a config, validating geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line size is not a power of two, if the capacity is not
+    /// a multiple of `line * ways`, or if any field is zero.
+    pub fn new(capacity: u64, line: u64, ways: u32) -> Self {
+        assert!(capacity > 0 && line > 0 && ways > 0, "zero cache dimension");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            capacity % (line * ways as u64) == 0,
+            "capacity {capacity} not divisible by line*ways"
+        );
+        CacheConfig {
+            capacity,
+            line,
+            ways,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.capacity / (self.line * self.ways as u64)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LineState {
+    tag: u64,
+    last_use: u64,
+    dirty: bool,
+}
+
+/// A set-associative LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_mem::cache::{Cache, CacheConfig};
+/// use hetsim_mem::addr::{AccessKind, Addr};
+///
+/// let mut l1 = Cache::new(CacheConfig::new(16 * 1024, 128, 4));
+/// assert!(!l1.access(Addr::new(0), AccessKind::Load));  // cold miss
+/// assert!(l1.access(Addr::new(64), AccessKind::Load));  // same line: hit
+/// assert_eq!(l1.counters().load_misses(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<LineState>>,
+    clock: u64,
+    counters: CacheCounters,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.ways as usize); config.sets() as usize],
+            clock: 0,
+            counters: CacheCounters::new(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Performs one access; returns `true` on hit.
+    ///
+    /// Misses allocate (write-allocate policy); stores mark the line dirty.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> bool {
+        self.clock += 1;
+        let line_no = addr.block(self.config.line);
+        let set_idx = (line_no % self.config.sets()) as usize;
+        let tag = line_no / self.config.sets();
+        let set = &mut self.sets[set_idx];
+
+        let hit = if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
+            line.last_use = self.clock;
+            if !kind.is_load() {
+                line.dirty = true;
+            }
+            true
+        } else {
+            let new_line = LineState {
+                tag,
+                last_use: self.clock,
+                dirty: !kind.is_load(),
+            };
+            if set.len() < self.config.ways as usize {
+                set.push(new_line);
+            } else {
+                // Evict the least recently used way.
+                let victim = set
+                    .iter_mut()
+                    .min_by_key(|l| l.last_use)
+                    .expect("non-empty full set");
+                *victim = new_line;
+            }
+            false
+        };
+
+        match kind {
+            AccessKind::Load => self.counters.record_load(hit),
+            AccessKind::Store => self.counters.record_store(hit),
+        }
+        hit
+    }
+
+    /// Probes whether `addr` is resident without touching LRU state or
+    /// counters.
+    pub fn contains(&self, addr: Addr) -> bool {
+        let line_no = addr.block(self.config.line);
+        let set_idx = (line_no % self.config.sets()) as usize;
+        let tag = line_no / self.config.sets();
+        self.sets[set_idx].iter().any(|l| l.tag == tag)
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Accumulated hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Empties the cache (e.g. between kernels) without resetting counters.
+    pub fn flush(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Resets the counters without touching residency.
+    pub fn reset_counters(&mut self) {
+        self.counters = CacheCounters::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new(192 * 1024, 128, 4);
+        assert_eq!(c.sets(), 384);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2_line() {
+        let _ = CacheConfig::new(512, 96, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn rejects_bad_capacity() {
+        let _ = CacheConfig::new(500, 64, 2);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(Addr::new(0), AccessKind::Load));
+        assert!(c.access(Addr::new(63), AccessKind::Load), "same line");
+        assert!(!c.access(Addr::new(64), AccessKind::Load), "next line");
+        assert_eq!(c.counters().loads(), 3);
+        assert_eq!(c.counters().load_misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Three lines mapping to set 0: line numbers 0, 4, 8 (4 sets).
+        let a0 = Addr::new(0);
+        let a1 = Addr::new(4 * 64);
+        let a2 = Addr::new(8 * 64);
+        c.access(a0, AccessKind::Load);
+        c.access(a1, AccessKind::Load);
+        c.access(a0, AccessKind::Load); // refresh a0: a1 becomes LRU
+        c.access(a2, AccessKind::Load); // evicts a1
+        assert!(c.contains(a0));
+        assert!(!c.contains(a1));
+        assert!(c.contains(a2));
+    }
+
+    #[test]
+    fn stores_allocate_and_count() {
+        let mut c = small();
+        assert!(!c.access(Addr::new(128), AccessKind::Store));
+        assert!(c.access(Addr::new(130), AccessKind::Load));
+        assert_eq!(c.counters().store_misses(), 1);
+        assert_eq!(c.counters().load_hits(), 1);
+    }
+
+    #[test]
+    fn contains_does_not_disturb_lru_or_counters() {
+        let mut c = small();
+        c.access(Addr::new(0), AccessKind::Load);
+        let before = c.counters();
+        assert!(c.contains(Addr::new(32)));
+        assert!(!c.contains(Addr::new(4096)));
+        assert_eq!(c.counters(), before);
+    }
+
+    #[test]
+    fn flush_clears_residency_not_counters() {
+        let mut c = small();
+        c.access(Addr::new(0), AccessKind::Load);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.counters().loads(), 1);
+        c.reset_counters();
+        assert_eq!(c.counters().loads(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let mut c = small();
+        for i in 0..1_000 {
+            c.access(Addr::new(i * 64), AccessKind::Load);
+        }
+        assert!(c.resident_lines() <= 8, "512B / 64B lines = 8 lines max");
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_after_warmup() {
+        let mut c = small();
+        let lines = 8u64;
+        for pass in 0..3 {
+            for i in 0..lines {
+                let hit = c.access(Addr::new(i * 64), AccessKind::Load);
+                if pass > 0 {
+                    assert!(hit, "pass {pass} line {i} should hit");
+                }
+            }
+        }
+    }
+}

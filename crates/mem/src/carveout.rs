@@ -1,0 +1,161 @@
+//! The Ampere unified L1/texture-cache ↔ shared-memory partition.
+//!
+//! On the A100, each SM has 192 KB of unified on-chip SRAM; up to 164 KB can
+//! be carved out as shared memory and the remainder serves as L1/texture
+//! cache (§5.2 of the paper, swept in its Fig 13). [`Carveout`] captures one
+//! partition choice and derives both capacities.
+
+use std::fmt;
+
+/// Total unified L1/texture/shared SRAM per SM on Ampere (bytes).
+pub const UNIFIED_SRAM_BYTES: u64 = 192 * 1024;
+
+/// Maximum shared-memory carveout per SM on Ampere (bytes).
+pub const MAX_SHARED_BYTES: u64 = 164 * 1024;
+
+/// One choice of L1-cache/shared-memory partition.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_mem::carveout::Carveout;
+/// let c = Carveout::with_shared_kib(32).unwrap();
+/// assert_eq!(c.shared_bytes(), 32 * 1024);
+/// assert_eq!(c.l1_bytes(), 160 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Carveout {
+    shared_bytes: u64,
+}
+
+/// Error returned for an unconfigurable carveout request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidCarveout {
+    requested: u64,
+}
+
+impl fmt::Display for InvalidCarveout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requested shared-memory carveout of {} bytes exceeds the {} byte Ampere limit",
+            self.requested, MAX_SHARED_BYTES
+        )
+    }
+}
+
+impl std::error::Error for InvalidCarveout {}
+
+impl Carveout {
+    /// Creates a carveout with `shared_bytes` of shared memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCarveout`] if the request exceeds the 164 KB Ampere
+    /// shared-memory limit.
+    pub fn with_shared_bytes(shared_bytes: u64) -> Result<Self, InvalidCarveout> {
+        if shared_bytes > MAX_SHARED_BYTES {
+            return Err(InvalidCarveout {
+                requested: shared_bytes,
+            });
+        }
+        Ok(Carveout { shared_bytes })
+    }
+
+    /// Creates a carveout with `kib` KiB of shared memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidCarveout`] if the request exceeds the Ampere limit.
+    pub fn with_shared_kib(kib: u64) -> Result<Self, InvalidCarveout> {
+        Carveout::with_shared_bytes(kib * 1024)
+    }
+
+    /// The default partition used throughout the paper's main experiments:
+    /// 32 KB statically allocated shared memory (see its footnote 4).
+    pub fn paper_default() -> Self {
+        Carveout {
+            shared_bytes: 32 * 1024,
+        }
+    }
+
+    /// Shared-memory capacity per SM.
+    pub fn shared_bytes(&self) -> u64 {
+        self.shared_bytes
+    }
+
+    /// Remaining L1/texture-cache capacity per SM.
+    pub fn l1_bytes(&self) -> u64 {
+        UNIFIED_SRAM_BYTES - self.shared_bytes
+    }
+
+    /// The Fig 13 sweep points: 2 KB → 128 KB shared memory.
+    pub fn fig13_sweep() -> Vec<Carveout> {
+        [2u64, 4, 8, 16, 32, 64, 128]
+            .iter()
+            .map(|&kib| Carveout::with_shared_kib(kib).expect("sweep points are valid"))
+            .collect()
+    }
+}
+
+impl Default for Carveout {
+    fn default() -> Self {
+        Carveout::paper_default()
+    }
+}
+
+impl fmt::Display for Carveout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shared={}KB l1={}KB",
+            self.shared_bytes / 1024,
+            self.l1_bytes() / 1024
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_sums_to_unified_sram() {
+        for kib in [2u64, 16, 64, 128, 164] {
+            let c = Carveout::with_shared_kib(kib).unwrap();
+            assert_eq!(c.shared_bytes() + c.l1_bytes(), UNIFIED_SRAM_BYTES);
+        }
+    }
+
+    #[test]
+    fn rejects_over_limit() {
+        let err = Carveout::with_shared_kib(165).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn max_is_accepted() {
+        let c = Carveout::with_shared_bytes(MAX_SHARED_BYTES).unwrap();
+        assert_eq!(c.l1_bytes(), 28 * 1024);
+    }
+
+    #[test]
+    fn paper_default_is_32k() {
+        assert_eq!(Carveout::default().shared_bytes(), 32 * 1024);
+        assert_eq!(Carveout::paper_default().l1_bytes(), 160 * 1024);
+    }
+
+    #[test]
+    fn fig13_sweep_matches_paper() {
+        let sweep = Carveout::fig13_sweep();
+        assert_eq!(sweep.len(), 7);
+        assert_eq!(sweep[0].shared_bytes(), 2 * 1024);
+        assert_eq!(sweep[6].shared_bytes(), 128 * 1024);
+    }
+
+    #[test]
+    fn display_shows_both_sides() {
+        let s = Carveout::paper_default().to_string();
+        assert!(s.contains("shared=32KB") && s.contains("l1=160KB"));
+    }
+}

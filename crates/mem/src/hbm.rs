@@ -1,0 +1,104 @@
+//! Device global memory (HBM2 on the A100).
+//!
+//! Global memory supplies the `U2`/`A2.1` stage of the paper's pipeline: SMs
+//! read it through L1/L2 (or stage it into shared memory with Async
+//! Memcpy). The model is a capacity + bandwidth/latency pair; residency of
+//! UVM pages lives in `hetsim-uvm`, not here.
+
+use hetsim_engine::bandwidth::{Bandwidth, Latency};
+use hetsim_engine::time::Nanos;
+
+/// Device global memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hbm {
+    capacity: u64,
+    bandwidth: Bandwidth,
+    latency: Latency,
+}
+
+impl Hbm {
+    /// Creates a device-memory model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u64, bandwidth: Bandwidth, latency: Latency) -> Self {
+        assert!(capacity > 0, "device memory capacity must be non-zero");
+        Hbm {
+            capacity,
+            bandwidth,
+            latency,
+        }
+    }
+
+    /// The A100's 40 GB HBM2 stack: ~1555 GB/s peak, ~290 ns load-to-use.
+    pub fn a100_40gb() -> Self {
+        Hbm::new(
+            40 * (1u64 << 30),
+            Bandwidth::from_gb_per_sec(1555.0),
+            Latency::from_nanos(290),
+        )
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Peak bandwidth.
+    pub fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// Access latency.
+    pub fn latency(&self) -> Latency {
+        self.latency
+    }
+
+    /// Time for a streaming read/write of `bytes` at peak bandwidth.
+    pub fn stream_time(&self, bytes: u64) -> Nanos {
+        self.latency.as_nanos() + self.bandwidth.transfer_time(bytes)
+    }
+
+    /// Whether `bytes` fits in device memory (the paper avoids
+    /// oversubscription; its Mega inputs are chosen to fit 40 GB).
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_preset() {
+        let h = Hbm::a100_40gb();
+        assert_eq!(h.capacity(), 40 * (1u64 << 30));
+        assert!((h.bandwidth().as_gb_per_sec() - 1555.0).abs() < 1e-9);
+        assert_eq!(h.latency().as_nanos(), Nanos::from_nanos(290));
+    }
+
+    #[test]
+    fn stream_time_includes_latency() {
+        let h = Hbm::new(
+            1 << 30,
+            Bandwidth::from_gb_per_sec(1.0),
+            Latency::from_nanos(100),
+        );
+        assert_eq!(h.stream_time(1_000), Nanos::from_nanos(100 + 1_000));
+    }
+
+    #[test]
+    fn fits_checks_capacity() {
+        let h = Hbm::a100_40gb();
+        assert!(h.fits(32 * (1u64 << 30)), "Mega inputs fit");
+        assert!(!h.fits(41 * (1u64 << 30)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = Hbm::new(0, Bandwidth::from_gb_per_sec(1.0), Latency::ZERO);
+    }
+}

@@ -1,0 +1,239 @@
+//! Host DRAM built from discrete chips.
+//!
+//! The paper's §3.3 traces the instability of Mega (32 GB) inputs to host
+//! memory topology: with 64 GB DRAM chips, a footprint close to a single
+//! chip's capacity has "a large chance that part of the data is stored in
+//! the other DRAM chip, which adds more randomness" (its Fig 6). This module
+//! models exactly that effect: an allocation is placed on one chip when it
+//! fits comfortably, and a per-run random fraction spills to a second chip —
+//! reached at derated bandwidth — once the footprint pressures the chip's
+//! capacity.
+
+use hetsim_engine::bandwidth::Bandwidth;
+use hetsim_engine::rng::SimRng;
+use std::fmt;
+
+/// Host memory configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostConfig {
+    /// Number of DRAM chips (DIMMs).
+    pub chips: u32,
+    /// Capacity per chip, bytes.
+    pub chip_capacity: u64,
+    /// Local (same-chip) streaming bandwidth.
+    pub local_bandwidth: Bandwidth,
+    /// Bandwidth derate factor in `(0, 1]` for data that spilled to another
+    /// chip (extra hop / interleave conflict).
+    pub cross_chip_derate: f64,
+    /// Fraction of a chip's capacity below which an allocation never
+    /// spills.
+    pub spill_onset: f64,
+}
+
+impl HostConfig {
+    /// The paper's host: 16 × 64 GB DDR4-3200 on an AMD EPYC 7742.
+    pub fn epyc7742() -> Self {
+        HostConfig {
+            chips: 16,
+            chip_capacity: 64 * (1u64 << 30),
+            // 8 channels x 25.6 GB/s DDR4-3200.
+            local_bandwidth: Bandwidth::from_gb_per_sec(204.8),
+            cross_chip_derate: 0.35,
+            spill_onset: 0.25,
+        }
+    }
+
+    /// Total host capacity.
+    pub fn total_capacity(&self) -> u64 {
+        self.chips as u64 * self.chip_capacity
+    }
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig::epyc7742()
+    }
+}
+
+/// Where an allocation's bytes physically landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Placement {
+    /// Bytes resident on the allocation's primary chip.
+    pub local_bytes: u64,
+    /// Bytes spilled to a secondary chip.
+    pub spilled_bytes: u64,
+}
+
+impl Placement {
+    /// Total allocation size.
+    pub fn total(&self) -> u64 {
+        self.local_bytes + self.spilled_bytes
+    }
+
+    /// Fraction of bytes that spilled, `[0, 1]`.
+    pub fn spilled_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.spilled_bytes as f64 / t as f64
+        }
+    }
+
+    /// Multiplier on transfer time caused by the spilled portion moving at
+    /// `derate × bandwidth`.
+    ///
+    /// A fully local placement returns 1.0.
+    pub fn transfer_penalty(&self, derate: f64) -> f64 {
+        assert!(derate > 0.0 && derate <= 1.0, "derate out of (0,1]");
+        let f = self.spilled_fraction();
+        (1.0 - f) + f / derate
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} local + {} spilled ({:.1}%)",
+            self.local_bytes,
+            self.spilled_bytes,
+            self.spilled_fraction() * 100.0
+        )
+    }
+}
+
+/// The host memory system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostMemory {
+    config: HostConfig,
+}
+
+impl HostMemory {
+    /// Creates a host memory system.
+    pub fn new(config: HostConfig) -> Self {
+        HostMemory { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> HostConfig {
+        self.config
+    }
+
+    /// Places an allocation of `bytes`, drawing the per-run chip pressure
+    /// from `rng`.
+    ///
+    /// Below `spill_onset × chip_capacity` the placement is fully local
+    /// (this is why the paper's Large/Super inputs are stable). Above it,
+    /// a random fraction — growing with capacity pressure — spills.
+    pub fn place(&self, bytes: u64, rng: &mut SimRng) -> Placement {
+        let cap = self.config.chip_capacity as f64;
+        let pressure = bytes as f64 / cap;
+        if pressure <= self.config.spill_onset {
+            return Placement {
+                local_bytes: bytes,
+                spilled_bytes: 0,
+            };
+        }
+        // The chip already holds a random amount of other data; whatever of
+        // this allocation does not fit beside it spills. Squaring the draw
+        // biases runs toward small spills, matching the long-tailed memcpy
+        // distribution of the paper's Fig 6.
+        let max_spill_fraction = (pressure.min(1.0) - self.config.spill_onset)
+            / (1.0 - self.config.spill_onset);
+        let f = max_spill_fraction * rng.next_f64().powi(2);
+        let spilled = (bytes as f64 * f) as u64;
+        Placement {
+            local_bytes: bytes - spilled,
+            spilled_bytes: spilled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn epyc_preset_totals_1tb() {
+        let c = HostConfig::epyc7742();
+        assert_eq!(c.total_capacity(), 1024 * (1u64 << 30));
+        assert_eq!(HostConfig::default(), c);
+    }
+
+    #[test]
+    fn small_allocations_never_spill() {
+        let host = HostMemory::new(HostConfig::epyc7742());
+        let mut r = rng();
+        // 4 GB (Super) on a 64 GB chip: pressure 0.0625 < onset 0.25.
+        for _ in 0..100 {
+            let p = host.place(4 * (1u64 << 30), &mut r);
+            assert_eq!(p.spilled_bytes, 0);
+            assert_eq!(p.transfer_penalty(0.35), 1.0);
+        }
+    }
+
+    #[test]
+    fn mega_allocations_spill_sometimes() {
+        let host = HostMemory::new(HostConfig::epyc7742());
+        let mut r = rng();
+        // 32 GB (Mega): pressure 0.5 > onset.
+        let placements: Vec<Placement> =
+            (0..30).map(|_| host.place(32 * (1u64 << 30), &mut r)).collect();
+        let spilled_runs = placements.iter().filter(|p| p.spilled_bytes > 0).count();
+        assert!(spilled_runs > 5, "expect many spilling runs, got {spilled_runs}");
+        let fractions: Vec<f64> = placements.iter().map(|p| p.spilled_fraction()).collect();
+        let max = fractions.iter().cloned().fold(0.0, f64::max);
+        let min = fractions.iter().cloned().fold(1.0, f64::min);
+        assert!(max - min > 0.05, "spill fractions should vary (min {min}, max {max})");
+        // Conservation: every byte is somewhere.
+        for p in &placements {
+            assert_eq!(p.total(), 32 * (1u64 << 30));
+        }
+    }
+
+    #[test]
+    fn spill_fraction_bounded_by_pressure() {
+        let host = HostMemory::new(HostConfig::epyc7742());
+        let mut r = rng();
+        for _ in 0..100 {
+            let p = host.place(32 * (1u64 << 30), &mut r);
+            // max spill fraction at pressure 0.5 is (0.5-0.25)/0.75 = 1/3.
+            assert!(p.spilled_fraction() <= 1.0 / 3.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn transfer_penalty_math() {
+        let p = Placement {
+            local_bytes: 50,
+            spilled_bytes: 50,
+        };
+        // Half the data at 0.5x speed: 0.5 + 0.5/0.5 = 1.5x.
+        assert!((p.transfer_penalty(0.5) - 1.5).abs() < 1e-12);
+        let empty = Placement::default();
+        assert_eq!(empty.spilled_fraction(), 0.0);
+        assert_eq!(empty.transfer_penalty(0.35), 1.0);
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let host = HostMemory::new(HostConfig::epyc7742());
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        assert_eq!(
+            host.place(32 * (1u64 << 30), &mut a),
+            host.place(32 * (1u64 << 30), &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "derate")]
+    fn penalty_rejects_bad_derate() {
+        let _ = Placement::default().transfer_penalty(0.0);
+    }
+}

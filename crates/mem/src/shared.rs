@@ -1,0 +1,171 @@
+//! Per-SM shared memory with block-granular allocation.
+//!
+//! Shared memory is the staging target of Async Memcpy: `cp.async` moves
+//! data from global memory straight into a block's shared-memory buffer.
+//! The model tracks allocations per resident block and answers the question
+//! the paper's §5.1 sensitivity study turns on: *how deep a double buffer
+//! does the per-thread budget allow?*
+
+use crate::carveout::Carveout;
+
+/// Per-SM shared memory.
+#[derive(Debug, Clone)]
+pub struct SharedMemory {
+    capacity: u64,
+    allocations: Vec<u64>,
+}
+
+/// Error returned when a block's shared-memory request cannot be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedAllocError {
+    requested: u64,
+    free: u64,
+}
+
+impl std::fmt::Display for SharedAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "shared memory allocation of {} bytes exceeds {} free bytes",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for SharedAllocError {}
+
+impl SharedMemory {
+    /// Creates shared memory sized by a carveout.
+    pub fn new(carveout: Carveout) -> Self {
+        SharedMemory {
+            capacity: carveout.shared_bytes(),
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.iter().sum()
+    }
+
+    /// Bytes currently free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Allocates `bytes` for one resident block, returning an allocation id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SharedAllocError`] when the request exceeds the free
+    /// capacity.
+    pub fn alloc(&mut self, bytes: u64) -> Result<usize, SharedAllocError> {
+        if bytes > self.free() {
+            return Err(SharedAllocError {
+                requested: bytes,
+                free: self.free(),
+            });
+        }
+        self.allocations.push(bytes);
+        Ok(self.allocations.len() - 1)
+    }
+
+    /// Releases a block's allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live allocation id.
+    pub fn release(&mut self, id: usize) {
+        assert!(id < self.allocations.len(), "bad shared-memory alloc id");
+        self.allocations[id] = 0;
+    }
+
+    /// How many blocks with `bytes_per_block` of shared memory fit at once.
+    pub fn blocks_fitting(&self, bytes_per_block: u64) -> u32 {
+        if bytes_per_block == 0 {
+            u32::MAX
+        } else {
+            (self.capacity / bytes_per_block) as u32
+        }
+    }
+
+    /// Per-thread staging-buffer depth (in elements of `elem_bytes`) when a
+    /// block of `threads` threads splits `bytes_per_block` of shared memory
+    /// into `stages` pipeline buffers.
+    ///
+    /// This is the quantity behind the paper's Takeaway 4: fewer threads per
+    /// block leave a deeper per-thread buffer, which makes Async Memcpy more
+    /// effective.
+    pub fn per_thread_depth(
+        bytes_per_block: u64,
+        threads: u32,
+        stages: u32,
+        elem_bytes: u64,
+    ) -> u64 {
+        assert!(threads > 0 && stages > 0 && elem_bytes > 0, "zero divisor");
+        bytes_per_block / (threads as u64 * stages as u64 * elem_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smem() -> SharedMemory {
+        SharedMemory::new(Carveout::paper_default()) // 32 KB
+    }
+
+    #[test]
+    fn capacity_tracks_carveout() {
+        assert_eq!(smem().capacity(), 32 * 1024);
+        let big = SharedMemory::new(Carveout::with_shared_kib(128).unwrap());
+        assert_eq!(big.capacity(), 128 * 1024);
+    }
+
+    #[test]
+    fn alloc_and_release() {
+        let mut s = smem();
+        let id = s.alloc(10 * 1024).unwrap();
+        assert_eq!(s.used(), 10 * 1024);
+        assert_eq!(s.free(), 22 * 1024);
+        s.release(id);
+        assert_eq!(s.used(), 0);
+    }
+
+    #[test]
+    fn over_allocation_fails() {
+        let mut s = smem();
+        s.alloc(30 * 1024).unwrap();
+        let err = s.alloc(4 * 1024).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn blocks_fitting() {
+        let s = smem();
+        assert_eq!(s.blocks_fitting(8 * 1024), 4);
+        assert_eq!(s.blocks_fitting(0), u32::MAX);
+    }
+
+    #[test]
+    fn per_thread_depth_deepens_with_fewer_threads() {
+        // 32KB block buffer, double buffered, f32 elements.
+        let d1024 = SharedMemory::per_thread_depth(32 * 1024, 1024, 2, 4);
+        let d32 = SharedMemory::per_thread_depth(32 * 1024, 32, 2, 4);
+        assert_eq!(d1024, 4);
+        assert_eq!(d32, 128);
+        assert!(d32 > d1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad shared-memory alloc id")]
+    fn bad_release_panics() {
+        let mut s = smem();
+        s.release(3);
+    }
+}

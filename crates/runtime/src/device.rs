@@ -1,0 +1,114 @@
+//! The simulated heterogeneous system: GPU + host + interconnect + UVM.
+
+use crate::alloc::AllocModel;
+use hetsim_engine::time::Nanos;
+use hetsim_gpu::config::GpuConfig;
+use hetsim_mem::host::{HostConfig, HostMemory};
+use hetsim_mem::link::CpuGpuLink;
+use hetsim_uvm::space::UvmConfig;
+
+/// One CPU-GPU heterogeneous system (the paper's Table 1 machine by
+/// default), plus the runtime-level calibration knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// GPU configuration.
+    pub gpu: GpuConfig,
+    /// Host memory system.
+    pub host: HostMemory,
+    /// CPU↔GPU interconnect.
+    pub link: CpuGpuLink,
+    /// UVM subsystem configuration.
+    pub uvm: UvmConfig,
+    /// Allocation cost model.
+    pub alloc: AllocModel,
+
+    // ---- run-level calibration knobs ----
+    /// Fixed per-run system overhead (context creation, driver init,
+    /// process launch) — why the paper's Tiny inputs still take ~0.2 s.
+    pub system_overhead: Nanos,
+    /// Relative noise (sigma) on the system overhead.
+    pub system_jitter: f64,
+    /// Relative noise on allocation time.
+    pub alloc_jitter: f64,
+    /// Relative noise on transfer time (before DRAM-chip spill effects).
+    pub copy_jitter: f64,
+    /// Relative noise on kernel time.
+    pub kernel_jitter: f64,
+    /// How many fault batches are serviced concurrently across SMs and copy
+    /// engines: the serialized kernel stall is `stall / overlap`.
+    pub fault_stall_overlap: f64,
+    /// Base fraction of streaming reads served from a prefetch-warmed L2
+    /// in the prefetch modes, before scaling by available L1 capacity.
+    pub l2_warm_base: f64,
+    /// L1 capacity (bytes) at which the warm-L2 benefit saturates; smaller
+    /// L1 carveouts (big shared memory) proportionally lose the benefit —
+    /// the Fig 13 "too much shared memory hurts UVM" effect.
+    pub l2_warm_l1_reference: u64,
+}
+
+impl Device {
+    /// The paper's evaluation platform: A100 + EPYC 7742 + PCIe 4.0.
+    pub fn a100_epyc() -> Self {
+        Device {
+            gpu: GpuConfig::a100(),
+            host: HostMemory::new(HostConfig::epyc7742()),
+            link: CpuGpuLink::pcie4_a100(),
+            uvm: UvmConfig::a100(),
+            alloc: AllocModel::cuda11_a100(),
+            system_overhead: Nanos::from_millis(190),
+            system_jitter: 0.045,
+            alloc_jitter: 0.02,
+            copy_jitter: 0.015,
+            kernel_jitter: 0.006,
+            fault_stall_overlap: 2.2,
+            l2_warm_base: 0.55,
+            l2_warm_l1_reference: 128 * 1024,
+        }
+    }
+
+    /// The warm-L2 fraction for the current carveout: proportional to the
+    /// L1 capacity left after the shared-memory carveout, saturating at
+    /// `l2_warm_base`.
+    pub fn l2_warm_fraction(&self) -> f64 {
+        let l1 = self.gpu.carveout.l1_bytes() as f64;
+        self.l2_warm_base * (l1 / self.l2_warm_l1_reference as f64).min(1.0)
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::a100_epyc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_mem::carveout::Carveout;
+
+    #[test]
+    fn preset_is_consistent() {
+        let d = Device::a100_epyc();
+        assert_eq!(d.gpu.sm_count, 108);
+        assert_eq!(d.host.config().chips, 16);
+        assert!(d.fault_stall_overlap >= 1.0);
+        assert_eq!(Device::default(), d);
+    }
+
+    #[test]
+    fn warm_fraction_saturates_with_big_l1() {
+        let d = Device::a100_epyc(); // 32KB shared -> 160KB L1 > reference
+        assert!((d.l2_warm_fraction() - d.l2_warm_base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_fraction_shrinks_with_small_l1() {
+        let mut d = Device::a100_epyc();
+        d.gpu = d
+            .gpu
+            .with_carveout(Carveout::with_shared_kib(128).unwrap()); // 64KB L1
+        let f = d.l2_warm_fraction();
+        assert!(f < d.l2_warm_base);
+        assert!((f - d.l2_warm_base * 0.5).abs() < 1e-9);
+    }
+}

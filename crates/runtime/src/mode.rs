@@ -1,0 +1,132 @@
+//! The five UVM/Async-Memcpy configurations of the paper (§3.1.3).
+
+use hetsim_gpu::kernel::KernelStyle;
+use std::fmt;
+
+/// One of the paper's five data-transfer configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferMode {
+    /// Explicit `cudaMalloc` + `cudaMemcpy`, no Async Memcpy.
+    Standard,
+    /// Explicit transfers, `cp.async` kernels.
+    Async,
+    /// `cudaMallocManaged`, demand migration only.
+    Uvm,
+    /// Managed memory with explicit `cudaMemPrefetchAsync`.
+    UvmPrefetch,
+    /// Managed memory with prefetch *and* `cp.async` kernels.
+    UvmPrefetchAsync,
+}
+
+impl TransferMode {
+    /// The five modes in the paper's presentation order.
+    pub const ALL: [TransferMode; 5] = [
+        TransferMode::Standard,
+        TransferMode::Async,
+        TransferMode::Uvm,
+        TransferMode::UvmPrefetch,
+        TransferMode::UvmPrefetchAsync,
+    ];
+
+    /// The identifier used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransferMode::Standard => "standard",
+            TransferMode::Async => "async",
+            TransferMode::Uvm => "uvm",
+            TransferMode::UvmPrefetch => "uvm_prefetch",
+            TransferMode::UvmPrefetchAsync => "uvm_prefetch_async",
+        }
+    }
+
+    /// Whether memory is managed (UVM).
+    pub fn uses_uvm(self) -> bool {
+        matches!(
+            self,
+            TransferMode::Uvm | TransferMode::UvmPrefetch | TransferMode::UvmPrefetchAsync
+        )
+    }
+
+    /// Whether explicit range prefetch is issued before kernels.
+    pub fn uses_prefetch(self) -> bool {
+        matches!(
+            self,
+            TransferMode::UvmPrefetch | TransferMode::UvmPrefetchAsync
+        )
+    }
+
+    /// Whether kernels are rewritten to the `cp.async` pipeline.
+    pub fn uses_async_copy(self) -> bool {
+        matches!(self, TransferMode::Async | TransferMode::UvmPrefetchAsync)
+    }
+
+    /// The kernel style this mode runs a kernel with, given the kernel's
+    /// hand-written standard style.
+    pub fn kernel_style(self, standard: KernelStyle) -> KernelStyle {
+        if self.uses_async_copy() {
+            KernelStyle::StagedAsync
+        } else {
+            standard
+        }
+    }
+}
+
+impl fmt::Display for TransferMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<&str> = TransferMode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "standard",
+                "async",
+                "uvm",
+                "uvm_prefetch",
+                "uvm_prefetch_async"
+            ]
+        );
+    }
+
+    #[test]
+    fn feature_matrix() {
+        use TransferMode::*;
+        assert!(!Standard.uses_uvm() && !Standard.uses_prefetch() && !Standard.uses_async_copy());
+        assert!(!Async.uses_uvm() && Async.uses_async_copy());
+        assert!(Uvm.uses_uvm() && !Uvm.uses_prefetch() && !Uvm.uses_async_copy());
+        assert!(UvmPrefetch.uses_uvm() && UvmPrefetch.uses_prefetch());
+        assert!(!UvmPrefetch.uses_async_copy());
+        assert!(
+            UvmPrefetchAsync.uses_uvm()
+                && UvmPrefetchAsync.uses_prefetch()
+                && UvmPrefetchAsync.uses_async_copy()
+        );
+    }
+
+    #[test]
+    fn style_mapping() {
+        use KernelStyle::*;
+        assert_eq!(TransferMode::Standard.kernel_style(Direct), Direct);
+        assert_eq!(TransferMode::Uvm.kernel_style(StagedSync), StagedSync);
+        assert_eq!(TransferMode::Async.kernel_style(Direct), StagedAsync);
+        assert_eq!(
+            TransferMode::UvmPrefetchAsync.kernel_style(StagedSync),
+            StagedAsync
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for m in TransferMode::ALL {
+            assert_eq!(m.to_string(), m.name());
+        }
+    }
+}

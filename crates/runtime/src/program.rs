@@ -1,0 +1,116 @@
+//! The [`GpuProgram`] trait: a complete application as the runtime sees it.
+
+use hetsim_gpu::kernel::KernelModel;
+use std::fmt;
+
+/// How a buffer participates in the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufferRole {
+    /// Host-initialized, read by kernels (transferred H2D).
+    Input,
+    /// Written by kernels, read by the host afterwards (transferred D2H).
+    Output,
+    /// Both (H2D before, D2H after).
+    InOut,
+    /// Device-only scratch (allocated, never transferred).
+    Scratch,
+}
+
+impl BufferRole {
+    /// Whether the host must ship this buffer to the device.
+    pub fn is_input(self) -> bool {
+        matches!(self, BufferRole::Input | BufferRole::InOut)
+    }
+
+    /// Whether results flow back to the host.
+    pub fn is_output(self) -> bool {
+        matches!(self, BufferRole::Output | BufferRole::InOut)
+    }
+}
+
+/// One application buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferSpec {
+    /// Name for reports.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Transfer role.
+    pub role: BufferRole,
+}
+
+impl BufferSpec {
+    /// Creates a buffer spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn new<S: Into<String>>(name: S, bytes: u64, role: BufferRole) -> Self {
+        assert!(bytes > 0, "buffer must have non-zero size");
+        BufferSpec {
+            name: name.into(),
+            bytes,
+            role,
+        }
+    }
+}
+
+impl fmt::Display for BufferSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} bytes, {:?})", self.name, self.bytes, self.role)
+    }
+}
+
+/// A complete GPU application: buffers plus an ordered kernel sequence.
+///
+/// Implemented by every workload in `hetsim-workloads`. The runtime derives
+/// everything else — transfers, faults, prefetches, kernel styles — from
+/// this description plus the chosen [`TransferMode`](crate::TransferMode).
+pub trait GpuProgram {
+    /// Program name (the paper's workload name).
+    fn name(&self) -> &str;
+
+    /// The program's buffers.
+    fn buffers(&self) -> Vec<BufferSpec>;
+
+    /// Kernels in launch order.
+    fn kernels(&self) -> Vec<&dyn KernelModel>;
+
+    /// Prefetch coverage multiplier in `[0, 1]` for multi-kernel programs
+    /// whose kernels share data objects: prefetching for one kernel can
+    /// displace what another needs (the paper's nw pathology). `1.0` means
+    /// no conflict.
+    fn prefetch_conflict(&self) -> f64 {
+        1.0
+    }
+
+    /// Total bytes across all buffers (the paper's "memory footprint").
+    fn footprint(&self) -> u64 {
+        self.buffers().iter().map(|b| b.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_predicates() {
+        assert!(BufferRole::Input.is_input() && !BufferRole::Input.is_output());
+        assert!(!BufferRole::Output.is_input() && BufferRole::Output.is_output());
+        assert!(BufferRole::InOut.is_input() && BufferRole::InOut.is_output());
+        assert!(!BufferRole::Scratch.is_input() && !BufferRole::Scratch.is_output());
+    }
+
+    #[test]
+    fn spec_display() {
+        let b = BufferSpec::new("a", 1024, BufferRole::Input);
+        assert!(b.to_string().contains("a (1024 bytes"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_size_rejected() {
+        let _ = BufferSpec::new("bad", 0, BufferRole::Input);
+    }
+}

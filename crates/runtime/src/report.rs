@@ -1,0 +1,139 @@
+//! Run reports: the paper's three-way time breakdown plus counters.
+
+use hetsim_counters::CounterSet;
+use hetsim_engine::time::Nanos;
+use std::fmt;
+use std::ops::Add;
+
+/// The measured outcome of one program run — the unit every figure in the
+/// paper is built from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Data allocation time (`cudaMalloc`/`cudaMallocManaged` + `cudaFree`).
+    pub alloc: Nanos,
+    /// Data transfer time (`cudaMemcpy` or UVM migration/prefetch traffic).
+    pub memcpy: Nanos,
+    /// GPU kernel execution time (including UVM fault stalls).
+    pub kernel: Nanos,
+    /// Fixed system overhead (context creation etc.), reported separately
+    /// so breakdown figures can include or exclude it.
+    pub system: Nanos,
+    /// Hardware counters collected during the run.
+    pub counters: CounterSet,
+}
+
+impl RunReport {
+    /// The paper's "overall execution time": allocation + transfer + kernel
+    /// (+ the constant system overhead that real measurements inevitably
+    /// include).
+    pub fn total(&self) -> Nanos {
+        self.alloc + self.memcpy + self.kernel + self.system
+    }
+
+    /// The three-component sum without the system constant — what the
+    /// normalized breakdown figures (Figs 7, 8, 11–13) plot.
+    pub fn breakdown_total(&self) -> Nanos {
+        self.alloc + self.memcpy + self.kernel
+    }
+
+    /// Fraction of [`RunReport::breakdown_total`] spent in a component.
+    pub fn share(&self, component: Component) -> f64 {
+        let t = self.breakdown_total().as_nanos() as f64;
+        if t == 0.0 {
+            return 0.0;
+        }
+        let c = match component {
+            Component::Alloc => self.alloc,
+            Component::Memcpy => self.memcpy,
+            Component::Kernel => self.kernel,
+        };
+        c.as_nanos() as f64 / t
+    }
+}
+
+impl Add for RunReport {
+    type Output = RunReport;
+    fn add(self, rhs: RunReport) -> RunReport {
+        RunReport {
+            alloc: self.alloc + rhs.alloc,
+            memcpy: self.memcpy + rhs.memcpy,
+            kernel: self.kernel + rhs.kernel,
+            system: self.system + rhs.system,
+            counters: self.counters + rhs.counters,
+        }
+    }
+}
+
+/// One component of the time breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Component {
+    /// Allocation time.
+    Alloc,
+    /// Transfer time.
+    Memcpy,
+    /// Kernel time.
+    Kernel,
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total {} (alloc {}, memcpy {}, kernel {}, system {})",
+            self.total(),
+            self.alloc,
+            self.memcpy,
+            self.kernel,
+            self.system
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            alloc: Nanos::from_millis(100),
+            memcpy: Nanos::from_millis(300),
+            kernel: Nanos::from_millis(100),
+            system: Nanos::from_millis(50),
+            counters: CounterSet::new(),
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let r = report();
+        assert_eq!(r.total(), Nanos::from_millis(550));
+        assert_eq!(r.breakdown_total(), Nanos::from_millis(500));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let r = report();
+        let s = r.share(Component::Alloc) + r.share(Component::Memcpy) + r.share(Component::Kernel);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(r.share(Component::Memcpy), 0.6);
+    }
+
+    #[test]
+    fn empty_report_shares_are_zero() {
+        let r = RunReport::default();
+        assert_eq!(r.share(Component::Kernel), 0.0);
+        assert_eq!(r.total(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn add_merges_components() {
+        let sum = report() + report();
+        assert_eq!(sum.total(), Nanos::from_millis(1100));
+    }
+
+    #[test]
+    fn display_mentions_components() {
+        let s = report().to_string();
+        assert!(s.contains("alloc") && s.contains("memcpy") && s.contains("kernel"));
+    }
+}

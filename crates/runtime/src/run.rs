@@ -1,0 +1,559 @@
+//! The end-to-end run pipeline: one [`GpuProgram`] under one
+//! [`TransferMode`] on one [`Device`] → one [`RunReport`].
+
+use crate::device::Device;
+use crate::mode::TransferMode;
+use crate::program::{BufferSpec, GpuProgram};
+use crate::report::RunReport;
+use hetsim_counters::{CounterSet, Occupancy};
+use hetsim_engine::rng::SimRng;
+use hetsim_engine::time::Nanos;
+use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
+use hetsim_mem::addr::Addr;
+use hetsim_mem::link::LinkPath;
+use hetsim_uvm::prefetch::PrefetchModel;
+use hetsim_uvm::space::UvmSpace;
+
+/// Runs programs on a simulated device.
+///
+/// # Example
+///
+/// ```no_run
+/// use hetsim_runtime::{Device, Runner, TransferMode};
+/// # fn get_program() -> Box<dyn hetsim_runtime::GpuProgram> { unimplemented!() }
+/// let runner = Runner::new(Device::a100_epyc());
+/// let program = get_program();
+/// let report = runner.run(program.as_ref(), TransferMode::UvmPrefetchAsync, 0);
+/// println!("{report}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    device: Device,
+    executor: KernelExecutor,
+}
+
+impl Runner {
+    /// Creates a runner for a device.
+    pub fn new(device: Device) -> Self {
+        let executor = KernelExecutor::new(device.gpu.clone());
+        Runner { device, executor }
+    }
+
+    /// The device configuration.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Replaces the kernel executor (e.g. to change the sampling width).
+    pub fn with_executor(mut self, executor: KernelExecutor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Executes one run and reports the paper's three-way breakdown.
+    ///
+    /// `run_index` seeds the run's measurement noise: the same
+    /// `(program, mode, run_index)` triple always reproduces the same
+    /// report, and 30 distinct indices reproduce the paper's 30-run
+    /// distributions.
+    pub fn run(&self, program: &dyn GpuProgram, mode: TransferMode, run_index: u64) -> RunReport {
+        let base = self.run_base(program, mode);
+        self.apply_noise(&base, program, mode, run_index)
+    }
+
+    /// The deterministic, noise-free run: the expensive part (cache and
+    /// UVM simulation). Experiments building 30-run distributions compute
+    /// this once and call [`Runner::apply_noise`] per run index.
+    pub fn run_base(&self, program: &dyn GpuProgram, mode: TransferMode) -> RunReport {
+        let dev = &self.device;
+        let buffers = program.buffers();
+        let kernels = program.kernels();
+        assert!(!kernels.is_empty(), "program has no kernels");
+
+        // ---- allocation: cudaMalloc/cudaMallocManaged + cudaFree ----
+        let mut alloc = Nanos::ZERO;
+        for b in &buffers {
+            alloc += dev.alloc.alloc_and_free(b.bytes, mode.uses_uvm());
+        }
+
+        let mut counters = CounterSet::new();
+        let (memcpy, kernel) = if mode.uses_uvm() {
+            self.run_uvm(program, mode, &buffers, &kernels, &mut counters)
+        } else {
+            self.run_explicit(mode, &buffers, &kernels, &mut counters)
+        };
+
+        // Freeing managed memory whose pages were demand-migrated tears
+        // down scattered migration blocks — the hidden allocation cost of
+        // the plain `uvm` configuration.
+        if mode.uses_uvm() {
+            let touched =
+                counters.uvm.pages_migrated() + counters.uvm.pages_prefetched();
+            let demand_fraction = if touched == 0 {
+                0.0
+            } else {
+                counters.uvm.pages_migrated() as f64 / touched as f64
+            };
+            alloc += dev
+                .alloc
+                .managed_teardown(program.footprint(), demand_fraction);
+        }
+
+        let mut report = RunReport {
+            alloc,
+            memcpy,
+            kernel,
+            system: dev.system_overhead,
+            counters,
+        };
+        set_achieved_occupancy(&mut report);
+        report
+    }
+
+    /// Applies one run's measurement noise to a noise-free base report:
+    /// component jitters plus the host DRAM-chip spill penalty on transfer
+    /// time (the paper's Fig 6 Mega-input instability).
+    pub fn apply_noise(
+        &self,
+        base: &RunReport,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+        run_index: u64,
+    ) -> RunReport {
+        let dev = &self.device;
+        let mut rng =
+            SimRng::seed_from_parts(&["hetsim.run", program.name(), mode.name()], run_index);
+        let placement = dev.host.place(program.footprint(), &mut rng);
+        let spill_penalty = placement.transfer_penalty(dev.host.config().cross_chip_derate);
+
+        let mut report = RunReport {
+            alloc: base.alloc.scale(rng.jitter(dev.alloc_jitter, 0.5)),
+            memcpy: base
+                .memcpy
+                .scale(spill_penalty * rng.jitter(dev.copy_jitter, 0.5)),
+            kernel: base.kernel.scale(rng.jitter(dev.kernel_jitter, 0.5)),
+            system: base.system.scale(rng.jitter(dev.system_jitter, 0.5)),
+            counters: base.counters,
+        };
+        set_achieved_occupancy(&mut report);
+        report
+    }
+
+    /// Explicit-copy path: `standard` and `async`.
+    fn run_explicit(
+        &self,
+        mode: TransferMode,
+        buffers: &[BufferSpec],
+        kernels: &[&dyn hetsim_gpu::kernel::KernelModel],
+        counters: &mut CounterSet,
+    ) -> (Nanos, Nanos) {
+        let dev = &self.device;
+        let mut memcpy = Nanos::ZERO;
+        for b in buffers {
+            if b.role.is_input() {
+                let t = dev.link.transfer_time(LinkPath::PageableCopy, b.bytes);
+                counters.transfer.record_h2d_copy(b.bytes, t);
+                memcpy += t;
+            }
+            if b.role.is_output() {
+                let t = dev.link.transfer_time(LinkPath::PageableCopy, b.bytes);
+                counters.transfer.record_d2h_copy(b.bytes, t);
+                memcpy += t;
+            }
+        }
+
+        let mut kernel = Nanos::ZERO;
+        let env = ExecEnv::standard();
+        for k in kernels {
+            let style = mode.kernel_style(k.standard_style());
+            let r = self.executor.execute(*k, style, &env);
+            let inv = k.invocations().max(1);
+            kernel += r.time * inv;
+            merge_kernel_counters(counters, &r, inv);
+        }
+        (memcpy, kernel)
+    }
+
+    /// Managed-memory path: `uvm`, `uvm_prefetch`, `uvm_prefetch_async`.
+    fn run_uvm(
+        &self,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+        buffers: &[BufferSpec],
+        kernels: &[&dyn hetsim_gpu::kernel::KernelModel],
+        counters: &mut CounterSet,
+    ) -> (Nanos, Nanos) {
+        let dev = &self.device;
+        let mut space = UvmSpace::new(dev.uvm);
+        // Lay buffers out at chunk-aligned, non-overlapping bases.
+        let bases: Vec<Addr> = (0..buffers.len())
+            .map(|i| Addr::new((i as u64 + 1) << 42))
+            .collect();
+        for (b, &base) in buffers.iter().zip(&bases) {
+            space.managed_alloc(base, b.bytes);
+        }
+
+        let mut memcpy = Nanos::ZERO;
+        let mut kernel = Nanos::ZERO;
+
+        // Workload-level access regularity: the least regular kernel
+        // decides how well the prefetcher does (§4.1.2).
+        let regularity = kernels
+            .iter()
+            .map(|k| k.regularity())
+            .max_by(|a, b| {
+                a.residual_fault_fraction()
+                    .partial_cmp(&b.residual_fault_fraction())
+                    .expect("finite fractions")
+            })
+            .expect("at least one kernel");
+        let prefetch_model = PrefetchModel::conflicting(program.prefetch_conflict());
+        let coverage = prefetch_model.effective_coverage(regularity);
+
+        let translation = if mode.uses_prefetch() {
+            // Prefetch resolves most mappings ahead of time; a residue of
+            // page-walk overhead remains.
+            1.0 + (regularity.uvm_translation_penalty() - 1.0) * 0.35
+        } else {
+            regularity.uvm_translation_penalty()
+        };
+        // Prefetch only warms the L2 for access patterns it can actually
+        // run ahead of; the quartic keys the benefit sharply on
+        // regularity (irregular workloads see almost none — the paper's
+        // lud observation).
+        let l2_warm = if mode.uses_prefetch() {
+            dev.l2_warm_fraction() * coverage.powi(4)
+        } else {
+            0.0
+        };
+        // Managed memory translates through the GPU's UVM page tables:
+        // demand-migrated runs walk 64 KB mappings; prefetched ranges
+        // coalesce into 2 MB mappings with cheap cached walks.
+        let tlb = if mode.uses_prefetch() {
+            hetsim_mem::tlb::TlbConfig {
+                page_bytes: 2 << 20,
+                walk_cycles: 200.0,
+                ..hetsim_mem::tlb::TlbConfig::a100_uvm()
+            }
+        } else {
+            hetsim_mem::tlb::TlbConfig::a100_uvm()
+        };
+        let env = ExecEnv::new(translation, l2_warm).with_tlb(tlb);
+
+        // Explicit prefetch of every input buffer before the kernels.
+        if mode.uses_prefetch() {
+            for (b, &base) in buffers.iter().zip(&bases) {
+                if b.role.is_input() {
+                    let t = space.prefetch_range(base, b.bytes, coverage, &dev.link);
+                    counters
+                        .transfer
+                        .record_prefetch((b.bytes as f64 * coverage) as u64, t);
+                    memcpy += t;
+                }
+            }
+        }
+
+        for (ki, k) in kernels.iter().enumerate() {
+            // Inter-kernel prefetch conflict: each sweep of a later kernel
+            // finds part of the shared data displaced by prefetch decisions
+            // made for the other kernel (nw). The displace/refault cycle
+            // repeats as the kernels alternate.
+            let mut conflict_refault = hetsim_uvm::fault::FaultReport::default();
+            if ki > 0 && mode.uses_prefetch() && program.prefetch_conflict() < 1.0 {
+                let displaced_fraction = 1.0 - program.prefetch_conflict();
+                let rounds = k.invocations().min(4).max(1);
+                for _ in 0..rounds {
+                    for (b, &base) in buffers.iter().zip(&bases) {
+                        space.displace_fraction(base, b.bytes, displaced_fraction);
+                        let fr = space.demand_touch_range(
+                            base,
+                            b.bytes,
+                            b.role.is_output(),
+                            true,
+                            &dev.link,
+                        );
+                        conflict_refault = conflict_refault.merge(fr);
+                    }
+                }
+            }
+
+            let style = mode.kernel_style(k.standard_style());
+            let r = self.executor.execute(*k, style, &env);
+            let inv = k.invocations().max(1);
+            kernel += r.time * inv;
+            merge_kernel_counters(counters, &r, inv);
+
+            // Demand-fault whatever the kernel touches that is not yet
+            // resident.
+            let mut stall = conflict_refault.stall;
+            memcpy += conflict_refault.transfer;
+            counters.transfer.record_migration(
+                conflict_refault.chunks * dev.uvm.chunk_size,
+                conflict_refault.transfer,
+            );
+            for (b, &base) in buffers.iter().zip(&bases) {
+                if matches!(b.role, crate::program::BufferRole::Scratch) {
+                    continue;
+                }
+                let fr = space.demand_touch_range(
+                    base,
+                    b.bytes,
+                    b.role.is_output(),
+                    b.role.is_input(),
+                    &dev.link,
+                );
+                stall += fr.stall;
+                let t = fr.transfer;
+                counters
+                    .transfer
+                    .record_migration(fr.chunks * dev.uvm.chunk_size, t);
+                memcpy += t;
+            }
+            kernel += stall.scale(1.0 / dev.fault_stall_overlap);
+        }
+
+        // Results flow back: write back dirty output chunks.
+        for (b, &base) in buffers.iter().zip(&bases) {
+            if b.role.is_output() {
+                let path = if mode.uses_prefetch() {
+                    LinkPath::BulkPrefetch
+                } else {
+                    LinkPath::DemandMigration
+                };
+                let t = space.writeback_dirty(base, b.bytes, path, &dev.link);
+                counters.transfer.record_writeback(b.bytes, t);
+                memcpy += t;
+            }
+        }
+
+        // Oversubscription evictions write dirty chunks back over the
+        // link; charge their DMA time as transfer.
+        memcpy += space.eviction_transfer();
+
+        counters.uvm += space.counters();
+        (memcpy, kernel)
+    }
+}
+
+/// Derives achieved occupancy from the kernel's share of total time.
+fn set_achieved_occupancy(report: &mut RunReport) {
+    let kernel_share =
+        report.kernel.as_nanos() as f64 / report.total().as_nanos().max(1) as f64;
+    let theoretical = report.counters.occupancy.theoretical();
+    report.counters.occupancy = Occupancy::new(theoretical, kernel_share * theoretical);
+}
+
+fn merge_kernel_counters(
+    counters: &mut CounterSet,
+    r: &hetsim_gpu::exec::KernelResult,
+    invocations: u64,
+) {
+    counters.inst += r.inst.scale(invocations as f64);
+    counters.l1 += r.l1;
+    counters.l2 += r.l2;
+    counters.occupancy = Occupancy::new(
+        counters
+            .occupancy
+            .theoretical()
+            .max(r.theoretical_occupancy),
+        counters.occupancy.achieved(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{BufferRole, BufferSpec};
+    use hetsim_gpu::kernel::{KernelModel, KernelStyle, LaunchConfig, TileOps};
+    use hetsim_mem::addr::MemAccess;
+    use hetsim_uvm::prefetch::Regularity;
+
+    /// A minimal streaming program for runtime tests.
+    struct TestProgram {
+        kernel: TestKernel,
+        bytes: u64,
+        conflict: f64,
+    }
+
+    struct TestKernel {
+        launch: LaunchConfig,
+        lines_per_tile: u64,
+        regularity: Regularity,
+    }
+
+    impl TestProgram {
+        fn new(bytes: u64) -> Self {
+            TestProgram {
+                kernel: TestKernel {
+                    launch: LaunchConfig::new(1024, 256, 32 * 1024),
+                    lines_per_tile: 32,
+                    regularity: Regularity::Regular,
+                },
+                bytes,
+                conflict: 1.0,
+            }
+        }
+    }
+
+    impl KernelModel for TestKernel {
+        fn name(&self) -> &str {
+            "test_kernel"
+        }
+        fn launch(&self) -> LaunchConfig {
+            self.launch
+        }
+        fn tiles_per_block(&self) -> u64 {
+            8
+        }
+        fn stream_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+            let base = (block * 8 + tile) * self.lines_per_tile * 128;
+            for i in 0..self.lines_per_tile {
+                out.push(MemAccess::global_load(base + i * 128));
+            }
+        }
+        fn local_accesses(&self, block: u64, tile: u64, out: &mut Vec<MemAccess>) {
+            let base = (1u64 << 41) + (block * 8 + tile) * self.lines_per_tile * 128;
+            for i in 0..self.lines_per_tile {
+                out.push(MemAccess::global_store(base + i * 128));
+            }
+        }
+        fn tile_ops(&self) -> TileOps {
+            TileOps::new(2048.0, 1024.0, 256.0)
+        }
+        fn regularity(&self) -> Regularity {
+            self.regularity
+        }
+        fn standard_style(&self) -> KernelStyle {
+            KernelStyle::StagedSync
+        }
+    }
+
+    impl GpuProgram for TestProgram {
+        fn name(&self) -> &str {
+            "test_program"
+        }
+        fn buffers(&self) -> Vec<BufferSpec> {
+            vec![
+                BufferSpec::new("in", self.bytes / 2, BufferRole::Input),
+                BufferSpec::new("out", self.bytes / 2, BufferRole::Output),
+            ]
+        }
+        fn kernels(&self) -> Vec<&dyn KernelModel> {
+            vec![&self.kernel]
+        }
+        fn prefetch_conflict(&self) -> f64 {
+            self.conflict
+        }
+    }
+
+    fn runner() -> Runner {
+        Runner::new(Device::a100_epyc())
+    }
+
+    const MB: u64 = 1 << 20;
+
+    #[test]
+    fn deterministic_per_run_index() {
+        let p = TestProgram::new(64 * MB);
+        let r = runner();
+        let a = r.run(&p, TransferMode::Standard, 3);
+        let b = r.run(&p, TransferMode::Standard, 3);
+        assert_eq!(a, b);
+        let c = r.run(&p, TransferMode::Standard, 4);
+        assert_ne!(a.total(), c.total(), "different run index, different noise");
+    }
+
+    #[test]
+    fn breakdown_components_positive() {
+        let p = TestProgram::new(64 * MB);
+        for mode in TransferMode::ALL {
+            let rep = runner().run(&p, mode, 0);
+            assert!(rep.alloc > Nanos::ZERO, "{mode}: alloc");
+            assert!(rep.memcpy > Nanos::ZERO, "{mode}: memcpy");
+            assert!(rep.kernel > Nanos::ZERO, "{mode}: kernel");
+            assert!(rep.system > Nanos::ZERO, "{mode}: system");
+        }
+    }
+
+    #[test]
+    fn uvm_demand_saves_memcpy_but_inflates_kernel() {
+        let p = TestProgram::new(256 * MB);
+        let r = runner();
+        let std = r.run(&p, TransferMode::Standard, 0);
+        let uvm = r.run(&p, TransferMode::Uvm, 0);
+        assert!(
+            uvm.memcpy < std.memcpy,
+            "uvm memcpy {} !< standard {}",
+            uvm.memcpy,
+            std.memcpy
+        );
+        assert!(
+            uvm.kernel > std.kernel,
+            "uvm kernel {} !> standard {}",
+            uvm.kernel,
+            std.kernel
+        );
+    }
+
+    #[test]
+    fn prefetch_saves_more_memcpy_than_demand() {
+        let p = TestProgram::new(256 * MB);
+        let r = runner();
+        let uvm = r.run(&p, TransferMode::Uvm, 0);
+        let pf = r.run(&p, TransferMode::UvmPrefetch, 0);
+        assert!(pf.memcpy < uvm.memcpy);
+        assert!(pf.kernel < uvm.kernel, "fewer faults, fewer stalls");
+    }
+
+    #[test]
+    fn uvm_faults_appear_in_counters() {
+        let p = TestProgram::new(64 * MB);
+        let rep = runner().run(&p, TransferMode::Uvm, 0);
+        assert!(rep.counters.uvm.page_faults() > 0);
+        assert!(rep.counters.transfer.migrations() > 0);
+        let pf = runner().run(&p, TransferMode::UvmPrefetch, 0);
+        assert!(pf.counters.uvm.pages_prefetched() > 0);
+        assert!(pf.counters.uvm.page_faults() < rep.counters.uvm.page_faults());
+    }
+
+    #[test]
+    fn async_mode_inflates_control_instructions() {
+        let p = TestProgram::new(64 * MB);
+        let r = runner();
+        let std = r.run(&p, TransferMode::Standard, 0);
+        let asy = r.run(&p, TransferMode::Async, 0);
+        use hetsim_counters::InstClass;
+        assert!(asy.counters.inst.get(InstClass::Control) > std.counters.inst.get(InstClass::Control));
+    }
+
+    #[test]
+    fn conflict_degrades_prefetch() {
+        let mut clean = TestProgram::new(128 * MB);
+        clean.conflict = 1.0;
+        let mut conflicted = TestProgram::new(128 * MB);
+        conflicted.conflict = 0.6;
+        let r = runner();
+        let a = r.run(&clean, TransferMode::UvmPrefetch, 0);
+        let b = r.run(&conflicted, TransferMode::UvmPrefetch, 0);
+        assert!(
+            b.kernel >= a.kernel,
+            "conflicted {} !>= clean {}",
+            b.kernel,
+            a.kernel
+        );
+    }
+
+    #[test]
+    fn occupancy_improves_when_transfer_shrinks() {
+        let p = TestProgram::new(256 * MB);
+        let r = runner();
+        let std = r.run(&p, TransferMode::Standard, 0);
+        let pfa = r.run(&p, TransferMode::UvmPrefetchAsync, 0);
+        assert!(
+            pfa.counters.occupancy.achieved() > std.counters.occupancy.achieved(),
+            "pfa {} !> std {}",
+            pfa.counters.occupancy.achieved(),
+            std.counters.occupancy.achieved()
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Run timelines: a renderable record of what occupied which engine when.
+//!
+//! The paper's Figure 14 is exactly this kind of picture — boxes for
+//! `cudaMallocManaged`, H-D transfers, kernel computation, and `cudaFree`
+//! laid out against time, for the current and the proposed pipeline. A
+//! [`Timeline`] collects labelled phases per lane and renders an ASCII
+//! Gantt chart, so examples and the inter-job model can *show* their
+//! schedules instead of only summing them.
+
+use crate::stream::ScheduleOutcome;
+use hetsim_engine::time::{Nanos, SimTime};
+use std::fmt;
+
+/// One phase on one lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Phase {
+    lane: String,
+    label: String,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// A multi-lane execution timeline.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_runtime::timeline::Timeline;
+/// use hetsim_engine::time::{Nanos, SimTime};
+///
+/// let mut t = Timeline::new();
+/// t.record("cpu", "alloc", SimTime::ZERO, SimTime::from_nanos(500));
+/// t.record("gpu", "kernel", SimTime::from_nanos(500), SimTime::from_nanos(1_500));
+/// let chart = t.render(40);
+/// assert!(chart.contains("cpu"));
+/// assert!(chart.contains("gpu"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    phases: Vec<Phase>,
+}
+
+impl Timeline {
+    /// An empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Records a phase `[start, end)` on `lane`. Zero-length phases are
+    /// kept (they render as a single tick) so instantaneous events stay
+    /// visible.
+    pub fn record<L: Into<String>, S: Into<String>>(
+        &mut self,
+        lane: L,
+        label: S,
+        start: SimTime,
+        end: SimTime,
+    ) -> &mut Self {
+        assert!(end >= start, "phase ends before it starts");
+        self.phases.push(Phase {
+            lane: lane.into(),
+            label: label.into(),
+            start,
+            end,
+        });
+        self
+    }
+
+    /// Records a phase starting at `start` lasting `dur`.
+    pub fn record_for<L: Into<String>, S: Into<String>>(
+        &mut self,
+        lane: L,
+        label: S,
+        start: SimTime,
+        dur: Nanos,
+    ) -> &mut Self {
+        self.record(lane, label, start, start + dur)
+    }
+
+    /// Imports a stream-schedule outcome: one lane per engine.
+    pub fn from_schedule(outcome: &ScheduleOutcome) -> Timeline {
+        let mut t = Timeline::new();
+        for op in outcome.ops() {
+            t.record(op.engine.name(), op.label.clone(), op.start, op.end);
+        }
+        t
+    }
+
+    /// Number of recorded phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The end of the last phase.
+    pub fn horizon(&self) -> SimTime {
+        self.phases
+            .iter()
+            .map(|p| p.end)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Renders an ASCII Gantt chart `width` characters wide.
+    ///
+    /// Each lane is one row; each phase paints its span with the first
+    /// letter of its label (`#` if empty). A scale line shows the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width > 0, "chart needs non-zero width");
+        let horizon = self.horizon().as_nanos().max(1);
+        let mut lanes: Vec<String> = self.phases.iter().map(|p| p.lane.clone()).collect();
+        lanes.dedup();
+        let mut seen = std::collections::HashSet::new();
+        lanes.retain(|l| seen.insert(l.clone()));
+        let name_w = lanes.iter().map(|l| l.len()).max().unwrap_or(0).max(4);
+
+        let mut out = String::new();
+        for lane in &lanes {
+            let mut row = vec![b'.'; width];
+            for p in self.phases.iter().filter(|p| &p.lane == lane) {
+                let a = (p.start.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let b = (p.end.as_nanos() as u128 * width as u128 / horizon as u128) as usize;
+                let b = b.max(a + 1).min(width);
+                let ch = p.label.bytes().next().unwrap_or(b'#');
+                for slot in &mut row[a..b] {
+                    *slot = ch;
+                }
+            }
+            out.push_str(&format!(
+                "{lane:<name_w$} |{}|\n",
+                String::from_utf8_lossy(&row)
+            ));
+        }
+        out.push_str(&format!(
+            "{:<name_w$} 0 {:>w$}\n",
+            "",
+            Nanos::from_nanos(horizon).to_string(),
+            w = width
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Timeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{Engine, StreamSchedule, StreamId};
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_and_horizon() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "alloc", t(0), t(100));
+        tl.record_for("gpu", "kernel", t(100), Nanos::from_nanos(200));
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.horizon(), t(300));
+        assert!(!tl.is_empty());
+    }
+
+    #[test]
+    fn render_paints_lanes_in_order() {
+        let mut tl = Timeline::new();
+        tl.record("gpu", "kernel", t(50), t(100));
+        tl.record("cpu", "alloc", t(0), t(50));
+        let chart = tl.render(20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].starts_with("gpu"), "first-recorded lane first");
+        assert!(lines[1].starts_with("cpu"));
+        assert!(lines[0].contains('k'));
+        assert!(lines[1].contains('a'));
+    }
+
+    #[test]
+    fn zero_length_phase_still_visible() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "sync", t(10), t(10));
+        tl.record("cpu", "work", t(0), t(100));
+        let chart = tl.render(10);
+        assert!(chart.contains('s'));
+    }
+
+    #[test]
+    fn from_schedule_matches_engines() {
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::CopyH2D, Nanos::from_micros(1), "h2d");
+        s.push(StreamId(0), Engine::Compute, Nanos::from_micros(1), "kernel");
+        let tl = Timeline::from_schedule(&s.run());
+        assert_eq!(tl.len(), 2);
+        let chart = tl.render(16);
+        assert!(chart.contains("h2d"));
+        assert!(chart.contains("compute"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_scale_only() {
+        let tl = Timeline::new();
+        let chart = tl.render(10);
+        assert!(chart.contains('0'));
+        assert_eq!(tl.horizon(), SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn inverted_phase_panics() {
+        let mut tl = Timeline::new();
+        tl.record("cpu", "bad", t(10), t(5));
+    }
+}

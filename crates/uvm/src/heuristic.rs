@@ -1,0 +1,253 @@
+//! The UVM driver's fault-locality prefetch heuristic, simulated.
+//!
+//! NVIDIA's driver grows migrated regions on fault locality (the
+//! "tree-based" prefetcher studied by Allen & Ge and tuned by the batching
+//! work the paper cites): when a far fault lands next to recently migrated
+//! chunks, the driver speculatively migrates a doubling-size block around
+//! it, up to 2 MB. Dense sequential kernels are covered almost entirely
+//! after a handful of faults; random access defeats the doubling.
+//!
+//! This module exists to *validate* the
+//! [`Regularity`] coverage table that the
+//! runtime uses: [`coverage_of_pattern`] runs the heuristic over synthetic
+//! fault streams of each class and its tests pin the results against the
+//! table's constants.
+
+use crate::prefetch::Regularity;
+use std::collections::HashSet;
+
+/// The driver's region-growing prefetcher.
+#[derive(Debug, Clone)]
+pub struct HeuristicPrefetcher {
+    /// Largest speculative block, in chunks (2 MB / 64 KB = 32 by default).
+    max_block_chunks: u64,
+    resident: HashSet<u64>,
+    /// Current speculative block size for the active region.
+    block: u64,
+    last_fault: Option<u64>,
+    demand_faults: u64,
+    prefetched: u64,
+}
+
+impl HeuristicPrefetcher {
+    /// Creates a prefetcher with the driver default (32-chunk = 2 MB cap).
+    pub fn new() -> Self {
+        HeuristicPrefetcher::with_max_block(32)
+    }
+
+    /// Creates a prefetcher with a custom speculative-block cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_block_chunks` is zero.
+    pub fn with_max_block(max_block_chunks: u64) -> Self {
+        assert!(max_block_chunks > 0, "block cap must be non-zero");
+        HeuristicPrefetcher {
+            max_block_chunks,
+            resident: HashSet::new(),
+            block: 1,
+            last_fault: None,
+            demand_faults: 0,
+            prefetched: 0,
+        }
+    }
+
+    /// Presents one access (by chunk index). Returns `true` if it faulted
+    /// (was not resident and not covered by earlier speculation).
+    pub fn access(&mut self, chunk: u64) -> bool {
+        if self.resident.contains(&chunk) {
+            return false;
+        }
+        self.demand_faults += 1;
+
+        // Locality detection: a fault near the previous one (within the
+        // current block, or a short stride) doubles the speculative block;
+        // a jump resets it.
+        let adjacent = self
+            .last_fault
+            .is_some_and(|p| chunk.abs_diff(p) <= self.block.max(4));
+        self.block = if adjacent {
+            (self.block * 2).min(self.max_block_chunks)
+        } else {
+            1
+        };
+        self.last_fault = Some(chunk);
+
+        // Migrate the faulting chunk plus the speculative block after it.
+        self.resident.insert(chunk);
+        for c in chunk + 1..chunk + self.block {
+            if self.resident.insert(c) {
+                self.prefetched += 1;
+            }
+        }
+        true
+    }
+
+    /// Demand faults taken so far.
+    pub fn demand_faults(&self) -> u64 {
+        self.demand_faults
+    }
+
+    /// Chunks migrated speculatively.
+    pub fn prefetched(&self) -> u64 {
+        self.prefetched
+    }
+
+    /// Fraction of touched chunks that were covered by speculation rather
+    /// than faulting, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        let total = self.demand_faults + self.prefetched;
+        if total == 0 {
+            0.0
+        } else {
+            // Only speculation that was actually useful counts: chunks
+            // prefetched but never touched are not visible here, so this
+            // is the optimistic bound the runtime's table encodes.
+            self.prefetched as f64 / total as f64
+        }
+    }
+}
+
+impl Default for HeuristicPrefetcher {
+    fn default() -> Self {
+        HeuristicPrefetcher::new()
+    }
+}
+
+/// Runs the heuristic over a synthetic access stream of the given
+/// regularity class and returns the achieved coverage fraction.
+///
+/// The streams mirror the workload generators: `Regular` walks chunks in
+/// order; `Strided` jumps by a fixed stride and wraps; `Irregular` mixes
+/// sequential runs with jumps; `Random` draws hash-scattered chunks.
+pub fn coverage_of_pattern(reg: Regularity, total_chunks: u64) -> f64 {
+    assert!(total_chunks > 0, "need at least one chunk");
+    let mut p = HeuristicPrefetcher::new();
+    let mut touched: Vec<u64> = Vec::new();
+    match reg {
+        Regularity::Regular => touched.extend(0..total_chunks),
+        Regularity::Strided => {
+            // Stride of 3 chunks, three passes with different offsets:
+            // locality exists but adjacency is diluted.
+            for offset in 0..3 {
+                let mut c = offset;
+                while c < total_chunks {
+                    touched.push(c);
+                    c += 3;
+                }
+            }
+        }
+        Regularity::Irregular => {
+            // Runs of 8 sequential chunks at data-dependent starts.
+            let mut x: u64 = 0x9E3779B97F4A7C15;
+            let runs = total_chunks / 8;
+            for _ in 0..runs {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let start = (x >> 16) % total_chunks;
+                for i in 0..8 {
+                    touched.push((start + i) % total_chunks);
+                }
+            }
+        }
+        Regularity::Random => {
+            let mut x: u64 = 0xDEADBEEFCAFEF00D;
+            for _ in 0..total_chunks {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                touched.push((x >> 16) % total_chunks);
+            }
+        }
+    }
+    for c in touched {
+        p.access(c);
+    }
+    p.coverage()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_stream_is_almost_fully_covered() {
+        let c = coverage_of_pattern(Regularity::Regular, 4096);
+        assert!(c > 0.9, "sequential coverage {c}");
+    }
+
+    #[test]
+    fn random_stream_defeats_speculation() {
+        let c = coverage_of_pattern(Regularity::Random, 4096);
+        assert!(c < 0.55, "random coverage {c}");
+    }
+
+    #[test]
+    fn coverage_ordering_matches_the_runtime_table() {
+        // The heuristic reproduces the ordering the Regularity table
+        // encodes — the table's constants are driver-behaviour-shaped, not
+        // arbitrary.
+        let reg = coverage_of_pattern(Regularity::Regular, 4096);
+        let strided = coverage_of_pattern(Regularity::Strided, 4096);
+        let irregular = coverage_of_pattern(Regularity::Irregular, 4096);
+        let random = coverage_of_pattern(Regularity::Random, 4096);
+        assert!(
+            reg > strided && strided > random,
+            "ordering: {reg} / {strided} / {irregular} / {random}"
+        );
+        assert!(
+            irregular > random,
+            "irregular {irregular} must beat random {random}"
+        );
+    }
+
+    #[test]
+    fn heuristic_lower_bounds_the_table() {
+        // The runtime's Regularity table models *explicit* whole-range
+        // prefetch (cudaMemPrefetchAsync) plus the driver heuristic; the
+        // demand-side heuristic alone must not exceed it by more than
+        // noise, and the Regular class — where explicit prefetch adds
+        // little — must land close to the table value.
+        for reg in [
+            Regularity::Regular,
+            Regularity::Strided,
+            Regularity::Irregular,
+            Regularity::Random,
+        ] {
+            let measured = coverage_of_pattern(reg, 8192);
+            let table = reg.prefetch_coverage();
+            assert!(
+                measured <= table + 0.10,
+                "{reg}: demand heuristic {measured:.3} should not exceed the                  explicit-prefetch table {table:.3}"
+            );
+        }
+        let reg = coverage_of_pattern(Regularity::Regular, 8192);
+        assert!(
+            (reg - Regularity::Regular.prefetch_coverage()).abs() < 0.15,
+            "regular: heuristic {reg:.3} vs table {:.3}",
+            Regularity::Regular.prefetch_coverage()
+        );
+    }
+
+    #[test]
+    fn doubling_caps_at_max_block() {
+        let mut p = HeuristicPrefetcher::with_max_block(4);
+        for c in 0..64 {
+            p.access(c);
+        }
+        // With a cap of 4, at least a quarter of accesses fault.
+        assert!(p.demand_faults() >= 16, "faults {}", p.demand_faults());
+    }
+
+    #[test]
+    fn resident_chunks_never_fault_again() {
+        let mut p = HeuristicPrefetcher::new();
+        assert!(p.access(10));
+        assert!(!p.access(10), "second touch must not fault");
+    }
+
+    #[test]
+    fn empty_prefetcher_coverage_is_zero() {
+        let p = HeuristicPrefetcher::default();
+        assert_eq!(p.coverage(), 0.0);
+        assert_eq!(p.demand_faults(), 0);
+        assert_eq!(p.prefetched(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Prefetch effectiveness and the access-regularity model.
+//!
+//! The paper's `uvm_prefetch` configuration calls `cudaMemPrefetchAsync` on
+//! whole buffers before kernel launch, and the driver's on-demand heuristics
+//! extend migrated regions as the kernel runs. How much of the working set
+//! that machinery covers *before* the kernel needs it depends on how
+//! predictable the access pattern is — the crux of the paper's lud and nw
+//! findings (§4.1.2):
+//!
+//! * regular streams (vector_seq, gemm, 2DCONV) are covered almost
+//!   completely;
+//! * irregular patterns (lud) defeat the prefetcher, leaving residual
+//!   demand faults, so "lud benefits from Async Memcpy but not UVM";
+//! * nw's two kernels share one data object, so prefetching for the first
+//!   kernel *moves data out from under* the second — coverage is worse than
+//!   doing nothing.
+
+use std::fmt;
+
+/// How predictable a workload's global-memory access pattern is.
+///
+/// This classification drives prefetch coverage; it is assigned per
+/// workload from the paper's own characterization (Table 2 discussion and
+/// §4.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regularity {
+    /// Dense sequential streaming (vector_seq, saxpy, gemm, convolutions).
+    Regular,
+    /// Strided but predictable (gemv columns, hotspot stencils).
+    Strided,
+    /// Data-dependent but with locality (kmeans centroids, srad).
+    Irregular,
+    /// Effectively unpredictable (vector_rand, lud pivot walks).
+    Random,
+}
+
+impl Regularity {
+    /// Fraction of a buffer's chunks the prefetcher lands on the device
+    /// before the kernel touches them, when explicit whole-range prefetch
+    /// is issued.
+    pub fn prefetch_coverage(self) -> f64 {
+        match self {
+            Regularity::Regular => 0.985,
+            Regularity::Strided => 0.93,
+            Regularity::Irregular => 0.72,
+            Regularity::Random => 0.45,
+        }
+    }
+
+    /// Residual fraction that still demand-faults under prefetch.
+    pub fn residual_fault_fraction(self) -> f64 {
+        1.0 - self.prefetch_coverage()
+    }
+
+    /// Multiplier on per-access translation overhead while running under
+    /// UVM *without* prefetch. Irregular patterns thrash the TLB harder.
+    pub fn uvm_translation_penalty(self) -> f64 {
+        match self {
+            Regularity::Regular => 1.05,
+            Regularity::Strided => 1.45,
+            Regularity::Irregular => 1.65,
+            Regularity::Random => 1.95,
+        }
+    }
+}
+
+impl fmt::Display for Regularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Regularity::Regular => "regular",
+            Regularity::Strided => "strided",
+            Regularity::Irregular => "irregular",
+            Regularity::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Prefetch policy parameters, including the inter-kernel conflict model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchModel {
+    /// Coverage multiplier applied when multiple kernels reuse the same
+    /// data object and prefetch decisions for one kernel disturb the other
+    /// (the paper's nw pathology). `1.0` means no conflict.
+    pub inter_kernel_conflict: f64,
+}
+
+impl PrefetchModel {
+    /// No inter-kernel conflict.
+    pub fn clean() -> Self {
+        PrefetchModel {
+            inter_kernel_conflict: 1.0,
+        }
+    }
+
+    /// A conflicting multi-kernel workload: prefetch for one kernel costs
+    /// the other. The factor < 1 shrinks effective coverage and the evicted
+    /// share must re-migrate.
+    pub fn conflicting(factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&factor),
+            "conflict factor must be in [0,1]"
+        );
+        PrefetchModel {
+            inter_kernel_conflict: factor,
+        }
+    }
+
+    /// Effective coverage after conflicts.
+    pub fn effective_coverage(&self, reg: Regularity) -> f64 {
+        reg.prefetch_coverage() * self.inter_kernel_conflict
+    }
+}
+
+impl Default for PrefetchModel {
+    fn default() -> Self {
+        PrefetchModel::clean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_ordering_matches_regularity() {
+        assert!(
+            Regularity::Regular.prefetch_coverage() > Regularity::Strided.prefetch_coverage()
+        );
+        assert!(
+            Regularity::Strided.prefetch_coverage() > Regularity::Irregular.prefetch_coverage()
+        );
+        assert!(
+            Regularity::Irregular.prefetch_coverage() > Regularity::Random.prefetch_coverage()
+        );
+    }
+
+    #[test]
+    fn coverage_plus_residual_is_one() {
+        for r in [
+            Regularity::Regular,
+            Regularity::Strided,
+            Regularity::Irregular,
+            Regularity::Random,
+        ] {
+            assert!((r.prefetch_coverage() + r.residual_fault_fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn translation_penalty_grows_with_irregularity() {
+        assert_eq!(Regularity::Regular.uvm_translation_penalty(), 1.05);
+        assert!(
+            Regularity::Random.uvm_translation_penalty()
+                > Regularity::Irregular.uvm_translation_penalty()
+        );
+    }
+
+    #[test]
+    fn conflict_shrinks_coverage() {
+        let clean = PrefetchModel::clean();
+        let nw = PrefetchModel::conflicting(0.6);
+        assert!(
+            nw.effective_coverage(Regularity::Strided)
+                < clean.effective_coverage(Regularity::Strided)
+        );
+        assert_eq!(PrefetchModel::default(), clean);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflict factor")]
+    fn bad_conflict_factor_rejected() {
+        let _ = PrefetchModel::conflicting(1.5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Regularity::Regular.to_string(), "regular");
+        assert_eq!(Regularity::Random.to_string(), "random");
+    }
+}

@@ -1,0 +1,293 @@
+//! The device-side page table with chunk-granular residency and LRU
+//! eviction.
+//!
+//! GPUs keep "a copy of the CPU virtual memory physical memory mapping" when
+//! UVM is in use (§2.1); the simulator reduces that to the single question
+//! the timing model needs: *is this chunk resident on the device right now?*
+//! An LRU index (a `BTreeSet` keyed on use time) supports the
+//! oversubscription path — eviction back to the host — in `O(log n)` per
+//! operation, which matters when Mega inputs oversubscribe the device by
+//! hundreds of thousands of chunks.
+
+use crate::page::{ChunkId, Residency};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-chunk page-table state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkState {
+    residency: Residency,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// The device page table for one managed address space.
+#[derive(Debug, Clone, Default)]
+pub struct PageTable {
+    chunks: HashMap<ChunkId, ChunkState>,
+    /// Device-resident chunks ordered by last use (oldest first).
+    lru: BTreeSet<(u64, ChunkId)>,
+    clock: u64,
+}
+
+impl PageTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PageTable::default()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Registers a chunk as managed, initially host-resident.
+    ///
+    /// Re-registering an existing chunk resets it to host residency (a
+    /// fresh allocation reusing the address range).
+    pub fn register(&mut self, chunk: ChunkId) {
+        let now = self.tick();
+        if let Some(old) = self.chunks.insert(
+            chunk,
+            ChunkState {
+                residency: Residency::Host,
+                dirty: false,
+                last_use: now,
+            },
+        ) {
+            if old.residency == Residency::Device {
+                self.lru.remove(&(old.last_use, chunk));
+            }
+        }
+    }
+
+    /// Whether the chunk is registered at all.
+    pub fn is_managed(&self, chunk: ChunkId) -> bool {
+        self.chunks.contains_key(&chunk)
+    }
+
+    /// Whether the chunk is resident on the device.
+    pub fn is_resident(&self, chunk: ChunkId) -> bool {
+        self.chunks
+            .get(&chunk)
+            .is_some_and(|s| s.residency == Residency::Device)
+    }
+
+    /// Records a device access: bumps LRU, marks dirty for writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is not managed — touching unmanaged memory is a
+    /// simulator bug, the analogue of a real segfault.
+    pub fn touch(&mut self, chunk: ChunkId, write: bool) {
+        let now = self.tick();
+        let s = self
+            .chunks
+            .get_mut(&chunk)
+            .expect("touched unmanaged chunk");
+        if s.residency == Residency::Device {
+            self.lru.remove(&(s.last_use, chunk));
+            self.lru.insert((now, chunk));
+        }
+        s.last_use = now;
+        if write {
+            s.dirty = true;
+        }
+    }
+
+    /// Marks a chunk device-resident (after migration or prefetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is not managed.
+    pub fn make_resident(&mut self, chunk: ChunkId) {
+        let now = self.tick();
+        let s = self
+            .chunks
+            .get_mut(&chunk)
+            .expect("made unmanaged chunk resident");
+        if s.residency == Residency::Device {
+            self.lru.remove(&(s.last_use, chunk));
+        }
+        s.residency = Residency::Device;
+        s.last_use = now;
+        self.lru.insert((now, chunk));
+    }
+
+    /// Clears a chunk's dirty bit after a writeback; residency is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk is not managed.
+    pub fn clear_dirty(&mut self, chunk: ChunkId) {
+        let s = self
+            .chunks
+            .get_mut(&chunk)
+            .expect("cleared dirty on unmanaged chunk");
+        s.dirty = false;
+    }
+
+    /// Evicts the least-recently-used device-resident chunk back to the
+    /// host, returning `(chunk, was_dirty)`; `None` if nothing is resident.
+    pub fn evict_lru(&mut self) -> Option<(ChunkId, bool)> {
+        let &(stamp, victim) = self.lru.iter().next()?;
+        self.lru.remove(&(stamp, victim));
+        let s = self.chunks.get_mut(&victim).expect("victim exists");
+        let dirty = s.dirty;
+        s.residency = Residency::Host;
+        s.dirty = false;
+        Some((victim, dirty))
+    }
+
+    /// Unregisters a chunk (free), returning whether it was dirty on the
+    /// device (needs writeback).
+    pub fn unregister(&mut self, chunk: ChunkId) -> bool {
+        match self.chunks.remove(&chunk) {
+            Some(s) => {
+                if s.residency == Residency::Device {
+                    self.lru.remove(&(s.last_use, chunk));
+                    s.dirty
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Number of managed chunks.
+    pub fn managed_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Number of device-resident chunks.
+    pub fn resident_count(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// Chunks that are both device-resident and dirty.
+    pub fn dirty_resident(&self) -> Vec<ChunkId> {
+        let mut v: Vec<ChunkId> = self
+            .chunks
+            .iter()
+            .filter(|(_, s)| s.residency == Residency::Device && s.dirty)
+            .map(|(&c, _)| c)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u64) -> ChunkId {
+        ChunkId::new(i)
+    }
+
+    #[test]
+    fn register_starts_host_resident() {
+        let mut t = PageTable::new();
+        t.register(c(0));
+        assert!(t.is_managed(c(0)));
+        assert!(!t.is_resident(c(0)));
+        assert_eq!(t.managed_count(), 1);
+        assert_eq!(t.resident_count(), 0);
+    }
+
+    #[test]
+    fn migration_flow() {
+        let mut t = PageTable::new();
+        t.register(c(1));
+        t.make_resident(c(1));
+        assert!(t.is_resident(c(1)));
+        assert_eq!(t.resident_count(), 1);
+    }
+
+    #[test]
+    fn touch_marks_dirty() {
+        let mut t = PageTable::new();
+        t.register(c(2));
+        t.make_resident(c(2));
+        t.touch(c(2), false);
+        assert!(t.dirty_resident().is_empty());
+        t.touch(c(2), true);
+        assert_eq!(t.dirty_resident(), vec![c(2)]);
+    }
+
+    #[test]
+    fn evict_lru_picks_oldest() {
+        let mut t = PageTable::new();
+        for i in 0..3 {
+            t.register(c(i));
+            t.make_resident(c(i));
+        }
+        t.touch(c(0), false); // refresh chunk 0: chunk 1 is now LRU
+        let (victim, dirty) = t.evict_lru().unwrap();
+        assert_eq!(victim, c(1));
+        assert!(!dirty);
+        assert!(!t.is_resident(c(1)));
+        assert!(t.is_managed(c(1)), "eviction keeps the mapping");
+    }
+
+    #[test]
+    fn evict_reports_dirty() {
+        let mut t = PageTable::new();
+        t.register(c(0));
+        t.make_resident(c(0));
+        t.touch(c(0), true);
+        let (_, dirty) = t.evict_lru().unwrap();
+        assert!(dirty);
+        assert_eq!(t.evict_lru(), None, "nothing left resident");
+    }
+
+    #[test]
+    fn unregister_reports_writeback_need() {
+        let mut t = PageTable::new();
+        t.register(c(0));
+        t.make_resident(c(0));
+        t.touch(c(0), true);
+        assert!(t.unregister(c(0)));
+        assert!(!t.unregister(c(0)), "double free is a no-op");
+        assert_eq!(t.managed_count(), 0);
+        assert_eq!(t.resident_count(), 0);
+    }
+
+    #[test]
+    fn reregister_resets_state() {
+        let mut t = PageTable::new();
+        t.register(c(0));
+        t.make_resident(c(0));
+        t.touch(c(0), true);
+        t.register(c(0));
+        assert!(!t.is_resident(c(0)));
+        assert!(t.dirty_resident().is_empty());
+        assert_eq!(t.resident_count(), 0, "LRU index must forget the chunk");
+    }
+
+    #[test]
+    fn lru_index_stays_consistent_under_churn() {
+        let mut t = PageTable::new();
+        for i in 0..100 {
+            t.register(c(i));
+            t.make_resident(c(i));
+        }
+        for i in 0..100 {
+            t.touch(c(i % 7), i % 2 == 0);
+        }
+        let mut evicted = 0;
+        while t.evict_lru().is_some() {
+            evicted += 1;
+        }
+        assert_eq!(evicted, 100);
+        assert_eq!(t.resident_count(), 0);
+        assert_eq!(t.managed_count(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmanaged")]
+    fn touching_unmanaged_panics() {
+        let mut t = PageTable::new();
+        t.touch(c(9), false);
+    }
+}

@@ -1,0 +1,257 @@
+//! The four darknet networks (Redmon): resnet18, resnet50, yolov3-tiny,
+//! yolov3.
+//!
+//! The paper runs them on ImageNet/COCO inputs; pixel values are
+//! irrelevant to transfer-mode behaviour, so each network is modelled as
+//! its published layer architecture reduced to *stages*: groups of
+//! convolution layers with a common spatial resolution and channel width,
+//! each becoming one gemm-like kernel (darknet lowers convolutions to gemm
+//! via im2col), plus a memory-bound elementwise tail (shortcuts, upsample,
+//! activation copies).
+//!
+//! The darknet gemm path is the same regular, well-tuned kernel the paper
+//! studies in its microbenchmark suite — which is why yolov3 prefers
+//! `uvm_prefetch` over `uvm_prefetch_async` (its §4.1.2): the `cp.async`
+//! rewrite re-fetches the im2col duplication explicitly and adds control
+//! overhead to an already-pipelined gemm.
+
+use super::{elems, tile_bytes};
+use crate::size::InputSize;
+use crate::spec::{KernelSpec, StreamPattern, Workload, LINE};
+use hetsim_gpu::kernel::{KernelStyle, LaunchConfig, TileOps};
+use hetsim_runtime::{BufferRole, BufferSpec};
+use hetsim_uvm::prefetch::Regularity;
+
+const THREADS: u32 = 256;
+const SHARED: u64 = 32 * 1024;
+const TILE_LINES: u64 = 128;
+const CONV_BLOCKS: u64 = 2048;
+
+/// One resolution stage of a network: `layers` convolutions at a relative
+/// arithmetic width.
+#[derive(Debug, Clone, Copy)]
+struct Stage {
+    name: &'static str,
+    layers: u64,
+    /// Relative compute density of this stage (deep, narrow-resolution
+    /// stages multiply more channels per byte streamed).
+    width: f64,
+}
+
+/// Shape of one modelled network.
+struct NetShape {
+    name: &'static str,
+    stages: &'static [Stage],
+    /// Relative weight of memory-bound (shortcut/upsample/activation)
+    /// traffic versus conv traffic, in tenths.
+    memory_tenths: u64,
+    /// Base FP ops per streamed element at width 1.0.
+    base_intensity: f64,
+}
+
+/// resnet18: conv1 + four residual stages (2 basic blocks each).
+const RESNET18_STAGES: [Stage; 5] = [
+    Stage { name: "conv1", layers: 1, width: 0.5 },
+    Stage { name: "stage1", layers: 4, width: 0.75 },
+    Stage { name: "stage2", layers: 4, width: 1.0 },
+    Stage { name: "stage3", layers: 4, width: 1.25 },
+    Stage { name: "stage4", layers: 5, width: 1.5 },
+];
+
+/// resnet50: conv1 + bottleneck stages of 3/4/6/3 blocks (3 convs each).
+const RESNET50_STAGES: [Stage; 5] = [
+    Stage { name: "conv1", layers: 1, width: 0.5 },
+    Stage { name: "stage1", layers: 9, width: 0.75 },
+    Stage { name: "stage2", layers: 12, width: 1.0 },
+    Stage { name: "stage3", layers: 18, width: 1.25 },
+    Stage { name: "stage4", layers: 10, width: 1.5 },
+];
+
+/// yolov3-tiny: 13 convolutions over a shrinking feature map.
+const YOLOV3_TINY_STAGES: [Stage; 3] = [
+    Stage { name: "backbone", layers: 7, width: 0.75 },
+    Stage { name: "neck", layers: 4, width: 1.0 },
+    Stage { name: "heads", layers: 2, width: 0.75 },
+];
+
+/// yolov3: the 53-layer darknet-53 backbone plus the 22-conv detection
+/// neck/heads.
+const YOLOV3_STAGES: [Stage; 4] = [
+    Stage { name: "backbone_hi", layers: 15, width: 0.75 },
+    Stage { name: "backbone_mid", layers: 20, width: 1.0 },
+    Stage { name: "backbone_lo", layers: 18, width: 1.25 },
+    Stage { name: "detect", layers: 22, width: 0.9 },
+];
+
+fn build(shape: NetShape, size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let weights = total * 2 / 5;
+    let activations = total * 2 / 5;
+    let workspace = total - weights - activations;
+    let total_layers: u64 = shape.stages.iter().map(|s| s.layers).sum();
+
+    // The whole conv trunk streams the im2col'd activations plus weights
+    // once per inference pass; each stage takes its layer-count share.
+    let (trunk_tiles, lines) = tile_bytes(weights + activations, CONV_BLOCKS, TILE_LINES);
+    let e = elems(lines);
+
+    let mut kernels: Vec<KernelSpec> = shape
+        .stages
+        .iter()
+        .map(|stage| {
+            let tiles = (trunk_tiles * stage.layers * 4 / total_layers.max(1)).max(1);
+            KernelSpec::new(
+                format!("{}_{}", shape.name, stage.name),
+                LaunchConfig::new(CONV_BLOCKS, THREADS, SHARED),
+            )
+            .with_tiles(tiles)
+            .with_stream(lines, StreamPattern::Sequential)
+            // The cp.async rewrite re-fetches the k x k im2col duplication
+            // explicitly instead of through the L1.
+            .with_staged_halo(lines)
+            .with_local_reads(lines, (weights / LINE / 64).max(256), false)
+            .with_stores(lines / 2)
+            .with_ops(TileOps::new(
+                shape.base_intensity * stage.width * e,
+                shape.base_intensity * stage.width * 0.25 * e,
+                2.0 * e,
+            ))
+            .with_regularity(Regularity::Regular)
+            .with_standard_style(KernelStyle::Direct)
+            .with_invocations(10)
+        })
+        .collect();
+
+    // Memory-bound tail: shortcuts, upsampling, activation copies.
+    let mem_bytes = activations * shape.memory_tenths / 10;
+    let (mtiles, mlines) = tile_bytes(mem_bytes.max(1 << 20), CONV_BLOCKS, TILE_LINES);
+    let me = elems(mlines);
+    kernels.push(
+        KernelSpec::new(
+            format!("{}_elementwise", shape.name),
+            LaunchConfig::new(CONV_BLOCKS, THREADS, SHARED),
+        )
+        .with_tiles(mtiles)
+        .with_stream(mlines, StreamPattern::Sequential)
+        .with_stores(mlines)
+        .with_ops(TileOps::new(1.0 * me, 1.0 * me, 0.25 * me))
+        .with_regularity(Regularity::Regular)
+        .with_standard_style(KernelStyle::Direct)
+        .with_invocations(2),
+    );
+
+    Workload::new(
+        shape.name,
+        vec![
+            BufferSpec::new("weights", weights, BufferRole::Input),
+            BufferSpec::new("activations", activations, BufferRole::InOut),
+            BufferSpec::new("workspace", workspace, BufferRole::Scratch),
+        ],
+        kernels,
+        1.0,
+    )
+}
+
+/// `resnet18`: 18-layer residual network.
+pub fn resnet18(size: InputSize) -> Workload {
+    build(
+        NetShape {
+            name: "resnet18",
+            stages: &RESNET18_STAGES,
+            memory_tenths: 4,
+            base_intensity: 48.0,
+        },
+        size,
+    )
+}
+
+/// `resnet50`: 50-layer residual network.
+pub fn resnet50(size: InputSize) -> Workload {
+    build(
+        NetShape {
+            name: "resnet50",
+            stages: &RESNET50_STAGES,
+            memory_tenths: 5,
+            base_intensity: 64.0,
+        },
+        size,
+    )
+}
+
+/// `yolov3-tiny`: the 13-conv-layer detection network.
+pub fn yolov3_tiny(size: InputSize) -> Workload {
+    build(
+        NetShape {
+            name: "yolov3-tiny",
+            stages: &YOLOV3_TINY_STAGES,
+            memory_tenths: 5,
+            base_intensity: 36.0,
+        },
+        size,
+    )
+}
+
+/// `yolov3`: the 75-conv-layer detection network. The paper notes its GPU
+/// kernel time is only ~5.8% of overall execution — allocation and data
+/// movement dominate.
+pub fn yolov3(size: InputSize) -> Workload {
+    build(
+        NetShape {
+            name: "yolov3",
+            stages: &YOLOV3_STAGES,
+            memory_tenths: 6,
+            base_intensity: 44.0,
+        },
+        size,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_gpu::kernel::KernelModel;
+    use hetsim_runtime::GpuProgram;
+
+    #[test]
+    fn stage_counts_match_published_depths() {
+        let depth = |stages: &[Stage]| stages.iter().map(|s| s.layers).sum::<u64>();
+        assert_eq!(depth(&RESNET18_STAGES), 18);
+        assert_eq!(depth(&RESNET50_STAGES), 50);
+        assert_eq!(depth(&YOLOV3_TINY_STAGES), 13);
+        assert_eq!(depth(&YOLOV3_STAGES), 75);
+    }
+
+    #[test]
+    fn kernels_are_stages_plus_elementwise() {
+        assert_eq!(resnet18(InputSize::Super).kernels().len(), 5 + 1);
+        assert_eq!(resnet50(InputSize::Super).kernels().len(), 5 + 1);
+        assert_eq!(yolov3_tiny(InputSize::Super).kernels().len(), 3 + 1);
+        assert_eq!(yolov3(InputSize::Super).kernels().len(), 4 + 1);
+    }
+
+    #[test]
+    fn scratch_workspace_present() {
+        let w = yolov3(InputSize::Super);
+        assert!(w
+            .buffers()
+            .iter()
+            .any(|b| matches!(b.role, BufferRole::Scratch)));
+    }
+
+    #[test]
+    fn networks_are_regular() {
+        for w in [resnet18(InputSize::Super), yolov3(InputSize::Super)] {
+            for k in w.kernel_specs() {
+                assert_eq!(k.regularity(), Regularity::Regular, "{}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_stages_carry_more_tiles() {
+        let w = resnet50(InputSize::Super);
+        let tiles: Vec<u64> = w.kernel_specs().iter().map(|k| k.tiles_per_block()).collect();
+        // stage3 (18 layers) outweighs conv1 (1 layer).
+        assert!(tiles[3] > tiles[0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The 14 real-world applications (Table 2, "Apps" group).
+//!
+//! * [`rodinia`] — the 8 Rodinia benchmarks the paper selects for
+//!   representativeness: lavaMD, NW, Kmeans, Srad, Backprop, Pathfinder,
+//!   HotSpot, LUD;
+//! * [`uvmbench`] — bayesian and KNN from UVMBench;
+//! * [`darknet`] — resnet18, resnet50, yolov3-tiny, yolov3 as conv/gemm
+//!   layer sequences.
+//!
+//! Each constructor takes an [`InputSize`](crate::InputSize) and returns a
+//! [`Workload`](crate::spec::Workload) whose footprint tracks the Table 3
+//! "Mem" row and whose kernels encode the paper-relevant properties:
+//! access regularity, arithmetic intensity, staging structure, kernel
+//! count, and inter-kernel data sharing.
+
+pub mod darknet;
+pub mod rodinia;
+pub mod uvmbench;
+
+pub use darknet::{resnet18, resnet50, yolov3, yolov3_tiny};
+pub use rodinia::{backprop, hotspot, kmeans, lavamd, lud, nw, pathfinder, srad};
+pub use uvmbench::{bayesian, knn};
+
+use crate::spec::LINE;
+
+/// Splits `bytes` of streaming data across `blocks` blocks in tiles of at
+/// most `tile_lines` lines; returns `(tiles_per_block, lines_per_tile)`.
+pub(crate) fn tile_bytes(bytes: u64, blocks: u64, tile_lines: u64) -> (u64, u64) {
+    let total_lines = (bytes / LINE).max(1);
+    let lines_per_block = total_lines.div_ceil(blocks).max(1);
+    let tiles = lines_per_block.div_ceil(tile_lines).max(1);
+    (tiles, lines_per_block.div_ceil(tiles))
+}
+
+/// Elements of `f32` per line count.
+pub(crate) fn elems(lines: u64) -> f64 {
+    (lines * LINE / 4) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::size::InputSize;
+    use crate::spec::Workload;
+    use hetsim_runtime::GpuProgram;
+
+    fn all_apps(size: InputSize) -> Vec<Workload> {
+        vec![
+            lavamd(size),
+            nw(size),
+            kmeans(size),
+            srad(size),
+            backprop(size),
+            pathfinder(size),
+            hotspot(size),
+            lud(size),
+            bayesian(size),
+            knn(size),
+            resnet18(size),
+            resnet50(size),
+            yolov3_tiny(size),
+            yolov3(size),
+        ]
+    }
+
+    #[test]
+    fn fourteen_apps_constructible() {
+        let apps = all_apps(InputSize::Super);
+        assert_eq!(apps.len(), 14);
+        for w in &apps {
+            assert!(!w.kernels().is_empty(), "{}", w.name());
+            assert!(w.footprint() > 0, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn footprints_near_table3_target() {
+        for size in [InputSize::Large, InputSize::Super] {
+            let target = size.mem_bytes() as f64;
+            for w in all_apps(size) {
+                let fp = w.footprint() as f64;
+                assert!(
+                    (0.4..=4.1).contains(&(fp / target)),
+                    "{} at {size}: footprint {fp} vs target {target}",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nw_declares_prefetch_conflict() {
+        let w = nw(InputSize::Super);
+        assert!(w.prefetch_conflict() < 1.0, "nw's two kernels share data");
+        assert_eq!(w.kernels().len(), 2);
+        // Everyone else is conflict-free.
+        for other in all_apps(InputSize::Super) {
+            if other.name() != "nw" {
+                assert_eq!(other.prefetch_conflict(), 1.0, "{}", other.name());
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_apps_classified() {
+        use hetsim_gpu::kernel::KernelModel;
+        use hetsim_uvm::prefetch::Regularity;
+        assert_eq!(
+            lud(InputSize::Super).kernel_specs()[0].regularity(),
+            Regularity::Random
+        );
+        assert_eq!(
+            kmeans(InputSize::Super).kernel_specs()[0].regularity(),
+            Regularity::Irregular
+        );
+        assert_eq!(
+            yolov3(InputSize::Super).kernel_specs()[0].regularity(),
+            Regularity::Regular
+        );
+    }
+
+    #[test]
+    fn tiling_helper_invariants() {
+        let (tiles, lines) = tile_bytes(512 << 20, 4096, 128);
+        assert!(tiles >= 1 && lines >= 1);
+        // Conservation within rounding: tiles*lines covers the per-block share.
+        let per_block = (512u64 << 20) / 128 / 4096;
+        assert!(tiles * lines >= per_block);
+        assert!(tiles * lines <= per_block + tiles + 128);
+    }
+
+    #[test]
+    fn deeper_nets_have_more_work() {
+        use hetsim_gpu::kernel::KernelModel;
+        let work = |w: &crate::spec::Workload| -> f64 {
+            w.kernel_specs()
+                .iter()
+                .map(|k| k.tiles_per_block() as f64 * k.tile_ops().fp * k.invocations() as f64)
+                .sum()
+        };
+        let r18 = work(&resnet18(InputSize::Super));
+        let r50 = work(&resnet50(InputSize::Super));
+        assert!(r50 > r18, "resnet50 {r50} flops !> resnet18 {r18}");
+    }
+}

@@ -1,0 +1,347 @@
+//! The 8 Rodinia applications (Che et al.), selected by the paper for
+//! representativeness across the Rodinia performance spectrum.
+//!
+//! Each model encodes the algorithm's structure at the granularity the
+//! simulator consumes: buffer split, kernel sequence, access pattern,
+//! staging style, and arithmetic intensity. Comments on each constructor
+//! note the paper-observed behaviour the model must reproduce.
+
+use super::{elems, tile_bytes};
+use crate::size::InputSize;
+use crate::spec::{KernelSpec, StreamPattern, Workload, LINE};
+use hetsim_gpu::kernel::{KernelStyle, LaunchConfig, TileOps};
+use hetsim_runtime::{BufferRole, BufferSpec};
+use hetsim_uvm::prefetch::Regularity;
+
+const BLOCKS: u64 = 4096;
+const THREADS: u32 = 256;
+const SHARED: u64 = 32 * 1024;
+const TILE_LINES: u64 = 128;
+
+fn launch(blocks: u64) -> LaunchConfig {
+    LaunchConfig::new(blocks, THREADS, SHARED)
+}
+
+/// `lavaMD`: particle potentials within 3D boxes — compute-heavy with
+/// irregular neighbour-box reads.
+pub fn lavamd(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let positions = total * 2 / 5;
+    let params = total / 5;
+    let forces = total - positions - params;
+    let (tiles, lines) = tile_bytes(positions, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let neighbour_window = (params / LINE).max(1);
+    let kernel = KernelSpec::new("lavamd_force", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        // 26 neighbour boxes, visited in data-dependent order.
+        .with_local_reads(4 * lines, neighbour_window, true)
+        .with_stores(lines)
+        .with_ops(TileOps::new(40.0 * e, 10.0 * e, 3.0 * e))
+        .with_regularity(Regularity::Irregular)
+        .with_standard_style(KernelStyle::Direct)
+        .with_invocations(10);
+    Workload::new(
+        "lavaMD",
+        vec![
+            BufferSpec::new("positions", positions, BufferRole::Input),
+            BufferSpec::new("params", params, BufferRole::Input),
+            BufferSpec::new("forces", forces, BufferRole::Output),
+        ],
+        vec![kernel],
+        1.0,
+    )
+}
+
+/// `nw` (Needleman-Wunsch): two diagonal-sweep kernels over one score
+/// matrix. The paper's pathology: prefetching for one kernel displaces the
+/// other's data, so *prefetch makes nw slower* regardless of Async Memcpy.
+pub fn nw(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let matrix = total * 9 / 10;
+    let reference = total - matrix;
+    let (tiles, lines) = tile_bytes(matrix / 2, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let make = |name: &str| {
+        KernelSpec::new(name, launch(BLOCKS))
+            .with_tiles(tiles)
+            .with_stream(
+                lines,
+                StreamPattern::Strided {
+                    stride_lines: 64,
+                    region_lines: (matrix / LINE).max(1),
+                },
+            )
+            .with_local_reads(lines / 2, (reference / LINE).max(1), false)
+            .with_stores(lines)
+            .with_ops(TileOps::new(3.0 * e, 4.0 * e, 2.0 * e))
+            .with_regularity(Regularity::Strided)
+            .with_standard_style(KernelStyle::StagedSync)
+            .with_invocations(96)
+    };
+    Workload::new(
+        "nw",
+        vec![
+            BufferSpec::new("score_matrix", matrix, BufferRole::InOut),
+            BufferSpec::new("reference", reference, BufferRole::Input),
+        ],
+        vec![make("nw_upper_left"), make("nw_lower_right")],
+        // Prefetch decisions for one sweep displace the other's data.
+        0.55,
+    )
+}
+
+/// `kmeans`: point-to-centroid assignment plus centroid update — the
+/// paper's exemplar of an irregular program where Async Memcpy beats UVM
+/// by ~20%.
+pub fn kmeans(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let points = total * 17 / 20;
+    let assignments = total - points - (64 << 10);
+    let centroids = 64u64 << 10;
+    let (tiles, lines) = tile_bytes(points, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let centroid_window = (centroids / LINE).max(1);
+    let assign = KernelSpec::new("kmeans_assign", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        // Every point compares against data-dependent centroids.
+        .with_local_reads(3 * lines, centroid_window, true)
+        .with_stores(lines / 4)
+        .with_ops(TileOps::new(12.0 * e, 6.0 * e, 2.0 * e))
+        .with_regularity(Regularity::Irregular)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(20);
+    let update = KernelSpec::new("kmeans_update", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        .with_local_reads(lines, centroid_window, true)
+        .with_stores(lines / 8)
+        .with_ops(TileOps::new(4.0 * e, 3.0 * e, 1.0 * e))
+        .with_regularity(Regularity::Irregular)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(20);
+    Workload::new(
+        "kmeans",
+        vec![
+            BufferSpec::new("points", points, BufferRole::Input),
+            BufferSpec::new("centroids", centroids, BufferRole::InOut),
+            BufferSpec::new("assignments", assignments, BufferRole::Output),
+        ],
+        vec![assign, update],
+        1.0,
+    )
+}
+
+/// `srad`: speckle-reducing anisotropic diffusion — two PDE kernels over
+/// an image grid.
+pub fn srad(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let image = total / 2;
+    let coeffs = total / 4;
+    let params = total - image - coeffs;
+    let (tiles, lines) = tile_bytes(image, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let row_window = 3 * (size.grid_2d() * 4 / LINE).max(1);
+    let make = |name: &str, fp: f64| {
+        KernelSpec::new(name, launch(BLOCKS))
+            .with_tiles(tiles)
+            .with_stream(lines, StreamPattern::Sequential)
+            .with_staged_halo(lines)
+            .with_local_reads(2 * lines, row_window, false)
+            .with_stores(lines)
+            .with_ops(TileOps::new(fp * e, 5.0 * e, 1.5 * e))
+            .with_regularity(Regularity::Strided)
+            .with_standard_style(KernelStyle::Direct)
+            .with_invocations(40)
+    };
+    Workload::new(
+        "srad",
+        vec![
+            BufferSpec::new("image", image, BufferRole::InOut),
+            BufferSpec::new("coeffs", coeffs, BufferRole::Output),
+            BufferSpec::new("params", params, BufferRole::Input),
+        ],
+        vec![make("srad_diffusion", 15.0), make("srad_update", 8.0)],
+        1.0,
+    )
+}
+
+/// `backprop`: layered neural-network training — forward pass plus weight
+/// update, both staged through shared memory in Rodinia.
+pub fn backprop(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let weights = total * 3 / 5;
+    let activations = total * 3 / 10;
+    let deltas = total - weights - activations;
+    let (tiles, lines) = tile_bytes(weights, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let act_window = (activations / LINE / 64).max(1);
+    let forward = KernelSpec::new("backprop_forward", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        .with_local_reads(lines, act_window, false)
+        .with_stores(lines / 4)
+        .with_ops(TileOps::new(6.0 * e, 3.0 * e, 1.0 * e))
+        .with_regularity(Regularity::Regular)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(6);
+    let adjust = KernelSpec::new("backprop_adjust", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        .with_local_reads(lines / 2, act_window, false)
+        .with_stores(lines)
+        .with_ops(TileOps::new(4.0 * e, 3.0 * e, 1.0 * e))
+        .with_regularity(Regularity::Regular)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(6);
+    Workload::new(
+        "backprop",
+        vec![
+            BufferSpec::new("weights", weights, BufferRole::InOut),
+            BufferSpec::new("activations", activations, BufferRole::Input),
+            BufferSpec::new("deltas", deltas, BufferRole::Output),
+        ],
+        vec![forward, adjust],
+        1.0,
+    )
+}
+
+/// `pathfinder`: dynamic programming over a 2D grid, row by row, staging
+/// each row through shared memory.
+pub fn pathfinder(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let grid = total * 9 / 10;
+    let result = total - grid;
+    let (tiles, lines) = tile_bytes(grid, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let kernel = KernelSpec::new("pathfinder_dp", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        // The previous DP row stays hot.
+        .with_local_reads(lines, TILE_LINES, false)
+        .with_stores(lines / 8)
+        .with_ops(TileOps::new(3.0 * e, 4.0 * e, 1.5 * e))
+        .with_regularity(Regularity::Regular)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(30);
+    Workload::new(
+        "pathfinder",
+        vec![
+            BufferSpec::new("grid", grid, BufferRole::Input),
+            BufferSpec::new("result", result, BufferRole::Output),
+        ],
+        vec![kernel],
+        1.0,
+    )
+}
+
+/// `hotspot`: iterative thermal stencil over a chip floorplan.
+pub fn hotspot(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let temp = total * 9 / 20;
+    let power = total * 9 / 20;
+    let out = total - temp - power;
+    let (tiles, lines) = tile_bytes(temp + power, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let row_window = 3 * (size.grid_2d() * 4 / LINE).max(1);
+    let kernel = KernelSpec::new("hotspot_stencil", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        .with_staged_halo(lines / 2)
+        .with_local_reads(2 * lines, row_window, false)
+        .with_stores(lines / 2)
+        .with_ops(TileOps::new(10.0 * e, 4.0 * e, 1.5 * e))
+        .with_regularity(Regularity::Strided)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(60);
+    Workload::new(
+        "hotspot",
+        vec![
+            BufferSpec::new("temperature", temp, BufferRole::InOut),
+            BufferSpec::new("power", power, BufferRole::Input),
+            BufferSpec::new("output", out, BufferRole::Output),
+        ],
+        vec![kernel],
+        1.0,
+    )
+}
+
+/// `lud`: LU decomposition — the paper's exemplar of an access pattern the
+/// UVM prefetcher cannot predict ("lud follows an irregular data access
+/// pattern"), while shared-memory staging slashes its L1 miss rates
+/// (its Fig 10).
+pub fn lud(size: InputSize) -> Workload {
+    let n = size.grid_2d();
+    let matrix = n * n * 4;
+    let (tiles, lines) = tile_bytes(matrix, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    // Panel walks jump across the matrix; the re-reads cover a window far
+    // larger than the L1, thrashing it in the direct form.
+    let panel_window = (matrix / LINE / 16).max(4096);
+    let kernel = KernelSpec::new("lud_combined", launch(BLOCKS))
+        .with_tiles(tiles)
+        .with_stream(
+            lines,
+            StreamPattern::Random {
+                region_lines: (matrix / LINE).max(1),
+            },
+        )
+        .with_local_reads(3 * lines, panel_window, true)
+        .with_stores(lines)
+        // In-place panel updates: half the block's stores revisit earlier
+        // lines, bounded to fit comfortably in the L1 once streams stop
+        // thrashing it.
+        .with_store_window((tiles * lines / 2).clamp(lines.max(4), 768))
+        .with_ops(TileOps::new(6.0 * e, 4.0 * e, 2.0 * e))
+        .with_regularity(Regularity::Random)
+        .with_standard_style(KernelStyle::Direct)
+        .with_invocations(40);
+    Workload::new(
+        "lud",
+        vec![BufferSpec::new("matrix", matrix, BufferRole::InOut)],
+        vec![kernel],
+        1.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_runtime::GpuProgram;
+
+    #[test]
+    fn lud_footprint_is_one_matrix() {
+        let w = lud(InputSize::Super);
+        let n = InputSize::Super.grid_2d();
+        assert_eq!(w.footprint(), n * n * 4);
+    }
+
+    #[test]
+    fn kmeans_has_two_kernels() {
+        assert_eq!(kmeans(InputSize::Super).kernels().len(), 2);
+        assert_eq!(backprop(InputSize::Super).kernels().len(), 2);
+        assert_eq!(srad(InputSize::Super).kernels().len(), 2);
+    }
+
+    #[test]
+    fn buffer_splits_cover_footprint() {
+        for w in [
+            lavamd(InputSize::Large),
+            srad(InputSize::Large),
+            backprop(InputSize::Large),
+            hotspot(InputSize::Large),
+        ] {
+            assert_eq!(w.footprint(), InputSize::Large.mem_bytes(), "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn lavamd_is_compute_heavy() {
+        use hetsim_gpu::kernel::KernelModel;
+        let heavy = lavamd(InputSize::Super);
+        let light = pathfinder(InputSize::Super);
+        assert!(heavy.kernel_specs()[0].tile_ops().fp > light.kernel_specs()[0].tile_ops().fp);
+    }
+}

@@ -1,0 +1,111 @@
+//! The two UVMBench applications the paper keeps (the rest overlap with
+//! PolyBench and Rodinia): `bayesian` and `KNN`. The paper implemented
+//! their Async Memcpy versions; here both come from the same kernel-spec
+//! engine, so every mode is available.
+
+use super::{elems, tile_bytes};
+use crate::size::InputSize;
+use crate::spec::{KernelSpec, StreamPattern, Workload, LINE};
+use hetsim_gpu::kernel::{KernelStyle, LaunchConfig, TileOps};
+use hetsim_runtime::{BufferRole, BufferSpec};
+use hetsim_uvm::prefetch::Regularity;
+
+const BLOCKS: u64 = 4096;
+const THREADS: u32 = 256;
+const SHARED: u64 = 32 * 1024;
+const TILE_LINES: u64 = 128;
+
+/// `bayesian` (BN): Bayesian network structure learning — graph-structured,
+/// data-dependent reads.
+pub fn bayesian(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let graph = total * 7 / 10;
+    let scores = total - graph;
+    let (tiles, lines) = tile_bytes(graph, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let kernel = KernelSpec::new(
+        "bayesian_score",
+        LaunchConfig::new(BLOCKS, THREADS, SHARED),
+    )
+    .with_tiles(tiles)
+    .with_stream(
+        lines,
+        StreamPattern::Random {
+            region_lines: (graph / LINE).max(1),
+        },
+    )
+    .with_local_reads(2 * lines, (graph / LINE / 8).max(1024), true)
+    .with_stores(lines / 4)
+    .with_ops(TileOps::new(8.0 * e, 6.0 * e, 2.5 * e))
+    .with_regularity(Regularity::Random)
+    .with_standard_style(KernelStyle::Direct)
+    .with_invocations(12);
+    Workload::new(
+        "bayesian",
+        vec![
+            BufferSpec::new("graph", graph, BufferRole::Input),
+            BufferSpec::new("scores", scores, BufferRole::Output),
+        ],
+        vec![kernel],
+        1.0,
+    )
+}
+
+/// `knn`: k-nearest neighbours — a dense distance sweep over the point set
+/// with a data-dependent candidate heap.
+pub fn knn(size: InputSize) -> Workload {
+    let total = size.mem_bytes();
+    let points = total * 17 / 20;
+    let results = total - points;
+    let (tiles, lines) = tile_bytes(points, BLOCKS, TILE_LINES);
+    let e = elems(lines);
+    let kernel = KernelSpec::new("knn_distance", LaunchConfig::new(BLOCKS, THREADS, SHARED))
+        .with_tiles(tiles)
+        .with_stream(lines, StreamPattern::Sequential)
+        // The query point and candidate heap stay hot; heap updates are
+        // data dependent.
+        .with_local_reads(lines, 64, true)
+        .with_stores(lines / 8)
+        .with_ops(TileOps::new(6.0 * e, 4.0 * e, 2.0 * e))
+        .with_regularity(Regularity::Irregular)
+        .with_standard_style(KernelStyle::StagedSync)
+        .with_invocations(8);
+    Workload::new(
+        "knn",
+        vec![
+            BufferSpec::new("points", points, BufferRole::Input),
+            BufferSpec::new("results", results, BufferRole::Output),
+        ],
+        vec![kernel],
+        1.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_runtime::GpuProgram;
+
+    #[test]
+    fn footprints_match_target() {
+        for size in [InputSize::Large, InputSize::Super] {
+            assert_eq!(bayesian(size).footprint(), size.mem_bytes());
+            assert_eq!(knn(size).footprint(), size.mem_bytes());
+        }
+    }
+
+    #[test]
+    fn bayesian_is_random_access() {
+        use hetsim_gpu::kernel::KernelModel;
+        let w = bayesian(InputSize::Super);
+        assert_eq!(w.kernel_specs()[0].regularity(), Regularity::Random);
+    }
+
+    #[test]
+    fn knn_streams_sequentially_but_is_irregular() {
+        use hetsim_gpu::kernel::KernelModel;
+        let w = knn(InputSize::Super);
+        assert_eq!(w.kernel_specs()[0].regularity(), Regularity::Irregular);
+        assert_eq!(w.kernel_specs()[0].standard_style(), KernelStyle::StagedSync);
+    }
+}

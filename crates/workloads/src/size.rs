@@ -1,0 +1,171 @@
+//! The paper's Table 3 input-size presets.
+//!
+//! | | Tiny | Small | Medium | Large | Super | Mega |
+//! |---|---|---|---|---|---|---|
+//! | Mem | 1MB | 8MB | 64MB | 512MB | 4GB | 32GB |
+//! | 1D | 256K | 2M | 16M | 128M | 1G | 8G |
+//! | 2D | 512² | 1K² | 4K² | 8K² | 32K² | 64K² |
+//! | 3D | 64³ | 128³ | 256³ | 512³ | 1K³ | 2K³ |
+//!
+//! The paper's stability study (its Figs 4–6) selects **Large** and
+//! **Super** for the main experiments; Mega footprints approach a single
+//! host-DRAM chip's capacity and become noisy.
+
+use std::fmt;
+
+/// One of the six input-size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InputSize {
+    /// 1 MB memory footprint.
+    Tiny,
+    /// 8 MB.
+    Small,
+    /// 64 MB.
+    Medium,
+    /// 512 MB — one of the two sizes the main experiments use.
+    Large,
+    /// 4 GB — the other main experiment size.
+    Super,
+    /// 32 GB — unstable per the paper's Fig 6.
+    Mega,
+}
+
+impl InputSize {
+    /// All sizes, smallest first.
+    pub const ALL: [InputSize; 6] = [
+        InputSize::Tiny,
+        InputSize::Small,
+        InputSize::Medium,
+        InputSize::Large,
+        InputSize::Super,
+        InputSize::Mega,
+    ];
+
+    /// The paper's figure label.
+    pub fn name(self) -> &'static str {
+        match self {
+            InputSize::Tiny => "tiny",
+            InputSize::Small => "small",
+            InputSize::Medium => "medium",
+            InputSize::Large => "large",
+            InputSize::Super => "super",
+            InputSize::Mega => "mega",
+        }
+    }
+
+    /// Target memory footprint, bytes (Table 3 "Mem" row).
+    pub fn mem_bytes(self) -> u64 {
+        match self {
+            InputSize::Tiny => 1 << 20,
+            InputSize::Small => 8 << 20,
+            InputSize::Medium => 64 << 20,
+            InputSize::Large => 512 << 20,
+            InputSize::Super => 4 << 30,
+            InputSize::Mega => 32 << 30,
+        }
+    }
+
+    /// Reference 1D element count (Table 3 "1D Grid" row).
+    pub fn grid_1d(self) -> u64 {
+        match self {
+            InputSize::Tiny => 256 << 10,
+            InputSize::Small => 2 << 20,
+            InputSize::Medium => 16 << 20,
+            InputSize::Large => 128 << 20,
+            InputSize::Super => 1 << 30,
+            InputSize::Mega => 8u64 << 30,
+        }
+    }
+
+    /// Reference 2D side length (Table 3 "2D Grid" row).
+    pub fn grid_2d(self) -> u64 {
+        match self {
+            InputSize::Tiny => 512,
+            InputSize::Small => 1 << 10,
+            InputSize::Medium => 4 << 10,
+            InputSize::Large => 8 << 10,
+            InputSize::Super => 32 << 10,
+            InputSize::Mega => 64 << 10,
+        }
+    }
+
+    /// Reference 3D side length (Table 3 "3D Grid" row).
+    pub fn grid_3d(self) -> u64 {
+        match self {
+            InputSize::Tiny => 64,
+            InputSize::Small => 128,
+            InputSize::Medium => 256,
+            InputSize::Large => 512,
+            InputSize::Super => 1 << 10,
+            InputSize::Mega => 2 << 10,
+        }
+    }
+
+    /// The two sizes the paper's main experiments run at.
+    pub fn main_experiment_sizes() -> [InputSize; 2] {
+        [InputSize::Large, InputSize::Super]
+    }
+}
+
+impl fmt::Display for InputSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_mem_row() {
+        let mems: Vec<u64> = InputSize::ALL.iter().map(|s| s.mem_bytes()).collect();
+        assert_eq!(
+            mems,
+            vec![1 << 20, 8 << 20, 64 << 20, 512 << 20, 4 << 30, 32u64 << 30]
+        );
+    }
+
+    #[test]
+    fn table3_1d_row() {
+        assert_eq!(InputSize::Tiny.grid_1d(), 262_144);
+        assert_eq!(InputSize::Large.grid_1d(), 134_217_728);
+        assert_eq!(InputSize::Mega.grid_1d(), 8_589_934_592);
+    }
+
+    #[test]
+    fn table3_2d_row() {
+        assert_eq!(InputSize::Tiny.grid_2d(), 512);
+        assert_eq!(InputSize::Large.grid_2d(), 8_192);
+        assert_eq!(InputSize::Mega.grid_2d(), 65_536);
+    }
+
+    #[test]
+    fn table3_3d_row() {
+        assert_eq!(InputSize::Tiny.grid_3d(), 64);
+        assert_eq!(InputSize::Super.grid_3d(), 1_024);
+    }
+
+    #[test]
+    fn one_float_vector_matches_mem_row_at_tiny() {
+        // Table 3's note: with float32 and e.g. 2 vectors the per-vector
+        // size is 128K at Tiny; a single 256K-float vector is exactly 1 MB.
+        assert_eq!(InputSize::Tiny.grid_1d() * 4, InputSize::Tiny.mem_bytes());
+    }
+
+    #[test]
+    fn sizes_are_ordered() {
+        for pair in InputSize::ALL.windows(2) {
+            assert!(pair[0].mem_bytes() < pair[1].mem_bytes());
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn main_sizes_are_large_and_super() {
+        assert_eq!(
+            InputSize::main_experiment_sizes(),
+            [InputSize::Large, InputSize::Super]
+        );
+    }
+}

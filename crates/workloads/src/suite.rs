@@ -1,0 +1,209 @@
+//! The suite registry: every Table 2 workload by name.
+
+use crate::apps;
+use crate::micro;
+use crate::size::InputSize;
+use crate::spec::Workload;
+
+/// A named workload constructor.
+#[derive(Clone, Copy)]
+pub struct SuiteEntry {
+    /// The paper's workload name.
+    pub name: &'static str,
+    /// One-line description from Table 2.
+    pub description: &'static str,
+    /// Constructor.
+    pub build: fn(InputSize) -> Workload,
+}
+
+impl std::fmt::Debug for SuiteEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuiteEntry")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+const MICRO: [SuiteEntry; 7] = [
+    SuiteEntry {
+        name: "vector_seq",
+        description: "Vector-to-Constant, sequential access (Svedin et al.)",
+        build: micro::vector_seq,
+    },
+    SuiteEntry {
+        name: "vector_rand",
+        description: "Vector-to-Constant, random access (Svedin et al.)",
+        build: micro::vector_rand,
+    },
+    SuiteEntry {
+        name: "saxpy",
+        description: "Vector-to-Vector multiply-add (PolyBench)",
+        build: micro::saxpy,
+    },
+    SuiteEntry {
+        name: "gemv",
+        description: "general Matrix-to-Vector multiplication (PolyBench)",
+        build: micro::gemv,
+    },
+    SuiteEntry {
+        name: "gemm",
+        description: "general Matrix-to-Matrix multiplication (PolyBench)",
+        build: micro::gemm,
+    },
+    SuiteEntry {
+        name: "2DCONV",
+        description: "general 2D convolution (PolyBench)",
+        build: micro::conv2d,
+    },
+    SuiteEntry {
+        name: "3DCONV",
+        description: "general 3D convolution (PolyBench)",
+        build: micro::conv3d,
+    },
+];
+
+const APPS: [SuiteEntry; 14] = [
+    SuiteEntry {
+        name: "pathfinder",
+        description: "dynamic-programming grid path (Rodinia)",
+        build: apps::pathfinder,
+    },
+    SuiteEntry {
+        name: "backprop",
+        description: "neural-network training (Rodinia)",
+        build: apps::backprop,
+    },
+    SuiteEntry {
+        name: "lud",
+        description: "LU decomposition (Rodinia)",
+        build: apps::lud,
+    },
+    SuiteEntry {
+        name: "kmeans",
+        description: "k-means clustering (Rodinia)",
+        build: apps::kmeans,
+    },
+    SuiteEntry {
+        name: "knn",
+        description: "k-nearest neighbours (UVMBench)",
+        build: apps::knn,
+    },
+    SuiteEntry {
+        name: "srad",
+        description: "speckle-reducing anisotropic diffusion (Rodinia)",
+        build: apps::srad,
+    },
+    SuiteEntry {
+        name: "lavaMD",
+        description: "particle potentials in a 3D space (Rodinia)",
+        build: apps::lavamd,
+    },
+    SuiteEntry {
+        name: "resnet50",
+        description: "50-layer residual network (darknet)",
+        build: apps::resnet50,
+    },
+    SuiteEntry {
+        name: "yolov3-tiny",
+        description: "Yolov3-tiny detector (darknet)",
+        build: apps::yolov3_tiny,
+    },
+    SuiteEntry {
+        name: "resnet18",
+        description: "18-layer residual network (darknet)",
+        build: apps::resnet18,
+    },
+    SuiteEntry {
+        name: "yolov3",
+        description: "Yolov3 detector (darknet)",
+        build: apps::yolov3,
+    },
+    SuiteEntry {
+        name: "bayesian",
+        description: "Bayesian network learning (UVMBench)",
+        build: apps::bayesian,
+    },
+    SuiteEntry {
+        name: "nw",
+        description: "Needleman-Wunsch sequence alignment (Rodinia)",
+        build: apps::nw,
+    },
+    SuiteEntry {
+        name: "hotspot",
+        description: "processor thermal simulation (Rodinia)",
+        build: apps::hotspot,
+    },
+];
+
+/// The 7 microbenchmark entries in the paper's figure order.
+pub fn micro_names() -> Vec<SuiteEntry> {
+    MICRO.to_vec()
+}
+
+/// The 14 application entries in the paper's Fig 8 order.
+pub fn app_names() -> Vec<SuiteEntry> {
+    APPS.to_vec()
+}
+
+/// Builds the whole microbenchmark suite at one size.
+pub fn micro_suite(size: InputSize) -> Vec<Workload> {
+    MICRO.iter().map(|e| (e.build)(size)).collect()
+}
+
+/// Builds the whole application suite at one size.
+pub fn app_suite(size: InputSize) -> Vec<Workload> {
+    APPS.iter().map(|e| (e.build)(size)).collect()
+}
+
+/// Looks a workload up by its paper name.
+pub fn by_name(name: &str, size: InputSize) -> Option<Workload> {
+    MICRO
+        .iter()
+        .chain(APPS.iter())
+        .find(|e| e.name == name)
+        .map(|e| (e.build)(size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_runtime::GpuProgram;
+
+    #[test]
+    fn suite_counts_match_paper() {
+        assert_eq!(micro_names().len(), 7);
+        assert_eq!(app_names().len(), 14);
+        assert_eq!(micro_suite(InputSize::Tiny).len(), 7);
+        assert_eq!(app_suite(InputSize::Tiny).len(), 14);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = micro_names()
+            .iter()
+            .chain(app_names().iter())
+            .map(|e| e.name)
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate workload names");
+        for n in names {
+            let w = by_name(n, InputSize::Tiny).expect("lookup");
+            assert_eq!(w.name(), n);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("nope", InputSize::Tiny).is_none());
+    }
+
+    #[test]
+    fn constructed_names_match_registry() {
+        for e in micro_names().iter().chain(app_names().iter()) {
+            let w = (e.build)(InputSize::Tiny);
+            assert_eq!(w.name(), e.name, "constructor name mismatch");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Absolute time-breakdown per mode for one workload — the raw numbers
+//! behind the normalized figures.
+//!
+//! ```text
+//! cargo run --release --example breakdown [workload] [large|super]
+//! ```
+use hetsim::prelude::*;
+use hetsim_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".into());
+    let size = match std::env::args().nth(2).as_deref() {
+        Some("large") => InputSize::Large,
+        _ => InputSize::Super,
+    };
+    let runner = Runner::new(Device::a100_epyc());
+    let w = suite::by_name(&name, size).expect("workload");
+    println!("{name} @ {size}");
+    for mode in TransferMode::ALL {
+        let r = runner.run_base(&w, mode);
+        println!(
+            "{:<20} alloc {:>12} memcpy {:>12} kernel {:>12} total {:>12}",
+            mode.name(),
+            r.alloc.to_string(),
+            r.memcpy.to_string(),
+            r.kernel.to_string(),
+            r.total().to_string()
+        );
+    }
+}

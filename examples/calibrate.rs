@@ -1,0 +1,33 @@
+//! Developer calibration harness: prints the headline figure shapes so the
+//! cost-model constants can be compared against the paper's numbers.
+
+use hetsim::experiment::Experiment;
+use hetsim::figures;
+use hetsim::headline::{Headline, Section6};
+use hetsim_workloads::InputSize;
+
+fn main() {
+    let exp = Experiment::new().with_runs(5);
+
+    for size in [InputSize::Large, InputSize::Super] {
+        println!("==== Fig 7 micro @ {size} ====");
+        let s = figures::fig7(&exp, size);
+        println!("{}", s.to_table());
+        println!("{}", Headline::from_suite(&s).to_table());
+    }
+
+    println!("==== Fig 8 apps @ super ====");
+    let s8 = figures::fig8(&exp);
+    println!("{}", s8.to_table());
+    println!("{}", Headline::from_suite(&s8).to_table());
+    println!("{}", Section6::from_suite(&s8).to_table());
+
+    println!("==== Fig 9/10 counters @ large ====");
+    println!("{}", figures::fig9_fig10(&exp, InputSize::Large).to_table());
+
+    println!("==== Fig 12 threads sweep @ large ====");
+    println!("{}", figures::fig12(&exp, InputSize::Large).to_table());
+
+    println!("==== Fig 11 blocks sweep @ large ====");
+    println!("{}", figures::fig11(&exp, InputSize::Large).to_table());
+}

@@ -1,0 +1,52 @@
+//! The paper's §4.2 in-depth analysis: use performance counters to reveal
+//! *why* Async Memcpy helps some workloads and hurts others — control
+//! instruction inflation (Fig 9) vs L1 miss-rate reduction (Fig 10).
+//!
+//! ```text
+//! cargo run --release --example counter_deep_dive [size]
+//! ```
+
+use hetsim::experiment::Experiment;
+use hetsim::figures::{self, DEEP_DIVE_WORKLOADS};
+use hetsim_runtime::TransferMode;
+use hetsim_workloads::InputSize;
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| InputSize::ALL.into_iter().find(|x| x.name() == s))
+        .unwrap_or(InputSize::Large);
+    let exp = Experiment::new();
+    let counters = figures::fig9_fig10(&exp, size);
+
+    println!("==== Figs 9 + 10: gemm / lud / yolov3 counters @ {size} ====");
+    println!("{}", counters.to_table());
+
+    println!("==== Takeaway 3, quantified ====");
+    for w in DEEP_DIVE_WORKLOADS {
+        let std = counters.row(w, TransferMode::Standard).expect("row");
+        let asy = counters.row(w, TransferMode::Async).expect("row");
+        let ctrl_inflation = asy.control as f64 / std.control as f64 - 1.0;
+        let load_miss_delta = if std.load_miss_rate > 0.0 {
+            1.0 - asy.load_miss_rate / std.load_miss_rate
+        } else {
+            0.0
+        };
+        let store_miss_delta = if std.store_miss_rate > 0.0 {
+            1.0 - asy.store_miss_rate / std.store_miss_rate
+        } else {
+            0.0
+        };
+        println!(
+            "{w:<8} async: control instructions {:+.1}%, L1 load-miss rate \
+             {:+.1}%, store-miss rate {:+.1}%",
+            ctrl_inflation * 100.0,
+            -load_miss_delta * 100.0,
+            -store_miss_delta * 100.0,
+        );
+    }
+    println!(
+        "\nReading: the cost of cp.async is control-instruction overhead; the \
+         benefit only materializes where staging cuts cache miss rates (lud)."
+    );
+}

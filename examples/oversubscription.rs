@@ -1,0 +1,25 @@
+//! Extension study: what happens when managed footprints exceed the 40 GB
+//! device — the oversubscription regime the paper's related work (Shao et
+//! al.) studies. UVM keeps running; the eviction path pays for it.
+//!
+//! ```text
+//! cargo run --release --example oversubscription [workload]
+//! ```
+
+use hetsim::extensions::{oversubscription_sweep, oversubscription_table};
+use hetsim_workloads::{suite, InputSize};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "vector_seq".into());
+    println!("==== oversubscription sweep: {name} @ medium (capacity scaled) ====");
+    let points = oversubscription_sweep(
+        move || suite::by_name(&name, InputSize::Medium).expect("workload"),
+        &[0.5, 1.0, 1.25, 1.5, 2.0, 3.0, 4.0],
+    );
+    println!("{}", oversubscription_table(&points));
+    println!(
+        "Reading: below 1.0 the working set fits and nothing evicts; past it,\n\
+         every extra byte forces an LRU eviction (and a writeback when dirty),\n\
+         so transfer time grows with the footprint/capacity ratio."
+    );
+}

@@ -1,0 +1,65 @@
+//! Quickstart: simulate one workload under all five data-transfer modes
+//! and print the paper-style breakdown.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [size]
+//! ```
+//!
+//! Defaults to `kmeans` at `medium` inputs. Workload names follow the
+//! paper's Table 2 (`vector_seq`, `gemm`, `lud`, `yolov3`, ...).
+
+use hetsim::prelude::*;
+use hetsim_workloads::suite;
+
+fn parse_size(s: &str) -> Option<InputSize> {
+    InputSize::ALL.into_iter().find(|x| x.name() == s)
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "kmeans".into());
+    let size = std::env::args()
+        .nth(2)
+        .and_then(|s| parse_size(&s))
+        .unwrap_or(InputSize::Medium);
+
+    // The paper's platform: A100 + EPYC 7742 over PCIe 4.0 (its Table 1).
+    let device = Device::a100_epyc();
+    println!(
+        "platform: {} SMs @ {:.0} MHz, {} GB HBM2, {} x {} GB DDR4",
+        device.gpu.sm_count,
+        device.gpu.clock.hz() / 1e6,
+        device.gpu.hbm.capacity() >> 30,
+        device.host.config().chips,
+        device.host.config().chip_capacity >> 30,
+    );
+
+    let Some(workload) = suite::by_name(&name, size) else {
+        eprintln!("unknown workload {name}; known:");
+        for e in suite::micro_names().iter().chain(suite::app_names().iter()) {
+            eprintln!("  {:<12} {}", e.name, e.description);
+        }
+        std::process::exit(1);
+    };
+    println!(
+        "workload: {name} @ {size} ({} MB footprint)\n",
+        workload.footprint() >> 20
+    );
+
+    // The paper's 30-run methodology, side by side over the five modes.
+    let experiment = Experiment::new();
+    let cmp = experiment.compare_modes(&workload);
+    println!("{}", cmp.to_table());
+
+    let best = TransferMode::ALL
+        .into_iter()
+        .min_by(|a, b| {
+            cmp.mean_total(*a)
+                .partial_cmp(&cmp.mean_total(*b))
+                .expect("totals ordered")
+        })
+        .expect("five modes");
+    println!(
+        "best mode for {name}: {best} ({:+.2}% vs standard)",
+        cmp.improvement_pct(best)
+    );
+}

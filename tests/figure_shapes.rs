@@ -1,0 +1,182 @@
+//! Structural and qualitative checks on every figure producer: the data
+//! has the right dimensions and the paper's takeaway is visible in it.
+
+use hetsim::experiment::Experiment;
+use hetsim::figures;
+use hetsim::prelude::*;
+use hetsim_runtime::report::Component;
+
+fn exp() -> Experiment {
+    Experiment::new().with_runs(6)
+}
+
+/// Fig 4/5 (Takeaway 1): stability improves up to Large/Super, then Mega
+/// degrades again because the footprint presses on a DRAM chip.
+///
+/// Uses the `standard` mode distributions directly (rather than the full
+/// five-mode Fig 4 grid) to keep the debug-build cost down; the CV shape
+/// is mode-independent.
+#[test]
+fn stability_u_shape_across_sizes() {
+    let exp = Experiment::new().with_runs(12);
+    let cv = |size: InputSize| -> f64 {
+        let names = ["vector_seq", "saxpy", "gemv"];
+        let cvs: Vec<f64> = names
+            .iter()
+            .map(|n| {
+                let w = hetsim_workloads::suite::by_name(n, size).unwrap();
+                let d = exp.distribution(&w, TransferMode::Standard);
+                let totals: Vec<Nanos> = d.iter().map(|r| r.total()).collect();
+                hetsim::engine::stats::Summary::from_nanos(&totals).cv()
+            })
+            .collect();
+        cvs.iter().sum::<f64>() / cvs.len() as f64
+    };
+    let small = cv(InputSize::Small);
+    let large = cv(InputSize::Large);
+    let mega = cv(InputSize::Mega);
+    assert!(
+        large < small,
+        "larger inputs amortize noise: cv(large)={large:.4} !< cv(small)={small:.4}"
+    );
+    assert!(
+        mega > large,
+        "Mega must be less stable than Large: cv(mega)={mega:.4} !> cv(large)={large:.4}"
+    );
+}
+
+/// Fig 6: at Mega, the memcpy component is the unstable one.
+#[test]
+fn mega_noise_comes_from_memcpy() {
+    let mb = figures::fig6(&Experiment::new().with_runs(20));
+    let memcpy_cv = mb.component_cv(|r| r.memcpy);
+    let alloc_cv = mb.component_cv(|r| r.alloc);
+    let kernel_cv = mb.component_cv(|r| r.kernel);
+    assert!(
+        memcpy_cv > 2.0 * alloc_cv,
+        "memcpy cv {memcpy_cv:.3} should dwarf alloc cv {alloc_cv:.3}"
+    );
+    assert!(
+        memcpy_cv > 2.0 * kernel_cv,
+        "memcpy cv {memcpy_cv:.3} should dwarf kernel cv {kernel_cv:.3}"
+    );
+    assert_eq!(mb.runs().len(), 20);
+    assert_eq!(mb.to_table().len(), 20);
+}
+
+/// Fig 9 (Takeaway 3): async inflates control instructions by roughly the
+/// 30-40% the paper measures on gemm/yolov3.
+#[test]
+fn async_control_inflation_in_range() {
+    let counters = figures::fig9_fig10(&exp(), InputSize::Small);
+    for w in ["gemm", "yolov3"] {
+        let std = counters.row(w, TransferMode::Standard).unwrap();
+        let asy = counters.row(w, TransferMode::Async).unwrap();
+        let inflation = asy.control as f64 / std.control as f64 - 1.0;
+        assert!(
+            (0.1..0.9).contains(&inflation),
+            "{w}: control inflation {:.1}% (paper 30-40%)",
+            inflation * 100.0
+        );
+        // UVM modes leave the mix alone.
+        let uvm = counters.row(w, TransferMode::Uvm).unwrap();
+        assert_eq!(uvm.control, std.control, "{w}: uvm must not change the mix");
+    }
+}
+
+/// Fig 10 (Takeaway 3): staging slashes lud's L1 miss rates.
+#[test]
+fn lud_miss_rates_drop_with_async() {
+    // Large inputs: lud's cross-tile store reuse needs multiple tiles per
+    // block to be visible.
+    let counters = figures::fig9_fig10(&exp(), InputSize::Large);
+    let std = counters.row("lud", TransferMode::Standard).unwrap();
+    let asy = counters.row("lud", TransferMode::Async).unwrap();
+    assert!(
+        std.load_miss_rate > 0.5,
+        "lud standard thrashes the L1: {:.3}",
+        std.load_miss_rate
+    );
+    assert!(
+        asy.load_miss_rate < std.load_miss_rate,
+        "async must reduce lud load misses"
+    );
+    assert!(
+        asy.store_miss_rate < std.store_miss_rate,
+        "async must reduce lud store misses: {:.3} !< {:.3}",
+        asy.store_miss_rate,
+        std.store_miss_rate
+    );
+}
+
+/// Fig 11 (Takeaway 4a): block count barely matters.
+#[test]
+fn block_sweep_is_flat() {
+    let sweep = figures::fig11(&exp(), InputSize::Medium);
+    for mode in TransferMode::ALL {
+        for &(blocks, _) in sweep.points() {
+            let n = sweep.normalized(blocks, mode);
+            let reference = sweep.normalized(4096, mode);
+            assert!(
+                (n / reference - 1.0).abs() < 0.10,
+                "{mode} at {blocks} blocks: {n:.3} deviates from {reference:.3}"
+            );
+        }
+    }
+}
+
+/// Fig 12 (Takeaway 4b): few threads per block expose latency; async
+/// copes far better.
+#[test]
+fn thread_sweep_kernel_sensitivity() {
+    let sweep = figures::fig12(&exp(), InputSize::Medium);
+    let kernel = |threads: u64, mode: TransferMode| {
+        sweep
+            .points()
+            .iter()
+            .find(|(t, _)| *t == threads)
+            .unwrap()
+            .1
+            .mean(mode)
+            .component(Component::Kernel)
+            .as_nanos() as f64
+    };
+    let std_ratio = kernel(32, TransferMode::Standard) / kernel(128, TransferMode::Standard);
+    let async_ratio = kernel(32, TransferMode::Async) / kernel(128, TransferMode::Async);
+    assert!(
+        std_ratio > 1.8,
+        "standard kernel must degrade sharply at 32 threads: {std_ratio:.2}x (paper 3.95x)"
+    );
+    assert!(
+        async_ratio < std_ratio,
+        "async ({async_ratio:.2}x) must tolerate few threads better than standard ({std_ratio:.2}x)"
+    );
+}
+
+/// Fig 13 (Takeaway 5): tiny shared memory hurts the async pipeline; tiny
+/// L1 hurts the UVM-prefetch modes.
+#[test]
+fn carveout_sweep_shapes() {
+    let sweep = figures::fig13(&exp(), InputSize::Medium);
+    let kernel = |kib: u64, mode: TransferMode| {
+        sweep
+            .points()
+            .iter()
+            .find(|(k, _)| *k == kib)
+            .unwrap()
+            .1
+            .mean(mode)
+            .component(Component::Kernel)
+            .as_nanos() as f64
+    };
+    // 2 KB shared: per-thread buffers too shallow for the async pipeline.
+    assert!(
+        kernel(2, TransferMode::UvmPrefetchAsync) > kernel(32, TransferMode::UvmPrefetchAsync),
+        "tiny shared memory must hurt the async pipeline"
+    );
+    // 128 KB shared leaves 64 KB of L1: the prefetch-warm benefit shrinks.
+    assert!(
+        kernel(128, TransferMode::UvmPrefetch) > kernel(32, TransferMode::UvmPrefetch),
+        "tiny L1 must hurt uvm_prefetch"
+    );
+}

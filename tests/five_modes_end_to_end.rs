@@ -1,0 +1,110 @@
+//! End-to-end integration: every Table 2 workload runs under every
+//! transfer mode and produces a sane, deterministic breakdown.
+
+use hetsim::prelude::*;
+use hetsim_runtime::report::Component;
+use hetsim_workloads::suite;
+
+fn runner() -> Runner {
+    Runner::new(Device::a100_epyc())
+}
+
+#[test]
+fn all_21_workloads_run_under_all_modes() {
+    let r = runner();
+    let entries: Vec<_> = suite::micro_names()
+        .into_iter()
+        .chain(suite::app_names())
+        .collect();
+    assert_eq!(entries.len(), 21);
+    for e in entries {
+        let w = (e.build)(InputSize::Small);
+        for mode in TransferMode::ALL {
+            let rep = r.run(&w, mode, 0);
+            assert!(
+                rep.total() > Nanos::ZERO,
+                "{} under {mode} produced zero time",
+                e.name
+            );
+            assert!(rep.alloc > Nanos::ZERO, "{} {mode}: alloc", e.name);
+            assert!(rep.kernel > Nanos::ZERO, "{} {mode}: kernel", e.name);
+            assert!(rep.memcpy > Nanos::ZERO, "{} {mode}: memcpy", e.name);
+        }
+    }
+}
+
+#[test]
+fn breakdown_shares_sum_to_one() {
+    let r = runner();
+    let w = suite::by_name("hotspot", InputSize::Small).unwrap();
+    for mode in TransferMode::ALL {
+        let rep = r.run(&w, mode, 1);
+        let s = rep.share(Component::Alloc)
+            + rep.share(Component::Memcpy)
+            + rep.share(Component::Kernel);
+        assert!((s - 1.0).abs() < 1e-9, "{mode}: shares sum to {s}");
+    }
+}
+
+#[test]
+fn runs_are_deterministic_and_noise_is_seeded() {
+    let r = runner();
+    let w = suite::by_name("saxpy", InputSize::Small).unwrap();
+    for mode in TransferMode::ALL {
+        let a = r.run(&w, mode, 7);
+        let b = r.run(&w, mode, 7);
+        assert_eq!(a, b, "{mode}: same run index must reproduce exactly");
+        let c = r.run(&w, mode, 8);
+        assert_ne!(a.total(), c.total(), "{mode}: different run index differs");
+    }
+}
+
+#[test]
+fn uvm_counters_only_under_uvm_modes() {
+    let r = runner();
+    let w = suite::by_name("vector_seq", InputSize::Small).unwrap();
+    for mode in TransferMode::ALL {
+        let rep = r.run(&w, mode, 0);
+        if mode.uses_uvm() {
+            assert!(
+                rep.counters.uvm.page_faults() > 0 || rep.counters.uvm.pages_prefetched() > 0,
+                "{mode}: expected UVM activity"
+            );
+        } else {
+            assert_eq!(rep.counters.uvm.page_faults(), 0, "{mode}");
+            assert!(rep.counters.transfer.explicit_copies() > 0, "{mode}");
+        }
+    }
+}
+
+#[test]
+fn prefetch_modes_prefetch_most_pages() {
+    let r = runner();
+    let w = suite::by_name("vector_seq", InputSize::Small).unwrap();
+    let rep = r.run(&w, TransferMode::UvmPrefetch, 0);
+    assert!(
+        rep.counters.uvm.prefetch_coverage() > 0.9,
+        "regular workload should be mostly prefetched, got {}",
+        rep.counters.uvm.prefetch_coverage()
+    );
+    let lud = suite::by_name("lud", InputSize::Small).unwrap();
+    let rep_lud = r.run(&lud, TransferMode::UvmPrefetch, 0);
+    assert!(
+        rep_lud.counters.uvm.prefetch_coverage() < rep.counters.uvm.prefetch_coverage(),
+        "irregular lud must be covered worse than vector_seq"
+    );
+}
+
+#[test]
+fn mega_footprints_oversubscribe_gracefully() {
+    // 3DCONV at Mega exceeds the 40 GB device: the UVM path must evict
+    // rather than fail.
+    let r = runner();
+    let w = suite::by_name("3DCONV", InputSize::Mega).unwrap();
+    let rep = r.run(&w, TransferMode::Uvm, 0);
+    assert!(rep.total() > Nanos::ZERO);
+    assert!(
+        rep.counters.uvm.pages_evicted() > 0,
+        "64 GB of managed data on a 40 GB device must evict"
+    );
+}

@@ -1,0 +1,161 @@
+//! The paper's headline result *shapes*: who wins, by roughly what factor,
+//! and where the exceptions fall (§4, Takeaways 1–3).
+//!
+//! These assertions encode orderings and coarse factors, not the A100's
+//! absolute numbers — the fidelity contract documented in EXPERIMENTS.md.
+
+use hetsim::experiment::Experiment;
+use hetsim::figures;
+use hetsim::headline::Headline;
+use hetsim::prelude::*;
+
+fn exp() -> Experiment {
+    Experiment::new().with_runs(3)
+}
+
+/// §4.1.1 on the microbenchmark suite (the paper runs Large and Super).
+#[test]
+fn micro_geomeans_match_paper_shape() {
+    let suite = figures::fig7(&exp(), InputSize::Large);
+    let h = Headline::from_suite(&suite);
+
+    // async ~= standard overall (paper: +0.27%/+0.36%).
+    let async_gain = h.row(TransferMode::Async).improvement_pct;
+    assert!(
+        (-3.0..8.0).contains(&async_gain),
+        "async should be near-neutral overall, got {async_gain:+.2}%"
+    );
+
+    // uvm without prefetch is a net loss (paper: -13%/-17%).
+    let uvm_gain = h.row(TransferMode::Uvm).improvement_pct;
+    assert!(uvm_gain < 0.0, "plain uvm must lose overall, got {uvm_gain:+.2}%");
+
+    // uvm_prefetch is a clear win (paper: up to +28.4% at Super).
+    let pf_gain = h.row(TransferMode::UvmPrefetch).improvement_pct;
+    assert!(pf_gain > 15.0, "uvm_prefetch should win clearly, got {pf_gain:+.2}%");
+
+    // On micro, adding async to prefetch does not help further
+    // (paper: 27.01% vs 28.40% at Super).
+    let pfa_gain = h.row(TransferMode::UvmPrefetchAsync).improvement_pct;
+    assert!(
+        pfa_gain <= pf_gain + 1.0,
+        "micro: pfa ({pfa_gain:+.2}%) should not beat prefetch ({pf_gain:+.2}%)"
+    );
+}
+
+/// §4.1.1 transfer-time and kernel-time components.
+#[test]
+fn micro_component_effects_match_paper() {
+    let suite = figures::fig7(&exp(), InputSize::Large);
+    let h = Headline::from_suite(&suite);
+
+    // uvm saves ~31-35% of transfer time...
+    let uvm_memcpy = h.row(TransferMode::Uvm).memcpy_savings_pct;
+    assert!(
+        (20.0..45.0).contains(&uvm_memcpy),
+        "uvm memcpy savings {uvm_memcpy:.1}% (paper ~32%)"
+    );
+    // ...but about doubles kernel time.
+    let uvm_kernel = h.row(TransferMode::Uvm).kernel_overhead_pct;
+    assert!(
+        (60.0..180.0).contains(&uvm_kernel),
+        "uvm kernel inflation {uvm_kernel:.1}% (paper ~100-120%)"
+    );
+    // Prefetch saves much more transfer time (paper: 45-64%).
+    let pf_memcpy = h.row(TransferMode::UvmPrefetch).memcpy_savings_pct;
+    assert!(pf_memcpy > uvm_memcpy + 10.0, "prefetch {pf_memcpy:.1}% vs uvm {uvm_memcpy:.1}%");
+}
+
+/// vector_seq's async kernel reduction (paper: 41.78% at Large) with a
+/// near-zero overall effect ("less than 1% overall").
+#[test]
+fn vector_seq_async_kernel_reduction() {
+    let e = exp();
+    let w = hetsim_workloads::micro::vector_seq(InputSize::Large);
+    let cmp = e.compare_modes(&w);
+    use hetsim_runtime::report::Component;
+    let std_k = cmp.mean(TransferMode::Standard).component(Component::Kernel);
+    let asy_k = cmp.mean(TransferMode::Async).component(Component::Kernel);
+    let reduction = 1.0 - asy_k.as_nanos() as f64 / std_k.as_nanos() as f64;
+    assert!(
+        (0.25..0.55).contains(&reduction),
+        "async kernel reduction {:.1}% (paper 41.78%)",
+        reduction * 100.0
+    );
+    let overall = cmp.improvement_pct(TransferMode::Async);
+    assert!(
+        overall.abs() < 3.0,
+        "vector_seq async overall effect should be tiny, got {overall:+.2}%"
+    );
+}
+
+/// §4.1.2 on the application suite.
+#[test]
+fn app_geomeans_match_paper_shape() {
+    let suite = figures::fig8_at(&exp(), InputSize::Medium);
+    let h = Headline::from_suite(&suite);
+
+    // Paper: +2.81% / -4.41% / +20.96% / +22.52%.
+    let async_gain = h.row(TransferMode::Async).improvement_pct;
+    let uvm_gain = h.row(TransferMode::Uvm).improvement_pct;
+    let pf_gain = h.row(TransferMode::UvmPrefetch).improvement_pct;
+    let pfa_gain = h.row(TransferMode::UvmPrefetchAsync).improvement_pct;
+
+    assert!(async_gain > 0.0, "apps: async should help a little, got {async_gain:+.2}%");
+    assert!(uvm_gain < 0.0, "apps: plain uvm should lose, got {uvm_gain:+.2}%");
+    assert!(pf_gain > 15.0, "apps: prefetch wins, got {pf_gain:+.2}%");
+    assert!(
+        pfa_gain > pf_gain,
+        "apps: prefetch+async ({pfa_gain:+.2}%) should edge out prefetch ({pf_gain:+.2}%)"
+    );
+
+    // Transfer-time savings (paper: 32.70% / 64.24% / 64.18%).
+    let uvm_m = h.row(TransferMode::Uvm).memcpy_savings_pct;
+    let pf_m = h.row(TransferMode::UvmPrefetch).memcpy_savings_pct;
+    assert!((20.0..45.0).contains(&uvm_m), "uvm memcpy savings {uvm_m:.1}%");
+    assert!((45.0..72.0).contains(&pf_m), "prefetch memcpy savings {pf_m:.1}%");
+}
+
+/// Takeaway 2's per-workload exceptions.
+#[test]
+fn per_workload_exceptions_hold() {
+    let suite = figures::fig8_at(&exp(), InputSize::Medium);
+
+    // lud: Async Memcpy wins; UVM prefetch does not (its irregular access
+    // defeats the prefetcher). Paper: async up to 1.24x over UVM.
+    let lud = suite.workload("lud").expect("lud");
+    assert!(
+        lud.normalized_total(TransferMode::Async)
+            < lud.normalized_total(TransferMode::UvmPrefetch),
+        "lud: async must beat uvm_prefetch"
+    );
+    assert!(
+        lud.normalized_total(TransferMode::Async) < 0.95,
+        "lud: async must beat standard clearly"
+    );
+
+    // kmeans: async beats plain uvm by a wide margin (paper ~20%).
+    let kmeans = suite.workload("kmeans").expect("kmeans");
+    let ratio = kmeans.normalized_total(TransferMode::Uvm)
+        / kmeans.normalized_total(TransferMode::Async);
+    assert!(ratio > 1.15, "kmeans: uvm/async ratio {ratio:.2} (paper ~1.2)");
+
+    // nw: prefetch makes things worse than both uvm and standard.
+    let nw = suite.workload("nw").expect("nw");
+    assert!(
+        nw.normalized_total(TransferMode::UvmPrefetch) > nw.normalized_total(TransferMode::Uvm),
+        "nw: prefetch must be worse than uvm"
+    );
+    assert!(
+        nw.normalized_total(TransferMode::UvmPrefetch) > 1.0,
+        "nw: prefetch must be worse than standard"
+    );
+
+    // yolov3: regular gemm kernels — prefetch alone beats prefetch+async.
+    let yolo = suite.workload("yolov3").expect("yolov3");
+    assert!(
+        yolo.normalized_total(TransferMode::UvmPrefetchAsync)
+            >= yolo.normalized_total(TransferMode::UvmPrefetch),
+        "yolov3: adding async must not help"
+    );
+}

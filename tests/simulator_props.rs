@@ -1,0 +1,100 @@
+//! Property-based tests on cross-crate simulator invariants.
+
+use hetsim::prelude::*;
+use hetsim_workloads::{micro, suite};
+use proptest::prelude::*;
+
+fn mode_strategy() -> impl Strategy<Value = TransferMode> {
+    prop::sample::select(TransferMode::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The same (workload, mode, run index) triple is bit-reproducible.
+    #[test]
+    fn run_reports_are_deterministic(mode in mode_strategy(), run in 0u64..64) {
+        let r = Runner::new(Device::a100_epyc());
+        let w = micro::saxpy(InputSize::Tiny);
+        let a = r.run(&w, mode, run);
+        let b = r.run(&w, mode, run);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Noise is multiplicative and bounded: no component strays far from
+    /// its noise-free base at sub-spill footprints.
+    #[test]
+    fn noise_is_bounded_below_spill(mode in mode_strategy(), run in 0u64..64) {
+        let r = Runner::new(Device::a100_epyc());
+        let w = micro::vector_seq(InputSize::Small);
+        let base = r.run_base(&w, mode);
+        let noisy = r.apply_noise(&base, &w, mode, run);
+        let ratio = noisy.total().as_nanos() as f64 / base.total().as_nanos() as f64;
+        prop_assert!((0.7..1.3).contains(&ratio), "ratio {}", ratio);
+    }
+
+    /// More data never means less transfer time, for every mode.
+    #[test]
+    fn transfer_time_is_monotonic_in_footprint(mode in mode_strategy()) {
+        let r = Runner::new(Device::a100_epyc());
+        let small = r.run_base(&micro::vector_seq(InputSize::Small), mode);
+        let medium = r.run_base(&micro::vector_seq(InputSize::Medium), mode);
+        prop_assert!(medium.memcpy >= small.memcpy);
+        prop_assert!(medium.alloc >= small.alloc);
+    }
+
+    /// Occupancy fractions stay in [0, 1] for arbitrary workload/mode
+    /// combinations.
+    #[test]
+    fn occupancy_is_a_fraction(
+        mode in mode_strategy(),
+        idx in 0usize..21,
+    ) {
+        let entries: Vec<_> = suite::micro_names().into_iter().chain(suite::app_names()).collect();
+        let w = (entries[idx].build)(InputSize::Tiny);
+        let rep = Runner::new(Device::a100_epyc()).run_base(&w, mode);
+        let occ = rep.counters.occupancy;
+        prop_assert!((0.0..=1.0).contains(&occ.theoretical()));
+        prop_assert!((0.0..=1.0).contains(&occ.achieved()));
+        prop_assert!(occ.achieved() <= occ.theoretical() + 1e-9);
+    }
+
+    /// L1 miss rates are well-formed for every workload and mode.
+    #[test]
+    fn miss_rates_are_fractions(mode in mode_strategy(), idx in 0usize..21) {
+        let entries: Vec<_> = suite::micro_names().into_iter().chain(suite::app_names()).collect();
+        let w = (entries[idx].build)(InputSize::Tiny);
+        let rep = Runner::new(Device::a100_epyc()).run_base(&w, mode);
+        for rate in [
+            rep.counters.l1.load_miss_rate(),
+            rep.counters.l1.store_miss_rate(),
+            rep.counters.l2.miss_rate(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+
+    /// UVM page conservation: for conflict-free programs, pages moved
+    /// (migrated + prefetched) never exceed the footprint's chunk count.
+    /// Programs with an inter-kernel prefetch conflict (nw) deliberately
+    /// re-migrate displaced chunks each sweep, so they get a bounded
+    /// thrash allowance instead.
+    #[test]
+    fn uvm_page_conservation(idx in 0usize..21) {
+        use hetsim_runtime::GpuProgram;
+        let entries: Vec<_> = suite::micro_names().into_iter().chain(suite::app_names()).collect();
+        let w = (entries[idx].build)(InputSize::Small);
+        let rep = Runner::new(Device::a100_epyc()).run_base(&w, TransferMode::UvmPrefetch);
+        let chunk = Device::a100_epyc().uvm.chunk_size;
+        let chunks = w.footprint().div_ceil(chunk) + entries.len() as u64;
+        // Conflicted programs re-fault the displaced fraction up to 4
+        // rounds per later kernel.
+        let max_chunks = if w.prefetch_conflict() < 1.0 { chunks * 6 } else { chunks };
+        let moved = rep.counters.uvm.pages_migrated() + rep.counters.uvm.pages_prefetched();
+        prop_assert!(
+            moved <= max_chunks,
+            "moved {} chunks, bound {}",
+            moved, max_chunks
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Trace record/replay integration: every workload's kernels survive a
+//! record → serialize → parse → replay round trip with identical executor
+//! results.
+
+use hetsim::prelude::*;
+use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
+use hetsim_gpu::trace::KernelTrace;
+use hetsim_gpu::GpuConfig;
+use hetsim_workloads::suite;
+
+#[test]
+fn every_workload_kernel_round_trips_through_a_trace() {
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    for entry in suite::micro_names().into_iter().chain(suite::app_names()) {
+        let w = (entry.build)(InputSize::Tiny);
+        for kernel in w.kernels() {
+            let trace = KernelTrace::record(kernel, 6);
+            let style = kernel.standard_style();
+            let original = exec.execute(kernel, style, &ExecEnv::standard());
+            let replayed = exec.execute(&trace, style, &ExecEnv::standard());
+            assert_eq!(
+                original.cycles,
+                replayed.cycles,
+                "{}: trace replay must reproduce timing",
+                kernel.name()
+            );
+            assert_eq!(
+                original.l1, replayed.l1,
+                "{}: trace replay must reproduce L1 behaviour",
+                kernel.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn text_serialization_round_trips_for_an_irregular_kernel() {
+    // lud: random streams + windowed stores — the hardest case for a
+    // textual round trip.
+    let w = suite::by_name("lud", InputSize::Small).unwrap();
+    let kernels = w.kernels();
+    let kernel = kernels[0];
+    let trace = KernelTrace::record(kernel, 4);
+    let text = trace.to_trace_text();
+    let parsed = KernelTrace::from_trace_text(
+        "lud.trace",
+        kernel.launch(),
+        kernel.tile_ops(),
+        kernel.regularity(),
+        &text,
+    )
+    .expect("parse");
+    assert_eq!(parsed.recorded_accesses(), trace.recorded_accesses());
+
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    use hetsim_gpu::kernel::KernelStyle;
+    let a = exec.execute(&trace, KernelStyle::Direct, &ExecEnv::standard());
+    let b = exec.execute(&parsed, KernelStyle::Direct, &ExecEnv::standard());
+    assert_eq!(a.l1, b.l1, "textual round trip preserves cache behaviour");
+}
