@@ -5,6 +5,8 @@ use hetsim_workloads::InputSize;
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 pub struct Args {
+    /// Positional operands (e.g. the workload of `trace <workload>`).
+    pub positional: Vec<String>,
     /// `--workload NAME`
     pub workload: Option<String>,
     /// `--size tiny|small|medium|large|super|mega` (default: large).
@@ -15,15 +17,22 @@ pub struct Args {
     pub csv: bool,
     /// `--study blocks|threads|carveout`.
     pub study: Option<String>,
-    /// `--out DIR`.
+    /// `--out DIR` (or the trace output file for `trace`).
     pub out: Option<String>,
     /// `--jobs N` (default 16).
     pub jobs: u32,
+    /// `--mode standard|pinned|uvm|uvm_prefetch|uvm_prefetch_async`.
+    pub mode: Option<String>,
+    /// `--trace FILE`: also export a trace of the run to FILE.
+    pub trace: Option<String>,
+    /// `--self-profile`: include host wall-clock spans in the trace.
+    pub self_profile: bool,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Args {
+            positional: Vec::new(),
             workload: None,
             size: InputSize::Large,
             runs: 30,
@@ -31,6 +40,9 @@ impl Default for Args {
             study: None,
             out: None,
             jobs: 16,
+            mode: None,
+            trace: None,
+            self_profile: false,
         }
     }
 }
@@ -45,15 +57,19 @@ impl Args {
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--csv" => args.csv = true,
+                "--self-profile" => args.self_profile = true,
                 "--workload" => args.workload = Some(it.next()?.clone()),
                 "--study" => args.study = Some(it.next()?.clone()),
                 "--out" => args.out = Some(it.next()?.clone()),
+                "--mode" => args.mode = Some(it.next()?.clone()),
+                "--trace" => args.trace = Some(it.next()?.clone()),
                 "--size" => {
                     let v = it.next()?;
                     args.size = InputSize::ALL.into_iter().find(|s| s.name() == v)?;
                 }
                 "--runs" => args.runs = it.next()?.parse().ok()?,
                 "--jobs" => args.jobs = it.next()?.parse().ok()?,
+                other if !other.starts_with('-') => args.positional.push(other.to_string()),
                 _ => return None,
             }
         }
@@ -72,7 +88,14 @@ mod tests {
     #[test]
     fn parses_command_and_flags() {
         let (cmd, a) = Args::parse(&v(&[
-            "run", "--workload", "lud", "--size", "super", "--runs", "5", "--csv",
+            "run",
+            "--workload",
+            "lud",
+            "--size",
+            "super",
+            "--runs",
+            "5",
+            "--csv",
         ]))
         .unwrap();
         assert_eq!(cmd, "run");
@@ -89,6 +112,34 @@ mod tests {
         assert_eq!(a.runs, 30);
         assert!(!a.csv);
         assert_eq!(a.jobs, 16);
+    }
+
+    #[test]
+    fn parses_trace_command_shape() {
+        let (cmd, a) = Args::parse(&v(&[
+            "trace",
+            "vector_seq",
+            "--mode",
+            "uvm",
+            "--size",
+            "large",
+            "--out",
+            "/tmp/t.json",
+            "--self-profile",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "trace");
+        assert_eq!(a.positional, vec!["vector_seq".to_string()]);
+        assert_eq!(a.mode.as_deref(), Some("uvm"));
+        assert_eq!(a.out.as_deref(), Some("/tmp/t.json"));
+        assert!(a.self_profile);
+    }
+
+    #[test]
+    fn parses_trace_flag_on_run() {
+        let (_, a) = Args::parse(&v(&["run", "--workload", "lud", "--trace", "t.json"])).unwrap();
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert!(!a.self_profile);
     }
 
     #[test]

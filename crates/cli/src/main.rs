@@ -13,7 +13,14 @@
 //! hetsim-cli sensitivity --study blocks|threads|carveout [--size large]
 //! hetsim-cli figures --out DIR      # write every figure's CSV + SVG
 //! hetsim-cli interjob [--workload W] [--jobs N]
+//! hetsim-cli trace <workload> [--mode M] [--out trace.json]
 //! ```
+//!
+//! `trace` records one deterministic run as a structured sim-time trace
+//! and exports it by output extension: `.json` → Chrome trace-event
+//! format (load in Perfetto / `chrome://tracing`), `.csv` → flat CSV,
+//! anything else (or `-`) → plain text. `run` and `interjob` accept
+//! `--trace FILE` to export a trace alongside their tables.
 
 use hetsim::batch::{InterJobPipeline, JobStages};
 use hetsim::experiment::Experiment;
@@ -54,6 +61,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), String> {
         "sensitivity" => cmd_sensitivity(args),
         "figures" => cmd_figures(args),
         "interjob" => cmd_interjob(args),
+        "trace" => cmd_trace(args),
         "alternatives" => cmd_alternatives(args),
         other => Err(format!("unknown command `{other}` (try `hetsim-cli list`)")),
     }
@@ -71,7 +79,10 @@ fn print_usage() {
          \u{20}  sensitivity --study X [--size S]   Figs 11-13 (blocks|threads|carveout)\n\
          \u{20}  figures --out DIR                  write every figure's CSV to DIR\n\
          \u{20}  interjob [--workload W] [--jobs N] Fig 14: inter-job pipeline estimate\n\
-         options: --size tiny|small|medium|large|super|mega  --runs N  --csv"
+         \u{20}  trace W [--mode M] [--out FILE]    export one run as a Chrome/Perfetto trace\n\
+         options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
+         \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
+         \u{20}        --trace FILE  --self-profile"
     );
 }
 
@@ -98,7 +109,9 @@ fn cmd_list() -> Result<(), String> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let name = args.workload.as_deref().ok_or("run needs --workload")?;
     let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = Experiment::new()
+        .with_runs(args.runs)
+        .with_trace(trace_config(args));
     let cmp = exp.compare_modes(&w);
     println!(
         "{name} @ {} ({} runs, {} MB footprint)",
@@ -107,6 +120,80 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         hetsim_runtime::GpuProgram::footprint(&w) >> 20
     );
     emit(&cmp.to_table(), args.csv);
+    if let Some(path) = args.trace.as_deref() {
+        // One recording with all five modes back to back on the timeline.
+        let (_, trace) = exp.traced_modes(&w);
+        write_trace(&trace, path)?;
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let name = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or(args.workload.as_deref())
+        .ok_or("trace needs a workload: hetsim-cli trace <workload> [--mode M] [--out FILE]")?;
+    let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
+    let mode = parse_mode(args.mode.as_deref().unwrap_or("standard"))?;
+    let exp = Experiment::new().with_trace(trace_config(args));
+    let (report, trace) = exp.traced_run(&w, mode);
+    write_trace(&trace, args.out.as_deref().unwrap_or("-"))?;
+    eprintln!(
+        "{name} @ {} [{}]: alloc {} memcpy {} kernel {} system {} | {} events{}",
+        args.size,
+        mode.name(),
+        report.alloc,
+        report.memcpy,
+        report.kernel,
+        report.system,
+        trace.len(),
+        if trace.dropped() > 0 {
+            format!(" ({} dropped)", trace.dropped())
+        } else {
+            String::new()
+        },
+    );
+    Ok(())
+}
+
+/// The trace configuration implied by the common flags.
+fn trace_config(args: &Args) -> hetsim_trace::TraceConfig {
+    let config = hetsim_trace::TraceConfig::default();
+    if args.self_profile {
+        config.with_self_profile()
+    } else {
+        config
+    }
+}
+
+fn parse_mode(name: &str) -> Result<TransferMode, String> {
+    TransferMode::ALL
+        .into_iter()
+        .find(|m| m.name() == name)
+        .ok_or_else(|| {
+            let names = TransferMode::ALL.map(|m| m.name()).join("|");
+            format!("unknown mode `{name}` ({names})")
+        })
+}
+
+/// Writes a trace in the format implied by the output path: `.json` →
+/// Chrome trace-event JSON, `.csv` → CSV, `-` or anything else → text.
+fn write_trace(trace: &hetsim_trace::Trace, path: &str) -> Result<(), String> {
+    let contents = if path.ends_with(".json") {
+        trace.to_chrome_json()
+    } else if path.ends_with(".csv") {
+        trace.to_csv()
+    } else {
+        trace.to_text()
+    };
+    if path == "-" {
+        print!("{contents}");
+        return Ok(());
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path}");
     Ok(())
 }
 
@@ -155,19 +242,42 @@ fn cmd_interjob(args: &Args) -> Result<(), String> {
     let name = args.workload.as_deref().unwrap_or("vector_seq");
     let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
     let exp = Experiment::new().with_runs(args.runs);
+    if args.trace.is_some() {
+        hetsim_trace::session::start(trace_config(args));
+    }
     let report = exp.runner().run_base(&w, TransferMode::UvmPrefetchAsync);
     let pipeline = InterJobPipeline::homogeneous(JobStages::from_report(&report), args.jobs);
-    println!("Fig 14: inter-job pipeline, {name} @ {} x {} jobs", args.size, args.jobs);
+    if let Some(path) = args.trace.as_deref() {
+        // Append the pipelined batch schedule after the measured job, so
+        // the export shows both the single run and the Fig 14 overlap.
+        let (_, piped) = pipeline.traces();
+        hetsim_trace::session::with(|b| {
+            let at = b.now();
+            b.absorb_at(&piped, at);
+        });
+        let trace = hetsim_trace::session::finish().expect("trace session active");
+        write_trace(&trace, path)?;
+    }
+    println!(
+        "Fig 14: inter-job pipeline, {name} @ {} x {} jobs",
+        args.size, args.jobs
+    );
     emit(&pipeline.to_table(), args.csv);
     Ok(())
 }
 
 fn cmd_alternatives(args: &Args) -> Result<(), String> {
-    let name = args.workload.as_deref().ok_or("alternatives needs --workload")?;
+    let name = args
+        .workload
+        .as_deref()
+        .ok_or("alternatives needs --workload")?;
     let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
     let runner = hetsim_runtime::Runner::new(hetsim_runtime::Device::a100_epyc());
     println!("transfer-hiding alternatives: {name} @ {}", args.size);
-    emit(&hetsim::extensions::alternatives_table(&runner, &w), args.csv);
+    emit(
+        &hetsim::extensions::alternatives_table(&runner, &w),
+        args.csv,
+    );
     Ok(())
 }
 
@@ -185,7 +295,10 @@ fn cmd_figures(args: &Args) -> Result<(), String> {
         figures::fig5(&grid, &InputSize::ALL).to_csv(),
     );
     eprintln!("fig6 ...");
-    files.insert("fig06_mega_breakdown.csv", figures::fig6(&exp).to_table().to_csv());
+    files.insert(
+        "fig06_mega_breakdown.csv",
+        figures::fig6(&exp).to_table().to_csv(),
+    );
     eprintln!("fig7 ...");
     let micro_large = figures::fig7(&exp, InputSize::Large);
     files.insert("fig07_micro_large.csv", micro_large.to_table().to_csv());
@@ -200,13 +313,24 @@ fn cmd_figures(args: &Args) -> Result<(), String> {
     eprintln!("fig8 ...");
     let apps = figures::fig8(&exp);
     files.insert("fig08_apps_super.csv", apps.to_table().to_csv());
-    files.insert("fig08_apps_super.svg", suite_chart("Fig 8: applications @ super", &apps));
-    files.insert("headline_apps.csv", Headline::from_suite(&apps).to_table().to_csv());
-    files.insert("section6_shares.csv", Section6::from_suite(&apps).to_table().to_csv());
+    files.insert(
+        "fig08_apps_super.svg",
+        suite_chart("Fig 8: applications @ super", &apps),
+    );
+    files.insert(
+        "headline_apps.csv",
+        Headline::from_suite(&apps).to_table().to_csv(),
+    );
+    files.insert(
+        "section6_shares.csv",
+        Section6::from_suite(&apps).to_table().to_csv(),
+    );
     eprintln!("fig9/fig10 ...");
     files.insert(
         "fig09_fig10_counters.csv",
-        figures::fig9_fig10(&exp, InputSize::Large).to_table().to_csv(),
+        figures::fig9_fig10(&exp, InputSize::Large)
+            .to_table()
+            .to_csv(),
     );
     eprintln!("fig11..fig13 ...");
     files.insert(

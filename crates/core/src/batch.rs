@@ -11,8 +11,9 @@
 //! paper estimates.
 
 use hetsim_counters::report::Table;
-use hetsim_engine::time::{Nanos, SimTime};
+use hetsim_engine::time::Nanos;
 use hetsim_runtime::{RunReport, Timeline};
+use hetsim_trace::{Category, Trace, TraceBuilder, TraceConfig};
 
 /// One job's stage costs in the batch pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,57 +93,89 @@ impl InterJobPipeline {
         &self.jobs
     }
 
-    /// Schedules the batch both ways.
+    /// Records both schedules of the paper's Fig 14 as traces:
+    /// `(without_overlap, with_overlap)`, each with a `cpu` and a `gpu`
+    /// track carrying `alloc[i]` / `kernel[i]` spans.
     ///
-    /// The pipelined schedule is the classic two-stage pipeline: job *i*'s
-    /// GPU stage may start once its CPU stage is done *and* job *i-1*'s
-    /// GPU stage has drained; CPU stages run ahead on the otherwise-idle
-    /// host.
-    pub fn estimate(&self) -> PipelineEstimate {
-        let sequential: Nanos = self.jobs.iter().map(|j| j.total()).sum();
+    /// These traces are the single source of truth for the batch model —
+    /// [`InterJobPipeline::estimate`] reads their horizons and
+    /// [`InterJobPipeline::timelines`] renders them, so the summary numbers
+    /// and the Gantt pictures can never drift apart.
+    pub fn traces(&self) -> (Trace, Trace) {
+        let cap = (2 * self.jobs.len()).max(1);
 
-        // Event-driven two-stage pipeline simulation.
-        let mut cpu_free = Nanos::ZERO; // when the host is next available
-        let mut gpu_free = Nanos::ZERO; // when the device is next available
-        let mut end = Nanos::ZERO;
-        for j in &self.jobs {
-            let cpu_done = cpu_free + j.cpu;
+        // Today's model: jobs strictly serialized.
+        let mut serial = TraceBuilder::new(TraceConfig::default().with_capacity(cap));
+        let cpu = serial.track("cpu");
+        let gpu = serial.track("gpu");
+        let mut clock = 0u64;
+        for (i, j) in self.jobs.iter().enumerate() {
+            serial.span_at(
+                cpu,
+                Category::Alloc,
+                format!("alloc[{i}]"),
+                clock,
+                j.cpu.as_nanos(),
+            );
+            clock += j.cpu.as_nanos();
+            serial.span_at(
+                gpu,
+                Category::Kernel,
+                format!("kernel[{i}]"),
+                clock,
+                j.gpu.as_nanos(),
+            );
+            clock += j.gpu.as_nanos();
+        }
+
+        // The proposed two-stage pipeline: job *i*'s GPU stage may start
+        // once its CPU stage is done *and* job *i-1*'s GPU stage has
+        // drained; CPU stages run ahead on the otherwise-idle host.
+        let mut piped = TraceBuilder::new(TraceConfig::default().with_capacity(cap));
+        let cpu = piped.track("cpu");
+        let gpu = piped.track("gpu");
+        let mut cpu_free = 0u64; // when the host is next available
+        let mut gpu_free = 0u64; // when the device is next available
+        for (i, j) in self.jobs.iter().enumerate() {
+            piped.span_at(
+                cpu,
+                Category::Alloc,
+                format!("alloc[{i}]"),
+                cpu_free,
+                j.cpu.as_nanos(),
+            );
+            let cpu_done = cpu_free + j.cpu.as_nanos();
             cpu_free = cpu_done;
             let gpu_start = cpu_done.max(gpu_free);
-            gpu_free = gpu_start + j.gpu;
-            end = gpu_free;
+            piped.span_at(
+                gpu,
+                Category::Kernel,
+                format!("kernel[{i}]"),
+                gpu_start,
+                j.gpu.as_nanos(),
+            );
+            gpu_free = gpu_start + j.gpu.as_nanos();
         }
+
+        (serial.finish(), piped.finish())
+    }
+
+    /// Schedules the batch both ways, reading both totals off the recorded
+    /// schedule traces.
+    pub fn estimate(&self) -> PipelineEstimate {
+        let (serial, piped) = self.traces();
         PipelineEstimate {
-            sequential,
-            pipelined: end,
+            sequential: Nanos::from_nanos(serial.horizon()),
+            pipelined: Nanos::from_nanos(piped.horizon()),
         }
     }
 
     /// Renders the two schedules of the paper's Fig 14 as timelines:
     /// `(without_overlap, with_overlap)`, each with a `cpu` and a `gpu`
-    /// lane.
+    /// lane — Gantt views over [`InterJobPipeline::traces`].
     pub fn timelines(&self) -> (Timeline, Timeline) {
-        let mut serial = Timeline::new();
-        let mut clock = SimTime::ZERO;
-        for (i, j) in self.jobs.iter().enumerate() {
-            serial.record_for("cpu", format!("alloc[{i}]"), clock, j.cpu);
-            clock += j.cpu;
-            serial.record_for("gpu", format!("kernel[{i}]"), clock, j.gpu);
-            clock += j.gpu;
-        }
-
-        let mut piped = Timeline::new();
-        let mut cpu_free = SimTime::ZERO;
-        let mut gpu_free = SimTime::ZERO;
-        for (i, j) in self.jobs.iter().enumerate() {
-            piped.record_for("cpu", format!("alloc[{i}]"), cpu_free, j.cpu);
-            let cpu_done = cpu_free + j.cpu;
-            cpu_free = cpu_done;
-            let gpu_start = cpu_done.max(gpu_free);
-            piped.record_for("gpu", format!("kernel[{i}]"), gpu_start, j.gpu);
-            gpu_free = gpu_start + j.gpu;
-        }
-        (serial, piped)
+        let (serial, piped) = self.traces();
+        (Timeline::from_trace(&serial), Timeline::from_trace(&piped))
     }
 
     /// Renders the estimate for a range of batch sizes (prefixes of the
@@ -238,6 +271,39 @@ mod tests {
         // Two lanes, four jobs each.
         assert_eq!(serial.len(), 8);
         assert!(piped.render(60).contains("cpu"));
+    }
+
+    fn span(trace: &Trace, name: &str) -> (u64, u64) {
+        let e = trace
+            .events()
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("no span named {name}"));
+        (e.ts, e.end())
+    }
+
+    #[test]
+    fn fig14_trace_shows_interjob_overlap() {
+        let p = InterJobPipeline::homogeneous(job(40, 60), 3);
+        let (serial, piped) = p.traces();
+        // Without overlap, job 1's allocation waits for job 0's kernel.
+        let (_, k0_end) = span(&serial, "kernel[0]");
+        let (a1_start, _) = span(&serial, "alloc[1]");
+        assert_eq!(a1_start, k0_end, "serial: next alloc waits for the kernel");
+        // With the proposed pipeline, it runs during job 0's kernel.
+        let (k0s, k0e) = span(&piped, "kernel[0]");
+        let (a1s, a1e) = span(&piped, "alloc[1]");
+        assert!(a1s < k0e && a1e > k0s, "piped: alloc[1] overlaps kernel[0]");
+        // The trace carries the accounting categories, so exported batch
+        // traces participate in category totals like everything else.
+        assert_eq!(
+            piped.category_total(Category::Kernel),
+            Nanos::from_millis(3 * 60).as_nanos()
+        );
+        assert_eq!(
+            piped.category_total(Category::Alloc),
+            Nanos::from_millis(3 * 40).as_nanos()
+        );
     }
 
     #[test]

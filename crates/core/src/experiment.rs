@@ -11,12 +11,14 @@ use hetsim_engine::stats::Summary;
 use hetsim_engine::time::Nanos;
 use hetsim_runtime::report::Component;
 use hetsim_runtime::{Device, GpuProgram, RunReport, Runner, TransferMode};
+use hetsim_trace::{HostProfiler, Trace, TraceConfig};
 
 /// A configured experiment: a device plus a run count.
 #[derive(Debug, Clone)]
 pub struct Experiment {
     runner: Runner,
     runs: u64,
+    trace: TraceConfig,
 }
 
 impl Experiment {
@@ -25,6 +27,7 @@ impl Experiment {
         Experiment {
             runner: Runner::new(Device::a100_epyc()),
             runs: 30,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -43,6 +46,18 @@ impl Experiment {
     pub fn with_device(mut self, device: Device) -> Self {
         self.runner = Runner::new(device);
         self
+    }
+
+    /// Overrides the trace configuration used by
+    /// [`Experiment::traced_run`] and [`Experiment::traced_modes`].
+    pub fn with_trace(mut self, config: TraceConfig) -> Self {
+        self.trace = config;
+        self
+    }
+
+    /// The trace configuration.
+    pub fn trace_config(&self) -> TraceConfig {
+        self.trace
     }
 
     /// The underlying runner.
@@ -77,6 +92,35 @@ impl Experiment {
             means,
         }
     }
+
+    /// Runs the deterministic base simulation of `(program, mode)` inside
+    /// a fresh thread-local trace session and returns the report together
+    /// with the recording.
+    ///
+    /// The *noise-free* base run is what gets traced (not the noised
+    /// distribution), so the recording is reproducible across invocations
+    /// and its phase spans sum exactly to the report's components. Host
+    /// self-profiling spans are added only when the configuration opted
+    /// in via [`TraceConfig::with_self_profile`].
+    pub fn traced_run(&self, program: &dyn GpuProgram, mode: TransferMode) -> (RunReport, Trace) {
+        hetsim_trace::session::start(self.trace);
+        let profiler = HostProfiler::new();
+        let report = profiler.phase("simulate", || self.runner.run_base(program, mode));
+        let trace = hetsim_trace::session::finish().expect("trace session active");
+        (report, trace)
+    }
+
+    /// Traces the base run of every transfer mode into one recording, the
+    /// modes laid out back to back on the sim timeline — a side-by-side
+    /// five-mode picture of the same workload.
+    pub fn traced_modes(&self, program: &dyn GpuProgram) -> ([RunReport; 5], Trace) {
+        hetsim_trace::session::start(self.trace);
+        let profiler = HostProfiler::new();
+        let reports = TransferMode::ALL
+            .map(|m| profiler.phase("simulate", || self.runner.run_base(program, m)));
+        let trace = hetsim_trace::session::finish().expect("trace session active");
+        (reports, trace)
+    }
 }
 
 impl Default for Experiment {
@@ -110,9 +154,8 @@ impl MeanReport {
     pub fn from_distribution(reports: &[RunReport]) -> Self {
         assert!(!reports.is_empty(), "empty distribution");
         let n = reports.len() as u64;
-        let sum = |f: fn(&RunReport) -> Nanos| -> Nanos {
-            reports.iter().map(f).sum::<Nanos>() / n
-        };
+        let sum =
+            |f: fn(&RunReport) -> Nanos| -> Nanos { reports.iter().map(f).sum::<Nanos>() / n };
         let totals: Vec<Nanos> = reports.iter().map(|r| r.total()).collect();
         MeanReport {
             alloc: sum(|r| r.alloc),
@@ -194,7 +237,12 @@ impl ModeComparison {
     /// Renders the comparison as a table of normalized components.
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(vec![
-            "mode", "gpu_kernel", "memcpy", "allocation", "total", "vs standard",
+            "mode",
+            "gpu_kernel",
+            "memcpy",
+            "allocation",
+            "total",
+            "vs standard",
         ]);
         for mode in TransferMode::ALL {
             t.row(vec![
@@ -244,10 +292,7 @@ mod tests {
         let e = exp();
         let m = e.mean(&w, TransferMode::Standard);
         assert!(m.total() > Nanos::ZERO);
-        assert_eq!(
-            m.total(),
-            m.alloc + m.memcpy + m.kernel + m.system
-        );
+        assert_eq!(m.total(), m.alloc + m.memcpy + m.kernel + m.system);
         assert_eq!(m.total_summary.len(), 4);
     }
 

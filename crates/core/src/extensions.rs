@@ -70,9 +70,7 @@ pub fn overlapped_standard(
     // The H2D and D2H shares of the measured memcpy time.
     let h2d_bytes = base.counters.transfer.h2d_bytes();
     let total_bytes = base.counters.transfer.total_bytes().max(1);
-    let h2d = base
-        .memcpy
-        .scale(h2d_bytes as f64 / total_bytes as f64);
+    let h2d = base.memcpy.scale(h2d_bytes as f64 / total_bytes as f64);
     let d2h = base.memcpy.saturating_sub(h2d);
 
     let schedule = StreamSchedule::chunked_pipeline(
@@ -256,10 +254,8 @@ mod tests {
 
     #[test]
     fn oversubscription_degrades_monotonically() {
-        let points = oversubscription_sweep(
-            || micro::vector_seq(InputSize::Small),
-            &[1.0, 1.5, 2.0],
-        );
+        let points =
+            oversubscription_sweep(|| micro::vector_seq(InputSize::Small), &[1.0, 1.5, 2.0]);
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].evictions, 0, "exact fit evicts nothing");
         assert!(points[2].evictions > points[1].evictions);
@@ -280,7 +276,10 @@ mod tests {
         let std = runner.run_base(&w, TransferMode::Standard);
         let pinned = pinned_standard(&runner, &w);
         assert!(pinned.memcpy < std.memcpy, "pinned DMA is faster");
-        assert!(pinned.alloc > std.alloc, "page-locking costs allocation time");
+        assert!(
+            pinned.alloc > std.alloc,
+            "page-locking costs allocation time"
+        );
         assert_eq!(pinned.kernel, std.kernel, "kernels are untouched");
     }
 

@@ -115,11 +115,7 @@ pub fn fig5(grid: &DistributionGrid, sizes: &[InputSize]) -> Table {
     let mut t = Table::new(headers);
     for w in &names {
         let mut row = vec![w.clone()];
-        row.extend(
-            sizes
-                .iter()
-                .map(|&s| format!("{:.4}", grid.mean_cv(w, s))),
-        );
+        row.extend(sizes.iter().map(|&s| format!("{:.4}", grid.mean_cv(w, s))));
         t.row(row);
     }
     let mut geo = vec!["geo-mean".to_string()];
@@ -403,7 +399,11 @@ impl SweepComparison {
         let mut t = Table::new(headers);
         for (p, _) in &self.points {
             let mut row = vec![p.to_string()];
-            row.extend(TransferMode::ALL.iter().map(|&m| format!("{:.3}", f(*p, m))));
+            row.extend(
+                TransferMode::ALL
+                    .iter()
+                    .map(|&m| format!("{:.3}", f(*p, m))),
+            );
             t.row(row);
         }
         t
@@ -456,9 +456,7 @@ pub fn fig13(exp: &Experiment, size: InputSize) -> SweepComparison {
         .map(|carveout| {
             let mut device = exp.runner().device().clone();
             device.gpu = device.gpu.with_carveout(carveout);
-            let e = Experiment::new()
-                .with_device(device)
-                .with_runs(exp.runs());
+            let e = Experiment::new().with_device(device).with_runs(exp.runs());
             let w = micro::vector_seq_shared(size, carveout.shared_bytes());
             (carveout.shared_bytes() / 1024, e.compare_modes(&w))
         })

@@ -37,7 +37,7 @@ pub use cache::CacheCounters;
 pub use inst::{InstClass, InstructionMix};
 pub use occupancy::Occupancy;
 pub use report::Table;
-pub use svg::BarChart;
 pub use set::CounterSet;
+pub use svg::BarChart;
 pub use transfer::TransferCounters;
 pub use uvm::UvmCounters;

@@ -50,11 +50,9 @@ impl Occupancy {
             "bad SM limits"
         );
         let by_threads = max_threads_per_sm / threads_per_block;
-        let by_shared = if shared_bytes_per_block == 0 {
-            max_blocks_per_sm
-        } else {
-            (shared_bytes_per_sm / shared_bytes_per_block) as u32
-        };
+        let by_shared = shared_bytes_per_sm
+            .checked_div(shared_bytes_per_block)
+            .map_or(max_blocks_per_sm, |b| b as u32);
         let blocks = by_threads.min(by_shared).min(max_blocks_per_sm);
         let warps_per_block = threads_per_block.div_ceil(warp_size);
         let resident_warps = (blocks * warps_per_block).min(max_warps_per_sm);
@@ -83,7 +81,15 @@ mod tests {
     const SMEM: u64 = 164 * 1024;
 
     fn theo(tpb: u32, smem: u64) -> f64 {
-        Occupancy::theoretical_from_limits(tpb, smem, WARP, MAX_WARPS, MAX_THREADS, MAX_BLOCKS, SMEM)
+        Occupancy::theoretical_from_limits(
+            tpb,
+            smem,
+            WARP,
+            MAX_WARPS,
+            MAX_THREADS,
+            MAX_BLOCKS,
+            SMEM,
+        )
     }
 
     #[test]

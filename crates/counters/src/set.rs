@@ -49,7 +49,9 @@ impl AddAssign for CounterSet {
         self.transfer += rhs.transfer;
         self.uvm += rhs.uvm;
         self.occupancy = Occupancy::new(
-            self.occupancy.theoretical().max(rhs.occupancy.theoretical()),
+            self.occupancy
+                .theoretical()
+                .max(rhs.occupancy.theoretical()),
             self.occupancy.achieved().max(rhs.occupancy.achieved()),
         );
     }

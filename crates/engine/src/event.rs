@@ -76,8 +76,29 @@ impl<E> EventQueue<E> {
     }
 
     /// Removes and returns the earliest event, FIFO among equal times.
+    ///
+    /// When a [`hetsim_trace::session`] is active, each dispatch leaves an
+    /// `engine` instant (and a queue-depth counter sample) in the trace.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.payload))
+        let popped = self.heap.pop().map(|e| (e.at, e.payload));
+        if let Some((at, _)) = &popped {
+            if hetsim_trace::session::enabled() {
+                let depth = self.heap.len();
+                let ns = at.as_nanos();
+                hetsim_trace::session::with(|b| {
+                    let track = b.track("engine");
+                    b.instant_at(
+                        track,
+                        hetsim_trace::Category::Engine,
+                        "dispatch",
+                        ns,
+                        Some(("queue_depth", depth as f64)),
+                    );
+                    b.counter_at("engine.queue_depth", ns, depth as f64);
+                });
+            }
+        }
+        popped
     }
 
     /// The timestamp of the next event without removing it.
@@ -161,7 +182,7 @@ mod tests {
         q.push(SimTime::from_nanos(10), "early");
         let (t, e) = q.pop().unwrap();
         assert_eq!((t, e), (SimTime::from_nanos(10), "early"));
-        q.push(SimTime::from_nanos(50) + Nanos::ZERO.into(), "mid");
+        q.push(SimTime::from_nanos(50) + Nanos::ZERO, "mid");
         let rest: Vec<_> = q.drain_ordered().into_iter().map(|(_, e)| e).collect();
         assert_eq!(rest, vec!["mid", "late"]);
     }

@@ -212,7 +212,11 @@ impl Histogram {
 /// assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
 /// ```
 pub fn geomean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         return 0.0;
     }

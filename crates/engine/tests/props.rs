@@ -1,94 +1,137 @@
-//! Property-based tests for the discrete-event core.
+//! Randomized invariant tests for the discrete-event core.
+//!
+//! These were originally `proptest` properties; they now drive the same
+//! invariants from the crate's own deterministic [`SimRng`] so the test
+//! suite builds with no external dependencies (offline tier-1 CI).
 
 use hetsim_engine::prelude::*;
 use hetsim_engine::stats::geomean;
-use proptest::prelude::*;
 
-proptest! {
-    /// Events always pop in non-decreasing time order, with FIFO ties.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..200)) {
+const CASES: u64 = 64;
+
+/// Events always pop in non-decreasing time order, with FIFO ties.
+#[test]
+fn event_queue_total_order() {
+    let mut rng = SimRng::seed_from_parts(&["props", "event_queue_total_order"], 0);
+    for _ in 0..CASES {
+        let n = rng.range(1, 200) as usize;
+        let times: Vec<u64> = (0..n).map(|_| rng.below(1_000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
         }
         let drained = q.drain_ordered();
-        prop_assert_eq!(drained.len(), times.len());
+        assert_eq!(drained.len(), times.len());
         for w in drained.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tiebreak violated");
+                assert!(w[0].1 < w[1].1, "FIFO tiebreak violated");
             }
         }
     }
+}
 
-    /// Busy time within a window never exceeds the window, regardless of
-    /// how intervals overlap.
-    #[test]
-    fn busy_tracker_bounded(intervals in prop::collection::vec((0u64..500, 0u64..500), 0..50)) {
+/// Busy time within a window never exceeds the window, regardless of how
+/// intervals overlap.
+#[test]
+fn busy_tracker_bounded() {
+    let mut rng = SimRng::seed_from_parts(&["props", "busy_tracker_bounded"], 0);
+    for _ in 0..CASES {
+        let n = rng.below(50) as usize;
         let mut b = BusyTracker::new();
-        for (s, d) in &intervals {
-            b.record_for(SimTime::from_nanos(*s), Nanos::from_nanos(*d));
+        for _ in 0..n {
+            let s = rng.below(500);
+            let d = rng.below(500);
+            b.record_for(SimTime::from_nanos(s), Nanos::from_nanos(d));
         }
         let window = Nanos::from_nanos(500 + 500);
         let busy = b.busy_within(SimTime::ZERO, SimTime::ZERO + window);
-        prop_assert!(busy <= window);
+        assert!(busy <= window);
         let util = b.utilization(SimTime::ZERO, SimTime::ZERO + window);
-        prop_assert!((0.0..=1.0).contains(&util));
+        assert!((0.0..=1.0).contains(&util));
     }
+}
 
-    /// Merging overlapping recordings never reports less busy time than
-    /// the single longest interval.
-    #[test]
-    fn busy_tracker_lower_bound(intervals in prop::collection::vec((0u64..500, 1u64..500), 1..50)) {
+/// Merging overlapping recordings never reports less busy time than the
+/// single longest interval.
+#[test]
+fn busy_tracker_lower_bound() {
+    let mut rng = SimRng::seed_from_parts(&["props", "busy_tracker_lower_bound"], 0);
+    for _ in 0..CASES {
+        let n = rng.range(1, 50) as usize;
         let mut b = BusyTracker::new();
         let mut longest = 0u64;
-        for (s, d) in &intervals {
-            b.record_for(SimTime::from_nanos(*s), Nanos::from_nanos(*d));
-            longest = longest.max(*d);
+        for _ in 0..n {
+            let s = rng.below(500);
+            let d = rng.range(1, 500);
+            b.record_for(SimTime::from_nanos(s), Nanos::from_nanos(d));
+            longest = longest.max(d);
         }
         let busy = b.busy_within(SimTime::ZERO, SimTime::from_nanos(1_000));
-        prop_assert!(busy.as_nanos() >= longest.min(1_000));
+        assert!(busy.as_nanos() >= longest.min(1_000));
     }
+}
 
-    /// SimRng stays deterministic under forking and in-range for bounds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// SimRng stays deterministic under forking and in-range for bounds.
+#[test]
+fn rng_bounds() {
+    let mut seeds = SimRng::seed_from_parts(&["props", "rng_bounds"], 0);
+    for _ in 0..CASES {
+        let seed = seeds.next_u64();
+        let bound = seeds.range(1, 1_000_000);
         let mut r = SimRng::new(seed);
         for _ in 0..50 {
-            prop_assert!(r.below(bound) < bound);
+            assert!(r.below(bound) < bound);
             let f = r.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
         }
     }
+}
 
-    /// Summary invariants: min <= percentiles <= max, cv >= 0.
-    #[test]
-    fn summary_invariants(xs in prop::collection::vec(0.0f64..1e12, 1..100)) {
+/// Summary invariants: min <= percentiles <= max, cv >= 0.
+#[test]
+fn summary_invariants() {
+    let mut rng = SimRng::seed_from_parts(&["props", "summary_invariants"], 0);
+    for _ in 0..CASES {
+        let n = rng.range(1, 100) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.next_f64() * 1e12).collect();
         let s = Summary::from_samples(&xs);
-        prop_assert!(s.min() <= s.mean() + 1e-6);
-        prop_assert!(s.mean() <= s.max() + 1e-6);
+        assert!(s.min() <= s.mean() + 1e-6);
+        assert!(s.mean() <= s.max() + 1e-6);
         for p in [0.0, 25.0, 50.0, 75.0, 100.0] {
             let v = s.percentile(p);
-            prop_assert!(s.min() - 1e-9 <= v && v <= s.max() + 1e-9);
+            assert!(s.min() - 1e-9 <= v && v <= s.max() + 1e-9);
         }
-        prop_assert!(s.cv() >= 0.0);
+        assert!(s.cv() >= 0.0);
     }
+}
 
-    /// Geomean sits between min and max of positive inputs.
-    #[test]
-    fn geomean_bounds(xs in prop::collection::vec(1e-6f64..1e6, 1..50)) {
+/// Geomean sits between min and max of positive inputs.
+#[test]
+fn geomean_bounds() {
+    let mut rng = SimRng::seed_from_parts(&["props", "geomean_bounds"], 0);
+    for _ in 0..CASES {
+        let n = rng.range(1, 50) as usize;
+        // Log-uniform over [1e-6, 1e6].
+        let xs: Vec<f64> = (0..n)
+            .map(|_| 10f64.powf(rng.next_f64() * 12.0 - 6.0))
+            .collect();
         let g = geomean(&xs);
         let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = xs.iter().cloned().fold(0.0, f64::max);
-        prop_assert!(min * 0.999 <= g && g <= max * 1.001);
+        assert!(min * 0.999 <= g && g <= max * 1.001);
     }
+}
 
-    /// Bandwidth transfer time is monotonic in bytes and additive-ish.
-    #[test]
-    fn transfer_time_monotonic(a in 0u64..1u64<<32, b in 0u64..1u64<<32) {
-        let bw = Bandwidth::from_gb_per_sec(6.2);
+/// Bandwidth transfer time is monotonic in bytes.
+#[test]
+fn transfer_time_monotonic() {
+    let mut rng = SimRng::seed_from_parts(&["props", "transfer_time_monotonic"], 0);
+    let bw = Bandwidth::from_gb_per_sec(6.2);
+    for _ in 0..CASES {
+        let a = rng.below(1u64 << 32);
+        let b = rng.below(1u64 << 32);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
+        assert!(bw.transfer_time(lo) <= bw.transfer_time(hi));
     }
 }

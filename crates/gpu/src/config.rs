@@ -159,11 +159,11 @@ impl GpuConfig {
     pub fn resident_blocks(&self, threads_per_block: u32, shared_per_block: u64) -> u32 {
         assert!(threads_per_block > 0, "threads_per_block must be positive");
         let by_threads = self.max_threads_per_sm / threads_per_block;
-        let by_shared = if shared_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            (self.carveout.shared_bytes() / shared_per_block) as u32
-        };
+        let by_shared = self
+            .carveout
+            .shared_bytes()
+            .checked_div(shared_per_block)
+            .map_or(self.max_blocks_per_sm, |b| b as u32);
         by_threads.min(by_shared).min(self.max_blocks_per_sm).max(1)
     }
 }

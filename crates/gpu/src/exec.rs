@@ -185,7 +185,12 @@ impl KernelExecutor {
     }
 
     /// Executes `kernel` under `style` in environment `env`.
-    pub fn execute(&self, kernel: &dyn KernelModel, style: KernelStyle, env: &ExecEnv) -> KernelResult {
+    pub fn execute(
+        &self,
+        kernel: &dyn KernelModel,
+        style: KernelStyle,
+        env: &ExecEnv,
+    ) -> KernelResult {
         let cfg = &self.config;
         let launch = kernel.launch();
         let grid = launch.grid_blocks;
@@ -193,15 +198,12 @@ impl KernelExecutor {
         let line = cfg.l1_line as f64;
 
         let mut l1 = Cache::new(cfg.l1_config());
-        let mut l2 = Cache::new(cfg.l2.clone());
+        let mut l2 = Cache::new(cfg.l2);
         let mut inst = InstructionMix::new();
         let mut total = BlockAccum::default();
         let mut sum_block_cycles = 0.0;
 
-        let resident = cfg.resident_blocks(
-            launch.threads_per_block,
-            launch.shared_bytes_per_block,
-        );
+        let resident = cfg.resident_blocks(launch.threads_per_block, launch.shared_bytes_per_block);
         let waves = grid.div_ceil(cfg.sm_count as u64);
         let resident_eff = (resident as u64).min(waves).max(1) as f64;
         let warps_per_block = launch.warps_per_block(cfg.warp_size) as f64;
@@ -260,8 +262,7 @@ impl KernelExecutor {
                 if style == KernelStyle::StagedAsync {
                     let extra_ctrl =
                         cfg.async_ctrl_per_thread_tile * launch.threads_per_block as f64;
-                    let extra_int =
-                        cfg.async_int_per_thread_tile * launch.threads_per_block as f64;
+                    let extra_int = cfg.async_int_per_thread_tile * launch.threads_per_block as f64;
                     acc.control += extra_ctrl;
                     acc.int += extra_int;
                     inst.record(InstClass::Control, extra_ctrl.round() as u64);
@@ -287,15 +288,22 @@ impl KernelExecutor {
                 acc.stream_l2_bytes += warm;
             }
 
-            sum_block_cycles += self.block_cycles(
-                &acc,
-                style,
-                env,
-                tiles,
-                active_warps,
-                resident_eff,
-                line,
-            );
+            let block_cycles =
+                self.block_cycles(&acc, style, env, tiles, active_warps, resident_eff, line);
+            sum_block_cycles += block_cycles;
+            if hetsim_trace::session::enabled() {
+                let dur = cfg.clock.cycles_f64_to_nanos(block_cycles).as_nanos();
+                hetsim_trace::session::with(|b| {
+                    let track = b.track("gpu.blocks");
+                    b.detail_span(
+                        track,
+                        hetsim_trace::Category::Tile,
+                        format!("block{block}"),
+                        dur,
+                        Some(("cycles", block_cycles)),
+                    );
+                });
+            }
             accumulate(&mut total, &acc);
         }
 
@@ -335,20 +343,30 @@ impl KernelExecutor {
             cfg.carveout.shared_bytes(),
         );
 
+        let l1 = l1.counters();
+        let l2 = l2.counters();
+        hetsim_trace::session::with(|b| {
+            b.counter("gpu.l1_load_miss_rate", l1.load_miss_rate());
+            b.counter("gpu.l2_load_miss_rate", l2.load_miss_rate());
+            b.counter("gpu.theoretical_occupancy", theoretical);
+            b.counter("gpu.tlb_misses", (scale * total.tlb_misses).round());
+        });
+
         KernelResult {
             time: cfg.clock.cycles_f64_to_nanos(cycles),
             cycles,
             inst: inst.scale(inst_scale),
-            l1: l1.counters(),
-            l2: l2.counters(),
-            hbm_load_bytes: (scale * (total.stream_hbm_bytes + total.local_hbm_load_bytes))
-                .round() as u64,
+            l1,
+            l2,
+            hbm_load_bytes: (scale * (total.stream_hbm_bytes + total.local_hbm_load_bytes)).round()
+                as u64,
             hbm_store_bytes: (scale * total.hbm_store_bytes).round() as u64,
             tlb_misses: (scale * total.tlb_misses).round() as u64,
             theoretical_occupancy: theoretical,
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn replay_stream(
         &self,
         a: &MemAccess,
@@ -397,6 +415,7 @@ impl KernelExecutor {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn replay_local(
         &self,
         a: &MemAccess,
@@ -462,7 +481,8 @@ impl KernelExecutor {
         let fetch = match style {
             KernelStyle::StagedAsync => {
                 let exposure = (cfg.warps_to_hide_latency_async / active_warps).max(1.0);
-                (acc.stream_l2_bytes + acc.stream_hbm_bytes) / cfg.l2_bytes_per_cycle
+                (acc.stream_l2_bytes + acc.stream_hbm_bytes)
+                    / cfg.l2_bytes_per_cycle
                     / cfg.async_bypass_efficiency
                     * exposure
                     * env.translation_penalty
@@ -491,6 +511,36 @@ impl KernelExecutor {
             + local;
         if style == KernelStyle::StagedSync {
             compute += tiles as f64 * cfg.sync_barrier_cycles;
+        }
+
+        if hetsim_trace::session::enabled() {
+            // Expose the two pipes of the copy pipeline per sampled block:
+            // how much of the fetch a style hides is the paper's async-copy
+            // story, and it reads directly off these two span lengths.
+            let fetch_name = match style {
+                KernelStyle::StagedAsync => "cp.async_fetch",
+                KernelStyle::StagedSync => "staged_fetch",
+                KernelStyle::Direct => "fetch",
+            };
+            let fetch_ns = cfg.clock.cycles_f64_to_nanos(fetch).as_nanos();
+            let compute_ns = cfg.clock.cycles_f64_to_nanos(compute).as_nanos();
+            hetsim_trace::session::with(|b| {
+                let track = b.track("gpu.pipeline");
+                b.detail_span(
+                    track,
+                    hetsim_trace::Category::Tile,
+                    fetch_name,
+                    fetch_ns,
+                    Some(("cycles", fetch)),
+                );
+                b.detail_span(
+                    track,
+                    hetsim_trace::Category::Tile,
+                    "compute",
+                    compute_ns,
+                    Some(("cycles", compute)),
+                );
+            });
         }
 
         let base = match style {

@@ -50,7 +50,11 @@ pub struct ParseTraceError {
 
 impl fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -163,15 +167,22 @@ impl KernelTrace {
                 'T' => {
                     let stream = std::mem::take(&mut stream);
                     let staged = std::mem::take(&mut staged);
-                    let staged = if staged.is_empty() { stream.clone() } else { staged };
+                    let staged = if staged.is_empty() {
+                        stream.clone()
+                    } else {
+                        staged
+                    };
                     tiles.push((stream, staged, std::mem::take(&mut local)));
                 }
                 'B' => {
                     if !stream.is_empty() || !staged.is_empty() || !local.is_empty() {
                         let stream = std::mem::take(&mut stream);
                         let staged = std::mem::take(&mut staged);
-                        let staged =
-                            if staged.is_empty() { stream.clone() } else { staged };
+                        let staged = if staged.is_empty() {
+                            stream.clone()
+                        } else {
+                            staged
+                        };
                         tiles.push((stream, staged, std::mem::take(&mut local)));
                     }
                     if tiles.is_empty() {
@@ -185,8 +196,7 @@ impl KernelTrace {
                     let kind = parts.next().ok_or_else(|| err("missing access kind"))?;
                     let addr = parts.next().ok_or_else(|| err("missing address"))?;
                     let addr = addr.strip_prefix("0x").unwrap_or(addr);
-                    let addr =
-                        u64::from_str_radix(addr, 16).map_err(|_| err("bad hex address"))?;
+                    let addr = u64::from_str_radix(addr, 16).map_err(|_| err("bad hex address"))?;
                     let access = match kind {
                         "L" => MemAccess::global_load(addr),
                         "S" => MemAccess::global_store(addr),
@@ -373,8 +383,7 @@ mod tests {
         let launch = LaunchConfig::new(1, 32, 0);
         let ops = TileOps::default();
         let bad = |text: &str| {
-            KernelTrace::from_trace_text("x", launch, ops, Regularity::Regular, text)
-                .unwrap_err()
+            KernelTrace::from_trace_text("x", launch, ops, Regularity::Regular, text).unwrap_err()
         };
         assert!(bad("").to_string().contains("empty"));
         assert!(bad("S L zzz\nT\nB\n").to_string().contains("bad hex"));

@@ -1,13 +1,16 @@
-//! Property-based tests for the kernel executor.
+//! Randomized invariant tests for the kernel executor, driven by the
+//! engine's deterministic [`SimRng`] (no external test dependencies).
 
+use hetsim_engine::rng::SimRng;
 use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
 use hetsim_gpu::kernel::{KernelModel, KernelStyle, LaunchConfig, TileOps};
 use hetsim_gpu::GpuConfig;
 use hetsim_mem::addr::MemAccess;
 use hetsim_uvm::prefetch::Regularity;
-use proptest::prelude::*;
 
-/// A parameterized synthetic kernel for property tests.
+const CASES: u64 = 24;
+
+/// A parameterized synthetic kernel for randomized tests.
 #[derive(Debug, Clone)]
 struct PropKernel {
     blocks: u64,
@@ -15,6 +18,18 @@ struct PropKernel {
     tiles: u64,
     lines: u64,
     fp: f64,
+}
+
+impl PropKernel {
+    fn arbitrary(rng: &mut SimRng) -> Self {
+        PropKernel {
+            blocks: rng.range(1, 2048),
+            threads: rng.range(1, 1024) as u32,
+            tiles: rng.range(1, 32),
+            lines: rng.range(1, 64),
+            fp: rng.next_f64() * 1e5,
+        }
+    }
 }
 
 impl KernelModel for PropKernel {
@@ -47,79 +62,90 @@ impl KernelModel for PropKernel {
     }
 }
 
-fn kernel_strategy() -> impl Strategy<Value = PropKernel> {
-    (1u64..2048, 1u32..1024, 1u64..32, 1u64..64, 0.0f64..1e5).prop_map(
-        |(blocks, threads, tiles, lines, fp)| PropKernel {
-            blocks,
-            threads,
-            tiles,
-            lines,
-            fp,
-        },
-    )
+const STYLES: [KernelStyle; 3] = [
+    KernelStyle::Direct,
+    KernelStyle::StagedSync,
+    KernelStyle::StagedAsync,
+];
+
+fn pick_style(rng: &mut SimRng) -> KernelStyle {
+    STYLES[rng.below(3) as usize]
 }
 
-fn styles() -> impl Strategy<Value = KernelStyle> {
-    prop::sample::select(vec![
-        KernelStyle::Direct,
-        KernelStyle::StagedSync,
-        KernelStyle::StagedAsync,
-    ])
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Kernel time is always positive and finite for any geometry.
-    #[test]
-    fn kernel_time_positive(k in kernel_strategy(), style in styles()) {
-        let exec = KernelExecutor::new(GpuConfig::a100());
+/// Kernel time is always positive and finite for any geometry.
+#[test]
+fn kernel_time_positive() {
+    let mut rng = SimRng::seed_from_parts(&["props", "kernel_time_positive"], 0);
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    for _ in 0..CASES {
+        let k = PropKernel::arbitrary(&mut rng);
+        let style = pick_style(&mut rng);
         let r = exec.execute(&k, style, &ExecEnv::standard());
-        prop_assert!(r.cycles.is_finite());
-        prop_assert!(r.cycles > 0.0);
-        prop_assert!(r.theoretical_occupancy > 0.0 && r.theoretical_occupancy <= 1.0);
+        assert!(r.cycles.is_finite());
+        assert!(r.cycles > 0.0);
+        assert!(r.theoretical_occupancy > 0.0 && r.theoretical_occupancy <= 1.0);
     }
+}
 
-    /// A translation penalty never makes a kernel faster.
-    #[test]
-    fn translation_penalty_monotone(k in kernel_strategy(), style in styles(), pen in 1.0f64..3.0) {
-        let exec = KernelExecutor::new(GpuConfig::a100());
+/// A translation penalty never makes a kernel faster.
+#[test]
+fn translation_penalty_monotone() {
+    let mut rng = SimRng::seed_from_parts(&["props", "translation_penalty"], 0);
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    for _ in 0..CASES {
+        let k = PropKernel::arbitrary(&mut rng);
+        let style = pick_style(&mut rng);
+        let pen = 1.0 + rng.next_f64() * 2.0;
         let base = exec.execute(&k, style, &ExecEnv::standard());
         let slow = exec.execute(&k, style, &ExecEnv::new(pen, 0.0));
-        prop_assert!(slow.cycles >= base.cycles * 0.999);
+        assert!(slow.cycles >= base.cycles * 0.999);
     }
+}
 
-    /// A warm L2 never makes a kernel slower, and never increases HBM
-    /// traffic.
-    #[test]
-    fn warm_l2_monotone(k in kernel_strategy(), style in styles(), warm in 0.0f64..=1.0) {
-        let exec = KernelExecutor::new(GpuConfig::a100());
+/// A warm L2 never makes a kernel slower, and never increases HBM traffic.
+#[test]
+fn warm_l2_monotone() {
+    let mut rng = SimRng::seed_from_parts(&["props", "warm_l2_monotone"], 0);
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    for _ in 0..CASES {
+        let k = PropKernel::arbitrary(&mut rng);
+        let style = pick_style(&mut rng);
+        let warm = rng.next_f64();
         let cold = exec.execute(&k, style, &ExecEnv::standard());
         let warmed = exec.execute(&k, style, &ExecEnv::new(1.0, warm));
-        prop_assert!(warmed.cycles <= cold.cycles * 1.001);
-        prop_assert!(warmed.hbm_load_bytes <= cold.hbm_load_bytes);
+        assert!(warmed.cycles <= cold.cycles * 1.001);
+        assert!(warmed.hbm_load_bytes <= cold.hbm_load_bytes);
     }
+}
 
-    /// Doubling the grid never shrinks total instruction counts.
-    #[test]
-    fn grid_scaling_monotone(k in kernel_strategy(), style in styles()) {
-        let exec = KernelExecutor::new(GpuConfig::a100());
+/// Doubling the grid never shrinks total instruction counts.
+#[test]
+fn grid_scaling_monotone() {
+    let mut rng = SimRng::seed_from_parts(&["props", "grid_scaling_monotone"], 0);
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    for _ in 0..CASES {
+        let k = PropKernel::arbitrary(&mut rng);
+        let style = pick_style(&mut rng);
         let small = exec.execute(&k, style, &ExecEnv::standard());
         let mut big = k.clone();
         big.blocks *= 2;
         let doubled = exec.execute(&big, style, &ExecEnv::standard());
-        prop_assert!(doubled.inst.total() >= small.inst.total());
-        prop_assert!(doubled.cycles >= small.cycles * 0.999);
+        assert!(doubled.inst.total() >= small.inst.total());
+        assert!(doubled.cycles >= small.cycles * 0.999);
     }
+}
 
-    /// Async always inflates the control-instruction count over sync
-    /// staging for the same kernel.
-    #[test]
-    fn async_control_overhead_holds(k in kernel_strategy()) {
-        use hetsim_counters::InstClass;
-        let exec = KernelExecutor::new(GpuConfig::a100());
+/// Async always inflates the control-instruction count over sync staging
+/// for the same kernel.
+#[test]
+fn async_control_overhead_holds() {
+    use hetsim_counters::InstClass;
+    let mut rng = SimRng::seed_from_parts(&["props", "async_control_overhead"], 0);
+    let exec = KernelExecutor::new(GpuConfig::a100());
+    for _ in 0..CASES {
+        let k = PropKernel::arbitrary(&mut rng);
         let sync = exec.execute(&k, KernelStyle::StagedSync, &ExecEnv::standard());
         let asy = exec.execute(&k, KernelStyle::StagedAsync, &ExecEnv::standard());
-        prop_assert!(asy.inst.get(InstClass::Control) > sync.inst.get(InstClass::Control));
+        assert!(asy.inst.get(InstClass::Control) > sync.inst.get(InstClass::Control));
     }
 }

@@ -31,7 +31,7 @@ impl CacheConfig {
         assert!(capacity > 0 && line > 0 && ways > 0, "zero cache dimension");
         assert!(line.is_power_of_two(), "line size must be a power of two");
         assert!(
-            capacity % (line * ways as u64) == 0,
+            capacity.is_multiple_of(line * ways as u64),
             "capacity {capacity} not divisible by line*ways"
         );
         CacheConfig {

@@ -139,10 +139,22 @@ impl HostMemory {
         // this allocation does not fit beside it spills. Squaring the draw
         // biases runs toward small spills, matching the long-tailed memcpy
         // distribution of the paper's Fig 6.
-        let max_spill_fraction = (pressure.min(1.0) - self.config.spill_onset)
-            / (1.0 - self.config.spill_onset);
+        let max_spill_fraction =
+            (pressure.min(1.0) - self.config.spill_onset) / (1.0 - self.config.spill_onset);
         let f = max_spill_fraction * rng.next_f64().powi(2);
         let spilled = (bytes as f64 * f) as u64;
+        if spilled > 0 && hetsim_trace::session::enabled() {
+            hetsim_trace::session::with(|b| {
+                let track = b.track("mem.host");
+                b.instant(
+                    track,
+                    hetsim_trace::Category::Mem,
+                    "chip_spill",
+                    Some(("bytes", spilled as f64)),
+                );
+                b.counter("mem.spilled_bytes", spilled as f64);
+            });
+        }
         Placement {
             local_bytes: bytes - spilled,
             spilled_bytes: spilled,
@@ -182,14 +194,21 @@ mod tests {
         let host = HostMemory::new(HostConfig::epyc7742());
         let mut r = rng();
         // 32 GB (Mega): pressure 0.5 > onset.
-        let placements: Vec<Placement> =
-            (0..30).map(|_| host.place(32 * (1u64 << 30), &mut r)).collect();
+        let placements: Vec<Placement> = (0..30)
+            .map(|_| host.place(32 * (1u64 << 30), &mut r))
+            .collect();
         let spilled_runs = placements.iter().filter(|p| p.spilled_bytes > 0).count();
-        assert!(spilled_runs > 5, "expect many spilling runs, got {spilled_runs}");
+        assert!(
+            spilled_runs > 5,
+            "expect many spilling runs, got {spilled_runs}"
+        );
         let fractions: Vec<f64> = placements.iter().map(|p| p.spilled_fraction()).collect();
         let max = fractions.iter().cloned().fold(0.0, f64::max);
         let min = fractions.iter().cloned().fold(1.0, f64::min);
-        assert!(max - min > 0.05, "spill fractions should vary (min {min}, max {max})");
+        assert!(
+            max - min > 0.05,
+            "spill fractions should vary (min {min}, max {max})"
+        );
         // Conservation: every byte is somewhere.
         for p in &placements {
             assert_eq!(p.total(), 32 * (1u64 << 30));

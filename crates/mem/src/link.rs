@@ -40,6 +40,17 @@ impl LinkPath {
         LinkPath::DemandMigration,
         LinkPath::BulkPrefetch,
     ];
+
+    /// Stable lowercase identifier, used as the trace span name of DMA
+    /// operations on this path.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkPath::PageableCopy => "pageable_copy",
+            LinkPath::PinnedCopy => "pinned_copy",
+            LinkPath::DemandMigration => "demand_migration",
+            LinkPath::BulkPrefetch => "bulk_prefetch",
+        }
+    }
 }
 
 /// The CPU↔GPU interconnect with per-path effective costs.
@@ -118,6 +129,57 @@ impl CpuGpuLink {
         let ops = bytes.div_ceil(chunk);
         lat.times(ops) + bw.transfer_time(bytes)
     }
+
+    /// [`CpuGpuLink::transfer_time`] for a *committed* transfer: same
+    /// result, but when a trace session is active the operation also lands
+    /// as a `dma` span (with a `bytes` argument) on the `dma` track.
+    ///
+    /// The pure query stays side-effect free for speculative cost probing;
+    /// call this variant only at the point where a transfer actually
+    /// happens.
+    pub fn record_transfer(&self, p: LinkPath, bytes: u64) -> Nanos {
+        let t = self.transfer_time(p, bytes);
+        self.record_dma(p, bytes, t, 1);
+        t
+    }
+
+    /// [`CpuGpuLink::chunked_transfer_time`] for a committed transfer —
+    /// see [`CpuGpuLink::record_transfer`]. The span carries the burst
+    /// count in its `ops` argument rather than one span per chunk, so a
+    /// million-chunk migration stays one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn record_chunked_transfer(&self, p: LinkPath, bytes: u64, chunk: u64) -> Nanos {
+        let t = self.chunked_transfer_time(p, bytes, chunk);
+        if bytes > 0 {
+            self.record_dma(p, bytes, t, bytes.div_ceil(chunk));
+        }
+        t
+    }
+
+    fn record_dma(&self, p: LinkPath, bytes: u64, t: Nanos, ops: u64) {
+        if !hetsim_trace::session::enabled() {
+            return;
+        }
+        hetsim_trace::session::with(|b| {
+            let track = b.track("dma");
+            let arg = if ops > 1 {
+                ("ops", ops as f64)
+            } else {
+                ("bytes", bytes as f64)
+            };
+            b.detail_span(
+                track,
+                hetsim_trace::Category::Dma,
+                p.name(),
+                t.as_nanos(),
+                Some(arg),
+            );
+            b.counter("dma.op_bytes", bytes as f64);
+        });
+    }
 }
 
 impl Default for CpuGpuLink {
@@ -157,7 +219,10 @@ mod tests {
             (0.25..0.42).contains(&uvm_saving),
             "uvm saving {uvm_saving}"
         );
-        assert!((0.55..0.72).contains(&pf_saving), "prefetch saving {pf_saving}");
+        assert!(
+            (0.55..0.72).contains(&pf_saving),
+            "prefetch saving {pf_saving}"
+        );
     }
 
     #[test]

@@ -87,11 +87,9 @@ impl SharedMemory {
 
     /// How many blocks with `bytes_per_block` of shared memory fit at once.
     pub fn blocks_fitting(&self, bytes_per_block: u64) -> u32 {
-        if bytes_per_block == 0 {
-            u32::MAX
-        } else {
-            (self.capacity / bytes_per_block) as u32
-        }
+        self.capacity
+            .checked_div(bytes_per_block)
+            .map_or(u32::MAX, |b| b as u32)
     }
 
     /// Per-thread staging-buffer depth (in elements of `elem_bytes`) when a

@@ -78,7 +78,7 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.entries > 0 && config.ways > 0, "zero TLB dimension");
         assert!(
-            config.entries % config.ways == 0,
+            config.entries.is_multiple_of(config.ways),
             "entries must be a multiple of ways"
         );
         assert!(config.page_bytes.is_power_of_two(), "page size must be 2^n");

@@ -1,66 +1,89 @@
-//! Property-based tests for the memory hierarchy.
+//! Randomized invariant tests for the memory hierarchy, driven by the
+//! engine's deterministic [`SimRng`] (no external test dependencies).
 
+use hetsim_engine::rng::SimRng;
 use hetsim_mem::addr::{AccessKind, Addr};
 use hetsim_mem::cache::{Cache, CacheConfig};
 use hetsim_mem::host::{HostConfig, HostMemory};
-use hetsim_engine::rng::SimRng;
-use proptest::prelude::*;
 
-proptest! {
-    /// Hits + misses always equals accesses; residency never exceeds
-    /// capacity.
-    #[test]
-    fn cache_accounting(addrs in prop::collection::vec(0u64..1u64<<20, 1..500)) {
+const CASES: u64 = 64;
+
+/// Hits + misses always equals accesses; residency never exceeds capacity.
+#[test]
+fn cache_accounting() {
+    let mut rng = SimRng::seed_from_parts(&["props", "cache_accounting"], 0);
+    for _ in 0..CASES {
+        let n = rng.range(1, 500) as usize;
+        let addrs: Vec<u64> = (0..n).map(|_| rng.below(1u64 << 20)).collect();
         let mut c = Cache::new(CacheConfig::new(8 * 1024, 64, 2));
         for (i, &a) in addrs.iter().enumerate() {
-            let kind = if i % 3 == 0 { AccessKind::Store } else { AccessKind::Load };
+            let kind = if i % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
             c.access(Addr::new(a), kind);
         }
         let ctr = c.counters();
-        prop_assert_eq!(ctr.accesses(), addrs.len() as u64);
-        prop_assert!(c.resident_lines() as u64 <= 8 * 1024 / 64);
+        assert_eq!(ctr.accesses(), addrs.len() as u64);
+        assert!(c.resident_lines() as u64 <= 8 * 1024 / 64);
     }
+}
 
-    /// Re-accessing the same address immediately is always a hit.
-    #[test]
-    fn immediate_rereference_hits(a in 0u64..1u64<<40) {
+/// Re-accessing the same address immediately is always a hit.
+#[test]
+fn immediate_rereference_hits() {
+    let mut rng = SimRng::seed_from_parts(&["props", "immediate_rereference"], 0);
+    for _ in 0..CASES {
+        let a = rng.below(1u64 << 40);
         let mut c = Cache::new(CacheConfig::new(8 * 1024, 64, 2));
         c.access(Addr::new(a), AccessKind::Load);
-        prop_assert!(c.access(Addr::new(a), AccessKind::Load));
+        assert!(c.access(Addr::new(a), AccessKind::Load));
     }
+}
 
-    /// A working set that fits in one set's ways never misses after
-    /// warmup under LRU.
-    #[test]
-    fn small_working_set_stays_resident(base in 0u64..1u64<<30) {
+/// A working set that fits in one set's ways never misses after warmup
+/// under LRU.
+#[test]
+fn small_working_set_stays_resident() {
+    let mut rng = SimRng::seed_from_parts(&["props", "small_working_set"], 0);
+    for _ in 0..CASES {
+        let base = rng.below(1u64 << 30);
         let cfg = CacheConfig::new(8 * 1024, 64, 4);
         let sets = cfg.sets();
         let mut c = Cache::new(cfg);
         // 4 lines mapping to the same set (associativity 4).
-        let lines: Vec<u64> = (0..4).map(|i| (base / 64 / sets * sets + i * sets) * 64).collect();
+        let lines: Vec<u64> = (0..4)
+            .map(|i| (base / 64 / sets * sets + i * sets) * 64)
+            .collect();
         for pass in 0..3 {
             for &l in &lines {
                 let hit = c.access(Addr::new(l), AccessKind::Load);
                 if pass > 0 {
-                    prop_assert!(hit);
+                    assert!(hit);
                 }
             }
         }
     }
+}
 
-    /// Host placement conserves bytes and never spills below the onset.
-    #[test]
-    fn placement_conserves_bytes(bytes in 1u64..64u64<<30, seed in any::<u64>()) {
+/// Host placement conserves bytes and never spills below the onset.
+#[test]
+fn placement_conserves_bytes() {
+    let mut cases = SimRng::seed_from_parts(&["props", "placement_conserves_bytes"], 0);
+    for _ in 0..CASES {
+        let bytes = cases.range(1, 64u64 << 30);
+        let seed = cases.next_u64();
         let host = HostMemory::new(HostConfig::epyc7742());
         let mut rng = SimRng::new(seed);
         let p = host.place(bytes, &mut rng);
-        prop_assert_eq!(p.total(), bytes);
+        assert_eq!(p.total(), bytes);
         let onset = (HostConfig::epyc7742().chip_capacity as f64
             * HostConfig::epyc7742().spill_onset) as u64;
         if bytes <= onset {
-            prop_assert_eq!(p.spilled_bytes, 0);
+            assert_eq!(p.spilled_bytes, 0);
         }
         let penalty = p.transfer_penalty(0.35);
-        prop_assert!(penalty >= 1.0);
+        assert!(penalty >= 1.0);
     }
 }

@@ -159,6 +159,9 @@ mod tests {
         // ~19-38% share §6 reports against multi-second totals.
         let m = AllocModel::cuda11_a100();
         let t = m.alloc_and_free(4 * GIB, false);
-        assert!(t > Nanos::from_millis(200) && t < Nanos::from_millis(600), "{t}");
+        assert!(
+            t > Nanos::from_millis(200) && t < Nanos::from_millis(600),
+            "{t}"
+        );
     }
 }

@@ -104,9 +104,7 @@ mod tests {
     #[test]
     fn warm_fraction_shrinks_with_small_l1() {
         let mut d = Device::a100_epyc();
-        d.gpu = d
-            .gpu
-            .with_carveout(Carveout::with_shared_kib(128).unwrap()); // 64KB L1
+        d.gpu = d.gpu.with_carveout(Carveout::with_shared_kib(128).unwrap()); // 64KB L1
         let f = d.l2_warm_fraction();
         assert!(f < d.l2_warm_base);
         assert!((f - d.l2_warm_base * 0.5).abs() < 1e-9);

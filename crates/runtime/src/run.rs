@@ -11,8 +11,29 @@ use hetsim_engine::time::Nanos;
 use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
 use hetsim_mem::addr::Addr;
 use hetsim_mem::link::LinkPath;
+use hetsim_trace::Category;
 use hetsim_uvm::prefetch::PrefetchModel;
 use hetsim_uvm::space::UvmSpace;
+use std::borrow::Cow;
+
+/// Emits one runtime phase span on the `runtime` track of the active trace
+/// session and advances trace time by its duration. No-op when tracing is
+/// off or the phase is empty.
+///
+/// The additivity contract of the trace layer rests on this helper: every
+/// `Nanos` the runner adds to a report component goes through exactly one
+/// `trace_phase` call with the matching category, so per-category span sums
+/// reproduce the report breakdown to the nanosecond.
+fn trace_phase(cat: Category, name: impl Into<Cow<'static, str>>, dur: Nanos) {
+    if dur.is_zero() || !hetsim_trace::session::enabled() {
+        return;
+    }
+    let name = name.into();
+    hetsim_trace::session::with(|b| {
+        let track = b.track("runtime");
+        b.phase_span(track, cat, name, dur.as_nanos());
+    });
+}
 
 /// Runs programs on a simulated device.
 ///
@@ -73,7 +94,9 @@ impl Runner {
         // ---- allocation: cudaMalloc/cudaMallocManaged + cudaFree ----
         let mut alloc = Nanos::ZERO;
         for b in &buffers {
-            alloc += dev.alloc.alloc_and_free(b.bytes, mode.uses_uvm());
+            let t = dev.alloc.alloc_and_free(b.bytes, mode.uses_uvm());
+            trace_phase(Category::Alloc, format!("alloc({})", b.name), t);
+            alloc += t;
         }
 
         let mut counters = CounterSet::new();
@@ -87,17 +110,20 @@ impl Runner {
         // down scattered migration blocks — the hidden allocation cost of
         // the plain `uvm` configuration.
         if mode.uses_uvm() {
-            let touched =
-                counters.uvm.pages_migrated() + counters.uvm.pages_prefetched();
+            let touched = counters.uvm.pages_migrated() + counters.uvm.pages_prefetched();
             let demand_fraction = if touched == 0 {
                 0.0
             } else {
                 counters.uvm.pages_migrated() as f64 / touched as f64
             };
-            alloc += dev
+            let t = dev
                 .alloc
                 .managed_teardown(program.footprint(), demand_fraction);
+            trace_phase(Category::Alloc, "managed_teardown", t);
+            alloc += t;
         }
+
+        trace_phase(Category::Engine, "system_overhead", dev.system_overhead);
 
         let mut report = RunReport {
             alloc,
@@ -151,13 +177,15 @@ impl Runner {
         let mut memcpy = Nanos::ZERO;
         for b in buffers {
             if b.role.is_input() {
-                let t = dev.link.transfer_time(LinkPath::PageableCopy, b.bytes);
+                let t = dev.link.record_transfer(LinkPath::PageableCopy, b.bytes);
                 counters.transfer.record_h2d_copy(b.bytes, t);
+                trace_phase(Category::Memcpy, format!("memcpy_h2d({})", b.name), t);
                 memcpy += t;
             }
             if b.role.is_output() {
-                let t = dev.link.transfer_time(LinkPath::PageableCopy, b.bytes);
+                let t = dev.link.record_transfer(LinkPath::PageableCopy, b.bytes);
                 counters.transfer.record_d2h_copy(b.bytes, t);
+                trace_phase(Category::Memcpy, format!("memcpy_d2h({})", b.name), t);
                 memcpy += t;
             }
         }
@@ -168,6 +196,7 @@ impl Runner {
             let style = mode.kernel_style(k.standard_style());
             let r = self.executor.execute(*k, style, &env);
             let inv = k.invocations().max(1);
+            trace_phase(Category::Kernel, k.name().to_string(), r.time * inv);
             kernel += r.time * inv;
             merge_kernel_counters(counters, &r, inv);
         }
@@ -248,6 +277,7 @@ impl Runner {
                     counters
                         .transfer
                         .record_prefetch((b.bytes as f64 * coverage) as u64, t);
+                    trace_phase(Category::Memcpy, format!("prefetch({})", b.name), t);
                     memcpy += t;
                 }
             }
@@ -261,7 +291,7 @@ impl Runner {
             let mut conflict_refault = hetsim_uvm::fault::FaultReport::default();
             if ki > 0 && mode.uses_prefetch() && program.prefetch_conflict() < 1.0 {
                 let displaced_fraction = 1.0 - program.prefetch_conflict();
-                let rounds = k.invocations().min(4).max(1);
+                let rounds = k.invocations().clamp(1, 4);
                 for _ in 0..rounds {
                     for (b, &base) in buffers.iter().zip(&bases) {
                         space.displace_fraction(base, b.bytes, displaced_fraction);
@@ -280,12 +310,18 @@ impl Runner {
             let style = mode.kernel_style(k.standard_style());
             let r = self.executor.execute(*k, style, &env);
             let inv = k.invocations().max(1);
+            trace_phase(Category::Kernel, k.name().to_string(), r.time * inv);
             kernel += r.time * inv;
             merge_kernel_counters(counters, &r, inv);
 
             // Demand-fault whatever the kernel touches that is not yet
             // resident.
             let mut stall = conflict_refault.stall;
+            trace_phase(
+                Category::Memcpy,
+                "conflict_migration",
+                conflict_refault.transfer,
+            );
             memcpy += conflict_refault.transfer;
             counters.transfer.record_migration(
                 conflict_refault.chunks * dev.uvm.chunk_size,
@@ -307,9 +343,15 @@ impl Runner {
                 counters
                     .transfer
                     .record_migration(fr.chunks * dev.uvm.chunk_size, t);
+                trace_phase(Category::Memcpy, format!("migration({})", b.name), t);
                 memcpy += t;
             }
-            kernel += stall.scale(1.0 / dev.fault_stall_overlap);
+            // The part of fault servicing the SMs cannot hide shows up as
+            // kernel-time inflation; trace it as its own kernel-category
+            // span so the stall cost is separable in the viewer.
+            let exposed = stall.scale(1.0 / dev.fault_stall_overlap);
+            trace_phase(Category::Kernel, "fault_stall", exposed);
+            kernel += exposed;
         }
 
         // Results flow back: write back dirty output chunks.
@@ -322,12 +364,18 @@ impl Runner {
                 };
                 let t = space.writeback_dirty(base, b.bytes, path, &dev.link);
                 counters.transfer.record_writeback(b.bytes, t);
+                trace_phase(Category::Memcpy, format!("writeback({})", b.name), t);
                 memcpy += t;
             }
         }
 
         // Oversubscription evictions write dirty chunks back over the
         // link; charge their DMA time as transfer.
+        trace_phase(
+            Category::Memcpy,
+            "eviction_transfer",
+            space.eviction_transfer(),
+        );
         memcpy += space.eviction_transfer();
 
         counters.uvm += space.counters();
@@ -337,8 +385,7 @@ impl Runner {
 
 /// Derives achieved occupancy from the kernel's share of total time.
 fn set_achieved_occupancy(report: &mut RunReport) {
-    let kernel_share =
-        report.kernel.as_nanos() as f64 / report.total().as_nanos().max(1) as f64;
+    let kernel_share = report.kernel.as_nanos() as f64 / report.total().as_nanos().max(1) as f64;
     let theoretical = report.counters.occupancy.theoretical();
     report.counters.occupancy = Occupancy::new(theoretical, kernel_share * theoretical);
 }
@@ -523,7 +570,9 @@ mod tests {
         let std = r.run(&p, TransferMode::Standard, 0);
         let asy = r.run(&p, TransferMode::Async, 0);
         use hetsim_counters::InstClass;
-        assert!(asy.counters.inst.get(InstClass::Control) > std.counters.inst.get(InstClass::Control));
+        assert!(
+            asy.counters.inst.get(InstClass::Control) > std.counters.inst.get(InstClass::Control)
+        );
     }
 
     #[test]

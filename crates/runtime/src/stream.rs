@@ -13,8 +13,8 @@
 //! engine (the SM pool); operations on the same stream serialize, and each
 //! engine serializes operations across streams — exactly the CUDA model.
 
-use hetsim_engine::resource::BusyTracker;
 use hetsim_engine::time::{Nanos, SimTime};
+use hetsim_trace::{Category, EventKind, Trace, TraceBuilder, TraceConfig};
 use std::fmt;
 
 /// Identifier of a stream within one [`StreamSchedule`].
@@ -36,13 +36,18 @@ impl Engine {
     /// All engines.
     pub const ALL: [Engine; 3] = [Engine::CopyH2D, Engine::CopyD2H, Engine::Compute];
 
-    /// Display name.
+    /// Display name, also the trace track each engine's spans land on.
     pub fn name(self) -> &'static str {
         match self {
             Engine::CopyH2D => "h2d",
             Engine::CopyD2H => "d2h",
             Engine::Compute => "compute",
         }
+    }
+
+    /// Inverse of [`Engine::name`].
+    pub fn from_name(name: &str) -> Option<Engine> {
+        Engine::ALL.into_iter().find(|e| e.name() == name)
     }
 }
 
@@ -102,11 +107,18 @@ pub struct StreamSchedule {
 }
 
 /// The evaluated schedule.
+///
+/// The single source of truth here is a [`Trace`]: [`StreamSchedule::run`]
+/// records every operation as a `stream`-category span on its engine's
+/// track, and the outcome's ops, makespan, and utilizations are all *views*
+/// derived from that recording. The same trace feeds the Gantt renderer
+/// ([`Timeline::from_trace`](crate::timeline::Timeline::from_trace)) and,
+/// when a trace session is active, gets folded into it — so an exported
+/// Chrome trace, the ASCII timeline, and the numeric summaries can never
+/// disagree.
 #[derive(Debug, Clone)]
 pub struct ScheduleOutcome {
-    ops: Vec<ScheduledOp>,
-    makespan: Nanos,
-    busy: Vec<(Engine, BusyTracker)>,
+    trace: Trace,
 }
 
 impl StreamSchedule {
@@ -150,35 +162,48 @@ impl StreamSchedule {
         use std::collections::HashMap;
         let mut stream_free: HashMap<StreamId, SimTime> = HashMap::new();
         let mut engine_free: HashMap<Engine, SimTime> = HashMap::new();
-        let mut busy: HashMap<Engine, BusyTracker> = HashMap::new();
-        let mut scheduled = Vec::with_capacity(self.ops.len());
-        let mut makespan = SimTime::ZERO;
+        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(self.ops.len().max(1)));
+        // Intern engine tracks up front in canonical order so track ids and
+        // the exported lane order don't depend on which engine issues first.
+        for e in Engine::ALL {
+            b.track(e.name());
+        }
 
         for op in &self.ops {
-            let s = stream_free.get(&op.stream).copied().unwrap_or(SimTime::ZERO);
-            let e = engine_free.get(&op.engine).copied().unwrap_or(SimTime::ZERO);
+            let s = stream_free
+                .get(&op.stream)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            let e = engine_free
+                .get(&op.engine)
+                .copied()
+                .unwrap_or(SimTime::ZERO);
             let start = s.max(e);
             let end = start + op.duration;
             stream_free.insert(op.stream, end);
             engine_free.insert(op.engine, end);
-            busy.entry(op.engine).or_default().record(start, end);
-            makespan = makespan.max(end);
-            scheduled.push(ScheduledOp {
-                stream: op.stream,
-                engine: op.engine,
-                start,
-                end,
-                label: op.label.clone(),
-            });
+            let track = b.track(op.engine.name());
+            b.span_with(
+                track,
+                Category::Stream,
+                op.label.clone(),
+                start.as_nanos(),
+                op.duration.as_nanos(),
+                Some(("stream", f64::from(op.stream.0))),
+            );
         }
 
-        let mut busy: Vec<(Engine, BusyTracker)> = busy.into_iter().collect();
-        busy.sort_by_key(|(e, _)| Engine::ALL.iter().position(|x| x == e));
-        ScheduleOutcome {
-            ops: scheduled,
-            makespan: makespan.duration_since(SimTime::ZERO),
-            busy,
+        let trace = b.finish();
+        // Fold the schedule into an active session so `--trace` exports see
+        // stream operations alongside the runtime's phase spans, anchored
+        // at the session's current sim time.
+        if hetsim_trace::session::enabled() {
+            hetsim_trace::session::with(|sess| {
+                let at = sess.now();
+                sess.absorb_at(&trace, at);
+            });
         }
+        ScheduleOutcome { trace }
     }
 
     /// Convenience: the chunked copy/compute pipeline over `chunks` chunks
@@ -204,24 +229,53 @@ impl StreamSchedule {
 }
 
 impl ScheduleOutcome {
-    /// Total wall time of the schedule.
-    pub fn makespan(&self) -> Nanos {
-        self.makespan
+    /// The recorded schedule trace every other accessor derives from.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
-    /// The scheduled operations in issue order.
-    pub fn ops(&self) -> &[ScheduledOp] {
-        &self.ops
+    /// Total wall time of the schedule (the trace horizon).
+    pub fn makespan(&self) -> Nanos {
+        Nanos::from_nanos(self.trace.horizon())
+    }
+
+    /// The scheduled operations in issue order, reconstructed from the
+    /// trace spans.
+    pub fn ops(&self) -> Vec<ScheduledOp> {
+        self.trace
+            .events()
+            .iter()
+            .filter_map(|ev| {
+                let EventKind::Span { dur } = ev.kind else {
+                    return None;
+                };
+                let engine = Engine::from_name(self.trace.track_name(ev.track))?;
+                let (_, stream) = ev.arg.filter(|(k, _)| *k == "stream")?;
+                Some(ScheduledOp {
+                    stream: StreamId(stream as u32),
+                    engine,
+                    start: SimTime::from_nanos(ev.ts),
+                    end: SimTime::from_nanos(ev.ts + dur),
+                    label: ev.name.clone().into_owned(),
+                })
+            })
+            .collect()
     }
 
     /// Utilization of one engine over the makespan, `[0, 1]`.
+    ///
+    /// Operations on one engine never overlap (the engine serializes), so
+    /// busy time is simply the sum of span durations on its track.
     pub fn utilization(&self, engine: Engine) -> f64 {
-        let end = SimTime::ZERO + self.makespan;
-        self.busy
-            .iter()
-            .find(|(e, _)| *e == engine)
-            .map(|(_, b)| b.utilization(SimTime::ZERO, end))
-            .unwrap_or(0.0)
+        let makespan = self.trace.horizon();
+        if makespan == 0 {
+            return 0.0;
+        }
+        let busy: u64 = match self.trace.find_track(engine.name()) {
+            Some(id) => self.trace.track_spans(id).iter().map(|e| e.dur()).sum(),
+            None => 0,
+        };
+        busy as f64 / makespan as f64
     }
 }
 
@@ -305,5 +359,29 @@ mod tests {
     #[should_panic(expected = "at least one stream")]
     fn zero_streams_rejected() {
         let _ = StreamSchedule::chunked_pipeline(4, 0, us(1), us(1), us(1));
+    }
+
+    #[test]
+    fn outcome_is_a_view_over_its_trace() {
+        let o = StreamSchedule::chunked_pipeline(2, 2, us(10), us(10), us(10)).run();
+        assert_eq!(o.trace().category_count(Category::Stream), 6);
+        assert_eq!(o.ops().len(), 6);
+        assert_eq!(o.trace().horizon(), o.makespan().as_nanos());
+        // Ops reconstruct engine, stream, and label from the trace alone.
+        let first = &o.ops()[0];
+        assert_eq!(first.engine, Engine::CopyH2D);
+        assert_eq!(first.stream, StreamId(0));
+        assert_eq!(first.label, "h2d[0]");
+    }
+
+    #[test]
+    fn active_session_absorbs_schedule() {
+        hetsim_trace::session::start(TraceConfig::default());
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::Compute, us(10), "k0");
+        let _ = s.run();
+        let t = hetsim_trace::session::finish().unwrap();
+        assert_eq!(t.category_count(Category::Stream), 1);
+        assert!(t.find_track("compute").is_some());
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::stream::ScheduleOutcome;
 use hetsim_engine::time::{Nanos, SimTime};
+use hetsim_trace::{EventKind, Trace};
 use std::fmt;
 
 /// One phase on one lane.
@@ -77,13 +78,36 @@ impl Timeline {
         self.record(lane, label, start, start + dur)
     }
 
-    /// Imports a stream-schedule outcome: one lane per engine.
-    pub fn from_schedule(outcome: &ScheduleOutcome) -> Timeline {
+    /// Builds a Gantt view over a recorded trace: one lane per sim track,
+    /// one phase per span (instants become zero-length phases, counters and
+    /// host-clock tracks are skipped). This is how the Figure 14 pictures
+    /// are produced — the chart is a *view* of the same events the Chrome
+    /// exporter sees, never a separate bookkeeping path.
+    pub fn from_trace(trace: &Trace) -> Timeline {
         let mut t = Timeline::new();
-        for op in outcome.ops() {
-            t.record(op.engine.name(), op.label.clone(), op.start, op.end);
+        for ev in trace.events() {
+            if trace.tracks()[ev.track.0 as usize].host {
+                continue;
+            }
+            let dur = match ev.kind {
+                EventKind::Span { dur } => dur,
+                EventKind::Instant => 0,
+                EventKind::Counter { .. } => continue,
+            };
+            t.record(
+                trace.track_name(ev.track),
+                ev.name.as_ref(),
+                SimTime::from_nanos(ev.ts),
+                SimTime::from_nanos(ev.ts + dur),
+            );
         }
         t
+    }
+
+    /// Imports a stream-schedule outcome: one lane per engine, derived
+    /// from the schedule's recorded trace.
+    pub fn from_schedule(outcome: &ScheduleOutcome) -> Timeline {
+        Timeline::from_trace(outcome.trace())
     }
 
     /// Number of recorded phases.
@@ -158,7 +182,7 @@ impl fmt::Display for Timeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::{Engine, StreamSchedule, StreamId};
+    use crate::stream::{Engine, StreamId, StreamSchedule};
 
     fn t(ns: u64) -> SimTime {
         SimTime::from_nanos(ns)
@@ -200,7 +224,12 @@ mod tests {
     fn from_schedule_matches_engines() {
         let mut s = StreamSchedule::new();
         s.push(StreamId(0), Engine::CopyH2D, Nanos::from_micros(1), "h2d");
-        s.push(StreamId(0), Engine::Compute, Nanos::from_micros(1), "kernel");
+        s.push(
+            StreamId(0),
+            Engine::Compute,
+            Nanos::from_micros(1),
+            "kernel",
+        );
         let tl = Timeline::from_schedule(&s.run());
         assert_eq!(tl.len(), 2);
         let chart = tl.render(16);

@@ -1,0 +1,220 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the [Trace Event Format] understood by Perfetto and
+//! `chrome://tracing`, written by hand (no serialization dependency) so
+//! the output is byte-deterministic for the golden tests:
+//!
+//! * sim-time tracks live under **pid 1** (`process_name` = `"sim"`),
+//!   one `tid` per track;
+//! * host wall-clock tracks live under **pid 2** (`"host"`), keeping the
+//!   two time bases on separate processes;
+//! * spans are `ph:"X"` complete events, instants `ph:"i"` with thread
+//!   scope, counters `ph:"C"`;
+//! * timestamps are microseconds with exactly three fractional digits
+//!   (`ns / 1000 . ns % 1000`) — nanosecond precision with no float
+//!   rounding in the formatter.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+const SIM_PID: u32 = 1;
+const HOST_PID: u32 = 2;
+
+/// Renders `trace` as a Chrome trace-event JSON array.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 + trace.len() * 96);
+    out.push_str("[\n");
+    let mut first = true;
+
+    // Process metadata (only for processes that actually have tracks).
+    let has_sim = trace.tracks().iter().any(|t| !t.host);
+    let has_host = trace.tracks().iter().any(|t| t.host);
+    if has_sim {
+        push_meta_process(&mut out, &mut first, SIM_PID, "sim");
+    }
+    if has_host {
+        push_meta_process(&mut out, &mut first, HOST_PID, "host");
+    }
+    for (tid, track) in trace.tracks().iter().enumerate() {
+        let pid = if track.host { HOST_PID } else { SIM_PID };
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape(&track.name)
+        );
+    }
+
+    for ev in trace.events() {
+        let track = &trace.tracks()[ev.track.0 as usize];
+        let pid = if track.host { HOST_PID } else { SIM_PID };
+        let tid = ev.track.0;
+        sep(&mut out, &mut first);
+        match ev.kind {
+            EventKind::Span { dur } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                     \"cat\":\"{}\",\"name\":\"{}\"",
+                    micros(ev.ts),
+                    micros(dur),
+                    ev.cat.name(),
+                    escape(&ev.name)
+                );
+                push_args(&mut out, ev.arg);
+                out.push('}');
+            }
+            EventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                     \"cat\":\"{}\",\"name\":\"{}\"",
+                    micros(ev.ts),
+                    ev.cat.name(),
+                    escape(&ev.name)
+                );
+                push_args(&mut out, ev.arg);
+                out.push('}');
+            }
+            EventKind::Counter { value } => {
+                let _ = write!(
+                    out,
+                    "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\
+                     \"name\":\"{}\",\"args\":{{\"value\":{}}}}}",
+                    micros(ev.ts),
+                    escape(&ev.name),
+                    number(value)
+                );
+            }
+        }
+    }
+
+    out.push_str("\n]\n");
+    out
+}
+
+fn push_meta_process(out: &mut String, first: &mut bool, pid: u32, name: &str) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+    );
+}
+
+fn push_args(out: &mut String, arg: Option<(&'static str, f64)>) {
+    if let Some((key, value)) = arg {
+        let _ = write!(out, ",\"args\":{{\"{}\":{}}}", escape(key), number(value));
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// Nanoseconds rendered as microseconds with exactly three fractional
+/// digits. Pure integer arithmetic — no float rounding, so identical
+/// inputs always produce identical bytes.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Deterministic JSON number formatting for counter values. Finite floats
+/// use Rust's shortest round-trip `Display`; non-finite values (invalid
+/// JSON) degrade to 0.
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, TraceBuilder, TraceConfig};
+
+    #[test]
+    fn micros_formatting_is_integer_exact() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1), "0.001");
+        assert_eq!(micros(999), "0.999");
+        assert_eq!(micros(1_000), "1.000");
+        assert_eq!(micros(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn export_contains_metadata_and_all_phases() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let sim = b.track("stream0");
+        let host = b.host_track("host.setup");
+        b.span_at(sim, Category::Kernel, "k", 0, 1_500);
+        b.span_at(host, Category::Host, "setup", 0, 10);
+        b.instant_at(sim, Category::Mem, "spill", 5, Some(("bytes", 4096.0)));
+        b.counter_at("faults", 7, 3.5);
+        let json = b.finish().to_chrome_json();
+
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"process_name\",\"args\":{\"name\":\"sim\"}"));
+        assert!(json.contains("\"process_name\",\"args\":{\"name\":\"host\"}"));
+        assert!(json.contains("\"thread_name\",\"args\":{\"name\":\"stream0\"}"));
+        assert!(json.contains("\"ph\":\"X\",\"pid\":1"));
+        assert!(json.contains("\"dur\":1.500"));
+        assert!(
+            json.contains("\"ph\":\"X\",\"pid\":2"),
+            "host span on pid 2"
+        );
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"args\":{\"bytes\":4096}"));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"args\":{\"value\":3.5}"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let build = || {
+            let mut b = TraceBuilder::new(TraceConfig::default());
+            let t = b.track("gpu");
+            for i in 0..50u64 {
+                b.span_at(t, Category::Tile, format!("block{i}"), i * 10, 9);
+            }
+            b.counter_at("occupancy", 0, 0.625);
+            b.finish().to_chrome_json()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,70 @@
+//! Plain-text CSV exporter for spreadsheet-side analysis.
+//!
+//! One row per event: `ts_ns,dur_ns,track,category,name,value`. Spans put
+//! their duration in `dur_ns`, counters their sample in `value`; instants
+//! leave both blank-equivalent (zero / empty). Fields containing commas or
+//! quotes are quoted per RFC 4180.
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Renders `trace` as CSV with a header row.
+pub fn to_csv(trace: &Trace) -> String {
+    let mut out = String::from("ts_ns,dur_ns,track,category,name,value\n");
+    for ev in trace.events() {
+        let track = trace.track_name(ev.track);
+        let (dur, value) = match ev.kind {
+            EventKind::Span { dur } => (dur.to_string(), String::new()),
+            EventKind::Instant => (String::new(), String::new()),
+            EventKind::Counter { value } => (String::new(), format!("{value}")),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            ev.ts,
+            dur,
+            field(track),
+            ev.cat.name(),
+            field(&ev.name),
+            value
+        );
+    }
+    out
+}
+
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Category, TraceBuilder, TraceConfig};
+
+    #[test]
+    fn rows_cover_all_kinds() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let t = b.track("host");
+        b.span_at(t, Category::Memcpy, "h2d", 0, 400);
+        b.instant_at(t, Category::Mem, "spill", 10, None);
+        b.counter_at("faults", 20, 2.0);
+        let csv = b.finish().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "ts_ns,dur_ns,track,category,name,value");
+        assert_eq!(lines[1], "0,400,host,memcpy,h2d,");
+        assert_eq!(lines[2], "10,,host,mem,spill,");
+        assert_eq!(lines[3], "20,,metrics,counter,faults,2");
+    }
+
+    #[test]
+    fn fields_with_commas_are_quoted() {
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(field("plain"), "plain");
+    }
+}

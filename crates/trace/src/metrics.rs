@@ -1,0 +1,148 @@
+//! [`MetricsRegistry`] — named counter time series derived from a trace.
+//!
+//! Counters are recorded as raw samples ([`Category::Counter`] events);
+//! the registry groups them by name and answers the questions reports
+//! need: the latest value, the peak, and a resampled series on a regular
+//! sim-time grid for plotting.
+//!
+//! [`Category::Counter`]: crate::Category::Counter
+
+use crate::event::EventKind;
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+
+/// Named counter series snapshotted from a [`Trace`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl MetricsRegistry {
+    /// Collects every counter sample in `trace` into per-name series,
+    /// sorted by timestamp (stable for equal timestamps).
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut series: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+        for ev in trace.events() {
+            if let EventKind::Counter { value } = ev.kind {
+                series
+                    .entry(ev.name.to_string())
+                    .or_default()
+                    .push((ev.ts, value));
+            }
+        }
+        for samples in series.values_mut() {
+            samples.sort_by_key(|&(ts, _)| ts);
+        }
+        MetricsRegistry { series }
+    }
+
+    /// Counter names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// The raw samples of one counter.
+    pub fn series(&self, name: &str) -> &[(u64, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The last recorded value of one counter.
+    pub fn last(&self, name: &str) -> Option<f64> {
+        self.series(name).last().map(|&(_, v)| v)
+    }
+
+    /// The maximum recorded value of one counter.
+    pub fn peak(&self, name: &str) -> Option<f64> {
+        self.series(name)
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Resamples one counter onto a regular grid of `interval` nanoseconds
+    /// from 0 to `horizon` inclusive, holding the last-seen value
+    /// (zero-order hold; 0.0 before the first sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn sampled(&self, name: &str, interval: u64, horizon: u64) -> Vec<(u64, f64)> {
+        assert!(interval > 0, "sampling interval must be non-zero");
+        let samples = self.series(name);
+        let mut out = Vec::new();
+        let mut idx = 0usize;
+        let mut held = 0.0f64;
+        let mut ts = 0u64;
+        loop {
+            while idx < samples.len() && samples[idx].0 <= ts {
+                held = samples[idx].1;
+                idx += 1;
+            }
+            out.push((ts, held));
+            if ts >= horizon {
+                break;
+            }
+            ts += interval;
+        }
+        out
+    }
+
+    /// Renders every series as CSV (`name,ts_ns,value` rows, sorted by
+    /// name then time) for offline plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("name,ts_ns,value\n");
+        for (name, samples) in &self.series {
+            for &(ts, v) in samples {
+                out.push_str(&format!("{name},{ts},{v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuilder, TraceConfig};
+
+    fn registry() -> MetricsRegistry {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        b.counter_at("faults", 0, 1.0);
+        b.counter_at("faults", 100, 4.0);
+        b.counter_at("faults", 250, 2.0);
+        b.counter_at("residency", 50, 0.5);
+        MetricsRegistry::from_trace(&b.finish())
+    }
+
+    #[test]
+    fn series_grouped_and_sorted() {
+        let r = registry();
+        assert_eq!(r.names().collect::<Vec<_>>(), vec!["faults", "residency"]);
+        assert_eq!(r.series("faults").len(), 3);
+        assert_eq!(r.last("faults"), Some(2.0));
+        assert_eq!(r.peak("faults"), Some(4.0));
+        assert_eq!(r.last("missing"), None);
+    }
+
+    #[test]
+    fn zero_order_hold_resampling() {
+        let r = registry();
+        let grid = r.sampled("faults", 100, 300);
+        assert_eq!(
+            grid,
+            vec![(0, 1.0), (100, 4.0), (200, 4.0), (300, 2.0)],
+            "holds last value between samples"
+        );
+        // Before the first sample the held value is 0.
+        let g2 = r.sampled("residency", 25, 50);
+        assert_eq!(g2, vec![(0, 0.0), (25, 0.0), (50, 0.5)]);
+    }
+
+    #[test]
+    fn csv_lists_all_samples() {
+        let csv = registry().to_csv();
+        assert!(csv.starts_with("name,ts_ns,value\n"));
+        assert!(csv.contains("faults,100,4\n"));
+        assert!(csv.contains("residency,50,0.5\n"));
+    }
+}

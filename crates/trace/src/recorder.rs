@@ -1,0 +1,389 @@
+//! [`TraceBuilder`] — the bounded-ring-buffer event recorder.
+
+use crate::config::TraceConfig;
+use crate::event::{Category, EventKind, TraceEvent, TrackId};
+use crate::trace::{Trace, Track};
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+/// Records events into a bounded ring buffer.
+///
+/// The builder keeps two notions of position in simulated time:
+///
+/// * a **global cursor** ([`TraceBuilder::now`]) owned by whoever drives
+///   the top-level pipeline (the runtime's run loop) and advanced by
+///   [`TraceBuilder::phase_span`];
+/// * a **per-track detail cursor** used by [`TraceBuilder::detail_span`]:
+///   lower layers (DMA chunks, fault batches, sampled blocks) lay their
+///   sub-events out sequentially *within* the current phase without having
+///   to know absolute time. A detail span starts at
+///   `max(track_cursor, now)`, so advancing the global cursor pulls every
+///   detail lane forward to the new phase.
+///
+/// # Example
+///
+/// ```
+/// use hetsim_trace::{Category, TraceBuilder, TraceConfig};
+/// let mut b = TraceBuilder::new(TraceConfig::default());
+/// let host = b.track("host");
+/// let dma = b.track("dma");
+/// // Two DMA chunks inside one memcpy phase:
+/// b.detail_span(dma, Category::Dma, "chunk0", 300, None);
+/// b.detail_span(dma, Category::Dma, "chunk1", 300, None);
+/// let (start, end) = b.phase_span(host, Category::Memcpy, "h2d", 600);
+/// assert_eq!((start, end), (0, 600));
+/// assert_eq!(b.now(), 600);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    config: TraceConfig,
+    tracks: Vec<Track>,
+    track_index: HashMap<String, TrackId>,
+    events: Vec<TraceEvent>,
+    head: usize,
+    dropped: u64,
+    now: u64,
+    cursors: Vec<u64>,
+    counter_track: Option<TrackId>,
+    last_counter_ts: HashMap<String, u64>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty recorder.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceBuilder {
+            config,
+            tracks: Vec::new(),
+            track_index: HashMap::new(),
+            events: Vec::new(),
+            head: 0,
+            dropped: 0,
+            now: 0,
+            cursors: Vec::new(),
+            counter_track: None,
+            last_counter_ts: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TraceConfig {
+        &self.config
+    }
+
+    /// Interns a sim-time track (lane) by name.
+    pub fn track(&mut self, name: &str) -> TrackId {
+        self.intern(name, false)
+    }
+
+    /// Interns a host wall-clock track (rendered as a separate Chrome
+    /// process so sim-time and wall-clock axes don't collide).
+    pub fn host_track(&mut self, name: &str) -> TrackId {
+        self.intern(name, true)
+    }
+
+    fn intern(&mut self, name: &str, host: bool) -> TrackId {
+        if let Some(&id) = self.track_index.get(name) {
+            return id;
+        }
+        let id = TrackId(u16::try_from(self.tracks.len()).expect("too many tracks"));
+        self.tracks.push(Track {
+            name: name.to_string(),
+            host,
+        });
+        self.track_index.insert(name.to_string(), id);
+        self.cursors.push(0);
+        id
+    }
+
+    // ---- cursors ----
+
+    /// The global sim-time cursor.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Moves the global cursor to an absolute time.
+    pub fn set_now(&mut self, ns: u64) {
+        self.now = ns;
+    }
+
+    /// Advances the global cursor by `dur`, returning the span start.
+    pub fn advance(&mut self, dur: u64) -> u64 {
+        let start = self.now;
+        self.now += dur;
+        start
+    }
+
+    // ---- emission ----
+
+    /// Emits a span at an explicit `[start, start + dur)` interval.
+    pub fn span_at(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: impl Into<Cow<'static, str>>,
+        start: u64,
+        dur: u64,
+    ) {
+        self.span_with(track, cat, name, start, dur, None);
+    }
+
+    /// [`TraceBuilder::span_at`] with one named numeric argument.
+    pub fn span_with(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: impl Into<Cow<'static, str>>,
+        start: u64,
+        dur: u64,
+        arg: Option<(&'static str, f64)>,
+    ) {
+        self.push(TraceEvent {
+            track,
+            cat,
+            name: name.into(),
+            ts: start,
+            kind: EventKind::Span { dur },
+            arg,
+        });
+    }
+
+    /// Emits a top-level phase span `[now, now + dur)` on `track` and
+    /// advances the global cursor. Returns `(start, end)`.
+    pub fn phase_span(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: impl Into<Cow<'static, str>>,
+        dur: u64,
+    ) -> (u64, u64) {
+        let start = self.advance(dur);
+        self.span_at(track, cat, name, start, dur);
+        (start, start + dur)
+    }
+
+    /// Emits a detail span laid out sequentially on `track`, starting at
+    /// `max(track cursor, now)`. Returns `(start, end)`.
+    pub fn detail_span(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: impl Into<Cow<'static, str>>,
+        dur: u64,
+        arg: Option<(&'static str, f64)>,
+    ) -> (u64, u64) {
+        let start = self.cursors[track.0 as usize].max(self.now);
+        self.cursors[track.0 as usize] = start + dur;
+        self.span_with(track, cat, name, start, dur, arg);
+        (start, start + dur)
+    }
+
+    /// Emits a zero-width marker at the global cursor.
+    pub fn instant(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: impl Into<Cow<'static, str>>,
+        arg: Option<(&'static str, f64)>,
+    ) {
+        let ts = self.cursors[track.0 as usize].max(self.now);
+        self.instant_at(track, cat, name, ts, arg);
+    }
+
+    /// Emits a zero-width marker at an explicit time.
+    pub fn instant_at(
+        &mut self,
+        track: TrackId,
+        cat: Category,
+        name: impl Into<Cow<'static, str>>,
+        ts: u64,
+        arg: Option<(&'static str, f64)>,
+    ) {
+        self.push(TraceEvent {
+            track,
+            cat,
+            name: name.into(),
+            ts,
+            kind: EventKind::Instant,
+            arg,
+        });
+    }
+
+    /// Samples a named counter at the global cursor. Samples closer than
+    /// [`TraceConfig::counter_interval`] to the previous kept sample of
+    /// the same counter are dropped (the first sample is always kept).
+    pub fn counter(&mut self, name: impl Into<Cow<'static, str>>, value: f64) {
+        let ts = self.now;
+        self.counter_at(name, ts, value);
+    }
+
+    /// Samples a named counter at an explicit time.
+    pub fn counter_at(&mut self, name: impl Into<Cow<'static, str>>, ts: u64, value: f64) {
+        let name = name.into();
+        if let Some(interval) = self.config.counter_interval {
+            match self.last_counter_ts.get(name.as_ref()) {
+                Some(&last) if ts < last.saturating_add(interval) => return,
+                _ => {}
+            }
+            self.last_counter_ts.insert(name.to_string(), ts);
+        }
+        let track = match self.counter_track {
+            Some(t) => t,
+            None => {
+                let t = self.intern("metrics", false);
+                self.counter_track = Some(t);
+                t
+            }
+        };
+        self.push(TraceEvent {
+            track,
+            cat: Category::Counter,
+            name,
+            ts,
+            kind: EventKind::Counter { value },
+            arg: None,
+        });
+    }
+
+    /// Appends every event of `other` (tracks re-interned by name). Used
+    /// to fold an owned schedule trace into a surrounding session.
+    pub fn absorb(&mut self, other: &Trace) {
+        self.absorb_at(other, 0);
+    }
+
+    /// [`TraceBuilder::absorb`] with every sim-track timestamp shifted by
+    /// `offset` nanoseconds, placing the other trace's time zero at a
+    /// point on this recording's timeline. Host-track timestamps are kept
+    /// as-is (wall clock has its own origin).
+    pub fn absorb_at(&mut self, other: &Trace, offset: u64) {
+        let map: Vec<TrackId> = other
+            .tracks()
+            .iter()
+            .map(|t| self.intern(&t.name, t.host))
+            .collect();
+        for ev in other.events() {
+            let src = ev.track.0 as usize;
+            let mut ev = ev.clone();
+            ev.track = map[src];
+            if !other.tracks()[src].host {
+                ev.ts += offset;
+            }
+            self.push(ev);
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.config.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.config.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Finalizes the recording into an immutable [`Trace`], restoring
+    /// chronological append order if the ring wrapped.
+    pub fn finish(mut self) -> Trace {
+        if self.head > 0 {
+            self.events.rotate_left(self.head);
+        }
+        Trace::new(self.tracks, self.events, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_are_interned_once() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let a = b.track("gpu");
+        let c = b.track("gpu");
+        assert_eq!(a, c);
+        assert_ne!(a, b.track("dma"));
+    }
+
+    #[test]
+    fn phase_spans_advance_the_clock() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let t = b.track("host");
+        assert_eq!(b.phase_span(t, Category::Alloc, "malloc", 100), (0, 100));
+        assert_eq!(b.phase_span(t, Category::Alloc, "free", 50), (100, 150));
+        assert_eq!(b.now(), 150);
+    }
+
+    #[test]
+    fn detail_spans_tile_within_a_phase() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let dma = b.track("dma");
+        let host = b.track("host");
+        b.set_now(1_000);
+        assert_eq!(
+            b.detail_span(dma, Category::Dma, "c0", 10, None),
+            (1_000, 1_010)
+        );
+        assert_eq!(
+            b.detail_span(dma, Category::Dma, "c1", 10, None),
+            (1_010, 1_020)
+        );
+        // Advancing the phase pulls the detail lane forward.
+        b.phase_span(host, Category::Memcpy, "h2d", 5_000);
+        assert_eq!(
+            b.detail_span(dma, Category::Dma, "c2", 10, None),
+            (6_000, 6_010)
+        );
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(3));
+        let t = b.track("x");
+        for i in 0..5u64 {
+            b.span_at(t, Category::Kernel, format!("s{i}"), i * 10, 1);
+        }
+        let trace = b.finish();
+        assert_eq!(trace.dropped(), 2);
+        let names: Vec<_> = trace.events().iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, vec!["s2", "s3", "s4"], "oldest dropped, order kept");
+    }
+
+    #[test]
+    fn counter_interval_decimates() {
+        let mut b = TraceBuilder::new(TraceConfig::default().with_counter_interval(100));
+        b.counter_at("faults", 0, 1.0);
+        b.counter_at("faults", 50, 2.0); // dropped: too close
+        b.counter_at("faults", 100, 3.0);
+        b.counter_at("other", 50, 9.0); // independent counter: kept
+        let trace = b.finish();
+        let faults = trace.counter_series("faults");
+        assert_eq!(faults, vec![(0, 1.0), (100, 3.0)]);
+        assert_eq!(trace.counter_series("other").len(), 1);
+    }
+
+    #[test]
+    fn absorb_reinterns_tracks() {
+        let mut inner = TraceBuilder::new(TraceConfig::default());
+        let t = inner.track("compute");
+        inner.span_at(t, Category::Stream, "k0", 0, 10);
+        let inner = inner.finish();
+
+        let mut outer = TraceBuilder::new(TraceConfig::default());
+        outer.track("host"); // occupy id 0 so re-interning must remap
+        outer.absorb(&inner);
+        let trace = outer.finish();
+        let ev = &trace.events()[0];
+        assert_eq!(trace.track_name(ev.track), "compute");
+    }
+}

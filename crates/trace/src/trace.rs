@@ -1,0 +1,276 @@
+//! [`Trace`] — an immutable, finished recording.
+
+use crate::event::{Category, EventKind, TraceEvent, TrackId};
+
+/// A named lane within a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Track {
+    /// Display name (`"stream0"`, `"uvm"`, `"host.setup"` …).
+    pub name: String,
+    /// Whether timestamps on this track are host wall-clock nanoseconds
+    /// rather than simulated time. Host tracks are exported under a
+    /// separate Chrome process so the two time bases never share an axis.
+    pub host: bool,
+}
+
+/// An immutable finished recording: the output of
+/// [`TraceBuilder::finish`](crate::TraceBuilder::finish) and the input of
+/// every exporter and derived view (Gantt timelines, metrics registry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    tracks: Vec<Track>,
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    pub(crate) fn new(tracks: Vec<Track>, events: Vec<TraceEvent>, dropped: u64) -> Self {
+        Trace {
+            tracks,
+            events,
+            dropped,
+        }
+    }
+
+    /// An empty trace.
+    pub fn empty() -> Self {
+        Trace::new(Vec::new(), Vec::new(), 0)
+    }
+
+    /// All recorded events, in append order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// All tracks, indexed by [`TrackId`].
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// The display name of a track.
+    pub fn track_name(&self, id: TrackId) -> &str {
+        &self.tracks[id.0 as usize].name
+    }
+
+    /// The [`TrackId`] of a track by name, if it exists.
+    pub fn find_track(&self, name: &str) -> Option<TrackId> {
+        self.tracks
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| TrackId(i as u16))
+    }
+
+    /// Events dropped because the ring buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterator over span events only.
+    pub fn spans(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.is_span())
+    }
+
+    /// Sum of span durations in one category, on sim tracks only.
+    ///
+    /// This is the quantity the phase-additivity tests compare against
+    /// `RunReport` components: the runtime emits exactly one phase span
+    /// per accounted interval, so
+    /// `category_total(Alloc) + category_total(Memcpy) + category_total(Kernel)`
+    /// reproduces the report's total.
+    pub fn category_total(&self, cat: Category) -> u64 {
+        self.spans()
+            .filter(|e| e.cat == cat && !self.tracks[e.track.0 as usize].host)
+            .map(|e| e.dur())
+            .sum()
+    }
+
+    /// Number of span events in one category.
+    pub fn category_count(&self, cat: Category) -> usize {
+        self.spans().filter(|e| e.cat == cat).count()
+    }
+
+    /// All samples of one counter as `(ts, value)` pairs, in record order.
+    pub fn counter_series(&self, name: &str) -> Vec<(u64, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { value } if e.name == name => Some((e.ts, value)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of all counters present, sorted and deduplicated.
+    pub fn counter_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Counter { .. }))
+            .map(|e| e.name.as_ref())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// The latest end timestamp across sim-track events (the sim-time
+    /// horizon of the recording).
+    pub fn horizon(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| !self.tracks[e.track.0 as usize].host)
+            .map(|e| e.end())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Spans on one track, sorted by start time (stable for ties).
+    pub fn track_spans(&self, id: TrackId) -> Vec<&TraceEvent> {
+        let mut spans: Vec<&TraceEvent> = self.spans().filter(|e| e.track == id).collect();
+        spans.sort_by_key(|e| e.ts);
+        spans
+    }
+
+    /// Exports the trace as Chrome trace-event JSON — see [`crate::chrome`].
+    pub fn to_chrome_json(&self) -> String {
+        crate::chrome::to_chrome_json(self)
+    }
+
+    /// Exports span events as CSV — see [`crate::csv`].
+    pub fn to_csv(&self) -> String {
+        crate::csv::to_csv(self)
+    }
+
+    /// Renders a compact plain-text listing, one event per line, for
+    /// terminal inspection (`--trace -` style output and debugging).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let track = self.track_name(e.track);
+            match e.kind {
+                EventKind::Span { dur } => {
+                    out.push_str(&format!(
+                        "{:>12} +{:<10} {:<12} {:<10} {}",
+                        e.ts,
+                        dur,
+                        track,
+                        e.cat.name(),
+                        e.name
+                    ));
+                }
+                EventKind::Instant => {
+                    out.push_str(&format!(
+                        "{:>12} {:<11} {:<12} {:<10} {}",
+                        e.ts,
+                        "!",
+                        track,
+                        e.cat.name(),
+                        e.name
+                    ));
+                }
+                EventKind::Counter { value } => {
+                    out.push_str(&format!(
+                        "{:>12} {:<11} {:<12} {:<10} {} = {}",
+                        e.ts,
+                        "#",
+                        track,
+                        e.cat.name(),
+                        e.name,
+                        value
+                    ));
+                }
+            }
+            if let Some((k, v)) = e.arg {
+                out.push_str(&format!("  ({k}={v})"));
+            }
+            out.push('\n');
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!(
+                "# {} events dropped (buffer full)\n",
+                self.dropped
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TraceBuilder, TraceConfig};
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let host = b.track("host");
+        let gpu = b.track("gpu");
+        b.span_at(host, Category::Memcpy, "h2d", 0, 400);
+        b.span_at(gpu, Category::Kernel, "k0", 400, 100);
+        b.span_at(gpu, Category::Kernel, "k1", 500, 150);
+        b.instant_at(host, Category::Mem, "spill", 20, None);
+        b.counter_at("faults", 0, 1.0);
+        b.counter_at("faults", 100, 4.0);
+        b.finish()
+    }
+
+    #[test]
+    fn category_totals_sum_spans() {
+        let t = sample();
+        assert_eq!(t.category_total(Category::Kernel), 250);
+        assert_eq!(t.category_total(Category::Memcpy), 400);
+        assert_eq!(t.category_total(Category::Alloc), 0);
+        assert_eq!(t.category_count(Category::Kernel), 2);
+    }
+
+    #[test]
+    fn host_tracks_excluded_from_totals_and_horizon() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let sim = b.track("sim");
+        let wall = b.host_track("host.setup");
+        b.span_at(sim, Category::Kernel, "k", 0, 100);
+        b.span_at(wall, Category::Host, "setup", 0, 99_999);
+        let t = b.finish();
+        assert_eq!(t.category_total(Category::Kernel), 100);
+        assert_eq!(
+            t.category_total(Category::Host),
+            0,
+            "host spans don't count"
+        );
+        assert_eq!(t.horizon(), 100);
+    }
+
+    #[test]
+    fn counter_series_and_names() {
+        let t = sample();
+        assert_eq!(t.counter_series("faults"), vec![(0, 1.0), (100, 4.0)]);
+        assert_eq!(t.counter_names(), vec!["faults"]);
+    }
+
+    #[test]
+    fn track_lookup_and_sorted_spans() {
+        let t = sample();
+        let gpu = t.find_track("gpu").unwrap();
+        let spans = t.track_spans(gpu);
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].ts <= spans[1].ts);
+        assert!(t.find_track("nope").is_none());
+    }
+
+    #[test]
+    fn text_rendering_mentions_all_kinds() {
+        let text = sample().to_text();
+        assert!(text.contains("h2d"));
+        assert!(text.contains("spill"));
+        assert!(text.contains("faults = 4"));
+    }
+}

@@ -142,7 +142,9 @@ pub fn coverage_of_pattern(reg: Regularity, total_chunks: u64) -> f64 {
             let mut x: u64 = 0x9E3779B97F4A7C15;
             let runs = total_chunks / 8;
             for _ in 0..runs {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let start = (x >> 16) % total_chunks;
                 for i in 0..8 {
                     touched.push((start + i) % total_chunks);
@@ -152,7 +154,9 @@ pub fn coverage_of_pattern(reg: Regularity, total_chunks: u64) -> f64 {
         Regularity::Random => {
             let mut x: u64 = 0xDEADBEEFCAFEF00D;
             for _ in 0..total_chunks {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 touched.push((x >> 16) % total_chunks);
             }
         }

@@ -65,11 +65,7 @@ pub enum Residency {
 /// let ids: Vec<_> = chunks_of_range(Addr::new(0), 2 * CHUNK_SIZE + 1, CHUNK_SIZE).collect();
 /// assert_eq!(ids.len(), 3);
 /// ```
-pub fn chunks_of_range(
-    base: Addr,
-    bytes: u64,
-    chunk_size: u64,
-) -> impl Iterator<Item = ChunkId> {
+pub fn chunks_of_range(base: Addr, bytes: u64, chunk_size: u64) -> impl Iterator<Item = ChunkId> {
     assert!(chunk_size > 0, "chunk size must be non-zero");
     let first = base.as_u64() / chunk_size;
     let last = if bytes == 0 {

@@ -124,15 +124,11 @@ mod tests {
 
     #[test]
     fn coverage_ordering_matches_regularity() {
-        assert!(
-            Regularity::Regular.prefetch_coverage() > Regularity::Strided.prefetch_coverage()
-        );
+        assert!(Regularity::Regular.prefetch_coverage() > Regularity::Strided.prefetch_coverage());
         assert!(
             Regularity::Strided.prefetch_coverage() > Regularity::Irregular.prefetch_coverage()
         );
-        assert!(
-            Regularity::Irregular.prefetch_coverage() > Regularity::Random.prefetch_coverage()
-        );
+        assert!(Regularity::Irregular.prefetch_coverage() > Regularity::Random.prefetch_coverage());
     }
 
     #[test]

@@ -114,7 +114,22 @@ impl UvmSpace {
         self.counters.record_prefetched_pages(moved);
         // One prefetch call streams the whole covered range: a single fixed
         // latency plus bulk bandwidth.
-        link.transfer_time(LinkPath::BulkPrefetch, moved * self.config.chunk_size)
+        let t = link.record_transfer(LinkPath::BulkPrefetch, moved * self.config.chunk_size);
+        hetsim_trace::session::with(|b| {
+            let track = b.track("uvm");
+            b.detail_span(
+                track,
+                hetsim_trace::Category::Prefetch,
+                "prefetch",
+                t.as_nanos(),
+                Some(("chunks", moved as f64)),
+            );
+            b.counter(
+                "uvm.pages_prefetched",
+                self.counters.pages_prefetched() as f64,
+            );
+        });
+        t
     }
 
     /// Demand-touches a range during kernel execution: every non-resident
@@ -153,7 +168,7 @@ impl UvmSpace {
             self.counters.record_migrated_pages(faulted);
             // Migrations are drained in batch-sized DMA bursts: the link's
             // per-operation latency amortizes over a whole fault batch.
-            link.chunked_transfer_time(
+            link.record_chunked_transfer(
                 LinkPath::DemandMigration,
                 faulted * self.config.chunk_size,
                 self.config.chunk_size * self.config.fault.batch_capacity as u64,
@@ -161,6 +176,28 @@ impl UvmSpace {
         } else {
             Nanos::ZERO
         };
+        hetsim_trace::session::with(|b| {
+            let track = b.track("uvm");
+            b.detail_span(
+                track,
+                hetsim_trace::Category::FaultBatch,
+                "fault_batch",
+                stall.as_nanos(),
+                Some(("chunks", faulted as f64)),
+            );
+            if !transfer.is_zero() {
+                b.detail_span(
+                    track,
+                    hetsim_trace::Category::Migration,
+                    "migration",
+                    transfer.as_nanos(),
+                    Some(("chunks", faulted as f64)),
+                );
+            }
+            b.counter("uvm.page_faults", self.counters.page_faults() as f64);
+            b.counter("uvm.pages_migrated", self.counters.pages_migrated() as f64);
+            b.counter("uvm.resident_bytes", self.resident_bytes as f64);
+        });
         FaultReport {
             chunks: faulted,
             batches,
@@ -205,7 +242,18 @@ impl UvmSpace {
             self.table.clear_dirty(c);
         }
         let bytes_moved = dirty.len() as u64 * self.config.chunk_size;
-        link.transfer_time(path, bytes_moved)
+        let t = link.record_transfer(path, bytes_moved);
+        hetsim_trace::session::with(|b| {
+            let track = b.track("uvm");
+            b.detail_span(
+                track,
+                hetsim_trace::Category::Migration,
+                "writeback",
+                t.as_nanos(),
+                Some(("chunks", dirty.len() as f64)),
+            );
+        });
+        t
     }
 
     /// Displaces the trailing `fraction` of a range's device-resident
@@ -231,6 +279,16 @@ impl UvmSpace {
         }
         if displaced > 0 {
             self.counters.record_evicted_pages(displaced);
+            hetsim_trace::session::with(|b| {
+                let track = b.track("uvm");
+                b.instant(
+                    track,
+                    hetsim_trace::Category::Mem,
+                    "displace",
+                    Some(("chunks", displaced as f64)),
+                );
+                b.counter("uvm.pages_evicted", self.counters.pages_evicted() as f64);
+            });
         }
         displaced
     }
@@ -251,7 +309,7 @@ impl UvmSpace {
         if dirty_chunks == 0 {
             Nanos::ZERO
         } else {
-            link.transfer_time(
+            link.record_transfer(
                 LinkPath::DemandMigration,
                 dirty_chunks * self.config.chunk_size,
             )
@@ -261,17 +319,31 @@ impl UvmSpace {
     /// Makes one chunk device-resident, evicting LRU chunks if the device
     /// is full.
     fn make_resident(&mut self, chunk: ChunkId) {
+        let mut evicted = 0u64;
         while self.resident_bytes + self.config.chunk_size > self.config.device_capacity {
             match self.table.evict_lru() {
                 Some((_, dirty)) => {
                     self.resident_bytes -= self.config.chunk_size;
                     self.counters.record_evicted_pages(1);
+                    evicted += 1;
                     if dirty {
                         self.eviction_transfer += Nanos::from_micros(8);
                     }
                 }
                 None => break,
             }
+        }
+        if evicted > 0 {
+            hetsim_trace::session::with(|b| {
+                let track = b.track("uvm");
+                b.instant(
+                    track,
+                    hetsim_trace::Category::Mem,
+                    "evict",
+                    Some(("chunks", evicted as f64)),
+                );
+                b.counter("uvm.pages_evicted", self.counters.pages_evicted() as f64);
+            });
         }
         self.table.make_resident(chunk);
         self.resident_bytes += self.config.chunk_size;
@@ -360,7 +432,10 @@ mod tests {
     fn zero_coverage_prefetch_is_free() {
         let mut s = space();
         s.managed_alloc(Addr::new(0), MB);
-        assert_eq!(s.prefetch_range(Addr::new(0), MB, 0.0, &link()), Nanos::ZERO);
+        assert_eq!(
+            s.prefetch_range(Addr::new(0), MB, 0.0, &link()),
+            Nanos::ZERO
+        );
     }
 
     #[test]

@@ -142,15 +142,11 @@ impl PageTable {
     /// device (needs writeback).
     pub fn unregister(&mut self, chunk: ChunkId) -> bool {
         match self.chunks.remove(&chunk) {
-            Some(s) => {
-                if s.residency == Residency::Device {
-                    self.lru.remove(&(s.last_use, chunk));
-                    s.dirty
-                } else {
-                    false
-                }
+            Some(s) if s.residency == Residency::Device => {
+                self.lru.remove(&(s.last_use, chunk));
+                s.dirty
             }
-            None => false,
+            _ => false,
         }
     }
 

@@ -1,78 +1,105 @@
-//! Property-based tests for the UVM substrate.
+//! Randomized invariant tests for the UVM substrate, driven by the
+//! engine's deterministic [`SimRng`] (no external test dependencies).
 
+use hetsim_engine::rng::SimRng;
 use hetsim_engine::time::Nanos;
 use hetsim_mem::addr::Addr;
 use hetsim_mem::link::CpuGpuLink;
 use hetsim_uvm::page::{chunks_of_range, CHUNK_SIZE};
 use hetsim_uvm::space::{UvmConfig, UvmSpace};
-use proptest::prelude::*;
 
-proptest! {
-    /// Chunk enumeration covers exactly the bytes of the range.
-    #[test]
-    fn chunk_enumeration_covers_range(base in 0u64..1u64<<40, bytes in 0u64..1u64<<28) {
+const CASES: u64 = 48;
+
+/// Chunk enumeration covers exactly the bytes of the range.
+#[test]
+fn chunk_enumeration_covers_range() {
+    let mut rng = SimRng::seed_from_parts(&["props", "chunk_enumeration"], 0);
+    for _ in 0..CASES {
+        let base = rng.below(1u64 << 40);
+        let bytes = rng.below(1u64 << 28);
         let n = chunks_of_range(Addr::new(base), bytes, CHUNK_SIZE).count() as u64;
         let expected = if bytes == 0 {
             0
         } else {
             (base + bytes - 1) / CHUNK_SIZE - base / CHUNK_SIZE + 1
         };
-        prop_assert_eq!(n, expected);
+        assert_eq!(n, expected, "base {base} bytes {bytes}");
     }
+}
 
-    /// No chunk is ever double-resident: touching twice faults at most
-    /// once per chunk, and resident bytes equal faulted chunks.
-    #[test]
-    fn residency_conservation(bytes in 1u64..1u64<<26) {
-        let link = CpuGpuLink::pcie4_a100();
+/// No chunk is ever double-resident: touching twice faults at most once
+/// per chunk, and resident bytes equal faulted chunks.
+#[test]
+fn residency_conservation() {
+    let mut rng = SimRng::seed_from_parts(&["props", "residency_conservation"], 0);
+    let link = CpuGpuLink::pcie4_a100();
+    for _ in 0..CASES {
+        let bytes = rng.range(1, 1u64 << 26);
         let mut s = UvmSpace::new(UvmConfig::a100());
         s.managed_alloc(Addr::new(0), bytes);
         let chunks = bytes.div_ceil(CHUNK_SIZE);
         let r1 = s.demand_touch_range(Addr::new(0), bytes, false, true, &link);
-        prop_assert_eq!(r1.chunks, chunks);
-        prop_assert_eq!(s.resident_bytes(), chunks * CHUNK_SIZE);
+        assert_eq!(r1.chunks, chunks);
+        assert_eq!(s.resident_bytes(), chunks * CHUNK_SIZE);
         let r2 = s.demand_touch_range(Addr::new(0), bytes, false, true, &link);
-        prop_assert_eq!(r2.chunks, 0);
-        prop_assert_eq!(r2.stall, Nanos::ZERO);
+        assert_eq!(r2.chunks, 0);
+        assert_eq!(r2.stall, Nanos::ZERO);
     }
+}
 
-    /// Prefetch coverage + residual demand faults always cover the whole
-    /// range exactly once.
-    #[test]
-    fn prefetch_plus_demand_covers_exactly(bytes in 1u64..1u64<<26, cov in 0.0f64..=1.0) {
-        let link = CpuGpuLink::pcie4_a100();
+/// Prefetch coverage + residual demand faults always cover the whole range
+/// exactly once.
+#[test]
+fn prefetch_plus_demand_covers_exactly() {
+    let mut rng = SimRng::seed_from_parts(&["props", "prefetch_plus_demand"], 0);
+    let link = CpuGpuLink::pcie4_a100();
+    for _ in 0..CASES {
+        let bytes = rng.range(1, 1u64 << 26);
+        let cov = rng.next_f64();
         let mut s = UvmSpace::new(UvmConfig::a100());
         s.managed_alloc(Addr::new(0), bytes);
         s.prefetch_range(Addr::new(0), bytes, cov, &link);
         let prefetched = s.counters().pages_prefetched();
         let r = s.demand_touch_range(Addr::new(0), bytes, false, true, &link);
-        prop_assert_eq!(prefetched + r.chunks, bytes.div_ceil(CHUNK_SIZE));
+        assert_eq!(prefetched + r.chunks, bytes.div_ceil(CHUNK_SIZE));
     }
+}
 
-    /// Higher coverage never increases the residual fault stall.
-    #[test]
-    fn coverage_monotonicity(bytes in 1u64..1u64<<26, lo in 0.0f64..=1.0, hi in 0.0f64..=1.0) {
-        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
-        let link = CpuGpuLink::pcie4_a100();
+/// Higher coverage never increases the residual fault stall.
+#[test]
+fn coverage_monotonicity() {
+    let mut rng = SimRng::seed_from_parts(&["props", "coverage_monotonicity"], 0);
+    let link = CpuGpuLink::pcie4_a100();
+    for _ in 0..CASES {
+        let bytes = rng.range(1, 1u64 << 26);
+        let a = rng.next_f64();
+        let b = rng.next_f64();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let run = |cov: f64| {
             let mut s = UvmSpace::new(UvmConfig::a100());
             s.managed_alloc(Addr::new(0), bytes);
             s.prefetch_range(Addr::new(0), bytes, cov, &link);
-            s.demand_touch_range(Addr::new(0), bytes, false, true, &link).stall
+            s.demand_touch_range(Addr::new(0), bytes, false, true, &link)
+                .stall
         };
-        prop_assert!(run(hi) <= run(lo));
+        assert!(run(hi) <= run(lo));
     }
+}
 
-    /// Oversubscription never exceeds device capacity.
-    #[test]
-    fn eviction_respects_capacity(chunks in 1u64..256, cap_chunks in 1u64..64) {
-        let link = CpuGpuLink::pcie4_a100();
+/// Oversubscription never exceeds device capacity.
+#[test]
+fn eviction_respects_capacity() {
+    let mut rng = SimRng::seed_from_parts(&["props", "eviction_respects_capacity"], 0);
+    let link = CpuGpuLink::pcie4_a100();
+    for _ in 0..CASES {
+        let chunks = rng.range(1, 256);
+        let cap_chunks = rng.range(1, 64);
         let mut cfg = UvmConfig::a100();
         cfg.device_capacity = cap_chunks * cfg.chunk_size;
         let bytes = chunks * cfg.chunk_size;
         let mut s = UvmSpace::new(cfg);
         s.managed_alloc(Addr::new(0), bytes);
         s.demand_touch_range(Addr::new(0), bytes, true, true, &link);
-        prop_assert!(s.resident_bytes() <= cfg.device_capacity);
+        assert!(s.resident_bytes() <= cfg.device_capacity);
     }
 }

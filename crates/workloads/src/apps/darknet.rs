@@ -51,36 +51,104 @@ struct NetShape {
 
 /// resnet18: conv1 + four residual stages (2 basic blocks each).
 const RESNET18_STAGES: [Stage; 5] = [
-    Stage { name: "conv1", layers: 1, width: 0.5 },
-    Stage { name: "stage1", layers: 4, width: 0.75 },
-    Stage { name: "stage2", layers: 4, width: 1.0 },
-    Stage { name: "stage3", layers: 4, width: 1.25 },
-    Stage { name: "stage4", layers: 5, width: 1.5 },
+    Stage {
+        name: "conv1",
+        layers: 1,
+        width: 0.5,
+    },
+    Stage {
+        name: "stage1",
+        layers: 4,
+        width: 0.75,
+    },
+    Stage {
+        name: "stage2",
+        layers: 4,
+        width: 1.0,
+    },
+    Stage {
+        name: "stage3",
+        layers: 4,
+        width: 1.25,
+    },
+    Stage {
+        name: "stage4",
+        layers: 5,
+        width: 1.5,
+    },
 ];
 
 /// resnet50: conv1 + bottleneck stages of 3/4/6/3 blocks (3 convs each).
 const RESNET50_STAGES: [Stage; 5] = [
-    Stage { name: "conv1", layers: 1, width: 0.5 },
-    Stage { name: "stage1", layers: 9, width: 0.75 },
-    Stage { name: "stage2", layers: 12, width: 1.0 },
-    Stage { name: "stage3", layers: 18, width: 1.25 },
-    Stage { name: "stage4", layers: 10, width: 1.5 },
+    Stage {
+        name: "conv1",
+        layers: 1,
+        width: 0.5,
+    },
+    Stage {
+        name: "stage1",
+        layers: 9,
+        width: 0.75,
+    },
+    Stage {
+        name: "stage2",
+        layers: 12,
+        width: 1.0,
+    },
+    Stage {
+        name: "stage3",
+        layers: 18,
+        width: 1.25,
+    },
+    Stage {
+        name: "stage4",
+        layers: 10,
+        width: 1.5,
+    },
 ];
 
 /// yolov3-tiny: 13 convolutions over a shrinking feature map.
 const YOLOV3_TINY_STAGES: [Stage; 3] = [
-    Stage { name: "backbone", layers: 7, width: 0.75 },
-    Stage { name: "neck", layers: 4, width: 1.0 },
-    Stage { name: "heads", layers: 2, width: 0.75 },
+    Stage {
+        name: "backbone",
+        layers: 7,
+        width: 0.75,
+    },
+    Stage {
+        name: "neck",
+        layers: 4,
+        width: 1.0,
+    },
+    Stage {
+        name: "heads",
+        layers: 2,
+        width: 0.75,
+    },
 ];
 
 /// yolov3: the 53-layer darknet-53 backbone plus the 22-conv detection
 /// neck/heads.
 const YOLOV3_STAGES: [Stage; 4] = [
-    Stage { name: "backbone_hi", layers: 15, width: 0.75 },
-    Stage { name: "backbone_mid", layers: 20, width: 1.0 },
-    Stage { name: "backbone_lo", layers: 18, width: 1.25 },
-    Stage { name: "detect", layers: 22, width: 0.9 },
+    Stage {
+        name: "backbone_hi",
+        layers: 15,
+        width: 0.75,
+    },
+    Stage {
+        name: "backbone_mid",
+        layers: 20,
+        width: 1.0,
+    },
+    Stage {
+        name: "backbone_lo",
+        layers: 18,
+        width: 1.25,
+    },
+    Stage {
+        name: "detect",
+        layers: 22,
+        width: 0.9,
+    },
 ];
 
 fn build(shape: NetShape, size: InputSize) -> Workload {
@@ -250,7 +318,11 @@ mod tests {
     #[test]
     fn deeper_stages_carry_more_tiles() {
         let w = resnet50(InputSize::Super);
-        let tiles: Vec<u64> = w.kernel_specs().iter().map(|k| k.tiles_per_block()).collect();
+        let tiles: Vec<u64> = w
+            .kernel_specs()
+            .iter()
+            .map(|k| k.tiles_per_block())
+            .collect();
         // stage3 (18 layers) outweighs conv1 (1 layer).
         assert!(tiles[3] > tiles[0]);
     }

@@ -23,23 +23,20 @@ pub fn bayesian(size: InputSize) -> Workload {
     let scores = total - graph;
     let (tiles, lines) = tile_bytes(graph, BLOCKS, TILE_LINES);
     let e = elems(lines);
-    let kernel = KernelSpec::new(
-        "bayesian_score",
-        LaunchConfig::new(BLOCKS, THREADS, SHARED),
-    )
-    .with_tiles(tiles)
-    .with_stream(
-        lines,
-        StreamPattern::Random {
-            region_lines: (graph / LINE).max(1),
-        },
-    )
-    .with_local_reads(2 * lines, (graph / LINE / 8).max(1024), true)
-    .with_stores(lines / 4)
-    .with_ops(TileOps::new(8.0 * e, 6.0 * e, 2.5 * e))
-    .with_regularity(Regularity::Random)
-    .with_standard_style(KernelStyle::Direct)
-    .with_invocations(12);
+    let kernel = KernelSpec::new("bayesian_score", LaunchConfig::new(BLOCKS, THREADS, SHARED))
+        .with_tiles(tiles)
+        .with_stream(
+            lines,
+            StreamPattern::Random {
+                region_lines: (graph / LINE).max(1),
+            },
+        )
+        .with_local_reads(2 * lines, (graph / LINE / 8).max(1024), true)
+        .with_stores(lines / 4)
+        .with_ops(TileOps::new(8.0 * e, 6.0 * e, 2.5 * e))
+        .with_regularity(Regularity::Random)
+        .with_standard_style(KernelStyle::Direct)
+        .with_invocations(12);
     Workload::new(
         "bayesian",
         vec![
@@ -106,6 +103,9 @@ mod tests {
         use hetsim_gpu::kernel::KernelModel;
         let w = knn(InputSize::Super);
         assert_eq!(w.kernel_specs()[0].regularity(), Regularity::Irregular);
-        assert_eq!(w.kernel_specs()[0].standard_style(), KernelStyle::StagedSync);
+        assert_eq!(
+            w.kernel_specs()[0].standard_style(),
+            KernelStyle::StagedSync
+        );
     }
 }

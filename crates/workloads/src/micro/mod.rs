@@ -364,8 +364,8 @@ mod tests {
 
     #[test]
     fn vector_rand_is_random_regularity() {
-        use hetsim_uvm::prefetch::Regularity;
         use hetsim_gpu::kernel::KernelModel;
+        use hetsim_uvm::prefetch::Regularity;
         assert_eq!(
             vector_rand(InputSize::Large).kernel_specs()[0].regularity(),
             Regularity::Random

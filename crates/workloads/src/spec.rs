@@ -212,9 +212,7 @@ impl KernelSpec {
                 stride_lines,
                 region_lines,
             } => (flat * stride_lines) % region_lines.max(1),
-            StreamPattern::Random { region_lines } => {
-                hash3(block, tile, i) % region_lines.max(1)
-            }
+            StreamPattern::Random { region_lines } => hash3(block, tile, i) % region_lines.max(1),
         };
         INPUT_BASE + line_no * LINE
     }
@@ -347,10 +345,7 @@ impl GpuProgram for Workload {
     }
 
     fn kernels(&self) -> Vec<&dyn KernelModel> {
-        self.kernels
-            .iter()
-            .map(|k| k as &dyn KernelModel)
-            .collect()
+        self.kernels.iter().map(|k| k as &dyn KernelModel).collect()
     }
 
     fn prefetch_conflict(&self) -> f64 {
@@ -388,8 +383,12 @@ mod tests {
     #[test]
     fn random_stream_stays_in_region() {
         let region = 1000;
-        let k = KernelSpec::new("k", launch())
-            .with_stream(64, StreamPattern::Random { region_lines: region });
+        let k = KernelSpec::new("k", launch()).with_stream(
+            64,
+            StreamPattern::Random {
+                region_lines: region,
+            },
+        );
         let mut out = Vec::new();
         k.stream_accesses(7, 0, &mut out);
         for a in &out {

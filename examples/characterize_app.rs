@@ -28,7 +28,12 @@ fn main() {
 
     println!("==== {name} @ {size}: execution-time breakdown ====");
     let mut table = Table::new(vec![
-        "mode", "alloc", "memcpy", "kernel", "total", "occupancy",
+        "mode",
+        "alloc",
+        "memcpy",
+        "kernel",
+        "total",
+        "occupancy",
     ]);
     let mut reports = Vec::new();
     for mode in TransferMode::ALL {

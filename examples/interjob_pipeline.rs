@@ -11,7 +11,9 @@ use hetsim::prelude::*;
 use hetsim_workloads::suite;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vector_seq".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vector_seq".into());
     let jobs: u32 = std::env::args()
         .nth(2)
         .and_then(|s| s.parse().ok())

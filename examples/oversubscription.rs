@@ -10,7 +10,9 @@ use hetsim::extensions::{oversubscription_sweep, oversubscription_table};
 use hetsim_workloads::{suite, InputSize};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vector_seq".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vector_seq".into());
     println!("==== oversubscription sweep: {name} @ medium (capacity scaled) ====");
     let points = oversubscription_sweep(
         move || suite::by_name(&name, InputSize::Medium).expect("workload"),

@@ -15,7 +15,9 @@ use hetsim_runtime::Timeline;
 use hetsim_workloads::suite;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "vector_seq".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "vector_seq".into());
     let size = std::env::args()
         .nth(2)
         .and_then(|s| InputSize::ALL.into_iter().find(|x| x.name() == s))

@@ -47,7 +47,10 @@ fn main() {
     if let Some(path) = out {
         let text = trace.to_trace_text();
         std::fs::write(&path, &text).expect("write trace");
-        println!("wrote {} ({} bytes) — format: S|L L|S 0xADDR, T = tile, B = block",
-            path, text.len());
+        println!(
+            "wrote {} ({} bytes) — format: S|L L|S 0xADDR, T = tile, B = block",
+            path,
+            text.len()
+        );
     }
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: `scripts/ci.sh`.
+#
+# Everything here is offline-safe: the workspace has no external
+# dependencies (crates/bench, which needs criterion from the registry,
+# is excluded from the workspace and not built here).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> trace smoke test"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+./target/release/hetsim-cli trace vector_seq --mode uvm --size small --out "$out/t.json"
+./target/release/hetsim-cli trace vector_seq --mode uvm --size small --out "$out/t2.json"
+cmp "$out/t.json" "$out/t2.json"
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/t.json" 2>/dev/null \
+  || echo "(python3 not available; skipping JSON validation)"
+
+echo "CI OK"

@@ -28,11 +28,17 @@ fn micro_geomeans_match_paper_shape() {
 
     // uvm without prefetch is a net loss (paper: -13%/-17%).
     let uvm_gain = h.row(TransferMode::Uvm).improvement_pct;
-    assert!(uvm_gain < 0.0, "plain uvm must lose overall, got {uvm_gain:+.2}%");
+    assert!(
+        uvm_gain < 0.0,
+        "plain uvm must lose overall, got {uvm_gain:+.2}%"
+    );
 
     // uvm_prefetch is a clear win (paper: up to +28.4% at Super).
     let pf_gain = h.row(TransferMode::UvmPrefetch).improvement_pct;
-    assert!(pf_gain > 15.0, "uvm_prefetch should win clearly, got {pf_gain:+.2}%");
+    assert!(
+        pf_gain > 15.0,
+        "uvm_prefetch should win clearly, got {pf_gain:+.2}%"
+    );
 
     // On micro, adding async to prefetch does not help further
     // (paper: 27.01% vs 28.40% at Super).
@@ -63,7 +69,10 @@ fn micro_component_effects_match_paper() {
     );
     // Prefetch saves much more transfer time (paper: 45-64%).
     let pf_memcpy = h.row(TransferMode::UvmPrefetch).memcpy_savings_pct;
-    assert!(pf_memcpy > uvm_memcpy + 10.0, "prefetch {pf_memcpy:.1}% vs uvm {uvm_memcpy:.1}%");
+    assert!(
+        pf_memcpy > uvm_memcpy + 10.0,
+        "prefetch {pf_memcpy:.1}% vs uvm {uvm_memcpy:.1}%"
+    );
 }
 
 /// vector_seq's async kernel reduction (paper: 41.78% at Large) with a
@@ -74,7 +83,9 @@ fn vector_seq_async_kernel_reduction() {
     let w = hetsim_workloads::micro::vector_seq(InputSize::Large);
     let cmp = e.compare_modes(&w);
     use hetsim_runtime::report::Component;
-    let std_k = cmp.mean(TransferMode::Standard).component(Component::Kernel);
+    let std_k = cmp
+        .mean(TransferMode::Standard)
+        .component(Component::Kernel);
     let asy_k = cmp.mean(TransferMode::Async).component(Component::Kernel);
     let reduction = 1.0 - asy_k.as_nanos() as f64 / std_k.as_nanos() as f64;
     assert!(
@@ -101,8 +112,14 @@ fn app_geomeans_match_paper_shape() {
     let pf_gain = h.row(TransferMode::UvmPrefetch).improvement_pct;
     let pfa_gain = h.row(TransferMode::UvmPrefetchAsync).improvement_pct;
 
-    assert!(async_gain > 0.0, "apps: async should help a little, got {async_gain:+.2}%");
-    assert!(uvm_gain < 0.0, "apps: plain uvm should lose, got {uvm_gain:+.2}%");
+    assert!(
+        async_gain > 0.0,
+        "apps: async should help a little, got {async_gain:+.2}%"
+    );
+    assert!(
+        uvm_gain < 0.0,
+        "apps: plain uvm should lose, got {uvm_gain:+.2}%"
+    );
     assert!(pf_gain > 15.0, "apps: prefetch wins, got {pf_gain:+.2}%");
     assert!(
         pfa_gain > pf_gain,
@@ -112,8 +129,14 @@ fn app_geomeans_match_paper_shape() {
     // Transfer-time savings (paper: 32.70% / 64.24% / 64.18%).
     let uvm_m = h.row(TransferMode::Uvm).memcpy_savings_pct;
     let pf_m = h.row(TransferMode::UvmPrefetch).memcpy_savings_pct;
-    assert!((20.0..45.0).contains(&uvm_m), "uvm memcpy savings {uvm_m:.1}%");
-    assert!((45.0..72.0).contains(&pf_m), "prefetch memcpy savings {pf_m:.1}%");
+    assert!(
+        (20.0..45.0).contains(&uvm_m),
+        "uvm memcpy savings {uvm_m:.1}%"
+    );
+    assert!(
+        (45.0..72.0).contains(&pf_m),
+        "prefetch memcpy savings {pf_m:.1}%"
+    );
 }
 
 /// Takeaway 2's per-workload exceptions.
@@ -125,8 +148,7 @@ fn per_workload_exceptions_hold() {
     // defeats the prefetcher). Paper: async up to 1.24x over UVM.
     let lud = suite.workload("lud").expect("lud");
     assert!(
-        lud.normalized_total(TransferMode::Async)
-            < lud.normalized_total(TransferMode::UvmPrefetch),
+        lud.normalized_total(TransferMode::Async) < lud.normalized_total(TransferMode::UvmPrefetch),
         "lud: async must beat uvm_prefetch"
     );
     assert!(
@@ -136,9 +158,12 @@ fn per_workload_exceptions_hold() {
 
     // kmeans: async beats plain uvm by a wide margin (paper ~20%).
     let kmeans = suite.workload("kmeans").expect("kmeans");
-    let ratio = kmeans.normalized_total(TransferMode::Uvm)
-        / kmeans.normalized_total(TransferMode::Async);
-    assert!(ratio > 1.15, "kmeans: uvm/async ratio {ratio:.2} (paper ~1.2)");
+    let ratio =
+        kmeans.normalized_total(TransferMode::Uvm) / kmeans.normalized_total(TransferMode::Async);
+    assert!(
+        ratio > 1.15,
+        "kmeans: uvm/async ratio {ratio:.2} (paper ~1.2)"
+    );
 
     // nw: prefetch makes things worse than both uvm and standard.
     let nw = suite.workload("nw").expect("nw");

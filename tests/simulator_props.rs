@@ -1,100 +1,132 @@
-//! Property-based tests on cross-crate simulator invariants.
+//! Randomized cross-crate simulator invariants, driven by the engine's
+//! deterministic [`SimRng`] (no external test dependencies).
 
+use hetsim::engine::rng::SimRng;
 use hetsim::prelude::*;
 use hetsim_workloads::{micro, suite};
-use proptest::prelude::*;
 
-fn mode_strategy() -> impl Strategy<Value = TransferMode> {
-    prop::sample::select(TransferMode::ALL.to_vec())
+const CASES: u64 = 16;
+
+fn pick_mode(rng: &mut SimRng) -> TransferMode {
+    TransferMode::ALL[rng.below(5) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The same (workload, mode, run index) triple is bit-reproducible.
-    #[test]
-    fn run_reports_are_deterministic(mode in mode_strategy(), run in 0u64..64) {
-        let r = Runner::new(Device::a100_epyc());
-        let w = micro::saxpy(InputSize::Tiny);
+/// The same (workload, mode, run index) triple is bit-reproducible.
+#[test]
+fn run_reports_are_deterministic() {
+    let mut rng = SimRng::seed_from_parts(&["props", "run_reports_deterministic"], 0);
+    let r = Runner::new(Device::a100_epyc());
+    let w = micro::saxpy(InputSize::Tiny);
+    for _ in 0..CASES {
+        let mode = pick_mode(&mut rng);
+        let run = rng.below(64);
         let a = r.run(&w, mode, run);
         let b = r.run(&w, mode, run);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Noise is multiplicative and bounded: no component strays far from
-    /// its noise-free base at sub-spill footprints.
-    #[test]
-    fn noise_is_bounded_below_spill(mode in mode_strategy(), run in 0u64..64) {
-        let r = Runner::new(Device::a100_epyc());
-        let w = micro::vector_seq(InputSize::Small);
+/// Noise is multiplicative and bounded: no component strays far from its
+/// noise-free base at sub-spill footprints.
+#[test]
+fn noise_is_bounded_below_spill() {
+    let mut rng = SimRng::seed_from_parts(&["props", "noise_bounded"], 0);
+    let r = Runner::new(Device::a100_epyc());
+    let w = micro::vector_seq(InputSize::Small);
+    for _ in 0..CASES {
+        let mode = pick_mode(&mut rng);
+        let run = rng.below(64);
         let base = r.run_base(&w, mode);
         let noisy = r.apply_noise(&base, &w, mode, run);
         let ratio = noisy.total().as_nanos() as f64 / base.total().as_nanos() as f64;
-        prop_assert!((0.7..1.3).contains(&ratio), "ratio {}", ratio);
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
     }
+}
 
-    /// More data never means less transfer time, for every mode.
-    #[test]
-    fn transfer_time_is_monotonic_in_footprint(mode in mode_strategy()) {
-        let r = Runner::new(Device::a100_epyc());
+/// More data never means less transfer time, for every mode.
+#[test]
+fn transfer_time_is_monotonic_in_footprint() {
+    let r = Runner::new(Device::a100_epyc());
+    for mode in TransferMode::ALL {
         let small = r.run_base(&micro::vector_seq(InputSize::Small), mode);
         let medium = r.run_base(&micro::vector_seq(InputSize::Medium), mode);
-        prop_assert!(medium.memcpy >= small.memcpy);
-        prop_assert!(medium.alloc >= small.alloc);
+        assert!(medium.memcpy >= small.memcpy, "{mode}: memcpy");
+        assert!(medium.alloc >= small.alloc, "{mode}: alloc");
     }
+}
 
-    /// Occupancy fractions stay in [0, 1] for arbitrary workload/mode
-    /// combinations.
-    #[test]
-    fn occupancy_is_a_fraction(
-        mode in mode_strategy(),
-        idx in 0usize..21,
-    ) {
-        let entries: Vec<_> = suite::micro_names().into_iter().chain(suite::app_names()).collect();
-        let w = (entries[idx].build)(InputSize::Tiny);
+/// Occupancy fractions stay in [0, 1] for every workload/mode combination.
+#[test]
+fn occupancy_is_a_fraction() {
+    let mut rng = SimRng::seed_from_parts(&["props", "occupancy_fraction"], 0);
+    let entries: Vec<_> = suite::micro_names()
+        .into_iter()
+        .chain(suite::app_names())
+        .collect();
+    for entry in &entries {
+        let mode = pick_mode(&mut rng);
+        let w = (entry.build)(InputSize::Tiny);
         let rep = Runner::new(Device::a100_epyc()).run_base(&w, mode);
         let occ = rep.counters.occupancy;
-        prop_assert!((0.0..=1.0).contains(&occ.theoretical()));
-        prop_assert!((0.0..=1.0).contains(&occ.achieved()));
-        prop_assert!(occ.achieved() <= occ.theoretical() + 1e-9);
+        assert!((0.0..=1.0).contains(&occ.theoretical()));
+        assert!((0.0..=1.0).contains(&occ.achieved()));
+        assert!(occ.achieved() <= occ.theoretical() + 1e-9);
     }
+}
 
-    /// L1 miss rates are well-formed for every workload and mode.
-    #[test]
-    fn miss_rates_are_fractions(mode in mode_strategy(), idx in 0usize..21) {
-        let entries: Vec<_> = suite::micro_names().into_iter().chain(suite::app_names()).collect();
-        let w = (entries[idx].build)(InputSize::Tiny);
+/// L1 miss rates are well-formed for every workload and mode.
+#[test]
+fn miss_rates_are_fractions() {
+    let mut rng = SimRng::seed_from_parts(&["props", "miss_rates_fractions"], 0);
+    let entries: Vec<_> = suite::micro_names()
+        .into_iter()
+        .chain(suite::app_names())
+        .collect();
+    for entry in &entries {
+        let mode = pick_mode(&mut rng);
+        let w = (entry.build)(InputSize::Tiny);
         let rep = Runner::new(Device::a100_epyc()).run_base(&w, mode);
         for rate in [
             rep.counters.l1.load_miss_rate(),
             rep.counters.l1.store_miss_rate(),
             rep.counters.l2.miss_rate(),
         ] {
-            prop_assert!((0.0..=1.0).contains(&rate));
+            assert!((0.0..=1.0).contains(&rate));
         }
     }
+}
 
-    /// UVM page conservation: for conflict-free programs, pages moved
-    /// (migrated + prefetched) never exceed the footprint's chunk count.
-    /// Programs with an inter-kernel prefetch conflict (nw) deliberately
-    /// re-migrate displaced chunks each sweep, so they get a bounded
-    /// thrash allowance instead.
-    #[test]
-    fn uvm_page_conservation(idx in 0usize..21) {
-        use hetsim_runtime::GpuProgram;
-        let entries: Vec<_> = suite::micro_names().into_iter().chain(suite::app_names()).collect();
+/// UVM page conservation: for conflict-free programs, pages moved
+/// (migrated + prefetched) never exceed the footprint's chunk count.
+/// Programs with an inter-kernel prefetch conflict (nw) deliberately
+/// re-migrate displaced chunks each sweep, so they get a bounded thrash
+/// allowance instead.
+#[test]
+fn uvm_page_conservation() {
+    use hetsim_runtime::GpuProgram;
+    let entries: Vec<_> = suite::micro_names()
+        .into_iter()
+        .chain(suite::app_names())
+        .collect();
+    for idx in 0..entries.len() {
         let w = (entries[idx].build)(InputSize::Small);
         let rep = Runner::new(Device::a100_epyc()).run_base(&w, TransferMode::UvmPrefetch);
         let chunk = Device::a100_epyc().uvm.chunk_size;
         let chunks = w.footprint().div_ceil(chunk) + entries.len() as u64;
         // Conflicted programs re-fault the displaced fraction up to 4
         // rounds per later kernel.
-        let max_chunks = if w.prefetch_conflict() < 1.0 { chunks * 6 } else { chunks };
+        let max_chunks = if w.prefetch_conflict() < 1.0 {
+            chunks * 6
+        } else {
+            chunks
+        };
         let moved = rep.counters.uvm.pages_migrated() + rep.counters.uvm.pages_prefetched();
-        prop_assert!(
+        assert!(
             moved <= max_chunks,
-            "moved {} chunks, bound {}",
-            moved, max_chunks
+            "{}: moved {} chunks, bound {}",
+            entries[idx].name,
+            moved,
+            max_chunks
         );
     }
 }

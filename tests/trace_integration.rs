@@ -25,7 +25,8 @@ fn every_workload_kernel_round_trips_through_a_trace() {
                 kernel.name()
             );
             assert_eq!(
-                original.l1, replayed.l1,
+                original.l1,
+                replayed.l1,
                 "{}: trace replay must reproduce L1 behaviour",
                 kernel.name()
             );
