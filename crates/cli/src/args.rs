@@ -27,6 +27,9 @@ pub struct Args {
     pub trace: Option<String>,
     /// `--self-profile`: include host wall-clock spans in the trace.
     pub self_profile: bool,
+    /// `--help`/`-h`: print the command's usage (and, for `run`, the
+    /// workload registry) instead of running.
+    pub help: bool,
 }
 
 impl Default for Args {
@@ -43,6 +46,7 @@ impl Default for Args {
             mode: None,
             trace: None,
             self_profile: false,
+            help: false,
         }
     }
 }
@@ -57,6 +61,7 @@ impl Args {
         while let Some(flag) = it.next() {
             match flag.as_str() {
                 "--csv" => args.csv = true,
+                "--help" | "-h" => args.help = true,
                 "--self-profile" => args.self_profile = true,
                 "--workload" => args.workload = Some(it.next()?.clone()),
                 "--study" => args.study = Some(it.next()?.clone()),
@@ -140,6 +145,16 @@ mod tests {
         let (_, a) = Args::parse(&v(&["run", "--workload", "lud", "--trace", "t.json"])).unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
         assert!(!a.self_profile);
+    }
+
+    #[test]
+    fn parses_help_flag_and_positional_run() {
+        let (cmd, a) = Args::parse(&v(&["run", "--help"])).unwrap();
+        assert_eq!(cmd, "run");
+        assert!(a.help);
+        let (_, a) = Args::parse(&v(&["run", "bfs", "--mode", "uvm"])).unwrap();
+        assert_eq!(a.positional, vec!["bfs".to_string()]);
+        assert_eq!(a.mode.as_deref(), Some("uvm"));
     }
 
     #[test]

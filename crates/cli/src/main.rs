@@ -6,15 +6,22 @@
 //!
 //! ```text
 //! hetsim-cli list
-//! hetsim-cli run --workload kmeans --size super [--runs 30] [--csv]
+//! hetsim-cli run <workload> [--size super] [--runs 30] [--mode M] [--csv]
 //! hetsim-cli micro --size large [--runs 30] [--csv]
 //! hetsim-cli apps [--runs 30] [--csv]
+//! hetsim-cli irregular [--size large] [--runs 30] [--csv]
 //! hetsim-cli counters [--size large]
 //! hetsim-cli sensitivity --study blocks|threads|carveout [--size large]
 //! hetsim-cli figures --out DIR      # write every figure's CSV + SVG
 //! hetsim-cli interjob [--workload W] [--jobs N]
 //! hetsim-cli trace <workload> [--mode M] [--out trace.json]
 //! ```
+//!
+//! `run --help` prints the full workload registry. With `--mode`, `run`
+//! executes that one mode and reports the breakdown plus the UVM
+//! fault-batcher statistics; without it, all five modes are compared.
+//! `irregular` runs the fault-batcher study trio (bfs, kmeans,
+//! pathfinder) and reports their batch-fill/refault profiles.
 //!
 //! `trace` records one deterministic run as a structured sim-time trace
 //! and exports it by output extension: `.json` → Chrome trace-event
@@ -53,10 +60,15 @@ fn main() -> ExitCode {
 
 fn dispatch(command: &str, args: &Args) -> Result<(), String> {
     match command {
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
         "list" => cmd_list(),
         "run" => cmd_run(args),
         "micro" => cmd_micro(args),
         "apps" => cmd_apps(args),
+        "irregular" => cmd_irregular(args),
         "counters" => cmd_counters(args),
         "sensitivity" => cmd_sensitivity(args),
         "figures" => cmd_figures(args),
@@ -71,10 +83,11 @@ fn print_usage() {
     eprintln!(
         "usage: hetsim-cli <command> [options]\n\
          commands:\n\
-         \u{20}  list                               list the 21 Table 2 workloads\n\
-         \u{20}  run --workload W [--size S]        five-mode comparison for one workload\n\
+         \u{20}  list                               list every registered workload\n\
+         \u{20}  run W [--size S] [--mode M]        compare modes (or run one) for a workload\n\
          \u{20}  micro [--size S]                   Fig 7: the microbenchmark suite\n\
          \u{20}  apps [--size S]                    Fig 8: the application suite\n\
+         \u{20}  irregular [--size S]               fault-batcher study: bfs/kmeans/pathfinder\n\
          \u{20}  counters [--size S]                Figs 9/10: gemm/lud/yolov3 deep dive\n\
          \u{20}  sensitivity --study X [--size S]   Figs 11-13 (blocks|threads|carveout)\n\
          \u{20}  figures --out DIR                  write every figure's CSV to DIR\n\
@@ -82,7 +95,8 @@ fn print_usage() {
          \u{20}  trace W [--mode M] [--out FILE]    export one run as a Chrome/Perfetto trace\n\
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
-         \u{20}        --trace FILE  --self-profile"
+         \u{20}        --trace FILE  --self-profile\n\
+         `run --help` lists every valid workload name."
     );
 }
 
@@ -94,6 +108,24 @@ fn emit(table: &Table, csv: bool) {
     }
 }
 
+/// The registry of every runnable workload, grouped, one per line.
+fn workload_registry() -> String {
+    let mut s = String::new();
+    for (group, entries) in [
+        ("micro", suite::micro_names()),
+        ("apps", suite::app_names()),
+        ("irregular", suite::irregular_names()),
+    ] {
+        for e in entries {
+            s.push_str(&format!(
+                "  {:<12} {:<10} {}\n",
+                e.name, group, e.description
+            ));
+        }
+    }
+    s
+}
+
 fn cmd_list() -> Result<(), String> {
     let mut t = Table::new(vec!["workload", "suite", "description"]);
     for e in suite::micro_names() {
@@ -102,16 +134,102 @@ fn cmd_list() -> Result<(), String> {
     for e in suite::app_names() {
         t.row(vec![e.name.into(), "apps".into(), e.description.into()]);
     }
+    for e in suite::irregular_names() {
+        t.row(vec![
+            e.name.into(),
+            "irregular".into(),
+            e.description.into(),
+        ]);
+    }
     println!("{t}");
     Ok(())
 }
 
+/// The UVM fault-batcher statistics of one or more reports.
+fn fault_stats_table(rows: &[(String, TransferMode, hetsim_runtime::RunReport)]) -> Table {
+    let mut t = Table::new(vec![
+        "workload",
+        "mode",
+        "page_faults",
+        "fault_batches",
+        "mean_fill",
+        "underfilled",
+        "refaults",
+        "heuristic_pages",
+        "migrated_pages",
+        "fault_stall_ns",
+    ]);
+    for (name, mode, r) in rows {
+        let u = &r.counters.uvm;
+        t.row(vec![
+            name.clone(),
+            mode.name().to_string(),
+            u.page_faults().to_string(),
+            u.fault_batches().to_string(),
+            format!("{:.1}", u.mean_batch_fill()),
+            format!("{:.2}", u.underfilled_batch_fraction()),
+            u.refaults().to_string(),
+            u.pages_heuristic().to_string(),
+            u.pages_migrated().to_string(),
+            u.fault_stall().as_nanos().to_string(),
+        ]);
+    }
+    t
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
-    let name = args.workload.as_deref().ok_or("run needs --workload")?;
-    let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
+    if args.help {
+        println!(
+            "usage: hetsim-cli run <workload> [--size S] [--runs N] [--mode M] [--csv] [--trace FILE]\n\
+             workloads:"
+        );
+        print!("{}", workload_registry());
+        return Ok(());
+    }
+    let name = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or(args.workload.as_deref())
+        .ok_or_else(|| {
+            format!(
+                "run needs a workload name; valid names:\n{}",
+                workload_registry()
+            )
+        })?;
+    let w = suite::by_name(name, args.size).ok_or_else(|| {
+        format!(
+            "unknown workload `{name}`; valid names:\n{}",
+            workload_registry()
+        )
+    })?;
     let exp = Experiment::new()
         .with_runs(args.runs)
         .with_trace(trace_config(args));
+    if let Some(mode_name) = args.mode.as_deref() {
+        // Single-mode run: the paper's three-way breakdown plus the UVM
+        // fault-batcher profile of the deterministic base run.
+        let mode = parse_mode(mode_name)?;
+        let report = exp.runner().run_base(&w, mode);
+        println!(
+            "{name} @ {} [{}] ({} MB footprint)",
+            args.size,
+            mode.name(),
+            hetsim_runtime::GpuProgram::footprint(&w) >> 20
+        );
+        println!("{report}");
+        if mode.uses_uvm() {
+            emit(
+                &fault_stats_table(&[(name.to_string(), mode, report)]),
+                args.csv,
+            );
+        }
+        if let Some(path) = args.trace.as_deref() {
+            let (_, trace) = exp.traced_run(&w, mode);
+            write_trace(&trace, path)?;
+        }
+        return Ok(());
+    }
     let cmp = exp.compare_modes(&w);
     println!(
         "{name} @ {} ({} runs, {} MB footprint)",
@@ -125,6 +243,30 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let (_, trace) = exp.traced_modes(&w);
         write_trace(&trace, path)?;
     }
+    Ok(())
+}
+
+/// The irregular-access study: bfs, kmeans, and pathfinder compared
+/// across all five modes, with their fault-batcher profiles under plain
+/// `uvm` (where batching behaviour is undiluted by prefetch).
+fn cmd_irregular(args: &Args) -> Result<(), String> {
+    let exp = Experiment::new().with_runs(args.runs);
+    let s = figures::irregular(&exp, args.size);
+    println!(
+        "irregular study (bfs/kmeans/pathfinder) @ {} ({} runs)",
+        args.size, args.runs
+    );
+    emit(&s.to_table(), args.csv);
+    emit(&Headline::from_suite(&s).to_table(), args.csv);
+    let rows: Vec<(String, TransferMode, hetsim_runtime::RunReport)> = figures::IRREGULAR_WORKLOADS
+        .iter()
+        .map(|name| {
+            let w = suite::by_name(name, args.size).expect("trio resolves");
+            let r = exp.runner().run_base(&w, TransferMode::Uvm);
+            (name.to_string(), TransferMode::Uvm, r)
+        })
+        .collect();
+    emit(&fault_stats_table(&rows), args.csv);
     Ok(())
 }
 

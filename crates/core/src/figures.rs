@@ -251,6 +251,23 @@ pub fn fig8_at(exp: &Experiment, size: InputSize) -> SuiteComparison {
     SuiteComparison { size, comparisons }
 }
 
+/// The irregular-access study set (fault-batcher stress): bfs plus the
+/// two Table 2 applications carrying temporal touch models.
+pub const IRREGULAR_WORKLOADS: [&str; 3] = hetsim_workloads::IRREGULAR_TRIO;
+
+/// The irregular study: bfs, kmeans, and pathfinder compared across all
+/// five modes at one size. Complements Figs 7/8 with workloads whose
+/// temporal page-touch sequences drive the UVM fault batcher directly —
+/// the regime where `uvm_prefetch` gains shrink (bfs) and fault batches
+/// retire under-filled.
+pub fn irregular(exp: &Experiment, size: InputSize) -> SuiteComparison {
+    let comparisons = suite::irregular_suite(size)
+        .iter()
+        .map(|w| exp.compare_modes(w))
+        .collect();
+    SuiteComparison { size, comparisons }
+}
+
 /// Figs 9/10: per-mode hardware counters for the three deep-dive
 /// workloads (gemm, lud, yolov3).
 #[derive(Debug, Clone)]
@@ -495,6 +512,16 @@ mod tests {
         let s = fig7(&exp(), InputSize::Tiny);
         assert_eq!(s.comparisons().len(), 7);
         assert!(s.workload("gemm").is_some());
+        assert!((s.geomean_normalized(TransferMode::Standard) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn irregular_covers_the_trio() {
+        let s = irregular(&exp(), InputSize::Tiny);
+        assert_eq!(s.comparisons().len(), 3);
+        for name in IRREGULAR_WORKLOADS {
+            assert!(s.workload(name).is_some(), "{name} missing");
+        }
         assert!((s.geomean_normalized(TransferMode::Standard) - 1.0).abs() < 1e-9);
     }
 

@@ -9,6 +9,11 @@
 use hetsim_engine::time::Nanos;
 use std::ops::{Add, AddAssign};
 
+/// Number of batch-fill histogram buckets: power-of-two fills `1, 2–3,
+/// 4–7, …, ≥256`. The last bucket holds capacity-filled batches on the
+/// A100's 256-entry fault buffer.
+pub const BATCH_FILL_BUCKETS: usize = 9;
+
 /// Counters for the unified-virtual-memory subsystem.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UvmCounters {
@@ -16,8 +21,13 @@ pub struct UvmCounters {
     fault_batches: u64,
     pages_migrated: u64,
     pages_prefetched: u64,
+    pages_heuristic: u64,
     pages_evicted: u64,
+    refaults: u64,
     fault_stall: Nanos,
+    batch_fill: [u64; BATCH_FILL_BUCKETS],
+    fill_batches: u64,
+    fill_faults: u64,
 }
 
 impl UvmCounters {
@@ -34,6 +44,20 @@ impl UvmCounters {
         self.fault_stall += stall;
     }
 
+    /// Records the fill of one serviced batch into the power-of-two
+    /// batch-fill histogram. Irregular access streams show up as mass in
+    /// the low buckets (under-filled batches, each paying the full batch
+    /// latency); streaming workloads pile into the top bucket.
+    pub fn record_batch_fill(&mut self, fill: u64) {
+        if fill == 0 {
+            return;
+        }
+        let bucket = (63 - fill.leading_zeros() as usize).min(BATCH_FILL_BUCKETS - 1);
+        self.batch_fill[bucket] += 1;
+        self.fill_batches += 1;
+        self.fill_faults += fill;
+    }
+
     /// Records pages moved host→device by demand migration.
     pub fn record_migrated_pages(&mut self, pages: u64) {
         self.pages_migrated += pages;
@@ -44,9 +68,22 @@ impl UvmCounters {
         self.pages_prefetched += pages;
     }
 
+    /// Records pages migrated speculatively by the driver's region-growing
+    /// heuristic (fault-adjacent blocks, not explicit prefetch).
+    pub fn record_heuristic_pages(&mut self, pages: u64) {
+        self.pages_heuristic += pages;
+    }
+
     /// Records pages evicted device→host (oversubscription path).
     pub fn record_evicted_pages(&mut self, pages: u64) {
         self.pages_evicted += pages;
+    }
+
+    /// Records faults on chunks that had been resident before and were
+    /// evicted or displaced — the thrashing signature of re-touch
+    /// workloads under memory pressure.
+    pub fn record_refaults(&mut self, refaults: u64) {
+        self.refaults += refaults;
     }
 
     /// Total GPU far faults.
@@ -69,14 +106,51 @@ impl UvmCounters {
         self.pages_prefetched
     }
 
+    /// Pages migrated by the driver's region-growing speculation.
+    pub fn pages_heuristic(&self) -> u64 {
+        self.pages_heuristic
+    }
+
     /// Pages evicted back to the host.
     pub fn pages_evicted(&self) -> u64 {
         self.pages_evicted
     }
 
+    /// Faults on previously evicted or displaced chunks (thrashing).
+    pub fn refaults(&self) -> u64 {
+        self.refaults
+    }
+
     /// Total kernel stall attributable to fault servicing.
     pub fn fault_stall(&self) -> Nanos {
         self.fault_stall
+    }
+
+    /// The batch-fill histogram: bucket `i` counts serviced batches whose
+    /// fill was in `[2^i, 2^(i+1))`, with the last bucket open-ended.
+    pub fn batch_fill_histogram(&self) -> [u64; BATCH_FILL_BUCKETS] {
+        self.batch_fill
+    }
+
+    /// Mean fill of batches recorded through
+    /// [`UvmCounters::record_batch_fill`]; zero when none were.
+    pub fn mean_batch_fill(&self) -> f64 {
+        if self.fill_batches == 0 {
+            0.0
+        } else {
+            self.fill_faults as f64 / self.fill_batches as f64
+        }
+    }
+
+    /// Fraction of recorded batches below the top histogram bucket (fill
+    /// < 256 — under-filled relative to the A100's batch capacity); zero
+    /// when none were recorded.
+    pub fn underfilled_batch_fraction(&self) -> f64 {
+        if self.fill_batches == 0 {
+            return 0.0;
+        }
+        let full = self.batch_fill[BATCH_FILL_BUCKETS - 1];
+        (self.fill_batches - full) as f64 / self.fill_batches as f64
     }
 
     /// Mean faults per batch; zero when no batch was serviced.
@@ -115,8 +189,15 @@ impl AddAssign for UvmCounters {
         self.fault_batches += rhs.fault_batches;
         self.pages_migrated += rhs.pages_migrated;
         self.pages_prefetched += rhs.pages_prefetched;
+        self.pages_heuristic += rhs.pages_heuristic;
         self.pages_evicted += rhs.pages_evicted;
+        self.refaults += rhs.refaults;
         self.fault_stall += rhs.fault_stall;
+        for (a, b) in self.batch_fill.iter_mut().zip(rhs.batch_fill.iter()) {
+            *a += b;
+        }
+        self.fill_batches += rhs.fill_batches;
+        self.fill_faults += rhs.fill_faults;
     }
 }
 
@@ -162,5 +243,54 @@ mod tests {
         assert_eq!(c.page_faults(), 10);
         assert_eq!(c.pages_migrated(), 7);
         assert_eq!(c.pages_evicted(), 3);
+    }
+
+    #[test]
+    fn batch_fill_histogram_buckets_by_power_of_two() {
+        let mut u = UvmCounters::new();
+        u.record_batch_fill(1); // bucket 0
+        u.record_batch_fill(3); // bucket 1
+        u.record_batch_fill(4); // bucket 2
+        u.record_batch_fill(255); // bucket 7
+        u.record_batch_fill(256); // bucket 8
+        u.record_batch_fill(1000); // clamped to bucket 8
+        u.record_batch_fill(0); // ignored
+        let h = u.batch_fill_histogram();
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h[7], 1);
+        assert_eq!(h[8], 2);
+        assert_eq!(h.iter().sum::<u64>(), 6);
+    }
+
+    #[test]
+    fn mean_fill_and_underfilled_fraction() {
+        let mut u = UvmCounters::new();
+        assert_eq!(u.mean_batch_fill(), 0.0);
+        assert_eq!(u.underfilled_batch_fraction(), 0.0);
+        u.record_batch_fill(256);
+        u.record_batch_fill(2);
+        u.record_batch_fill(2);
+        u.record_batch_fill(4);
+        assert!((u.mean_batch_fill() - 66.0).abs() < 1e-12);
+        assert!((u.underfilled_batch_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refaults_and_heuristic_pages_merge() {
+        let mut a = UvmCounters::new();
+        a.record_refaults(5);
+        a.record_heuristic_pages(20);
+        a.record_batch_fill(8);
+        let mut b = UvmCounters::new();
+        b.record_refaults(2);
+        b.record_batch_fill(256);
+        let c = a + b;
+        assert_eq!(c.refaults(), 7);
+        assert_eq!(c.pages_heuristic(), 20);
+        assert_eq!(c.batch_fill_histogram()[3], 1);
+        assert_eq!(c.batch_fill_histogram()[8], 1);
+        assert!((c.mean_batch_fill() - 132.0).abs() < 1e-12);
     }
 }

@@ -36,7 +36,7 @@ pub mod timeline;
 pub use alloc::AllocModel;
 pub use device::Device;
 pub use mode::TransferMode;
-pub use program::{BufferRole, BufferSpec, GpuProgram};
+pub use program::{BufferRole, BufferSpec, GpuProgram, PageTouch};
 pub use report::RunReport;
 pub use run::Runner;
 pub use stream::{Engine, StreamSchedule};

@@ -61,6 +61,25 @@ impl fmt::Display for BufferSpec {
     }
 }
 
+/// One access of a kernel's chunk-granular page-touch sequence, in
+/// temporal order.
+///
+/// Produced by [`GpuProgram::page_touches`]; the runtime resolves the
+/// buffer-relative chunk index against the buffer's base address and
+/// replays the sequence through the UVM fault batcher, so the *order* of
+/// touches — not just their footprint — decides batching, speculation,
+/// and thrashing behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageTouch {
+    /// Index into [`GpuProgram::buffers`].
+    pub buffer: usize,
+    /// Chunk index *within* that buffer (the runtime clamps it into the
+    /// buffer's chunk count).
+    pub chunk: u64,
+    /// Whether the access writes (dirties the chunk).
+    pub write: bool,
+}
+
 /// A complete GPU application: buffers plus an ordered kernel sequence.
 ///
 /// Implemented by every workload in `hetsim-workloads`. The runtime derives
@@ -87,6 +106,25 @@ pub trait GpuProgram {
     /// Total bytes across all buffers (the paper's "memory footprint").
     fn footprint(&self) -> u64 {
         self.buffers().iter().map(|b| b.bytes).sum()
+    }
+
+    /// The chunk-granular page-touch sequence of `kernel`'s `invocation`-th
+    /// launch, or `None` when the program has no temporal touch model (the
+    /// runtime then falls back to address-ordered range touching) or the
+    /// model stops producing rounds (later invocations re-touch resident
+    /// data and add nothing).
+    ///
+    /// Implementations must be deterministic: the same
+    /// `(kernel, invocation, chunk_size)` triple must always return the
+    /// same sequence, so runs stay reproducible and tracing stays a pure
+    /// observer.
+    fn page_touches(
+        &self,
+        _kernel: usize,
+        _invocation: u64,
+        _chunk_size: u64,
+    ) -> Option<Vec<PageTouch>> {
+        None
     }
 }
 

@@ -3,7 +3,7 @@
 
 use crate::device::Device;
 use crate::mode::TransferMode;
-use crate::program::{BufferSpec, GpuProgram};
+use crate::program::{BufferSpec, GpuProgram, PageTouch};
 use crate::report::RunReport;
 use hetsim_counters::{CounterSet, Occupancy};
 use hetsim_engine::rng::SimRng;
@@ -33,6 +33,40 @@ fn trace_phase(cat: Category, name: impl Into<Cow<'static, str>>, dur: Nanos) {
         let track = b.track("runtime");
         b.phase_span(track, cat, name, dur.as_nanos());
     });
+}
+
+/// Upper bound on the number of per-kernel invocation rounds replayed
+/// through the temporal touch path. Touch models signal convergence by
+/// returning `None` well before this; the cap only bounds pathological
+/// models.
+const MAX_SEQUENCED_ROUNDS: u64 = 64;
+
+/// Resolves buffer-relative [`PageTouch`]es into absolute [`ChunkTouch`]es
+/// against the run's buffer layout. Touches on `Scratch` buffers are
+/// dropped (device-only memory never far-faults against the host) and
+/// chunk indices are clamped into the buffer's chunk count.
+fn resolve_touches(
+    touches: &[PageTouch],
+    buffers: &[BufferSpec],
+    bases: &[Addr],
+    chunk_size: u64,
+) -> Vec<hetsim_uvm::ChunkTouch> {
+    use hetsim_uvm::page::ChunkId;
+    let mut seq = Vec::with_capacity(touches.len());
+    for t in touches {
+        let b = &buffers[t.buffer];
+        if matches!(b.role, crate::program::BufferRole::Scratch) {
+            continue;
+        }
+        let nchunks = b.bytes.div_ceil(chunk_size).max(1);
+        let idx = t.chunk % nchunks;
+        seq.push(hetsim_uvm::ChunkTouch {
+            chunk: ChunkId::new(bases[t.buffer].as_u64() / chunk_size + idx),
+            write: t.write,
+            host_backed: b.role.is_input(),
+        });
+    }
+    seq
 }
 
 /// Runs programs on a simulated device.
@@ -110,7 +144,9 @@ impl Runner {
         // down scattered migration blocks — the hidden allocation cost of
         // the plain `uvm` configuration.
         if mode.uses_uvm() {
-            let touched = counters.uvm.pages_migrated() + counters.uvm.pages_prefetched();
+            let touched = counters.uvm.pages_migrated()
+                + counters.uvm.pages_prefetched()
+                + counters.uvm.pages_heuristic();
             let demand_fraction = if touched == 0 {
                 0.0
             } else {
@@ -315,7 +351,9 @@ impl Runner {
             merge_kernel_counters(counters, &r, inv);
 
             // Demand-fault whatever the kernel touches that is not yet
-            // resident.
+            // resident: through the kernel's temporal touch sequence when
+            // the program models one (irregular workloads), else through
+            // the address-ordered range walk.
             let mut stall = conflict_refault.stall;
             trace_phase(
                 Category::Memcpy,
@@ -327,24 +365,45 @@ impl Runner {
                 conflict_refault.chunks * dev.uvm.chunk_size,
                 conflict_refault.transfer,
             );
-            for (b, &base) in buffers.iter().zip(&bases) {
-                if matches!(b.role, crate::program::BufferRole::Scratch) {
-                    continue;
-                }
-                let fr = space.demand_touch_range(
-                    base,
-                    b.bytes,
-                    b.role.is_output(),
-                    b.role.is_input(),
-                    &dev.link,
-                );
+            let mut sequenced = false;
+            for inv in 0..k.invocations().min(MAX_SEQUENCED_ROUNDS) {
+                let Some(touches) = program.page_touches(ki, inv, dev.uvm.chunk_size) else {
+                    break;
+                };
+                sequenced = true;
+                let seq = resolve_touches(&touches, buffers, &bases, dev.uvm.chunk_size);
+                let fr = space.demand_touch_sequence(&seq, &dev.link);
                 stall += fr.stall;
-                let t = fr.transfer;
                 counters
                     .transfer
-                    .record_migration(fr.chunks * dev.uvm.chunk_size, t);
-                trace_phase(Category::Memcpy, format!("migration({})", b.name), t);
-                memcpy += t;
+                    .record_migration(fr.chunks * dev.uvm.chunk_size, fr.transfer);
+                trace_phase(
+                    Category::Memcpy,
+                    format!("migration({}#{inv})", k.name()),
+                    fr.transfer,
+                );
+                memcpy += fr.transfer;
+            }
+            if !sequenced {
+                for (b, &base) in buffers.iter().zip(&bases) {
+                    if matches!(b.role, crate::program::BufferRole::Scratch) {
+                        continue;
+                    }
+                    let fr = space.demand_touch_range(
+                        base,
+                        b.bytes,
+                        b.role.is_output(),
+                        b.role.is_input(),
+                        &dev.link,
+                    );
+                    stall += fr.stall;
+                    let t = fr.transfer;
+                    counters
+                        .transfer
+                        .record_migration(fr.chunks * dev.uvm.chunk_size, t);
+                    trace_phase(Category::Memcpy, format!("migration({})", b.name), t);
+                    memcpy += t;
+                }
             }
             // The part of fault servicing the SMs cannot hide shows up as
             // kernel-time inflation; trace it as its own kernel-category

@@ -6,7 +6,17 @@
 //! of microseconds regardless of how many faults it contains (Allen & Ge;
 //! Kim et al.'s batch-aware handling is cited in §2.1). Batched service
 //! latency is the mechanism behind the paper's observation that plain `uvm`
-//! *doubles* GPU kernel time on the microbenchmarks.
+//! *doubles* GPU kernel time on the microbenchmarks (§4.1.1, §4.2.2: the
+//! inflation shows up in kernel time because the faulting warps stall
+//! on-SM while the driver works).
+//!
+//! Because the batch cost is mostly fixed, *fill* matters: an
+//! address-ordered streaming workload retires every batch at capacity,
+//! while an irregular touch sequence (a BFS frontier, a wavefront halo)
+//! keeps retiring partial batches and pays the fixed latency per handful
+//! of faults. [`crate::touch`] drives this path and
+//! `hetsim-counters`' batch-fill histogram exposes it; the streaming vs.
+//! irregular contrast is pinned by `tests/irregular_shapes.rs`.
 
 use hetsim_engine::time::Nanos;
 

@@ -16,6 +16,12 @@
 //! * [`prefetch`] — explicit range prefetch plus the access-regularity
 //!   model that decides how much of a working set prefetch actually covers
 //!   (the paper's lud/nw pathologies);
+//! * [`heuristic`] — the driver's region-growing speculation, used to
+//!   validate the regularity table and to cover sequential phases of
+//!   temporal touch sequences;
+//! * [`touch`] — temporal-order demand touching: partial fault batches,
+//!   drain gaps, and refault (thrashing) tracking for irregular-access
+//!   workloads;
 //! * [`space`] — [`UvmSpace`], the façade the runtime drives.
 
 #![forbid(unsafe_code)]
@@ -27,6 +33,7 @@ pub mod page;
 pub mod prefetch;
 pub mod space;
 pub mod table;
+pub mod touch;
 
 pub use fault::{FaultConfig, FaultReport};
 pub use heuristic::HeuristicPrefetcher;
@@ -34,3 +41,4 @@ pub use page::{ChunkId, Residency};
 pub use prefetch::{PrefetchModel, Regularity};
 pub use space::{UvmConfig, UvmSpace};
 pub use table::PageTable;
+pub use touch::{ChunkTouch, TouchConfig};

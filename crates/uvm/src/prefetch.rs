@@ -14,6 +14,15 @@
 //! * nw's two kernels share one data object, so prefetching for the first
 //!   kernel *moves data out from under* the second — coverage is worse than
 //!   doing nothing.
+//!
+//! Workloads that carry a temporal touch model (the irregular trio — see
+//! `hetsim-workloads::irregular`) do not consult this coverage table at
+//! all: their residual demand traffic is *replayed* through
+//! [`crate::touch`], so prefetch effectiveness emerges from the sequence
+//! itself — whole-buffer prefetch still removes the bulk migrations, but
+//! the scattered frontier faults it cannot predict remain, which is why
+//! the `uvm_prefetch` advantage shrinks on irregular access (the
+//! prefetch-pays-off-when-predictable half of Takeaway 2).
 
 use std::fmt;
 

@@ -7,10 +7,12 @@
 use crate::fault::{FaultConfig, FaultReport};
 use crate::page::{chunks_of_range, ChunkId, CHUNK_SIZE};
 use crate::table::PageTable;
+use crate::touch::{ChunkTouch, FaultBatcher, TouchConfig};
 use hetsim_counters::UvmCounters;
 use hetsim_engine::time::Nanos;
 use hetsim_mem::addr::Addr;
 use hetsim_mem::link::{CpuGpuLink, LinkPath};
+use std::collections::HashSet;
 
 /// Configuration of a UVM space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,6 +21,8 @@ pub struct UvmConfig {
     pub chunk_size: u64,
     /// Fault-servicing cost model.
     pub fault: FaultConfig,
+    /// Sequence-driven batching parameters (drain gap, speculation cap).
+    pub touch: TouchConfig,
     /// Device memory capacity available to managed allocations, bytes.
     pub device_capacity: u64,
 }
@@ -30,6 +34,7 @@ impl UvmConfig {
         UvmConfig {
             chunk_size: CHUNK_SIZE,
             fault: FaultConfig::a100(),
+            touch: TouchConfig::a100(),
             device_capacity: 40 * (1u64 << 30),
         }
     }
@@ -49,6 +54,11 @@ pub struct UvmSpace {
     counters: UvmCounters,
     resident_bytes: u64,
     eviction_transfer: Nanos,
+    /// Chunks that have left the device at least once (LRU eviction or
+    /// prefetch displacement): a later fault on one of these is a
+    /// *refault* — the thrashing signature of re-touch workloads under
+    /// memory pressure.
+    evicted_once: HashSet<ChunkId>,
 }
 
 impl UvmSpace {
@@ -60,6 +70,7 @@ impl UvmSpace {
             counters: UvmCounters::new(),
             resident_bytes: 0,
             eviction_transfer: Nanos::ZERO,
+            evicted_once: HashSet::new(),
         }
     }
 
@@ -76,6 +87,7 @@ impl UvmSpace {
                 // Address reuse: drop the stale residency accounting.
                 self.resident_bytes -= self.config.chunk_size;
             }
+            self.evicted_once.remove(&c);
             self.table.register(c);
         }
     }
@@ -151,8 +163,12 @@ impl UvmSpace {
         link: &CpuGpuLink,
     ) -> FaultReport {
         let mut faulted = 0u64;
+        let mut refaults = 0u64;
         for c in chunks_of_range(base, bytes, self.config.chunk_size) {
             if !self.table.is_resident(c) {
+                if self.evicted_once.contains(&c) {
+                    refaults += 1;
+                }
                 self.make_resident(c);
                 faulted += 1;
             }
@@ -164,6 +180,15 @@ impl UvmSpace {
         let stall = self.config.fault.service_stall(faulted);
         let batches = self.config.fault.batches_for(faulted);
         self.counters.record_fault_batch(faulted, stall);
+        self.counters.record_refaults(refaults);
+        // An address-ordered sweep raises every fault up front, so the
+        // driver retires capacity-filled batches plus one remainder.
+        let mut remaining = faulted;
+        while remaining > 0 {
+            let fill = remaining.min(self.config.fault.batch_capacity as u64);
+            self.counters.record_batch_fill(fill);
+            remaining -= fill;
+        }
         let transfer = if host_backed {
             self.counters.record_migrated_pages(faulted);
             // Migrations are drained in batch-sized DMA bursts: the link's
@@ -201,6 +226,133 @@ impl UvmSpace {
         FaultReport {
             chunks: faulted,
             batches,
+            stall,
+            transfer,
+        }
+    }
+
+    /// Demand-touches chunks in the *temporal order* a kernel accesses
+    /// them — the path irregular workloads use instead of
+    /// [`UvmSpace::demand_touch_range`]'s address-ordered sweep.
+    ///
+    /// Three mechanisms the range walk cannot express fire here:
+    ///
+    /// * **Partial batches** — a [`FaultBatcher`] retires a batch when it
+    ///   fills *or* when [`TouchConfig::drain_gap`] resident accesses pass
+    ///   without a fault, so scattered faults pay the fixed batch latency
+    ///   over small fills (§2.1's batched servicing under the worst case).
+    /// * **Region-growing speculation** — the driver heuristic of
+    ///   [`crate::heuristic`]: a fault adjacent to the previous one doubles
+    ///   a speculative migration block (capped at
+    ///   [`TouchConfig::max_spec_block`]); a jump resets it. Sequential
+    ///   phases inside an irregular stream are covered cheaply; scattered
+    ///   phases defeat the doubling.
+    /// * **Refaults** — faults on chunks that were evicted or displaced
+    ///   earlier count as thrashing in the [`UvmCounters`].
+    ///
+    /// Speculatively migrated chunks only cross the link when the touch is
+    /// `host_backed`; either way they count toward the heuristic-pages
+    /// counter. Touches to unmanaged chunks are a simulator bug and panic,
+    /// matching the page-table contract.
+    pub fn demand_touch_sequence(
+        &mut self,
+        touches: &[ChunkTouch],
+        link: &CpuGpuLink,
+    ) -> FaultReport {
+        let tc = self.config.touch;
+        let mut batcher = FaultBatcher::new(self.config.fault, tc);
+        let mut spec_block: u64 = 1;
+        let mut last_fault: Option<u64> = None;
+        let mut faulted = 0u64;
+        let mut migrated = 0u64; // chunks crossing the link
+        let mut heuristic_pages = 0u64;
+        let mut refaults = 0u64;
+        for t in touches {
+            if self.table.is_resident(t.chunk) {
+                self.table.touch(t.chunk, t.write);
+                batcher.hit();
+                continue;
+            }
+            faulted += 1;
+            if self.evicted_once.contains(&t.chunk) {
+                refaults += 1;
+            }
+            batcher.fault();
+            let idx = t.chunk.index();
+            let adjacent = last_fault.is_some_and(|p| idx.abs_diff(p) <= spec_block.max(4));
+            spec_block = if adjacent {
+                (spec_block * 2).min(tc.max_spec_block.max(1))
+            } else {
+                1
+            };
+            last_fault = Some(idx);
+            self.make_resident(t.chunk);
+            self.table.touch(t.chunk, t.write);
+            if t.host_backed {
+                migrated += 1;
+            }
+            // The speculative block after the faulting chunk, clipped to
+            // the managed range.
+            for c in idx + 1..idx + spec_block {
+                let spec = ChunkId::new(c);
+                if self.table.is_managed(spec) && !self.table.is_resident(spec) {
+                    self.make_resident(spec);
+                    heuristic_pages += 1;
+                    if t.host_backed {
+                        migrated += 1;
+                    }
+                }
+            }
+        }
+        if faulted == 0 {
+            return FaultReport::default();
+        }
+        let fills = batcher.finish();
+        let mut stall = Nanos::ZERO;
+        for &fill in &fills {
+            let s = self.config.fault.batch_latency + self.config.fault.per_fault * fill as u64;
+            stall += s;
+            self.counters.record_fault_batch(fill as u64, s);
+            self.counters.record_batch_fill(fill as u64);
+        }
+        self.counters.record_refaults(refaults);
+        self.counters.record_heuristic_pages(heuristic_pages);
+        let transfer = if migrated > 0 {
+            self.counters.record_migrated_pages(migrated);
+            link.record_chunked_transfer(
+                LinkPath::DemandMigration,
+                migrated * self.config.chunk_size,
+                self.config.chunk_size * self.config.fault.batch_capacity as u64,
+            )
+        } else {
+            Nanos::ZERO
+        };
+        hetsim_trace::session::with(|b| {
+            let track = b.track("uvm");
+            b.detail_span(
+                track,
+                hetsim_trace::Category::FaultBatch,
+                "fault_batch_seq",
+                stall.as_nanos(),
+                Some(("chunks", faulted as f64)),
+            );
+            if !transfer.is_zero() {
+                b.detail_span(
+                    track,
+                    hetsim_trace::Category::Migration,
+                    "migration",
+                    transfer.as_nanos(),
+                    Some(("chunks", migrated as f64)),
+                );
+            }
+            b.counter("uvm.page_faults", self.counters.page_faults() as f64);
+            b.counter("uvm.pages_migrated", self.counters.pages_migrated() as f64);
+            b.counter("uvm.refaults", self.counters.refaults() as f64);
+            b.counter("uvm.resident_bytes", self.resident_bytes as f64);
+        });
+        FaultReport {
+            chunks: faulted,
+            batches: fills.len() as u64,
             stall,
             transfer,
         }
@@ -274,6 +426,7 @@ impl UvmSpace {
         for &c in resident.iter().rev().take(n) {
             // Re-register: resets to host residency and clears dirty state.
             self.table.register(c);
+            self.evicted_once.insert(c);
             self.resident_bytes -= self.config.chunk_size;
             displaced += 1;
         }
@@ -299,6 +452,7 @@ impl UvmSpace {
         let mut dirty_chunks = 0u64;
         for c in chunks_of_range(base, bytes, self.config.chunk_size) {
             let was_resident = self.table.is_resident(c);
+            self.evicted_once.remove(&c);
             if self.table.unregister(c) {
                 dirty_chunks += 1;
             }
@@ -322,7 +476,8 @@ impl UvmSpace {
         let mut evicted = 0u64;
         while self.resident_bytes + self.config.chunk_size > self.config.device_capacity {
             match self.table.evict_lru() {
-                Some((_, dirty)) => {
+                Some((victim, dirty)) => {
+                    self.evicted_once.insert(victim);
                     self.resident_bytes -= self.config.chunk_size;
                     self.counters.record_evicted_pages(1);
                     evicted += 1;
@@ -487,5 +642,115 @@ mod tests {
         assert_eq!(s.counters().page_faults(), 16);
         assert_eq!(s.counters().pages_migrated(), 16);
         assert_eq!(s.counters().fault_batches(), 1);
+    }
+
+    fn seq(chunks: &[u64], write: bool, host_backed: bool) -> Vec<ChunkTouch> {
+        chunks
+            .iter()
+            .map(|&c| ChunkTouch {
+                chunk: ChunkId::new(c),
+                write,
+                host_backed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sequential_sequence_speculates_and_fills_one_batch() {
+        let mut s = space();
+        s.managed_alloc(Addr::new(0), 64 * MB); // 1024 chunks
+        let touches = seq(&(0..1024).collect::<Vec<_>>(), false, true);
+        let r = s.demand_touch_sequence(&touches, &link());
+        // Region growing covers most of the stream: far fewer faults than
+        // chunks, all migrated (demand + speculation).
+        assert!(r.chunks < 1024 / 4, "faults {}", r.chunks);
+        assert_eq!(r.batches, 1, "gaps stay below the drain threshold");
+        assert_eq!(s.counters().pages_migrated(), 1024);
+        assert!(s.counters().pages_heuristic() > 700);
+        assert_eq!(s.resident_bytes(), 64 * MB);
+    }
+
+    #[test]
+    fn scattered_sequence_pays_underfilled_batches() {
+        let mut s = space();
+        s.managed_alloc(Addr::new(0), 64 * MB);
+        // One fault every 300 resident touches: every batch drains partial.
+        let mut touches = Vec::new();
+        for i in 0..8u64 {
+            touches.push(ChunkTouch {
+                chunk: ChunkId::new(i * 100),
+                write: false,
+                host_backed: true,
+            });
+            for _ in 0..300 {
+                touches.push(ChunkTouch {
+                    chunk: ChunkId::new(i * 100),
+                    write: false,
+                    host_backed: true,
+                });
+            }
+        }
+        let r = s.demand_touch_sequence(&touches, &link());
+        assert_eq!(r.chunks, 8);
+        assert_eq!(r.batches, 8, "every fault drains its own batch");
+        let dense_stall = UvmConfig::a100().fault.service_stall(8);
+        assert!(
+            r.stall > dense_stall * 6,
+            "scattered {} vs dense {}",
+            r.stall,
+            dense_stall
+        );
+    }
+
+    #[test]
+    fn sequence_counts_refaults_after_displacement() {
+        let mut s = space();
+        s.managed_alloc(Addr::new(0), MB); // 16 chunks
+        let touches = seq(&(0..16).collect::<Vec<_>>(), false, true);
+        s.demand_touch_sequence(&touches, &link());
+        assert_eq!(s.counters().refaults(), 0);
+        s.displace_fraction(Addr::new(0), MB, 1.0);
+        let r = s.demand_touch_sequence(&touches, &link());
+        assert!(r.chunks > 0);
+        assert_eq!(s.counters().refaults(), r.chunks, "every fault re-faults");
+    }
+
+    #[test]
+    fn sequence_on_resident_data_is_free() {
+        let mut s = space();
+        s.managed_alloc(Addr::new(0), MB);
+        let touches = seq(&(0..16).collect::<Vec<_>>(), false, true);
+        s.demand_touch_sequence(&touches, &link());
+        let r = s.demand_touch_sequence(&touches, &link());
+        assert_eq!(r, FaultReport::default());
+    }
+
+    #[test]
+    fn first_touch_output_sequence_moves_nothing() {
+        let mut s = space();
+        s.managed_alloc(Addr::new(0), MB);
+        let touches = seq(&(0..16).collect::<Vec<_>>(), true, false);
+        let r = s.demand_touch_sequence(&touches, &link());
+        assert!(r.chunks > 0);
+        assert_eq!(r.transfer, Nanos::ZERO, "no host backing, no link time");
+        assert_eq!(s.counters().pages_migrated(), 0);
+        let wb = s.writeback_dirty(Addr::new(0), MB, LinkPath::DemandMigration, &link());
+        assert!(wb > Nanos::ZERO, "writes marked the chunks dirty");
+    }
+
+    #[test]
+    fn sequence_refaults_under_oversubscription() {
+        let mut cfg = UvmConfig::a100();
+        cfg.device_capacity = 8 * cfg.chunk_size;
+        let mut s = UvmSpace::new(cfg);
+        s.managed_alloc(Addr::new(0), 32 * cfg.chunk_size);
+        let pass: Vec<u64> = (0..32).collect();
+        let touches = seq(&pass, false, true);
+        s.demand_touch_sequence(&touches, &link());
+        // The second pass re-touches data the first pass already evicted.
+        s.demand_touch_sequence(&touches, &link());
+        assert!(s.counters().refaults() > 0, "re-touch must thrash");
+        assert!(s.counters().pages_evicted() > 0);
+        assert!(s.resident_bytes() <= cfg.device_capacity);
     }
 }

@@ -7,6 +7,7 @@
 //! note the paper-observed behaviour the model must reproduce.
 
 use super::{elems, tile_bytes};
+use crate::irregular::TouchModel;
 use crate::size::InputSize;
 use crate::spec::{KernelSpec, StreamPattern, Workload, LINE};
 use hetsim_gpu::kernel::{KernelStyle, LaunchConfig, TileOps};
@@ -132,6 +133,19 @@ pub fn kmeans(size: InputSize) -> Workload {
         vec![assign, update],
         1.0,
     )
+    // Iterative re-touch: every pass streams the full point set in
+    // lane-interleaved order (concurrent thread blocks), consulting the
+    // small centroid table throughout. Later passes re-touch resident
+    // data — fault-free unless eviction thrashed it in between.
+    .with_touch_model(TouchModel::Retouch {
+        data: 0,
+        table: 1,
+        out: 2,
+        passes: 3,
+        lanes: 8,
+        burst: 2,
+        table_interval: 5,
+    })
 }
 
 /// `srad`: speckle-reducing anisotropic diffusion — two PDE kernels over
@@ -235,6 +249,14 @@ pub fn pathfinder(size: InputSize) -> Workload {
         vec![kernel],
         1.0,
     )
+    // Banded wavefront: each DP step sweeps one grid band sequentially
+    // and re-touches the tail of the previous band (the carried row).
+    .with_touch_model(TouchModel::Wavefront {
+        grid: 0,
+        out: 1,
+        rows: 30,
+        halo_chunks: 4,
+    })
 }
 
 /// `hotspot`: iterative thermal stencil over a chip floorplan.

@@ -3,7 +3,10 @@
 //! The paper's benchmark suite (its Table 2) re-expressed as hetsim kernel
 //! models: 7 microbenchmarks and 14 real-world applications spanning linear
 //! algebra, physics simulation, data mining, image processing, and machine
-//! learning.
+//! learning — plus the [`irregular`] extension group (bfs, and the
+//! temporal touch models attached to kmeans and pathfinder) that stresses
+//! the UVM fault batcher with genuinely irregular page-touch *sequences*
+//! rather than address-ordered ranges.
 //!
 //! Every workload implements [`hetsim_runtime::GpuProgram`]: it declares
 //! its buffers (footprint per the Table 3 input-size presets) and its
@@ -29,11 +32,16 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod irregular;
 pub mod micro;
 pub mod size;
 pub mod spec;
 pub mod suite;
 
+pub use irregular::TouchModel;
 pub use size::InputSize;
 pub use spec::{KernelSpec, StreamPattern, Workload};
-pub use suite::{app_names, app_suite, by_name, micro_names, micro_suite, SuiteEntry};
+pub use suite::{
+    app_names, app_suite, by_name, irregular_names, irregular_suite, micro_names, micro_suite,
+    SuiteEntry, IRREGULAR_TRIO,
+};

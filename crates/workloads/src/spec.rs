@@ -9,9 +9,10 @@
 //! structure; the engine turns them into deterministic line-granular
 //! address streams for the cache and UVM simulations.
 
+use crate::irregular::TouchModel;
 use hetsim_gpu::kernel::{KernelModel, KernelStyle, LaunchConfig, TileOps};
 use hetsim_mem::addr::MemAccess;
-use hetsim_runtime::{BufferSpec, GpuProgram};
+use hetsim_runtime::{BufferSpec, GpuProgram, PageTouch};
 use hetsim_uvm::prefetch::Regularity;
 
 /// Cache-line size the address generators emit at.
@@ -294,6 +295,7 @@ pub struct Workload {
     buffers: Vec<BufferSpec>,
     kernels: Vec<KernelSpec>,
     prefetch_conflict: f64,
+    touch_model: Option<TouchModel>,
 }
 
 impl Workload {
@@ -319,7 +321,24 @@ impl Workload {
             buffers,
             kernels,
             prefetch_conflict,
+            touch_model: None,
         }
+    }
+
+    /// Attaches a temporal page-touch model ([`TouchModel`]): the workload
+    /// then drives the UVM fault batcher through an explicit, ordered
+    /// chunk-touch sequence instead of the address-ordered range fallback.
+    /// Irregular-access workloads (bfs, kmeans, pathfinder) use this to
+    /// produce the under-filled fault batches and re-touch thrashing the
+    /// paper attributes to them.
+    pub fn with_touch_model(mut self, model: TouchModel) -> Self {
+        self.touch_model = Some(model);
+        self
+    }
+
+    /// The attached temporal touch model, if any.
+    pub fn touch_model(&self) -> Option<&TouchModel> {
+        self.touch_model.as_ref()
     }
 
     /// The kernel specs (for inspection/tests).
@@ -350,6 +369,21 @@ impl GpuProgram for Workload {
 
     fn prefetch_conflict(&self) -> f64 {
         self.prefetch_conflict
+    }
+
+    fn page_touches(
+        &self,
+        kernel: usize,
+        invocation: u64,
+        chunk_size: u64,
+    ) -> Option<Vec<PageTouch>> {
+        self.touch_model.as_ref()?.touches(
+            &self.name,
+            kernel,
+            invocation,
+            chunk_size,
+            &self.buffers,
+        )
     }
 }
 

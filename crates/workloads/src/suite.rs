@@ -1,6 +1,20 @@
-//! The suite registry: every Table 2 workload by name.
+//! The suite registry: every Table 2 workload by name, plus the
+//! irregular-access extension group.
+//!
+//! Three registries exist side by side:
+//!
+//! * [`micro_names`] — the paper's 7 microbenchmarks (Fig 7 order);
+//! * [`app_names`] — the paper's 14 applications (Fig 8 order);
+//! * [`irregular_names`] — workloads added beyond Table 2 to stress the
+//!   UVM fault batcher with genuinely irregular page-touch sequences
+//!   (currently [`bfs`](crate::irregular::bfs)).
+//!
+//! [`by_name`] resolves across all three, and [`IRREGULAR_TRIO`] names the
+//! canonical irregular study set (bfs + the two Table 2 workloads that
+//! carry temporal touch models, kmeans and pathfinder).
 
 use crate::apps;
+use crate::irregular;
 use crate::micro;
 use crate::size::InputSize;
 use crate::spec::Workload;
@@ -135,6 +149,18 @@ const APPS: [SuiteEntry; 14] = [
     },
 ];
 
+const IRREGULAR: [SuiteEntry; 1] = [SuiteEntry {
+    name: "bfs",
+    description: "level-synchronous breadth-first search (frontier-driven)",
+    build: irregular::bfs,
+}];
+
+/// The irregular-access study set: the workloads that drive the UVM fault
+/// batcher through temporal touch sequences instead of the address-ordered
+/// fallback. bfs is registry-native ([`irregular_names`]); kmeans and
+/// pathfinder are Table 2 applications carrying attached touch models.
+pub const IRREGULAR_TRIO: [&str; 3] = ["bfs", "kmeans", "pathfinder"];
+
 /// The 7 microbenchmark entries in the paper's figure order.
 pub fn micro_names() -> Vec<SuiteEntry> {
     MICRO.to_vec()
@@ -155,11 +181,26 @@ pub fn app_suite(size: InputSize) -> Vec<Workload> {
     APPS.iter().map(|e| (e.build)(size)).collect()
 }
 
-/// Looks a workload up by its paper name.
+/// The irregular-extension entries (workloads beyond the paper's Table 2).
+pub fn irregular_names() -> Vec<SuiteEntry> {
+    IRREGULAR.to_vec()
+}
+
+/// Builds the irregular study trio ([`IRREGULAR_TRIO`]) at one size.
+pub fn irregular_suite(size: InputSize) -> Vec<Workload> {
+    IRREGULAR_TRIO
+        .iter()
+        .map(|n| by_name(n, size).expect("trio names resolve"))
+        .collect()
+}
+
+/// Looks a workload up by name, across the micro, application, and
+/// irregular registries.
 pub fn by_name(name: &str, size: InputSize) -> Option<Workload> {
     MICRO
         .iter()
         .chain(APPS.iter())
+        .chain(IRREGULAR.iter())
         .find(|e| e.name == name)
         .map(|e| (e.build)(size))
 }
@@ -178,10 +219,21 @@ mod tests {
     }
 
     #[test]
+    fn irregular_trio_resolves_with_touch_models() {
+        let trio = irregular_suite(InputSize::Tiny);
+        assert_eq!(trio.len(), 3);
+        for (w, name) in trio.iter().zip(IRREGULAR_TRIO) {
+            assert_eq!(w.name(), name);
+            assert!(w.touch_model().is_some(), "{name} must carry a model");
+        }
+    }
+
+    #[test]
     fn names_are_unique_and_resolvable() {
         let mut names: Vec<&str> = micro_names()
             .iter()
             .chain(app_names().iter())
+            .chain(irregular_names().iter())
             .map(|e| e.name)
             .collect();
         names.sort_unstable();
@@ -201,7 +253,11 @@ mod tests {
 
     #[test]
     fn constructed_names_match_registry() {
-        for e in micro_names().iter().chain(app_names().iter()) {
+        for e in micro_names()
+            .iter()
+            .chain(app_names().iter())
+            .chain(irregular_names().iter())
+        {
             let w = (e.build)(InputSize::Tiny);
             assert_eq!(w.name(), e.name, "constructor name mismatch");
         }

@@ -3,7 +3,7 @@
 //! that tracing never perturbs simulation results.
 
 use hetsim::experiment::Experiment;
-use hetsim_runtime::TransferMode;
+use hetsim_runtime::{GpuProgram, TransferMode};
 use hetsim_trace::{Category, MetricsRegistry, TraceConfig};
 use hetsim_workloads::{micro, suite, InputSize};
 
@@ -71,6 +71,43 @@ fn tracing_does_not_change_results() {
         !hetsim_trace::session::enabled(),
         "traced_run leaves no session behind"
     );
+}
+
+/// The irregular trio's touch sequences are deterministic at every layer:
+/// the model yields the same page-touch list on every call, the run report
+/// (fault counters included) is identical across repeated base runs, and
+/// observing the run through the trace layer changes nothing — the same
+/// observer-invariance contract as [`tracing_does_not_change_results`],
+/// extended to the sequence-driven fault-batcher path.
+#[test]
+fn irregular_fault_sequences_are_deterministic_and_observer_invariant() {
+    let e = Experiment::new();
+    for name in hetsim_workloads::IRREGULAR_TRIO {
+        let w = suite::by_name(name, InputSize::Small).unwrap();
+        let model = w.touch_model().expect("trio workloads carry models");
+
+        // The raw touch sequence is byte-identical across calls.
+        let chunk = 2 << 20;
+        let a = model.touches(name, 0, 0, chunk, &w.buffers());
+        let b = model.touches(name, 0, 0, chunk, &w.buffers());
+        assert_eq!(a, b, "{name}: touch sequence must be reproducible");
+        assert!(
+            a.expect("first invocation is modelled").len() > 1,
+            "{name}: a modelled invocation touches pages"
+        );
+
+        // The full run — fault batching, migration, counters — replays
+        // identically, and tracing is a pure observer over it.
+        let r1 = e.runner().run_base(&w, TransferMode::Uvm);
+        let r2 = e.runner().run_base(&w, TransferMode::Uvm);
+        assert_eq!(r1, r2, "{name}: uvm base run must be deterministic");
+        let (traced, trace) = e.traced_run(&w, TransferMode::Uvm);
+        assert_eq!(r1, traced, "{name}: tracing must not perturb the run");
+        assert!(
+            trace.category_total(Category::Memcpy) == traced.memcpy.as_nanos(),
+            "{name}: migration spans must sum to the memcpy component"
+        );
+    }
 }
 
 /// UVM runs surface their counters, and the metrics registry can group
