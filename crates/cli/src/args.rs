@@ -27,6 +27,10 @@ pub struct Args {
     pub trace: Option<String>,
     /// `--self-profile`: include host wall-clock spans in the trace.
     pub self_profile: bool,
+    /// `--threads N`: worker threads for parallel sweeps (default: the
+    /// `HETSIM_THREADS` env var, then the machine's parallelism; `1`
+    /// forces fully serial execution).
+    pub threads: Option<usize>,
     /// `--help`/`-h`: print the command's usage (and, for `run`, the
     /// workload registry) instead of running.
     pub help: bool,
@@ -46,6 +50,7 @@ impl Default for Args {
             mode: None,
             trace: None,
             self_profile: false,
+            threads: None,
             help: false,
         }
     }
@@ -74,6 +79,13 @@ impl Args {
                 }
                 "--runs" => args.runs = it.next()?.parse().ok()?,
                 "--jobs" => args.jobs = it.next()?.parse().ok()?,
+                "--threads" => {
+                    let n: usize = it.next()?.parse().ok()?;
+                    if n == 0 {
+                        return None;
+                    }
+                    args.threads = Some(n);
+                }
                 other if !other.starts_with('-') => args.positional.push(other.to_string()),
                 _ => return None,
             }
@@ -155,6 +167,16 @@ mod tests {
         let (_, a) = Args::parse(&v(&["run", "bfs", "--mode", "uvm"])).unwrap();
         assert_eq!(a.positional, vec!["bfs".to_string()]);
         assert_eq!(a.mode.as_deref(), Some("uvm"));
+    }
+
+    #[test]
+    fn parses_threads_flag() {
+        let (_, a) = Args::parse(&v(&["figures", "--threads", "4"])).unwrap();
+        assert_eq!(a.threads, Some(4));
+        let (_, a) = Args::parse(&v(&["figures"])).unwrap();
+        assert_eq!(a.threads, None);
+        assert!(Args::parse(&v(&["figures", "--threads", "0"])).is_none());
+        assert!(Args::parse(&v(&["figures", "--threads", "x"])).is_none());
     }
 
     #[test]

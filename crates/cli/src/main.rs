@@ -49,6 +49,7 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     };
+    hetsim::pool::set_threads(args.threads);
     match dispatch(&command, &args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -96,6 +97,8 @@ fn print_usage() {
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
          \u{20}        --trace FILE  --self-profile\n\
+         \u{20}        --threads N   worker threads for sweeps (default: HETSIM_THREADS,\n\
+         \u{20}                      then machine parallelism; output is identical at any N)\n\
          `run --help` lists every valid workload name."
     );
 }
@@ -210,7 +213,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         // Single-mode run: the paper's three-way breakdown plus the UVM
         // fault-batcher profile of the deterministic base run.
         let mode = parse_mode(mode_name)?;
-        let report = exp.runner().run_base(&w, mode);
+        let report = exp.base_run(&w, mode);
         println!(
             "{name} @ {} [{}] ({} MB footprint)",
             args.size,
@@ -258,11 +261,13 @@ fn cmd_irregular(args: &Args) -> Result<(), String> {
     );
     emit(&s.to_table(), args.csv);
     emit(&Headline::from_suite(&s).to_table(), args.csv);
+    // The memoized base runs: `figures::irregular` already simulated the
+    // trio under plain uvm, so these lookups are free.
     let rows: Vec<(String, TransferMode, hetsim_runtime::RunReport)> = figures::IRREGULAR_WORKLOADS
         .iter()
         .map(|name| {
             let w = suite::by_name(name, args.size).expect("trio resolves");
-            let r = exp.runner().run_base(&w, TransferMode::Uvm);
+            let r = exp.base_run(&w, TransferMode::Uvm);
             (name.to_string(), TransferMode::Uvm, r)
         })
         .collect();
@@ -387,7 +392,7 @@ fn cmd_interjob(args: &Args) -> Result<(), String> {
     if args.trace.is_some() {
         hetsim_trace::session::start(trace_config(args));
     }
-    let report = exp.runner().run_base(&w, TransferMode::UvmPrefetchAsync);
+    let report = exp.base_run(&w, TransferMode::UvmPrefetchAsync);
     let pipeline = InterJobPipeline::homogeneous(JobStages::from_report(&report), args.jobs);
     if let Some(path) = args.trace.as_deref() {
         // Append the pipelined batch schedule after the measured job, so

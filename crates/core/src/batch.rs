@@ -178,14 +178,42 @@ impl InterJobPipeline {
         (Timeline::from_trace(&serial), Timeline::from_trace(&piped))
     }
 
+    /// The estimates of every prefix batch (`jobs[..1]`, `jobs[..2]`, …)
+    /// computed in one incremental pass over the job list.
+    ///
+    /// Both schedules extend monotonically: the sequential prefix total is
+    /// a running sum, and the pipelined prefix total is the device's
+    /// availability time `gpu_free` after job *n* — the kernel recurrence
+    /// of [`InterJobPipeline::traces`] gives `gpu_free ≥ cpu_free` at
+    /// every step (each GPU stage starts no earlier than its CPU stage
+    /// finished), so `gpu_free` *is* the prefix schedule's horizon.
+    /// Re-scheduling each prefix from scratch would be O(n²) in batch
+    /// size; this pass is O(n) and produces identical numbers (pinned by
+    /// a test against [`InterJobPipeline::estimate`]).
+    pub fn prefix_estimates(&self) -> Vec<PipelineEstimate> {
+        let mut out = Vec::with_capacity(self.jobs.len());
+        let mut sequential = 0u64;
+        let mut cpu_free = 0u64;
+        let mut gpu_free = 0u64;
+        for j in &self.jobs {
+            sequential += j.total().as_nanos();
+            cpu_free += j.cpu.as_nanos();
+            gpu_free = cpu_free.max(gpu_free) + j.gpu.as_nanos();
+            out.push(PipelineEstimate {
+                sequential: Nanos::from_nanos(sequential),
+                pipelined: Nanos::from_nanos(gpu_free),
+            });
+        }
+        out
+    }
+
     /// Renders the estimate for a range of batch sizes (prefixes of the
     /// job list).
     pub fn to_table(&self) -> Table {
         let mut t = Table::new(vec!["jobs", "sequential_ns", "pipelined_ns", "improvement"]);
-        for n in 1..=self.jobs.len() {
-            let e = InterJobPipeline::new(self.jobs[..n].to_vec()).estimate();
+        for (n, e) in self.prefix_estimates().iter().enumerate() {
             t.row(vec![
-                n.to_string(),
+                (n + 1).to_string(),
                 e.sequential.as_nanos().to_string(),
                 e.pipelined.as_nanos().to_string(),
                 format!("{:.2}%", e.improvement() * 100.0),
@@ -311,6 +339,27 @@ mod tests {
         let p = InterJobPipeline::homogeneous(job(10, 10), 4);
         assert_eq!(p.to_table().len(), 4);
         assert_eq!(p.jobs().len(), 4);
+    }
+
+    #[test]
+    fn incremental_prefixes_match_scratch_schedules() {
+        // Heterogeneous stage mixes exercise both the CPU-bound and the
+        // GPU-bound branches of the pipelined recurrence.
+        let jobs = vec![
+            job(10, 90),
+            job(50, 50),
+            job(90, 10),
+            job(30, 30),
+            job(1, 200),
+            job(200, 1),
+        ];
+        let p = InterJobPipeline::new(jobs.clone());
+        let incremental = p.prefix_estimates();
+        assert_eq!(incremental.len(), jobs.len());
+        for n in 1..=jobs.len() {
+            let scratch = InterJobPipeline::new(jobs[..n].to_vec()).estimate();
+            assert_eq!(incremental[n - 1], scratch, "prefix {n}");
+        }
     }
 
     #[test]

@@ -6,12 +6,21 @@
 //! `(workload, mode)` plus per-run measurement noise, so a 30-run
 //! distribution costs one cache simulation, not thirty.
 
+use crate::pool;
 use hetsim_counters::report::Table;
 use hetsim_engine::stats::Summary;
 use hetsim_engine::time::Nanos;
 use hetsim_runtime::report::Component;
 use hetsim_runtime::{Device, GpuProgram, RunReport, Runner, TransferMode};
-use hetsim_trace::{HostProfiler, Trace, TraceConfig};
+use hetsim_trace::{HostProfiler, Trace, TraceBuilder, TraceConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Memoized base runs, keyed on the program's structural fingerprint plus
+/// the transfer mode. The device is fixed per `Experiment` (and
+/// [`Experiment::with_device`] swaps in a fresh cache), so it needs no
+/// spot in the key.
+type BaseMemo = Arc<Mutex<HashMap<(String, TransferMode), RunReport>>>;
 
 /// A configured experiment: a device plus a run count.
 #[derive(Debug, Clone)]
@@ -19,6 +28,7 @@ pub struct Experiment {
     runner: Runner,
     runs: u64,
     trace: TraceConfig,
+    memo: BaseMemo,
 }
 
 impl Experiment {
@@ -28,6 +38,7 @@ impl Experiment {
             runner: Runner::new(Device::a100_epyc()),
             runs: 30,
             trace: TraceConfig::default(),
+            memo: BaseMemo::default(),
         }
     }
 
@@ -43,8 +54,11 @@ impl Experiment {
     }
 
     /// Uses a custom device (sensitivity studies re-point the carveout).
+    /// Invalidates the base-run memo: cached reports belong to the old
+    /// device.
     pub fn with_device(mut self, device: Device) -> Self {
         self.runner = Runner::new(device);
+        self.memo = BaseMemo::default();
         self
     }
 
@@ -70,9 +84,34 @@ impl Experiment {
         self.runs
     }
 
+    /// The deterministic base simulation of `(program, mode)`, memoized:
+    /// figure grids that revisit a configuration (headline + sensitivity
+    /// + irregular tables) pay for each simulation once per `Experiment`.
+    ///
+    /// Tracing bypasses the memo — a traced run's value *is* its side
+    /// effects on the active session, so it must actually execute.
+    pub fn base_run(&self, program: &dyn GpuProgram, mode: TransferMode) -> RunReport {
+        if hetsim_trace::session::enabled() {
+            return self.runner.run_base(program, mode);
+        }
+        let key = (program.memo_key(), mode);
+        if let Some(hit) = self.lock_memo().get(&key) {
+            return hit.clone();
+        }
+        let report = self.runner.run_base(program, mode);
+        self.lock_memo().insert(key, report.clone());
+        report
+    }
+
+    fn lock_memo(&self) -> std::sync::MutexGuard<'_, HashMap<(String, TransferMode), RunReport>> {
+        self.memo
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// The full run distribution for one `(workload, mode)` pair.
     pub fn distribution(&self, program: &dyn GpuProgram, mode: TransferMode) -> Vec<RunReport> {
-        let base = self.runner.run_base(program, mode);
+        let base = self.base_run(program, mode);
         (0..self.runs)
             .map(|i| self.runner.apply_noise(&base, program, mode, i))
             .collect()
@@ -84,12 +123,17 @@ impl Experiment {
     }
 
     /// Means for all five modes, for normalized side-by-side comparison
-    /// (the format of the paper's Figs 7, 8, 11–13).
+    /// (the format of the paper's Figs 7, 8, 11–13). The five base
+    /// simulations are independent, so they fan out over the
+    /// [`pool`] workers; results come back in mode order
+    /// regardless of scheduling.
     pub fn compare_modes(&self, program: &dyn GpuProgram) -> ModeComparison {
-        let means = TransferMode::ALL.map(|m| self.mean(program, m));
+        let means: Vec<MeanReport> = pool::run(TransferMode::ALL.len(), |i| {
+            self.mean(program, TransferMode::ALL[i])
+        });
         ModeComparison {
             workload: program.name().to_string(),
-            means,
+            means: means.try_into().expect("one mean per mode"),
         }
     }
 
@@ -113,13 +157,28 @@ impl Experiment {
     /// Traces the base run of every transfer mode into one recording, the
     /// modes laid out back to back on the sim timeline — a side-by-side
     /// five-mode picture of the same workload.
+    ///
+    /// Each mode records into its own thread-local session (so the five
+    /// runs can execute on [`pool`] workers), and the
+    /// finished per-mode traces are merged in mode order, each placed at
+    /// the running sum of its predecessors' end cursors. The merge path
+    /// is identical at every thread count, so the exported trace is
+    /// byte-identical whether the modes ran serially or in parallel.
     pub fn traced_modes(&self, program: &dyn GpuProgram) -> ([RunReport; 5], Trace) {
-        hetsim_trace::session::start(self.trace);
-        let profiler = HostProfiler::new();
-        let reports = TransferMode::ALL
-            .map(|m| profiler.phase("simulate", || self.runner.run_base(program, m)));
-        let trace = hetsim_trace::session::finish().expect("trace session active");
-        (reports, trace)
+        let runs: Vec<(RunReport, Trace)> = pool::run(TransferMode::ALL.len(), |i| {
+            self.traced_run(program, TransferMode::ALL[i])
+        });
+        let mut merged = TraceBuilder::new(self.trace);
+        let mut reports = Vec::with_capacity(runs.len());
+        for (report, trace) in runs {
+            let at = merged.now();
+            merged.absorb_at(&trace, at);
+            reports.push(report);
+        }
+        (
+            reports.try_into().expect("one report per mode"),
+            merged.finish(),
+        )
     }
 }
 

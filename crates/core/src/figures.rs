@@ -6,6 +6,7 @@
 //! `hetsim-bench` regenerate each figure from these producers.
 
 use crate::experiment::{Experiment, ModeComparison};
+use crate::pool;
 use hetsim_counters::report::{num, Table};
 use hetsim_counters::InstClass;
 use hetsim_engine::stats::{geomean, Summary};
@@ -84,23 +85,31 @@ impl DistributionGrid {
 }
 
 /// Fig 4: distributions of the 7 microbenchmarks at the given sizes.
+///
+/// The full `size × workload × mode` grid is flattened into one job list
+/// and fanned over the [`pool`] workers; row order matches the serial
+/// triple loop exactly.
 pub fn fig4(exp: &Experiment, sizes: &[InputSize]) -> DistributionGrid {
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for &size in sizes {
         for entry in suite::micro_names() {
-            let w = (entry.build)(size);
             for mode in TransferMode::ALL {
-                let reports = exp.distribution(&w, mode);
-                let totals: Vec<Nanos> = reports.iter().map(|r| r.total()).collect();
-                rows.push(DistributionRow {
-                    size,
-                    workload: entry.name.to_string(),
-                    mode,
-                    summary: Summary::from_nanos(&totals),
-                });
+                cells.push((size, entry, mode));
             }
         }
     }
+    let rows = pool::run(cells.len(), |i| {
+        let (size, entry, mode) = cells[i];
+        let w = (entry.build)(size);
+        let reports = exp.distribution(&w, mode);
+        let totals: Vec<Nanos> = reports.iter().map(|r| r.total()).collect();
+        DistributionRow {
+            size,
+            workload: entry.name.to_string(),
+            mode,
+            summary: Summary::from_nanos(&totals),
+        }
+    });
     DistributionGrid { rows }
 }
 
@@ -230,11 +239,21 @@ impl SuiteComparison {
 /// Fig 7: the 7 microbenchmarks compared across modes at one size
 /// (the paper shows Large and Super).
 pub fn fig7(exp: &Experiment, size: InputSize) -> SuiteComparison {
-    let comparisons = suite::micro_suite(size)
-        .iter()
-        .map(|w| exp.compare_modes(w))
-        .collect();
-    SuiteComparison { size, comparisons }
+    SuiteComparison {
+        size,
+        comparisons: compare_suite(exp, suite::micro_suite(size)),
+    }
+}
+
+/// Fans `compare_modes` over a suite's workloads on the [`pool`] workers;
+/// output order matches the suite order. (Each job's inner five-mode
+/// fan-out degrades to serial inside a worker, so workload-level
+/// parallelism is what scales here.)
+fn compare_suite(
+    exp: &Experiment,
+    workloads: Vec<hetsim_workloads::Workload>,
+) -> Vec<ModeComparison> {
+    pool::run(workloads.len(), |i| exp.compare_modes(&workloads[i]))
 }
 
 /// Fig 8: the 14 applications compared across modes at Super inputs.
@@ -244,11 +263,10 @@ pub fn fig8(exp: &Experiment) -> SuiteComparison {
 
 /// Fig 8 at an arbitrary size (tests use smaller inputs).
 pub fn fig8_at(exp: &Experiment, size: InputSize) -> SuiteComparison {
-    let comparisons = suite::app_suite(size)
-        .iter()
-        .map(|w| exp.compare_modes(w))
-        .collect();
-    SuiteComparison { size, comparisons }
+    SuiteComparison {
+        size,
+        comparisons: compare_suite(exp, suite::app_suite(size)),
+    }
 }
 
 /// The irregular-access study set (fault-batcher stress): bfs plus the
@@ -261,11 +279,10 @@ pub const IRREGULAR_WORKLOADS: [&str; 3] = hetsim_workloads::IRREGULAR_TRIO;
 /// the regime where `uvm_prefetch` gains shrink (bfs) and fault batches
 /// retire under-filled.
 pub fn irregular(exp: &Experiment, size: InputSize) -> SuiteComparison {
-    let comparisons = suite::irregular_suite(size)
-        .iter()
-        .map(|w| exp.compare_modes(w))
-        .collect();
-    SuiteComparison { size, comparisons }
+    SuiteComparison {
+        size,
+        comparisons: compare_suite(exp, suite::irregular_suite(size)),
+    }
 }
 
 /// Figs 9/10: per-mode hardware counters for the three deep-dive
@@ -335,21 +352,33 @@ pub const DEEP_DIVE_WORKLOADS: [&str; 3] = ["gemm", "lud", "yolov3"];
 /// Figs 9 and 10: instruction mix and L1 miss rates for gemm, lud, and
 /// yolov3 across all five modes.
 pub fn fig9_fig10(exp: &Experiment, size: InputSize) -> CounterComparison {
-    let mut rows = Vec::new();
-    for name in DEEP_DIVE_WORKLOADS {
-        let w = suite::by_name(name, size).expect("deep-dive workload exists");
+    let workloads: Vec<_> = DEEP_DIVE_WORKLOADS
+        .iter()
+        .map(|name| {
+            (
+                *name,
+                suite::by_name(name, size).expect("deep-dive workload exists"),
+            )
+        })
+        .collect();
+    let mut cells = Vec::new();
+    for (name, w) in &workloads {
         for mode in TransferMode::ALL {
-            let r = exp.runner().run_base(&w, mode);
-            rows.push(CounterRow {
-                workload: name.to_string(),
-                mode,
-                control: r.counters.inst.get(InstClass::Control),
-                integer: r.counters.inst.get(InstClass::Int),
-                load_miss_rate: r.counters.l1.load_miss_rate(),
-                store_miss_rate: r.counters.l1.store_miss_rate(),
-            });
+            cells.push((*name, w, mode));
         }
     }
+    let rows = pool::run(cells.len(), |i| {
+        let (name, w, mode) = cells[i];
+        let r = exp.base_run(w, mode);
+        CounterRow {
+            workload: name.to_string(),
+            mode,
+            control: r.counters.inst.get(InstClass::Control),
+            integer: r.counters.inst.get(InstClass::Int),
+            load_miss_rate: r.counters.l1.load_miss_rate(),
+            store_miss_rate: r.counters.l1.store_miss_rate(),
+        }
+    });
     CounterComparison { rows }
 }
 
@@ -433,13 +462,11 @@ pub const FIG11_BLOCKS: [u64; 9] = [4096, 2048, 1024, 512, 256, 128, 64, 32, 16]
 /// Fig 11: sensitivity of `vector_seq` to the number of blocks
 /// (256 threads per block).
 pub fn fig11(exp: &Experiment, size: InputSize) -> SweepComparison {
-    let points = FIG11_BLOCKS
-        .iter()
-        .map(|&blocks| {
-            let w = micro::vector_seq_custom(size, blocks, 256);
-            (blocks, exp.compare_modes(&w))
-        })
-        .collect();
+    let points = pool::run(FIG11_BLOCKS.len(), |i| {
+        let blocks = FIG11_BLOCKS[i];
+        let w = micro::vector_seq_custom(size, blocks, 256);
+        (blocks, exp.compare_modes(&w))
+    });
     SweepComparison {
         parameter: "blocks",
         points,
@@ -451,13 +478,11 @@ pub const FIG12_THREADS: [u64; 6] = [1024, 512, 256, 128, 64, 32];
 
 /// Fig 12: sensitivity of `vector_seq` to threads per block (64 blocks).
 pub fn fig12(exp: &Experiment, size: InputSize) -> SweepComparison {
-    let points = FIG12_THREADS
-        .iter()
-        .map(|&threads| {
-            let w = micro::vector_seq_custom(size, 64, threads as u32);
-            (threads, exp.compare_modes(&w))
-        })
-        .collect();
+    let points = pool::run(FIG12_THREADS.len(), |i| {
+        let threads = FIG12_THREADS[i];
+        let w = micro::vector_seq_custom(size, 64, threads as u32);
+        (threads, exp.compare_modes(&w))
+    });
     SweepComparison {
         parameter: "threads",
         points,
@@ -468,16 +493,15 @@ pub fn fig12(exp: &Experiment, size: InputSize) -> SweepComparison {
 /// carveout (2 KB → 128 KB shared). The device carveout and the kernel's
 /// shared-memory buffer move together, as in the paper.
 pub fn fig13(exp: &Experiment, size: InputSize) -> SweepComparison {
-    let points = Carveout::fig13_sweep()
-        .into_iter()
-        .map(|carveout| {
-            let mut device = exp.runner().device().clone();
-            device.gpu = device.gpu.with_carveout(carveout);
-            let e = Experiment::new().with_device(device).with_runs(exp.runs());
-            let w = micro::vector_seq_shared(size, carveout.shared_bytes());
-            (carveout.shared_bytes() / 1024, e.compare_modes(&w))
-        })
-        .collect();
+    let sweep = Carveout::fig13_sweep();
+    let points = pool::run(sweep.len(), |i| {
+        let carveout = sweep[i];
+        let mut device = exp.runner().device().clone();
+        device.gpu = device.gpu.with_carveout(carveout);
+        let e = Experiment::new().with_device(device).with_runs(exp.runs());
+        let w = micro::vector_seq_shared(size, carveout.shared_bytes());
+        (carveout.shared_bytes() / 1024, e.compare_modes(&w))
+    });
     SweepComparison {
         parameter: "shared_kib",
         points,

@@ -43,6 +43,7 @@ pub mod experiment;
 pub mod extensions;
 pub mod figures;
 pub mod headline;
+pub mod pool;
 
 /// The discrete-event simulation core.
 pub use hetsim_engine as engine;

@@ -1,0 +1,234 @@
+//! A zero-dependency parallel executor for embarrassingly parallel grids.
+//!
+//! Every paper figure is a `workload × mode (× size)` grid of fully
+//! independent, deterministic simulations. [`run`] fans such a grid over a
+//! scoped thread pool (`std::thread::scope` — no spawned-thread lifetime
+//! issues, no unsafe) with a shared atomic work-queue index, and returns
+//! results in **index order**: element `i` of the output is the result of
+//! calling the job function on index `i`, exactly as a serial `for` loop
+//! would produce, regardless of how the indices were scheduled across
+//! workers.
+//!
+//! # Thread-count resolution
+//!
+//! The worker count is resolved, in priority order, from:
+//!
+//! 1. a process-wide override set by [`set_threads`] (the CLI's
+//!    `--threads N` flag);
+//! 2. the `HETSIM_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! At `threads = 1` the executor degrades to a plain serial loop on the
+//! calling thread — no threads are spawned at all. Nested [`run`] calls
+//! from inside a worker likewise run serially, so a parallel grid whose
+//! jobs themselves contain parallel sub-grids cannot oversubscribe the
+//! machine `T × T`-fold.
+//!
+//! # Determinism
+//!
+//! The executor adds no nondeterminism of its own: jobs receive only their
+//! index, and outputs are re-assembled by index after the join. Callers
+//! that record traces must give each job its own thread-local trace
+//! session and merge the finished [`hetsim_trace::Trace`]s in index order
+//! after the join (see `Experiment::traced_modes`), because sessions do
+//! not cross thread boundaries.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Process-wide thread-count override (`--threads N`). `0` = no override.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while the current thread is executing jobs for a [`run`] call;
+    /// nested `run`s then degrade to serial instead of spawning `T²`
+    /// threads.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Sets (or with `None`, clears) the process-wide thread-count override.
+/// A `Some(0)` is treated as no override.
+pub fn set_threads(threads: Option<usize>) {
+    OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// The number of worker threads [`run`] will use, after applying the
+/// resolution order documented at the module level.
+pub fn configured_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("HETSIM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f(0), f(1), …, f(n - 1)` across the configured worker threads
+/// and returns the results **in index order**, byte-identical to the
+/// serial loop `(0..n).map(f).collect()`.
+///
+/// Work is distributed dynamically: each worker repeatedly claims the
+/// next unclaimed index from a shared atomic counter, so uneven job costs
+/// (a Mega-size bfs next to a Small vector-add) still balance. Workers
+/// collect `(index, result)` pairs and the parent assembles them into
+/// index order after the join; scheduling order can never leak into the
+/// output.
+///
+/// Runs serially on the calling thread when only one worker is
+/// configured, when `n < 2`, or when called from inside another [`run`]
+/// (nested parallelism degrades rather than oversubscribing).
+///
+/// # Panics
+///
+/// If a job panics, the panic is propagated to the caller after all
+/// workers have stopped claiming new work.
+pub fn run<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = configured_threads().min(n.max(1));
+    if threads <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_POOL.with(|c| c.set(true));
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    IN_POOL.with(|c| c.set(false));
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(bucket) => bucket,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    // Assemble index-addressed slots: sort the (index, result) pairs back
+    // into submission order. Total work is O(n log n) on trivially small n
+    // (grid sizes, not simulation sizes).
+    let mut flat: Vec<(usize, T)> = Vec::with_capacity(n);
+    for bucket in &mut buckets {
+        flat.append(bucket);
+    }
+    flat.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(flat.len(), n);
+    flat.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Serializes tests (and any other caller) that need to pin the global
+/// thread override: runs `f` with the override set to `threads`, then
+/// restores the previous override, holding a process-wide lock for the
+/// duration so concurrent `with_threads` calls cannot interleave.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = OVERRIDE.swap(threads, Ordering::Relaxed);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let restore = Restore(prev);
+    let out = f();
+    drop(restore);
+    drop(guard);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_order_matches_serial() {
+        let serial: Vec<u64> = (0..97).map(|i| (i as u64) * 3 + 1).collect();
+        let parallel = with_threads(4, || run(97, |i| (i as u64) * 3 + 1));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn serial_fallback_spawns_no_threads() {
+        let main_id = std::thread::current().id();
+        let ids = with_threads(1, || run(8, |_| std::thread::current().id()));
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn single_job_runs_inline() {
+        let main_id = std::thread::current().id();
+        let ids = with_threads(4, || run(1, |_| std::thread::current().id()));
+        assert_eq!(ids, vec![main_id]);
+    }
+
+    #[test]
+    fn empty_grid_yields_empty_vec() {
+        let out: Vec<u32> = with_threads(4, || run(0, |_| unreachable!()));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn nested_runs_degrade_to_serial() {
+        let out = with_threads(4, || {
+            run(4, |i| {
+                // Inner grid must run inline on this worker thread.
+                let worker = std::thread::current().id();
+                let inner = run(4, |j| (std::thread::current().id(), i * 10 + j));
+                assert!(inner.iter().all(|&(id, _)| id == worker));
+                inner.into_iter().map(|(_, v)| v).collect::<Vec<_>>()
+            })
+        });
+        let expect: Vec<Vec<usize>> = (0..4)
+            .map(|i| (0..4).map(|j| i * 10 + j).collect())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn override_beats_env() {
+        with_threads(3, || assert_eq!(configured_threads(), 3));
+    }
+
+    #[test]
+    fn uses_multiple_workers_when_configured() {
+        // With 4 workers and jobs that wait for each other, at least two
+        // distinct thread ids must appear.
+        use std::sync::Barrier;
+        let barrier = Barrier::new(2);
+        let ids = with_threads(4, || {
+            run(2, |_| {
+                barrier.wait();
+                std::thread::current().id()
+            })
+        });
+        assert_ne!(ids[0], ids[1]);
+    }
+}

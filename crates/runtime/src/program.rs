@@ -85,7 +85,11 @@ pub struct PageTouch {
 /// Implemented by every workload in `hetsim-workloads`. The runtime derives
 /// everything else — transfers, faults, prefetches, kernel styles — from
 /// this description plus the chosen [`TransferMode`](crate::TransferMode).
-pub trait GpuProgram {
+///
+/// `Sync` is a supertrait so a single program description can be shared by
+/// reference across the worker threads of a parallel sweep (programs are
+/// immutable data; all suite workloads satisfy this trivially).
+pub trait GpuProgram: Sync {
     /// Program name (the paper's workload name).
     fn name(&self) -> &str;
 
@@ -125,6 +129,46 @@ pub trait GpuProgram {
         _chunk_size: u64,
     ) -> Option<Vec<PageTouch>> {
         None
+    }
+
+    /// A structural fingerprint suitable as a memoization key for base
+    /// runs: two programs with the same `memo_key` produce the same
+    /// `RunReport` under any given mode and device.
+    ///
+    /// The name alone is not enough — sensitivity sweeps build variants
+    /// that share a name and footprint but differ in launch geometry
+    /// (`vector_seq_custom` sweeps blocks and threads-per-block) — so the
+    /// key also captures every buffer spec and every kernel's launch
+    /// config, tile counts, arithmetic budget, access regularity, style,
+    /// and invocation count, plus the program-level prefetch-conflict
+    /// factor. `page_touches` is fully determined by the kernel structure
+    /// for every workload in the suite, so it needs no separate encoding.
+    fn memo_key(&self) -> String {
+        use std::fmt::Write as _;
+        let mut key = format!("{}|pc={}", self.name(), self.prefetch_conflict());
+        for b in self.buffers() {
+            let _ = write!(key, "|b:{}:{}:{:?}", b.name, b.bytes, b.role);
+        }
+        for k in self.kernels() {
+            let launch = k.launch();
+            let ops = k.tile_ops();
+            let _ = write!(
+                key,
+                "|k:{}:g{}:t{}:s{}:tiles{}:inv{}:{:?}:{:?}:fp{}:int{}:ctl{}",
+                k.name(),
+                launch.grid_blocks,
+                launch.threads_per_block,
+                launch.shared_bytes_per_block,
+                k.tiles_per_block(),
+                k.invocations(),
+                k.regularity(),
+                k.standard_style(),
+                ops.fp,
+                ops.int,
+                ops.control,
+            );
+        }
+        key
     }
 }
 

@@ -255,6 +255,11 @@ impl TraceBuilder {
     /// `offset` nanoseconds, placing the other trace's time zero at a
     /// point on this recording's timeline. Host-track timestamps are kept
     /// as-is (wall clock has its own origin).
+    ///
+    /// The global cursor advances past the absorbed recording's own
+    /// [`Trace::end_cursor`] (shifted by `offset`), so repeated
+    /// `absorb_at(t, builder.now())` calls lay independent recordings out
+    /// back to back — the merge step of parallel per-worker tracing.
     pub fn absorb_at(&mut self, other: &Trace, offset: u64) {
         let map: Vec<TrackId> = other
             .tracks()
@@ -270,6 +275,7 @@ impl TraceBuilder {
             }
             self.push(ev);
         }
+        self.now = self.now.max(offset + other.end_cursor());
     }
 
     fn push(&mut self, ev: TraceEvent) {
@@ -298,7 +304,7 @@ impl TraceBuilder {
         if self.head > 0 {
             self.events.rotate_left(self.head);
         }
-        Trace::new(self.tracks, self.events, self.dropped)
+        Trace::new(self.tracks, self.events, self.dropped, self.now)
     }
 }
 

@@ -21,20 +21,37 @@ pub struct Trace {
     tracks: Vec<Track>,
     events: Vec<TraceEvent>,
     dropped: u64,
+    end_cursor: u64,
 }
 
 impl Trace {
-    pub(crate) fn new(tracks: Vec<Track>, events: Vec<TraceEvent>, dropped: u64) -> Self {
+    pub(crate) fn new(
+        tracks: Vec<Track>,
+        events: Vec<TraceEvent>,
+        dropped: u64,
+        end_cursor: u64,
+    ) -> Self {
         Trace {
             tracks,
             events,
             dropped,
+            end_cursor,
         }
     }
 
     /// An empty trace.
     pub fn empty() -> Self {
-        Trace::new(Vec::new(), Vec::new(), 0)
+        Trace::new(Vec::new(), Vec::new(), 0, 0)
+    }
+
+    /// The recorder's global sim-time cursor at
+    /// [`TraceBuilder::finish`](crate::TraceBuilder::finish) — the sum of
+    /// all phase-span durations. Independent recordings are concatenated
+    /// back-to-back by absorbing each at the running sum of the previous
+    /// recordings' end cursors, which is how parallel per-worker sessions
+    /// merge into one deterministic timeline.
+    pub fn end_cursor(&self) -> u64 {
+        self.end_cursor
     }
 
     /// All recorded events, in append order.

@@ -4,40 +4,171 @@
 //! GPUs keep "a copy of the CPU virtual memory physical memory mapping" when
 //! UVM is in use (§2.1); the simulator reduces that to the single question
 //! the timing model needs: *is this chunk resident on the device right now?*
-//! An LRU index (a `BTreeSet` keyed on use time) supports the
-//! oversubscription path — eviction back to the host — in `O(log n)` per
-//! operation, which matters when Mega inputs oversubscribe the device by
-//! hundreds of thousands of chunks.
+//!
+//! Managed allocations register dense runs of chunk ids (one contiguous
+//! range per buffer), so the table stores per-chunk state in dense
+//! [`Vec`]-backed *regions* instead of a hash map, and threads an intrusive
+//! doubly-linked LRU list through the slots instead of keeping a separate
+//! ordered index. Every hot-path operation — `register`, `touch`,
+//! `make_resident`, `evict_lru` — is `O(1)` (plus a binary search over the
+//! handful of regions, one per buffer), which matters when Mega inputs
+//! oversubscribe the device by hundreds of thousands of chunks and
+//! irregular touch sequences hammer the fault path.
 
 use crate::page::{ChunkId, Residency};
-use std::collections::{BTreeSet, HashMap};
 
-/// Per-chunk page-table state.
+/// Reference to one slot: region index + chunk offset within the region.
+/// Doubles as the link type of the intrusive LRU list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ChunkState {
+struct SlotRef {
+    region: u32,
+    offset: u32,
+}
+
+/// The list-terminator sentinel.
+const NIL: SlotRef = SlotRef {
+    region: u32::MAX,
+    offset: u32::MAX,
+};
+
+impl SlotRef {
+    fn is_nil(self) -> bool {
+        self == NIL
+    }
+}
+
+/// Per-chunk page-table state plus its LRU links. `prev`/`next` are only
+/// meaningful while the chunk is device-resident (on the LRU list).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    managed: bool,
     residency: Residency,
     dirty: bool,
-    last_use: u64,
+    prev: SlotRef,
+    next: SlotRef,
+}
+
+impl Slot {
+    fn fresh() -> Self {
+        Slot {
+            managed: true,
+            residency: Residency::Host,
+            dirty: false,
+            prev: NIL,
+            next: NIL,
+        }
+    }
+}
+
+/// One dense run of chunk ids starting at `start`.
+#[derive(Debug, Clone)]
+struct Region {
+    start: u64,
+    slots: Vec<Slot>,
+}
+
+impl Region {
+    fn end(&self) -> u64 {
+        self.start + self.slots.len() as u64
+    }
 }
 
 /// The device page table for one managed address space.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct PageTable {
-    chunks: HashMap<ChunkId, ChunkState>,
-    /// Device-resident chunks ordered by last use (oldest first).
-    lru: BTreeSet<(u64, ChunkId)>,
-    clock: u64,
+    /// Dense chunk-state regions, sorted by `start`, non-overlapping.
+    regions: Vec<Region>,
+    /// Intrusive LRU list over device-resident slots (head = oldest).
+    head: SlotRef,
+    tail: SlotRef,
+    managed: usize,
+    resident: usize,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        PageTable::new()
+    }
 }
 
 impl PageTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        PageTable::default()
+        PageTable {
+            regions: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            managed: 0,
+            resident: 0,
+        }
     }
 
-    fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    /// The region containing `chunk`, if any — a binary search over the
+    /// per-buffer regions (a handful), not the chunks.
+    fn find(&self, chunk: ChunkId) -> Option<SlotRef> {
+        let idx = chunk.index();
+        let r = self.regions.partition_point(|r| r.start <= idx);
+        if r == 0 {
+            return None;
+        }
+        let region = &self.regions[r - 1];
+        if idx < region.end() {
+            Some(SlotRef {
+                region: (r - 1) as u32,
+                offset: (idx - region.start) as u32,
+            })
+        } else {
+            None
+        }
+    }
+
+    fn slot(&self, r: SlotRef) -> &Slot {
+        &self.regions[r.region as usize].slots[r.offset as usize]
+    }
+
+    fn slot_mut(&mut self, r: SlotRef) -> &mut Slot {
+        &mut self.regions[r.region as usize].slots[r.offset as usize]
+    }
+
+    fn chunk_of(&self, r: SlotRef) -> ChunkId {
+        ChunkId::new(self.regions[r.region as usize].start + r.offset as u64)
+    }
+
+    // ---- intrusive LRU list ----
+
+    fn lru_unlink(&mut self, r: SlotRef) {
+        let (prev, next) = {
+            let s = self.slot(r);
+            (s.prev, s.next)
+        };
+        if prev.is_nil() {
+            self.head = next;
+        } else {
+            self.slot_mut(prev).next = next;
+        }
+        if next.is_nil() {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next).prev = prev;
+        }
+        let s = self.slot_mut(r);
+        s.prev = NIL;
+        s.next = NIL;
+    }
+
+    fn lru_push_back(&mut self, r: SlotRef) {
+        let old_tail = self.tail;
+        {
+            let s = self.slot_mut(r);
+            s.prev = old_tail;
+            s.next = NIL;
+        }
+        if old_tail.is_nil() {
+            self.head = r;
+        } else {
+            self.slot_mut(old_tail).next = r;
+        }
+        self.tail = r;
     }
 
     /// Registers a chunk as managed, initially host-resident.
@@ -45,31 +176,52 @@ impl PageTable {
     /// Re-registering an existing chunk resets it to host residency (a
     /// fresh allocation reusing the address range).
     pub fn register(&mut self, chunk: ChunkId) {
-        let now = self.tick();
-        if let Some(old) = self.chunks.insert(
-            chunk,
-            ChunkState {
-                residency: Residency::Host,
-                dirty: false,
-                last_use: now,
-            },
-        ) {
-            if old.residency == Residency::Device {
-                self.lru.remove(&(old.last_use, chunk));
+        if let Some(r) = self.find(chunk) {
+            let s = *self.slot(r);
+            if s.managed && s.residency == Residency::Device {
+                self.lru_unlink(r);
+                self.resident -= 1;
             }
+            if !s.managed {
+                self.managed += 1;
+            }
+            *self.slot_mut(r) = Slot::fresh();
+            return;
         }
+        let idx = chunk.index();
+        // Extend the region this chunk is dense-adjacent to, if any;
+        // managed_alloc registers each buffer's chunks in ascending order,
+        // so this is the common case after the first chunk of a buffer.
+        let at = self.regions.partition_point(|r| r.start <= idx);
+        if at > 0 && self.regions[at - 1].end() == idx {
+            self.regions[at - 1].slots.push(Slot::fresh());
+        } else {
+            self.regions.insert(
+                at,
+                Region {
+                    start: idx,
+                    slots: vec![Slot::fresh()],
+                },
+            );
+        }
+        self.managed += 1;
     }
 
     /// Whether the chunk is registered at all.
     pub fn is_managed(&self, chunk: ChunkId) -> bool {
-        self.chunks.contains_key(&chunk)
+        self.find(chunk).is_some_and(|r| self.slot(r).managed)
     }
 
     /// Whether the chunk is resident on the device.
     pub fn is_resident(&self, chunk: ChunkId) -> bool {
-        self.chunks
-            .get(&chunk)
-            .is_some_and(|s| s.residency == Residency::Device)
+        self.find(chunk).is_some_and(|r| {
+            let s = self.slot(r);
+            s.managed && s.residency == Residency::Device
+        })
+    }
+
+    fn managed_ref(&self, chunk: ChunkId) -> Option<SlotRef> {
+        self.find(chunk).filter(|&r| self.slot(r).managed)
     }
 
     /// Records a device access: bumps LRU, marks dirty for writes.
@@ -79,18 +231,13 @@ impl PageTable {
     /// Panics if the chunk is not managed — touching unmanaged memory is a
     /// simulator bug, the analogue of a real segfault.
     pub fn touch(&mut self, chunk: ChunkId, write: bool) {
-        let now = self.tick();
-        let s = self
-            .chunks
-            .get_mut(&chunk)
-            .expect("touched unmanaged chunk");
-        if s.residency == Residency::Device {
-            self.lru.remove(&(s.last_use, chunk));
-            self.lru.insert((now, chunk));
+        let r = self.managed_ref(chunk).expect("touched unmanaged chunk");
+        if self.slot(r).residency == Residency::Device {
+            self.lru_unlink(r);
+            self.lru_push_back(r);
         }
-        s.last_use = now;
         if write {
-            s.dirty = true;
+            self.slot_mut(r).dirty = true;
         }
     }
 
@@ -100,17 +247,16 @@ impl PageTable {
     ///
     /// Panics if the chunk is not managed.
     pub fn make_resident(&mut self, chunk: ChunkId) {
-        let now = self.tick();
-        let s = self
-            .chunks
-            .get_mut(&chunk)
+        let r = self
+            .managed_ref(chunk)
             .expect("made unmanaged chunk resident");
-        if s.residency == Residency::Device {
-            self.lru.remove(&(s.last_use, chunk));
+        if self.slot(r).residency == Residency::Device {
+            self.lru_unlink(r);
+        } else {
+            self.slot_mut(r).residency = Residency::Device;
+            self.resident += 1;
         }
-        s.residency = Residency::Device;
-        s.last_use = now;
-        self.lru.insert((now, chunk));
+        self.lru_push_back(r);
     }
 
     /// Clears a chunk's dirty bit after a writeback; residency is kept.
@@ -119,56 +265,69 @@ impl PageTable {
     ///
     /// Panics if the chunk is not managed.
     pub fn clear_dirty(&mut self, chunk: ChunkId) {
-        let s = self
-            .chunks
-            .get_mut(&chunk)
+        let r = self
+            .managed_ref(chunk)
             .expect("cleared dirty on unmanaged chunk");
-        s.dirty = false;
+        self.slot_mut(r).dirty = false;
     }
 
     /// Evicts the least-recently-used device-resident chunk back to the
     /// host, returning `(chunk, was_dirty)`; `None` if nothing is resident.
     pub fn evict_lru(&mut self) -> Option<(ChunkId, bool)> {
-        let &(stamp, victim) = self.lru.iter().next()?;
-        self.lru.remove(&(stamp, victim));
-        let s = self.chunks.get_mut(&victim).expect("victim exists");
+        let victim = self.head;
+        if victim.is_nil() {
+            return None;
+        }
+        self.lru_unlink(victim);
+        self.resident -= 1;
+        let chunk = self.chunk_of(victim);
+        let s = self.slot_mut(victim);
         let dirty = s.dirty;
         s.residency = Residency::Host;
         s.dirty = false;
-        Some((victim, dirty))
+        Some((chunk, dirty))
     }
 
     /// Unregisters a chunk (free), returning whether it was dirty on the
     /// device (needs writeback).
     pub fn unregister(&mut self, chunk: ChunkId) -> bool {
-        match self.chunks.remove(&chunk) {
-            Some(s) if s.residency == Residency::Device => {
-                self.lru.remove(&(s.last_use, chunk));
-                s.dirty
-            }
-            _ => false,
+        let Some(r) = self.managed_ref(chunk) else {
+            return false;
+        };
+        let s = *self.slot(r);
+        if s.residency == Residency::Device {
+            self.lru_unlink(r);
+            self.resident -= 1;
         }
+        self.managed -= 1;
+        let slot = self.slot_mut(r);
+        slot.managed = false;
+        slot.residency = Residency::Host;
+        slot.dirty = false;
+        s.residency == Residency::Device && s.dirty
     }
 
     /// Number of managed chunks.
     pub fn managed_count(&self) -> usize {
-        self.chunks.len()
+        self.managed
     }
 
     /// Number of device-resident chunks.
     pub fn resident_count(&self) -> usize {
-        self.lru.len()
+        self.resident
     }
 
-    /// Chunks that are both device-resident and dirty.
+    /// Chunks that are both device-resident and dirty, in ascending chunk
+    /// order (regions are sorted and dense, so the scan is already sorted).
     pub fn dirty_resident(&self) -> Vec<ChunkId> {
-        let mut v: Vec<ChunkId> = self
-            .chunks
-            .iter()
-            .filter(|(_, s)| s.residency == Residency::Device && s.dirty)
-            .map(|(&c, _)| c)
-            .collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        for region in &self.regions {
+            for (off, s) in region.slots.iter().enumerate() {
+                if s.managed && s.residency == Residency::Device && s.dirty {
+                    v.push(ChunkId::new(region.start + off as u64));
+                }
+            }
+        }
         v
     }
 }
@@ -278,6 +437,40 @@ mod tests {
         assert_eq!(evicted, 100);
         assert_eq!(t.resident_count(), 0);
         assert_eq!(t.managed_count(), 100);
+    }
+
+    #[test]
+    fn disjoint_regions_stay_independent() {
+        // Two buffers far apart in the address space: two dense regions.
+        let mut t = PageTable::new();
+        for i in 0..8 {
+            t.register(c(i));
+            t.register(c((1 << 26) + i));
+        }
+        assert_eq!(t.managed_count(), 16);
+        assert!(t.is_managed(c(7)));
+        assert!(t.is_managed(c((1 << 26) + 7)));
+        assert!(!t.is_managed(c(8)));
+        assert!(!t.is_managed(c((1 << 26) - 1)));
+        t.make_resident(c(3));
+        t.make_resident(c((1 << 26) + 5));
+        assert_eq!(t.evict_lru().unwrap().0, c(3), "LRU order spans regions");
+        assert_eq!(t.evict_lru().unwrap().0, c((1 << 26) + 5));
+    }
+
+    #[test]
+    fn unregistered_slot_in_dense_region_acts_unmanaged() {
+        let mut t = PageTable::new();
+        for i in 0..4 {
+            t.register(c(i));
+        }
+        t.unregister(c(2));
+        assert!(!t.is_managed(c(2)));
+        assert!(t.is_managed(c(1)) && t.is_managed(c(3)));
+        // Re-registering the hole restores it without growing the count
+        // past the dense range.
+        t.register(c(2));
+        assert_eq!(t.managed_count(), 4);
     }
 
     #[test]

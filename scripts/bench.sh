@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the hot paths this repo optimizes, writing
+# BENCH_sweep.json so future changes have a recorded baseline:
+#
+#   * the Fig 7/8 figure grids, serial (--threads 1) vs parallel
+#     (--threads 4) — the parallel sweep executor's headline win;
+#   * the Mega-size bfs fault path under plain uvm — the page table's
+#     O(1) register/touch/evict hot loop.
+#
+# Usage:
+#   scripts/bench.sh            # full sizes, writes BENCH_sweep.json
+#   scripts/bench.sh --smoke    # tiny sizes, CI keep-alive; writes the
+#                               # same JSON shape to a scratch file so the
+#                               # committed baseline is not clobbered
+#
+# The CLI's output is asserted byte-identical between the serial and the
+# parallel grid run — the determinism guarantee, enforced here end to end
+# on the real binary, not just in unit tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+fi
+
+if [[ $SMOKE -eq 1 ]]; then
+  GRID_SIZE=tiny
+  GRID_RUNS=3
+  BFS_SIZE=small
+else
+  GRID_SIZE=large
+  GRID_RUNS=30
+  BFS_SIZE=mega
+fi
+
+CLI=./target/release/hetsim-cli
+if [[ ! -x "$CLI" ]]; then
+  echo "==> building release CLI"
+  cargo build --release -q -p hetsim-cli
+fi
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+# Milliseconds of wall clock for a command, stdout captured to a file.
+# Sets TIMED_MS; called at top level so `set -e` still aborts on a
+# failing CLI invocation (command substitution would swallow it).
+now_ms() { python3 -c 'import time; print(int(time.time()*1000))' 2>/dev/null \
+  || date +%s%3N; }
+run_timed() {
+  local capture="$1"; shift
+  local t0 t1
+  t0="$(now_ms)"
+  "$@" > "$capture"
+  t1="$(now_ms)"
+  TIMED_MS=$((t1 - t0))
+}
+
+echo "==> Fig 7 grid (micro suite @ $GRID_SIZE, $GRID_RUNS runs): serial"
+run_timed "$out/micro1.txt" \
+  "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1
+MICRO_SERIAL_MS=$TIMED_MS
+echo "    ${MICRO_SERIAL_MS} ms"
+
+echo "==> Fig 7 grid: parallel (--threads 4)"
+run_timed "$out/micro4.txt" \
+  "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
+MICRO_PARALLEL_MS=$TIMED_MS
+echo "    ${MICRO_PARALLEL_MS} ms"
+[[ -s "$out/micro1.txt" ]] || { echo "FAIL: empty Fig 7 output"; exit 1; }
+cmp "$out/micro1.txt" "$out/micro4.txt" \
+  || { echo "FAIL: Fig 7 output differs between --threads 1 and 4"; exit 1; }
+
+echo "==> Fig 8 grid (app suite @ $GRID_SIZE, $GRID_RUNS runs): serial"
+run_timed "$out/apps1.txt" \
+  "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1
+APPS_SERIAL_MS=$TIMED_MS
+echo "    ${APPS_SERIAL_MS} ms"
+
+echo "==> Fig 8 grid: parallel (--threads 4)"
+run_timed "$out/apps4.txt" \
+  "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
+APPS_PARALLEL_MS=$TIMED_MS
+echo "    ${APPS_PARALLEL_MS} ms"
+[[ -s "$out/apps1.txt" ]] || { echo "FAIL: empty Fig 8 output"; exit 1; }
+cmp "$out/apps1.txt" "$out/apps4.txt" \
+  || { echo "FAIL: Fig 8 output differs between --threads 1 and 4"; exit 1; }
+
+echo "==> bfs fault path (@ $BFS_SIZE, plain uvm, single run)"
+run_timed "$out/bfs.txt" \
+  "$CLI" run bfs --size "$BFS_SIZE" --mode uvm --runs 1 --threads 1
+BFS_MS=$TIMED_MS
+echo "    ${BFS_MS} ms"
+[[ -s "$out/bfs.txt" ]] || { echo "FAIL: empty bfs output"; exit 1; }
+
+# The parallel stages can only beat serial when the host has cores to
+# spare; record the machine's parallelism so the baseline is
+# interpretable (on a 1-core CI container the --threads 4 numbers are
+# expected to match serial within noise, while byte-identity must hold
+# everywhere).
+HOST_PARALLELISM="$(nproc 2>/dev/null || echo 1)"
+
+RESULT=BENCH_sweep.json
+if [[ $SMOKE -eq 1 ]]; then
+  RESULT="$out/BENCH_smoke.json"
+fi
+
+cat > "$RESULT" <<EOF
+{
+  "smoke": $SMOKE,
+  "host_parallelism": $HOST_PARALLELISM,
+  "grid_size": "$GRID_SIZE",
+  "grid_runs": $GRID_RUNS,
+  "bfs_size": "$BFS_SIZE",
+  "stages_ms": {
+    "fig7_micro_grid_serial": $MICRO_SERIAL_MS,
+    "fig7_micro_grid_threads4": $MICRO_PARALLEL_MS,
+    "fig8_apps_grid_serial": $APPS_SERIAL_MS,
+    "fig8_apps_grid_threads4": $APPS_PARALLEL_MS,
+    "bfs_uvm_fault_path": $BFS_MS
+  }
+}
+EOF
+echo "==> wrote $RESULT"
+cat "$RESULT"

@@ -19,8 +19,14 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (HETSIM_THREADS=1, fully serial)"
+HETSIM_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (HETSIM_THREADS=4, parallel sweep executor)"
+HETSIM_THREADS=4 cargo test --workspace -q
+
+echo "==> bench harness smoke test"
+scripts/bench.sh --smoke
 
 echo "==> trace smoke test"
 out="$(mktemp -d)"
