@@ -34,6 +34,15 @@ pub struct Args {
     /// `--help`/`-h`: print the command's usage (and, for `run`, the
     /// workload registry) instead of running.
     pub help: bool,
+    /// `--all`: for `check`, sweep the entire workload registry.
+    pub all: bool,
+    /// `--deny warnings`: promote sanitizer warnings to failures.
+    pub deny_warnings: bool,
+    /// `--format text|json` (default text): sanitizer report rendering.
+    pub format: Option<String>,
+    /// `--verify-specs`: run the sanitizer over the workloads a command is
+    /// about to simulate and abort (deny-warnings) if any spec is dirty.
+    pub verify_specs: bool,
 }
 
 impl Default for Args {
@@ -52,6 +61,10 @@ impl Default for Args {
             self_profile: false,
             threads: None,
             help: false,
+            all: false,
+            deny_warnings: false,
+            format: None,
+            verify_specs: false,
         }
     }
 }
@@ -68,6 +81,23 @@ impl Args {
                 "--csv" => args.csv = true,
                 "--help" | "-h" => args.help = true,
                 "--self-profile" => args.self_profile = true,
+                "--all" => args.all = true,
+                "--verify-specs" => args.verify_specs = true,
+                "--deny" => {
+                    // Mirrors rustc's `--deny warnings`; other lint groups
+                    // don't exist, so anything else is a usage error.
+                    if it.next()?.as_str() != "warnings" {
+                        return None;
+                    }
+                    args.deny_warnings = true;
+                }
+                "--format" => {
+                    let v = it.next()?;
+                    if v != "text" && v != "json" {
+                        return None;
+                    }
+                    args.format = Some(v.clone());
+                }
                 "--workload" => args.workload = Some(it.next()?.clone()),
                 "--study" => args.study = Some(it.next()?.clone()),
                 "--out" => args.out = Some(it.next()?.clone()),
@@ -177,6 +207,31 @@ mod tests {
         assert_eq!(a.threads, None);
         assert!(Args::parse(&v(&["figures", "--threads", "0"])).is_none());
         assert!(Args::parse(&v(&["figures", "--threads", "x"])).is_none());
+    }
+
+    #[test]
+    fn parses_check_flags() {
+        let (cmd, a) = Args::parse(&v(&[
+            "check", "--all", "--deny", "warnings", "--format", "json",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "check");
+        assert!(a.all);
+        assert!(a.deny_warnings);
+        assert_eq!(a.format.as_deref(), Some("json"));
+        let (_, a) = Args::parse(&v(&["check", "bfs"])).unwrap();
+        assert!(!a.all && !a.deny_warnings && a.format.is_none());
+        assert_eq!(a.positional, vec!["bfs".to_string()]);
+        assert!(Args::parse(&v(&["check", "--deny", "errors"])).is_none());
+        assert!(Args::parse(&v(&["check", "--format", "yaml"])).is_none());
+    }
+
+    #[test]
+    fn parses_verify_specs_flag() {
+        let (_, a) = Args::parse(&v(&["micro", "--verify-specs"])).unwrap();
+        assert!(a.verify_specs);
+        let (_, a) = Args::parse(&v(&["micro"])).unwrap();
+        assert!(!a.verify_specs);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! hetsim-cli list
+//! hetsim-cli check [--all | <workload>] [--deny warnings] [--format json]
 //! hetsim-cli run <workload> [--size super] [--runs 30] [--mode M] [--csv]
 //! hetsim-cli micro --size large [--runs 30] [--csv]
 //! hetsim-cli apps [--runs 30] [--csv]
@@ -22,6 +23,12 @@
 //! fault-batcher statistics; without it, all five modes are compared.
 //! `irregular` runs the fault-batcher study trio (bfs, kmeans,
 //! pathfinder) and reports their batch-fill/refault profiles.
+//!
+//! `check` runs the static spec sanitizer (`hetsim-sanitizer`) over one
+//! workload or the whole registry — no simulation — and exits non-zero on
+//! errors (or on warnings under `--deny warnings`). The sweep commands
+//! (`run`, `micro`, `apps`, `irregular`, `figures`) accept
+//! `--verify-specs` to run the same checks before burning compute.
 //!
 //! `trace` records one deterministic run as a structured sim-time trace
 //! and exports it by output extension: `.json` → Chrome trace-event
@@ -66,6 +73,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), String> {
             Ok(())
         }
         "list" => cmd_list(),
+        "check" => cmd_check(args),
         "run" => cmd_run(args),
         "micro" => cmd_micro(args),
         "apps" => cmd_apps(args),
@@ -85,6 +93,7 @@ fn print_usage() {
         "usage: hetsim-cli <command> [options]\n\
          commands:\n\
          \u{20}  list                               list every registered workload\n\
+         \u{20}  check [--all | W] [--deny warnings] static spec sanitizer (no simulation)\n\
          \u{20}  run W [--size S] [--mode M]        compare modes (or run one) for a workload\n\
          \u{20}  micro [--size S]                   Fig 7: the microbenchmark suite\n\
          \u{20}  apps [--size S]                    Fig 8: the application suite\n\
@@ -97,6 +106,8 @@ fn print_usage() {
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
          \u{20}        --trace FILE  --self-profile\n\
+         \u{20}        --format text|json            check report rendering\n\
+         \u{20}        --verify-specs                run `check` on the involved specs first\n\
          \u{20}        --threads N   worker threads for sweeps (default: HETSIM_THREADS,\n\
          \u{20}                      then machine parallelism; output is identical at any N)\n\
          `run --help` lists every valid workload name."
@@ -180,6 +191,90 @@ fn fault_stats_table(rows: &[(String, TransferMode, hetsim_runtime::RunReport)])
     t
 }
 
+/// The `check` subcommand: runs the static sanitizer over one workload or
+/// (with `--all`, or no operand) the full registry, renders the report in
+/// the requested format, and fails per the `--deny warnings` policy.
+fn cmd_check(args: &Args) -> Result<(), String> {
+    if args.help {
+        println!(
+            "usage: hetsim-cli check [--all | <workload>] [--size S] [--deny warnings] \
+             [--format text|json]\n\
+             workloads:"
+        );
+        print!("{}", workload_registry());
+        return Ok(());
+    }
+    let target = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or(args.workload.as_deref());
+    let (report, checked) = match target {
+        Some(name) if !args.all => {
+            let w = suite::by_name(name, args.size).ok_or_else(|| {
+                format!(
+                    "unknown workload `{name}`; valid names:\n{}",
+                    workload_registry()
+                )
+            })?;
+            (hetsim::verify::check_program(&w), 1)
+        }
+        _ => (
+            hetsim::verify::check_registry(args.size),
+            suite::all_entries().len(),
+        ),
+    };
+    match args.format.as_deref() {
+        Some("json") => println!("{}", report.to_json()),
+        _ => println!("{}", report.to_text()),
+    }
+    eprintln!(
+        "checked {checked} workload{} at {}",
+        if checked == 1 { "" } else { "s" },
+        args.size
+    );
+    if report.is_clean(args.deny_warnings) {
+        Ok(())
+    } else {
+        Err(format!(
+            "check failed: {} error{}, {} warning{}{}",
+            report.errors(),
+            if report.errors() == 1 { "" } else { "s" },
+            report.warnings(),
+            if report.warnings() == 1 { "" } else { "s" },
+            if args.deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            },
+        ))
+    }
+}
+
+/// `--verify-specs` support: sanitize the spec(s) a command is about to
+/// simulate — one workload when named, else the whole registry — and fail
+/// fast (deny-warnings) before any compute is spent.
+fn verify_specs(args: &Args, workload: Option<&str>) -> Result<(), String> {
+    if !args.verify_specs {
+        return Ok(());
+    }
+    let report = match workload {
+        Some(name) => {
+            let w = suite::by_name(name, args.size)
+                .ok_or_else(|| format!("unknown workload {name}"))?;
+            hetsim::verify::check_program(&w)
+        }
+        None => hetsim::verify::check_registry(args.size),
+    };
+    hetsim::verify::enforce(&report, true)?;
+    eprintln!(
+        "verify-specs: {} clean at {}",
+        workload.unwrap_or("registry"),
+        args.size
+    );
+    Ok(())
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     if args.help {
         println!(
@@ -206,6 +301,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             workload_registry()
         )
     })?;
+    verify_specs(args, Some(name))?;
     let exp = Experiment::new()
         .with_runs(args.runs)
         .with_trace(trace_config(args));
@@ -253,6 +349,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 /// across all five modes, with their fault-batcher profiles under plain
 /// `uvm` (where batching behaviour is undiluted by prefetch).
 fn cmd_irregular(args: &Args) -> Result<(), String> {
+    verify_specs(args, None)?;
     let exp = Experiment::new().with_runs(args.runs);
     let s = figures::irregular(&exp, args.size);
     println!(
@@ -345,6 +442,7 @@ fn write_trace(trace: &hetsim_trace::Trace, path: &str) -> Result<(), String> {
 }
 
 fn cmd_micro(args: &Args) -> Result<(), String> {
+    verify_specs(args, None)?;
     let exp = Experiment::new().with_runs(args.runs);
     let s = figures::fig7(&exp, args.size);
     println!("Fig 7: microbenchmarks @ {}", args.size);
@@ -354,6 +452,7 @@ fn cmd_micro(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_apps(args: &Args) -> Result<(), String> {
+    verify_specs(args, None)?;
     let exp = Experiment::new().with_runs(args.runs);
     let s = figures::fig8_at(&exp, args.size);
     println!("Fig 8: applications @ {}", args.size);
@@ -429,6 +528,7 @@ fn cmd_alternatives(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_figures(args: &Args) -> Result<(), String> {
+    verify_specs(args, None)?;
     let out = args.out.as_deref().ok_or("figures needs --out DIR")?;
     std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     let exp = Experiment::new().with_runs(args.runs);

@@ -16,6 +16,8 @@
 //!   paper's proposed future direction, implemented;
 //! * [`extensions`] — studies beyond the paper: classic multi-stream
 //!   copy/compute overlap and UVM oversubscription;
+//! * [`verify`] — pre-sweep spec verification via the re-exported
+//!   [`sanitizer`] static-analysis crate (`hetsim check` / `--verify-specs`);
 //! * the re-exported substrate crates (`engine`, `mem`, `uvm`, `gpu`,
 //!   `runtime`, `workloads`, `counters`).
 //!
@@ -44,6 +46,7 @@ pub mod extensions;
 pub mod figures;
 pub mod headline;
 pub mod pool;
+pub mod verify;
 
 /// The discrete-event simulation core.
 pub use hetsim_engine as engine;
@@ -65,6 +68,9 @@ pub use hetsim_runtime as runtime;
 
 /// The 21-workload benchmark suite.
 pub use hetsim_workloads as workloads;
+
+/// Static spec analysis (the compute-sanitizer analogue).
+pub use hetsim_sanitizer as sanitizer;
 
 pub use batch::{InterJobPipeline, PipelineEstimate};
 pub use experiment::{Experiment, MeanReport, ModeComparison};

@@ -36,8 +36,8 @@ pub mod timeline;
 pub use alloc::AllocModel;
 pub use device::Device;
 pub use mode::TransferMode;
-pub use program::{BufferRole, BufferSpec, GpuProgram, PageTouch};
+pub use program::{BufferRole, BufferSpec, BufferSpecError, GpuProgram, PageTouch};
 pub use report::RunReport;
 pub use run::Runner;
-pub use stream::{Engine, StreamSchedule};
+pub use stream::{BufferAccess, Engine, EventId, ScheduleItem, StreamId, StreamSchedule};
 pub use timeline::Timeline;

@@ -39,19 +39,75 @@ pub struct BufferSpec {
     pub role: BufferRole,
 }
 
+/// Why a [`BufferSpec`] is invalid, from [`BufferSpec::try_new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufferSpecError {
+    /// The buffer has zero bytes.
+    ZeroSize {
+        /// Name of the offending buffer.
+        name: String,
+    },
+    /// The buffer exceeds [`BufferSpec::MAX_BYTES`], so under the UVM
+    /// address layout it would overlap the next buffer's base.
+    Oversized {
+        /// Name of the offending buffer.
+        name: String,
+        /// The requested size.
+        bytes: u64,
+    },
+}
+
+impl fmt::Display for BufferSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferSpecError::ZeroSize { name } => {
+                write!(f, "buffer `{name}` must have non-zero size")
+            }
+            BufferSpecError::Oversized { name, bytes } => write!(
+                f,
+                "buffer `{name}` is {bytes} bytes, above the {} byte per-buffer limit",
+                BufferSpec::MAX_BYTES
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BufferSpecError {}
+
 impl BufferSpec {
+    /// Largest representable buffer: the UVM run path lays buffers out at
+    /// `4 TiB` spacing (base `(i + 1) << 42`), so anything larger would
+    /// alias the next buffer's address range.
+    pub const MAX_BYTES: u64 = 1 << 42;
+
+    /// Creates a buffer spec, validating the size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferSpecError`] if `bytes` is zero or exceeds
+    /// [`BufferSpec::MAX_BYTES`].
+    pub fn try_new<S: Into<String>>(
+        name: S,
+        bytes: u64,
+        role: BufferRole,
+    ) -> Result<Self, BufferSpecError> {
+        let name = name.into();
+        if bytes == 0 {
+            return Err(BufferSpecError::ZeroSize { name });
+        }
+        if bytes > Self::MAX_BYTES {
+            return Err(BufferSpecError::Oversized { name, bytes });
+        }
+        Ok(BufferSpec { name, bytes, role })
+    }
+
     /// Creates a buffer spec.
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` is zero.
+    /// Panics if the size is invalid (see [`BufferSpec::try_new`]).
     pub fn new<S: Into<String>>(name: S, bytes: u64, role: BufferRole) -> Self {
-        assert!(bytes > 0, "buffer must have non-zero size");
-        BufferSpec {
-            name: name.into(),
-            bytes,
-            role,
-        }
+        Self::try_new(name, bytes, role).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -194,5 +250,20 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_size_rejected() {
         let _ = BufferSpec::new("bad", 0, BufferRole::Input);
+    }
+
+    #[test]
+    fn try_new_validates_sizes() {
+        assert!(BufferSpec::try_new("ok", 1, BufferRole::Input).is_ok());
+        assert!(BufferSpec::try_new("ok", BufferSpec::MAX_BYTES, BufferRole::Input).is_ok());
+        assert_eq!(
+            BufferSpec::try_new("z", 0, BufferRole::Output),
+            Err(BufferSpecError::ZeroSize {
+                name: "z".to_string()
+            })
+        );
+        let err =
+            BufferSpec::try_new("big", BufferSpec::MAX_BYTES + 1, BufferRole::Input).unwrap_err();
+        assert!(err.to_string().contains("per-buffer limit"), "{err}");
     }
 }

@@ -49,7 +49,30 @@ impl Engine {
     pub fn from_name(name: &str) -> Option<Engine> {
         Engine::ALL.into_iter().find(|e| e.name() == name)
     }
+
+    /// Inverse of [`Engine::name`], with a typed error for unknown track
+    /// names so callers can surface a diagnostic instead of silently
+    /// dropping the operation (or panicking).
+    pub fn parse(name: &str) -> Result<Engine, UnknownEngineError> {
+        Engine::from_name(name).ok_or_else(|| UnknownEngineError(name.to_string()))
+    }
 }
+
+/// A trace track name that does not correspond to any [`Engine`].
+///
+/// Returned by [`Engine::parse`]; surfaced by
+/// [`ScheduleOutcome::unknown_tracks`] and reported by the sanitizer as a
+/// diagnostic rather than panicking in trace export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEngineError(pub String);
+
+impl fmt::Display for UnknownEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown engine track name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for UnknownEngineError {}
 
 impl fmt::Display for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -57,13 +80,96 @@ impl fmt::Display for Engine {
     }
 }
 
-/// One operation enqueued on a stream.
-#[derive(Debug, Clone)]
-struct Op {
-    stream: StreamId,
-    engine: Engine,
-    duration: Nanos,
-    label: String,
+/// The buffer chunk range an operation reads or writes.
+///
+/// Purely descriptive metadata: annotating an operation with an access does
+/// not change how [`StreamSchedule::run`] evaluates the schedule. The
+/// sanitizer's stream-hazard analysis consumes it to detect write/write and
+/// read/write overlaps between operations that no stream, engine, or event
+/// edge serializes — the simulated analogue of `compute-sanitizer
+/// --tool racecheck`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferAccess {
+    /// Name of the buffer being accessed.
+    pub buffer: String,
+    /// Half-open chunk range `[start, end)` within the buffer.
+    pub chunks: std::ops::Range<u64>,
+    /// Whether the operation writes the range (an H2D copy or a storing
+    /// kernel) rather than only reading it (a D2H copy).
+    pub write: bool,
+}
+
+impl BufferAccess {
+    /// A read of `chunks` in `buffer`.
+    pub fn reads<S: Into<String>>(buffer: S, chunks: std::ops::Range<u64>) -> Self {
+        BufferAccess {
+            buffer: buffer.into(),
+            chunks,
+            write: false,
+        }
+    }
+
+    /// A write of `chunks` in `buffer`.
+    pub fn writes<S: Into<String>>(buffer: S, chunks: std::ops::Range<u64>) -> Self {
+        BufferAccess {
+            buffer: buffer.into(),
+            chunks,
+            write: true,
+        }
+    }
+
+    /// Whether two accesses conflict: same buffer, overlapping chunk
+    /// ranges, and at least one side writing.
+    pub fn conflicts_with(&self, other: &BufferAccess) -> bool {
+        (self.write || other.write)
+            && self.buffer == other.buffer
+            && self.chunks.start < other.chunks.end
+            && other.chunks.start < self.chunks.end
+    }
+}
+
+/// Identifier of a recorded event within one [`StreamSchedule`].
+///
+/// Allocated by [`StreamSchedule::record_event`]; waited on with
+/// [`StreamSchedule::wait_event`] — the simulated analogue of
+/// `cudaEventRecord` / `cudaStreamWaitEvent` cross-stream dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(pub u32);
+
+/// One entry in a [`StreamSchedule`]'s issue-order item list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleItem {
+    /// An operation occupying `engine` for `duration` on `stream`.
+    Op {
+        /// Stream the operation is enqueued on (in-stream FIFO order).
+        stream: StreamId,
+        /// Engine the operation occupies (serialized across streams).
+        engine: Engine,
+        /// How long the engine is occupied.
+        duration: Nanos,
+        /// Label for traces and diagnostics.
+        label: String,
+        /// Optional buffer chunk range the operation touches, consumed by
+        /// the sanitizer's hazard analysis.
+        access: Option<BufferAccess>,
+    },
+    /// Records `event` at `stream`'s current frontier: the event fires when
+    /// every operation previously enqueued on `stream` has completed.
+    RecordEvent {
+        /// Stream whose frontier the event captures.
+        stream: StreamId,
+        /// The event being recorded.
+        event: EventId,
+    },
+    /// Blocks `stream` until `event` fires. Waiting on an event that was
+    /// never recorded is a no-op at runtime (CUDA semantics for an
+    /// unrecorded event) — the sanitizer flags it as a diagnostic.
+    WaitEvent {
+        /// Stream that blocks.
+        stream: StreamId,
+        /// The event waited on.
+        event: EventId,
+    },
 }
 
 /// A completed operation with its scheduled interval.
@@ -103,7 +209,8 @@ pub struct ScheduledOp {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct StreamSchedule {
-    ops: Vec<Op>,
+    items: Vec<ScheduleItem>,
+    next_event: u32,
 }
 
 /// The evaluated schedule.
@@ -137,60 +244,147 @@ impl StreamSchedule {
         duration: Nanos,
         label: S,
     ) -> &mut Self {
-        self.ops.push(Op {
+        self.items.push(ScheduleItem::Op {
             stream,
             engine,
             duration,
             label: label.into(),
+            access: None,
         });
         self
     }
 
-    /// Number of enqueued operations.
-    pub fn len(&self) -> usize {
-        self.ops.len()
+    /// Like [`push`](StreamSchedule::push), additionally annotating the
+    /// operation with the buffer chunk range it touches so the sanitizer
+    /// can analyze the schedule for cross-stream hazards.
+    pub fn push_access<S: Into<String>>(
+        &mut self,
+        stream: StreamId,
+        engine: Engine,
+        duration: Nanos,
+        label: S,
+        access: BufferAccess,
+    ) -> &mut Self {
+        self.items.push(ScheduleItem::Op {
+            stream,
+            engine,
+            duration,
+            label: label.into(),
+            access: Some(access),
+        });
+        self
     }
 
-    /// Whether the schedule is empty.
+    /// Appends a raw [`ScheduleItem`] in issue order.
+    ///
+    /// The typed helpers ([`push`](StreamSchedule::push),
+    /// [`push_access`](StreamSchedule::push_access),
+    /// [`record_event`](StreamSchedule::record_event),
+    /// [`wait_event`](StreamSchedule::wait_event)) are usually what you
+    /// want; this exists so schedules can be rebuilt item-by-item (e.g. the
+    /// differential-validation harness replays a schedule with perturbed
+    /// durations while preserving event identities).
+    pub fn push_item(&mut self, item: ScheduleItem) -> &mut Self {
+        if let ScheduleItem::RecordEvent { event, .. } | ScheduleItem::WaitEvent { event, .. } =
+            &item
+        {
+            self.next_event = self.next_event.max(event.0 + 1);
+        }
+        self.items.push(item);
+        self
+    }
+
+    /// Records a fresh event at `stream`'s current frontier and returns its
+    /// id: the event fires once everything previously enqueued on `stream`
+    /// has completed (the `cudaEventRecord` analogue).
+    pub fn record_event(&mut self, stream: StreamId) -> EventId {
+        let event = EventId(self.next_event);
+        self.next_event += 1;
+        self.items.push(ScheduleItem::RecordEvent { stream, event });
+        event
+    }
+
+    /// Makes `stream` wait for `event` before running anything enqueued on
+    /// it afterwards (the `cudaStreamWaitEvent` analogue). Waiting on an
+    /// event recorded later — or never — in issue order is a no-op at
+    /// runtime; the sanitizer reports it.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> &mut Self {
+        self.items.push(ScheduleItem::WaitEvent { stream, event });
+        self
+    }
+
+    /// The schedule's items in issue order (operations plus event
+    /// record/wait markers). This is the sanitizer's input.
+    pub fn items(&self) -> &[ScheduleItem] {
+        &self.items
+    }
+
+    /// Number of enqueued operations (event markers are not counted).
+    pub fn len(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, ScheduleItem::Op { .. }))
+            .count()
+    }
+
+    /// Whether the schedule has no operations.
     pub fn is_empty(&self) -> bool {
-        self.ops.is_empty()
+        self.len() == 0
     }
 
     /// Evaluates the schedule: every operation starts as soon as both its
-    /// stream (program order) and its engine (device resource) are free.
+    /// stream (program order, including event waits) and its engine (device
+    /// resource) are free.
     pub fn run(&self) -> ScheduleOutcome {
         use std::collections::HashMap;
         let mut stream_free: HashMap<StreamId, SimTime> = HashMap::new();
         let mut engine_free: HashMap<Engine, SimTime> = HashMap::new();
-        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(self.ops.len().max(1)));
+        let mut event_time: HashMap<EventId, SimTime> = HashMap::new();
+        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(self.len().max(1)));
         // Intern engine tracks up front in canonical order so track ids and
         // the exported lane order don't depend on which engine issues first.
         for e in Engine::ALL {
             b.track(e.name());
         }
 
-        for op in &self.ops {
-            let s = stream_free
-                .get(&op.stream)
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            let e = engine_free
-                .get(&op.engine)
-                .copied()
-                .unwrap_or(SimTime::ZERO);
-            let start = s.max(e);
-            let end = start + op.duration;
-            stream_free.insert(op.stream, end);
-            engine_free.insert(op.engine, end);
-            let track = b.track(op.engine.name());
-            b.span_with(
-                track,
-                Category::Stream,
-                op.label.clone(),
-                start.as_nanos(),
-                op.duration.as_nanos(),
-                Some(("stream", f64::from(op.stream.0))),
-            );
+        for item in &self.items {
+            match item {
+                ScheduleItem::Op {
+                    stream,
+                    engine,
+                    duration,
+                    label,
+                    access: _,
+                } => {
+                    let s = stream_free.get(stream).copied().unwrap_or(SimTime::ZERO);
+                    let e = engine_free.get(engine).copied().unwrap_or(SimTime::ZERO);
+                    let start = s.max(e);
+                    let end = start + *duration;
+                    stream_free.insert(*stream, end);
+                    engine_free.insert(*engine, end);
+                    let track = b.track(engine.name());
+                    b.span_with(
+                        track,
+                        Category::Stream,
+                        label.clone(),
+                        start.as_nanos(),
+                        duration.as_nanos(),
+                        Some(("stream", f64::from(stream.0))),
+                    );
+                }
+                ScheduleItem::RecordEvent { stream, event } => {
+                    let s = stream_free.get(stream).copied().unwrap_or(SimTime::ZERO);
+                    event_time.insert(*event, s);
+                }
+                ScheduleItem::WaitEvent { stream, event } => {
+                    // Unrecorded events behave like CUDA's: the wait is a
+                    // no-op (the event "fired at time zero").
+                    if let Some(&t) = event_time.get(event) {
+                        let s = stream_free.get(stream).copied().unwrap_or(SimTime::ZERO);
+                        stream_free.insert(*stream, s.max(t));
+                    }
+                }
+            }
         }
 
         let trace = b.finish();
@@ -220,9 +414,31 @@ impl StreamSchedule {
         let mut s = StreamSchedule::new();
         for c in 0..chunks {
             let st = StreamId(c % streams);
-            s.push(st, Engine::CopyH2D, h2d, format!("h2d[{c}]"));
-            s.push(st, Engine::Compute, kernel, format!("kernel[{c}]"));
-            s.push(st, Engine::CopyD2H, d2h, format!("d2h[{c}]"));
+            let range = u64::from(c)..u64::from(c) + 1;
+            // Each chunk stays on one stream, so the copy-in / kernel /
+            // copy-out chain over its range is serialized by construction;
+            // annotating the accesses lets the sanitizer prove it hazard-free.
+            s.push_access(
+                st,
+                Engine::CopyH2D,
+                h2d,
+                format!("h2d[{c}]"),
+                BufferAccess::writes("data", range.clone()),
+            );
+            s.push_access(
+                st,
+                Engine::Compute,
+                kernel,
+                format!("kernel[{c}]"),
+                BufferAccess::writes("data", range.clone()),
+            );
+            s.push_access(
+                st,
+                Engine::CopyD2H,
+                d2h,
+                format!("d2h[{c}]"),
+                BufferAccess::reads("data", range),
+            );
         }
         s
     }
@@ -260,6 +476,28 @@ impl ScheduleOutcome {
                 })
             })
             .collect()
+    }
+
+    /// Trace track names that carry `stream`-category spans but do not name
+    /// any [`Engine`] — operations [`ops`](ScheduleOutcome::ops) silently
+    /// skips because [`Engine::parse`] rejects the track.
+    ///
+    /// Always empty for traces produced by [`StreamSchedule::run`]; can be
+    /// non-empty when an outcome is reconstructed from an external or
+    /// hand-edited trace. The sanitizer surfaces each entry as a
+    /// `SAN-S004` diagnostic instead of letting the drop go unnoticed.
+    pub fn unknown_tracks(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for ev in self.trace.events() {
+            if !matches!(ev.kind, EventKind::Span { .. }) || ev.cat != Category::Stream {
+                continue;
+            }
+            let name = self.trace.track_name(ev.track);
+            if Engine::parse(name).is_err() && !out.iter().any(|n| n == name) {
+                out.push(name.to_string());
+            }
+        }
+        out
     }
 
     /// Utilization of one engine over the makespan, `[0, 1]`.
@@ -372,6 +610,138 @@ mod tests {
         assert_eq!(first.engine, Engine::CopyH2D);
         assert_eq!(first.stream, StreamId(0));
         assert_eq!(first.label, "h2d[0]");
+    }
+
+    #[test]
+    fn event_serializes_across_streams() {
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::CopyH2D, us(10), "h2d");
+        let ev = s.record_event(StreamId(0));
+        s.wait_event(StreamId(1), ev);
+        s.push(StreamId(1), Engine::Compute, us(10), "kernel");
+        let o = s.run();
+        // Without the event the kernel would start at t=0; with it, it
+        // waits for the copy.
+        assert_eq!(o.ops()[1].start, SimTime::from_nanos(10_000));
+        assert_eq!(o.makespan(), us(20));
+    }
+
+    #[test]
+    fn wait_on_unrecorded_event_is_a_noop() {
+        let mut s = StreamSchedule::new();
+        s.wait_event(StreamId(0), EventId(99));
+        s.push(StreamId(0), Engine::Compute, us(10), "k");
+        let o = s.run();
+        assert_eq!(o.ops()[0].start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn record_captures_frontier_not_later_work() {
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::CopyH2D, us(10), "a");
+        let ev = s.record_event(StreamId(0));
+        // Work on stream 0 after the record must not delay the waiter.
+        s.push(StreamId(0), Engine::CopyH2D, us(50), "b");
+        s.wait_event(StreamId(1), ev);
+        s.push(StreamId(1), Engine::Compute, us(5), "k");
+        let o = s.run();
+        let k = o.ops().iter().find(|op| op.label == "k").cloned().unwrap();
+        assert_eq!(k.start, SimTime::from_nanos(10_000));
+    }
+
+    #[test]
+    fn items_expose_accesses_and_len_counts_ops() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            us(1),
+            "h2d",
+            BufferAccess::writes("buf", 0..4),
+        );
+        let ev = s.record_event(StreamId(0));
+        s.wait_event(StreamId(1), ev);
+        assert_eq!(s.len(), 1, "event markers are not operations");
+        assert_eq!(s.items().len(), 3);
+        let ScheduleItem::Op {
+            access: Some(a), ..
+        } = &s.items()[0]
+        else {
+            panic!("expected annotated op");
+        };
+        assert_eq!(a.buffer, "buf");
+        assert!(a.write);
+        assert_eq!(a.chunks, 0..4);
+    }
+
+    #[test]
+    fn access_conflicts() {
+        let w = |r: std::ops::Range<u64>| BufferAccess::writes("b", r);
+        let r = |r: std::ops::Range<u64>| BufferAccess::reads("b", r);
+        assert!(w(0..4).conflicts_with(&w(3..5)));
+        assert!(w(0..4).conflicts_with(&r(0..1)));
+        assert!(
+            !r(0..4).conflicts_with(&r(0..4)),
+            "read/read never conflicts"
+        );
+        assert!(
+            !w(0..4).conflicts_with(&w(4..8)),
+            "half-open ranges touch but don't overlap"
+        );
+        assert!(!w(0..4).conflicts_with(&BufferAccess::writes("other", 0..4)));
+    }
+
+    #[test]
+    fn push_item_preserves_event_ids() {
+        let mut orig = StreamSchedule::new();
+        orig.push(StreamId(0), Engine::CopyH2D, us(10), "h2d");
+        let ev = orig.record_event(StreamId(0));
+        orig.wait_event(StreamId(1), ev);
+        orig.push(StreamId(1), Engine::Compute, us(10), "k");
+
+        let mut rebuilt = StreamSchedule::new();
+        for item in orig.items() {
+            rebuilt.push_item(item.clone());
+        }
+        assert_eq!(rebuilt.items(), orig.items());
+        assert_eq!(rebuilt.run().makespan(), orig.run().makespan());
+        // Fresh events allocated after a replay don't collide with replayed ids.
+        let fresh = rebuilt.record_event(StreamId(0));
+        assert!(fresh.0 > ev.0);
+    }
+
+    #[test]
+    fn chunked_pipeline_is_annotated() {
+        let s = StreamSchedule::chunked_pipeline(2, 2, us(1), us(1), us(1));
+        let annotated = s
+            .items()
+            .iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    ScheduleItem::Op {
+                        access: Some(_),
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(annotated, 6);
+    }
+
+    #[test]
+    fn engine_parse_round_trip() {
+        for e in Engine::ALL {
+            assert_eq!(Engine::parse(e.name()), Ok(e));
+        }
+        let err = Engine::parse("sm7").unwrap_err();
+        assert!(err.to_string().contains("sm7"));
+    }
+
+    #[test]
+    fn own_runs_have_no_unknown_tracks() {
+        let o = StreamSchedule::chunked_pipeline(3, 2, us(1), us(1), us(1)).run();
+        assert!(o.unknown_tracks().is_empty());
     }
 
     #[test]

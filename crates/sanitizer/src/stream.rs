@@ -1,0 +1,420 @@
+//! Stream-hazard analysis: a racecheck/synccheck analogue for
+//! [`StreamSchedule`] descriptions, derived purely from the schedule — no
+//! simulation.
+//!
+//! The analyzer builds the happens-before relation the runtime guarantees:
+//! in-stream FIFO order, per-engine issue-order serialization, and
+//! record→wait event edges. Any two operations whose
+//! [`BufferAccess`](hetsim_runtime::stream::BufferAccess) annotations
+//! conflict (same buffer, overlapping chunk ranges, at least one write)
+//! and that the transitive closure leaves unordered are flagged: their
+//! relative timing is an accident of the current durations, so the
+//! schedule's outcome is order-dependent.
+
+use crate::diag::{Diagnostic, Lint, Report, Span};
+use hetsim_runtime::stream::{ScheduleItem, ScheduleOutcome, StreamSchedule};
+
+/// A set of item indices, packed as 64-bit words.
+#[derive(Clone)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+    fn union(&mut self, other: &BitSet) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+}
+
+/// Statically analyzes `schedule` for cross-stream hazards and event
+/// misuse, reporting findings under workload/schedule name `name`.
+///
+/// Only operations annotated via
+/// [`push_access`](StreamSchedule::push_access) participate in hazard
+/// detection; un-annotated operations still contribute their ordering
+/// edges (stream, engine, events). A clean report therefore means: no two
+/// annotated operations with conflicting accesses can reorder, whatever
+/// the operation durations turn out to be.
+pub fn check_schedule(name: &str, schedule: &StreamSchedule) -> Report {
+    let mut report = Report::new();
+    let items = schedule.items();
+    let n = items.len();
+
+    // Happens-before edges, all pointing forward in issue order.
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    {
+        use std::collections::HashMap;
+        let mut last_on_stream: HashMap<u32, usize> = HashMap::new();
+        let mut last_on_engine: HashMap<&str, usize> = HashMap::new();
+        let mut recorded_at: HashMap<u32, usize> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                ScheduleItem::Op { stream, engine, .. } => {
+                    if let Some(&p) = last_on_stream.get(&stream.0) {
+                        edges[p].push(i);
+                    }
+                    last_on_stream.insert(stream.0, i);
+                    if let Some(&p) = last_on_engine.get(engine.name()) {
+                        edges[p].push(i);
+                    }
+                    last_on_engine.insert(engine.name(), i);
+                }
+                ScheduleItem::RecordEvent { stream, event } => {
+                    if let Some(&p) = last_on_stream.get(&stream.0) {
+                        edges[p].push(i);
+                    }
+                    last_on_stream.insert(stream.0, i);
+                    recorded_at.entry(event.0).or_insert(i);
+                }
+                ScheduleItem::WaitEvent { stream, event } => {
+                    if let Some(&p) = last_on_stream.get(&stream.0) {
+                        edges[p].push(i);
+                    }
+                    last_on_stream.insert(stream.0, i);
+                    match recorded_at.get(&event.0) {
+                        Some(&r) if r < i => edges[r].push(i),
+                        _ => report.push(Diagnostic::new(
+                            Lint::WaitUnrecordedEvent,
+                            name,
+                            Span::Item { index: i },
+                            format!(
+                                "stream {} waits on event {} that is not recorded earlier \
+                                 in issue order; the wait is a silent no-op",
+                                stream.0, event.0
+                            ),
+                            "record the event on the producing stream before issuing the \
+                             wait",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    // Transitive closure. Edges only point forward, so a reverse sweep
+    // finishes in one pass: reach[i] = U_{i->j} ({j} U reach[j]).
+    let mut reach: Vec<BitSet> = vec![BitSet::new(n); n];
+    for i in (0..n).rev() {
+        // Split off reach[i] to satisfy the borrow checker while unioning
+        // successor sets.
+        let mut mine = std::mem::replace(&mut reach[i], BitSet::new(0));
+        for &j in &edges[i] {
+            mine.set(j);
+            mine.union(&reach[j]);
+        }
+        reach[i] = mine;
+    }
+
+    // Issue-order op ordinals (the indices ScheduleOutcome::ops uses).
+    let op_ordinal: Vec<usize> = {
+        let mut ord = vec![0usize; n];
+        let mut next = 0;
+        for (i, item) in items.iter().enumerate() {
+            ord[i] = next;
+            if matches!(item, ScheduleItem::Op { .. }) {
+                next += 1;
+            }
+        }
+        ord
+    };
+
+    for i in 0..n {
+        let ScheduleItem::Op {
+            stream: si,
+            engine: ei,
+            label: li,
+            access: Some(ai),
+            ..
+        } = &items[i]
+        else {
+            continue;
+        };
+        for j in (i + 1)..n {
+            let ScheduleItem::Op {
+                stream: sj,
+                engine: ej,
+                label: lj,
+                access: Some(aj),
+                ..
+            } = &items[j]
+            else {
+                continue;
+            };
+            if !ai.conflicts_with(aj) || reach[i].get(j) {
+                continue;
+            }
+            let (lint, verb) = if ai.write && aj.write {
+                (Lint::WriteWriteHazard, "both write")
+            } else {
+                (Lint::ReadWriteHazard, "read and write")
+            };
+            report.push(Diagnostic::new(
+                lint,
+                name,
+                Span::OpPair {
+                    first: op_ordinal[i],
+                    second: op_ordinal[j],
+                },
+                format!(
+                    "`{li}` (stream {}, {ei}) and `{lj}` (stream {}, {ej}) {verb} buffer \
+                     `{}` chunks {}..{} and {}..{} with no ordering between them",
+                    si.0,
+                    sj.0,
+                    ai.buffer,
+                    ai.chunks.start,
+                    ai.chunks.end,
+                    aj.chunks.start,
+                    aj.chunks.end
+                ),
+                "serialize the pair with record_event/wait_event, issue both on one \
+                 stream or engine, or make the chunk ranges disjoint",
+            ));
+        }
+    }
+
+    report
+}
+
+/// Checks an evaluated [`ScheduleOutcome`] for trace-level problems:
+/// stream spans on tracks no engine recognizes (which
+/// [`ScheduleOutcome::ops`] silently drops).
+pub fn check_outcome(name: &str, outcome: &ScheduleOutcome) -> Report {
+    let mut report = Report::new();
+    for track in outcome.unknown_tracks() {
+        report.push(Diagnostic::new(
+            Lint::UnknownEngineTrack,
+            name,
+            Span::Track {
+                name: track.clone(),
+            },
+            format!(
+                "track `{track}` carries stream-category spans but names no engine; \
+                 ScheduleOutcome::ops drops them silently"
+            ),
+            "record stream spans on the h2d/d2h/compute tracks (Engine::name), or \
+             extend Engine for the new resource",
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_engine::time::Nanos;
+    use hetsim_runtime::stream::{BufferAccess, Engine, EventId, StreamId};
+
+    fn us(n: u64) -> Nanos {
+        Nanos::from_micros(n)
+    }
+
+    fn codes(r: &Report) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.code()).collect()
+    }
+
+    #[test]
+    fn unordered_cross_stream_writes_are_flagged() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            us(10),
+            "h2d",
+            BufferAccess::writes("data", 0..4),
+        );
+        s.push_access(
+            StreamId(1),
+            Engine::Compute,
+            us(10),
+            "kernel",
+            BufferAccess::writes("data", 2..6),
+        );
+        let r = check_schedule("adv", &s);
+        assert_eq!(codes(&r), vec!["SAN-S001"]);
+        assert!(r.diagnostics[0].message.contains("`h2d`"), "{r:?}");
+    }
+
+    #[test]
+    fn read_write_overlap_is_flagged() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::Compute,
+            us(10),
+            "kernel",
+            BufferAccess::writes("out", 0..8),
+        );
+        s.push_access(
+            StreamId(1),
+            Engine::CopyD2H,
+            us(10),
+            "d2h",
+            BufferAccess::reads("out", 0..8),
+        );
+        assert_eq!(codes(&check_schedule("adv", &s)), vec!["SAN-S002"]);
+    }
+
+    #[test]
+    fn event_edge_serializes_the_pair() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            us(10),
+            "h2d",
+            BufferAccess::writes("data", 0..4),
+        );
+        let ev = s.record_event(StreamId(0));
+        s.wait_event(StreamId(1), ev);
+        s.push_access(
+            StreamId(1),
+            Engine::Compute,
+            us(10),
+            "kernel",
+            BufferAccess::writes("data", 0..4),
+        );
+        assert!(check_schedule("ok", &s).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn same_stream_and_same_engine_are_ordered() {
+        let mut s = StreamSchedule::new();
+        // Same stream.
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            us(1),
+            "a",
+            BufferAccess::writes("b0", 0..1),
+        );
+        s.push_access(
+            StreamId(0),
+            Engine::Compute,
+            us(1),
+            "b",
+            BufferAccess::writes("b0", 0..1),
+        );
+        // Same engine, different streams.
+        s.push_access(
+            StreamId(1),
+            Engine::CopyH2D,
+            us(1),
+            "c",
+            BufferAccess::writes("b1", 0..1),
+        );
+        s.push_access(
+            StreamId(2),
+            Engine::CopyH2D,
+            us(1),
+            "d",
+            BufferAccess::writes("b1", 0..1),
+        );
+        assert!(check_schedule("ok", &s).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn ordering_is_transitive_through_chains() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            us(1),
+            "a",
+            BufferAccess::writes("data", 0..1),
+        );
+        // a -> b (stream 0), b -> c (compute engine), so a -> c.
+        s.push(StreamId(0), Engine::Compute, us(1), "b");
+        s.push_access(
+            StreamId(1),
+            Engine::Compute,
+            us(1),
+            "c",
+            BufferAccess::writes("data", 0..1),
+        );
+        assert!(check_schedule("ok", &s).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_and_buffers_are_clean() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            us(1),
+            "a",
+            BufferAccess::writes("data", 0..4),
+        );
+        s.push_access(
+            StreamId(1),
+            Engine::Compute,
+            us(1),
+            "b",
+            BufferAccess::writes("data", 4..8),
+        );
+        s.push_access(
+            StreamId(2),
+            Engine::CopyD2H,
+            us(1),
+            "c",
+            BufferAccess::writes("other", 0..4),
+        );
+        assert!(check_schedule("ok", &s).diagnostics.is_empty());
+    }
+
+    #[test]
+    fn wait_on_unrecorded_event_is_reported() {
+        let mut s = StreamSchedule::new();
+        s.wait_event(StreamId(0), EventId(7));
+        let r = check_schedule("adv", &s);
+        assert_eq!(codes(&r), vec!["SAN-S003"]);
+        assert_eq!(r.diagnostics[0].span, Span::Item { index: 0 });
+    }
+
+    #[test]
+    fn wait_before_its_record_gets_no_edge() {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::Compute,
+            us(1),
+            "w0",
+            BufferAccess::writes("data", 0..1),
+        );
+        // The wait precedes the record in issue order: runtime no-op.
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(1),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_access(
+            StreamId(1),
+            Engine::CopyH2D,
+            us(1),
+            "w1",
+            BufferAccess::writes("data", 0..1),
+        );
+        let r = check_schedule("adv", &s);
+        let mut c = codes(&r);
+        c.sort_unstable();
+        assert_eq!(c, vec!["SAN-S001", "SAN-S003"]);
+    }
+
+    #[test]
+    fn chunked_pipeline_is_clean() {
+        let s = StreamSchedule::chunked_pipeline(8, 3, us(10), us(10), us(10));
+        assert!(check_schedule("pipeline", &s).diagnostics.is_empty());
+        assert!(check_outcome("pipeline", &s.run()).diagnostics.is_empty());
+    }
+}

@@ -178,7 +178,7 @@ fn build(shape: NetShape, size: InputSize) -> Workload {
             // explicitly instead of through the L1.
             .with_staged_halo(lines)
             .with_local_reads(lines, (weights / LINE / 64).max(256), false)
-            .with_stores(lines / 2)
+            .with_stores((lines / 2).max(1))
             .with_ops(TileOps::new(
                 shape.base_intensity * stage.width * e,
                 shape.base_intensity * stage.width * 0.25 * e,

@@ -109,7 +109,7 @@ pub fn kmeans(size: InputSize) -> Workload {
         .with_stream(lines, StreamPattern::Sequential)
         // Every point compares against data-dependent centroids.
         .with_local_reads(3 * lines, centroid_window, true)
-        .with_stores(lines / 4)
+        .with_stores((lines / 4).max(1))
         .with_ops(TileOps::new(12.0 * e, 6.0 * e, 2.0 * e))
         .with_regularity(Regularity::Irregular)
         .with_standard_style(KernelStyle::StagedSync)
@@ -118,7 +118,7 @@ pub fn kmeans(size: InputSize) -> Workload {
         .with_tiles(tiles)
         .with_stream(lines, StreamPattern::Sequential)
         .with_local_reads(lines, centroid_window, true)
-        .with_stores(lines / 8)
+        .with_stores((lines / 8).max(1))
         .with_ops(TileOps::new(4.0 * e, 3.0 * e, 1.0 * e))
         .with_regularity(Regularity::Irregular)
         .with_standard_style(KernelStyle::StagedSync)
@@ -196,7 +196,7 @@ pub fn backprop(size: InputSize) -> Workload {
         .with_tiles(tiles)
         .with_stream(lines, StreamPattern::Sequential)
         .with_local_reads(lines, act_window, false)
-        .with_stores(lines / 4)
+        .with_stores((lines / 4).max(1))
         .with_ops(TileOps::new(6.0 * e, 3.0 * e, 1.0 * e))
         .with_regularity(Regularity::Regular)
         .with_standard_style(KernelStyle::StagedSync)
@@ -235,7 +235,7 @@ pub fn pathfinder(size: InputSize) -> Workload {
         .with_stream(lines, StreamPattern::Sequential)
         // The previous DP row stays hot.
         .with_local_reads(lines, TILE_LINES, false)
-        .with_stores(lines / 8)
+        .with_stores((lines / 8).max(1))
         .with_ops(TileOps::new(3.0 * e, 4.0 * e, 1.5 * e))
         .with_regularity(Regularity::Regular)
         .with_standard_style(KernelStyle::StagedSync)
@@ -273,7 +273,7 @@ pub fn hotspot(size: InputSize) -> Workload {
         .with_stream(lines, StreamPattern::Sequential)
         .with_staged_halo(lines / 2)
         .with_local_reads(2 * lines, row_window, false)
-        .with_stores(lines / 2)
+        .with_stores((lines / 2).max(1))
         .with_ops(TileOps::new(10.0 * e, 4.0 * e, 1.5 * e))
         .with_regularity(Regularity::Strided)
         .with_standard_style(KernelStyle::StagedSync)

@@ -32,7 +32,7 @@ pub fn bayesian(size: InputSize) -> Workload {
             },
         )
         .with_local_reads(2 * lines, (graph / LINE / 8).max(1024), true)
-        .with_stores(lines / 4)
+        .with_stores((lines / 4).max(1))
         .with_ops(TileOps::new(8.0 * e, 6.0 * e, 2.5 * e))
         .with_regularity(Regularity::Random)
         .with_standard_style(KernelStyle::Direct)
@@ -62,7 +62,7 @@ pub fn knn(size: InputSize) -> Workload {
         // The query point and candidate heap stay hot; heap updates are
         // data dependent.
         .with_local_reads(lines, 64, true)
-        .with_stores(lines / 8)
+        .with_stores((lines / 8).max(1))
         .with_ops(TileOps::new(6.0 * e, 4.0 * e, 2.0 * e))
         .with_regularity(Regularity::Irregular)
         .with_standard_style(KernelStyle::StagedSync)

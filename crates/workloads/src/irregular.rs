@@ -82,7 +82,7 @@ pub enum TouchModel {
     },
     /// Iterative full-dataset re-touch (kmeans): each pass streams the
     /// whole dataset in lane-interleaved bursts with periodic small-table
-    /// reads.
+    /// reads, then writes the updated table back (the centroid update).
     Retouch {
         /// The dataset streamed every pass.
         data: usize,
@@ -249,6 +249,16 @@ impl TouchModel {
                     }
                     turn += 1;
                 }
+                // Centroid update: each pass ends by writing the
+                // accumulated means back to the shared table (which is why
+                // the table buffer is InOut, not Input).
+                for t in 0..n_table {
+                    seq.push(PageTouch {
+                        buffer: table,
+                        chunk: t,
+                        write: true,
+                    });
+                }
                 Some(seq)
             }
             TouchModel::Wavefront {
@@ -346,7 +356,7 @@ pub fn bfs(size: InputSize) -> Workload {
         // Visited-bitmap probes: random reuse over a window far larger
         // than the L1.
         .with_local_reads(lines, (visited / LINE).max(1), true)
-        .with_stores(lines / 4)
+        .with_stores((lines / 4).max(1))
         .with_ops(TileOps::new(2.0 * e, 4.0 * e, 2.0 * e))
         .with_regularity(Regularity::Random)
         .with_standard_style(KernelStyle::Direct)

@@ -165,7 +165,7 @@ pub fn saxpy(size: InputSize) -> Workload {
     )
     .with_tiles(tiles)
     .with_stream(lines, StreamPattern::Sequential)
-    .with_stores(lines / 2)
+    .with_stores((lines / 2).max(1))
     .with_ops(TileOps::new(2.0 * e, 2.0 * e, 0.5 * e))
     .with_regularity(Regularity::Regular)
     .with_standard_style(KernelStyle::Direct);

@@ -194,6 +194,18 @@ pub fn irregular_suite(size: InputSize) -> Vec<Workload> {
         .collect()
 }
 
+/// Every registered workload — micro, application, and irregular entries —
+/// in registry order. The iteration hook for tools that must sweep the
+/// whole suite (the sanitizer's `hetsim check --all`, registry-wide tests).
+pub fn all_entries() -> Vec<SuiteEntry> {
+    MICRO
+        .iter()
+        .chain(APPS.iter())
+        .chain(IRREGULAR.iter())
+        .copied()
+        .collect()
+}
+
 /// Looks a workload up by name, across the micro, application, and
 /// irregular registries.
 pub fn by_name(name: &str, size: InputSize) -> Option<Workload> {
@@ -243,6 +255,16 @@ mod tests {
         for n in names {
             let w = by_name(n, InputSize::Tiny).expect("lookup");
             assert_eq!(w.name(), n);
+        }
+    }
+
+    #[test]
+    fn all_entries_covers_every_registry() {
+        let all = all_entries();
+        assert_eq!(all.len(), 7 + 14 + 1);
+        let names: Vec<&str> = all.iter().map(|e| e.name).collect();
+        for probe in ["vector_seq", "kmeans", "bfs"] {
+            assert!(names.contains(&probe), "missing {probe}");
         }
     }
 

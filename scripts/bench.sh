@@ -4,6 +4,8 @@
 #
 #   * the Fig 7/8 figure grids, serial (--threads 1) vs parallel
 #     (--threads 4) — the parallel sweep executor's headline win;
+#   * the static spec sanitizer over the full registry (`check --all`) —
+#     the pre-sweep verification pass must stay negligible next to a sweep;
 #   * the Mega-size bfs fault path under plain uvm — the page table's
 #     O(1) register/touch/evict hot loop.
 #
@@ -87,6 +89,14 @@ echo "    ${APPS_PARALLEL_MS} ms"
 cmp "$out/apps1.txt" "$out/apps4.txt" \
   || { echo "FAIL: Fig 8 output differs between --threads 1 and 4"; exit 1; }
 
+echo "==> spec sanitizer (check --all @ $GRID_SIZE, full registry, no simulation)"
+run_timed "$out/check.txt" \
+  "$CLI" check --all --deny warnings --size "$GRID_SIZE"
+CHECK_MS=$TIMED_MS
+echo "    ${CHECK_MS} ms"
+grep -q "0 errors, 0 warnings" "$out/check.txt" \
+  || { echo "FAIL: sanitizer sweep not clean"; exit 1; }
+
 echo "==> bfs fault path (@ $BFS_SIZE, plain uvm, single run)"
 run_timed "$out/bfs.txt" \
   "$CLI" run bfs --size "$BFS_SIZE" --mode uvm --runs 1 --threads 1
@@ -118,6 +128,7 @@ cat > "$RESULT" <<EOF
     "fig7_micro_grid_threads4": $MICRO_PARALLEL_MS,
     "fig8_apps_grid_serial": $APPS_SERIAL_MS,
     "fig8_apps_grid_threads4": $APPS_PARALLEL_MS,
+    "sanitizer_check_all": $CHECK_MS,
     "bfs_uvm_fault_path": $BFS_MS
   }
 }

@@ -25,6 +25,18 @@ HETSIM_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (HETSIM_THREADS=4, parallel sweep executor)"
 HETSIM_THREADS=4 cargo test --workspace -q
 
+echo "==> spec sanitizer gate (hetsim check --all --deny warnings)"
+./target/release/hetsim-cli check --all --deny warnings --format json > /dev/null
+./target/release/hetsim-cli check --all --deny warnings
+
+echo "==> crate lint-attribute gate"
+for lib in crates/*/src/lib.rs; do
+  for attr in '#!\[forbid(unsafe_code)\]' '#!\[warn(missing_docs)\]'; do
+    grep -q "$attr" "$lib" \
+      || { echo "FAIL: $lib is missing $attr"; exit 1; }
+  done
+done
+
 echo "==> bench harness smoke test"
 scripts/bench.sh --smoke
 

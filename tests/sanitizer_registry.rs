@@ -1,0 +1,37 @@
+//! Every registered workload must be sanitizer-clean at `--deny warnings`.
+//!
+//! This is the repo-level contract behind the `hetsim check --all --deny
+//! warnings` CI gate: the shipped registry (micro + apps + irregular) may
+//! never regress into a spec the static checker objects to, at any input
+//! size — lints like divided-to-zero store counts (SAN-B003) or
+//! never-written outputs (SAN-T005) fire at the small sizes sweeps use for
+//! smoke runs, which is exactly where silent spec damage hides.
+
+use hetsim::verify;
+use hetsim_workloads::{suite, InputSize};
+
+#[test]
+fn every_workload_is_clean_at_deny_warnings() {
+    for size in [InputSize::Tiny, InputSize::Medium, InputSize::Large] {
+        for entry in suite::all_entries() {
+            let w = (entry.build)(size);
+            let report = verify::check_program(&w);
+            assert!(
+                report.is_clean(true),
+                "workload `{}` at {size} is not sanitizer-clean:\n{}",
+                entry.name,
+                report.to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_sweep_matches_per_workload_checks() {
+    // The merged registry report the CLI renders must agree with the
+    // per-workload loop above: clean, and covering all 22 entries.
+    let report = verify::check_registry(InputSize::Tiny);
+    assert!(report.is_clean(true), "{}", report.to_text());
+    assert_eq!(suite::all_entries().len(), 22);
+    verify::enforce(&report, true).expect("enforce passes on a clean registry");
+}

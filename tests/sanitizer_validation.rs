@@ -1,0 +1,371 @@
+//! Differential validation of the static stream-hazard checker.
+//!
+//! The sanitizer's central claim is that it predicts *execution-order
+//! sensitivity* without simulating: a flagged hazard pair (SAN-S001/S002)
+//! is a pair of conflicting accesses whose relative timing is at the mercy
+//! of engine contention, while a clean schedule's conflicting pairs are
+//! pinned by happens-before edges no matter how long each op takes.
+//!
+//! This harness cross-checks that claim against the simulator itself. Each
+//! schedule is replayed many times with deterministically jittered op
+//! durations (same structure, different timings — the static analysis sees
+//! an identical schedule every time):
+//!
+//! * every statically flagged hazard pair must be **order-dependent**: over
+//!   the jitter samples its interval relation varies, or the two ops
+//!   actually overlap in time (the racing interleaving is reachable);
+//! * every conflicting-but-ordered pair in a clean schedule must be
+//!   **order-invariant**: the same before/after relation in every sample,
+//!   and never overlapping (zero false positives).
+
+use hetsim_engine::rng::SimRng;
+use hetsim_engine::time::Nanos;
+use hetsim_runtime::stream::{BufferAccess, Engine, ScheduleItem, StreamId, StreamSchedule};
+use hetsim_sanitizer::{check_schedule, Lint, Span};
+
+/// How two scheduled intervals relate on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Relation {
+    /// First ends at or before the second starts.
+    Before,
+    /// First starts at or after the second ends.
+    After,
+    /// The intervals overlap — the conflicting accesses race.
+    Overlap,
+}
+
+/// Replays `schedule` with every op duration rescaled by a seeded factor in
+/// `[0.25x, 4x]`, preserving structure (streams, engines, accesses, event
+/// identities). Returns the interval relation of the ops at `(first, second)`
+/// op ordinals.
+fn jittered_relation(schedule: &StreamSchedule, seed: u64, pair: (usize, usize)) -> Relation {
+    let mut rng = SimRng::new(seed);
+    let mut replay = StreamSchedule::new();
+    for item in schedule.items() {
+        let item = match item {
+            ScheduleItem::Op {
+                stream,
+                engine,
+                duration,
+                label,
+                access,
+            } => {
+                // Scale by 25%..400% so engine-contention outcomes actually
+                // flip between samples; durations stay non-zero.
+                let pct = 25 + rng.next_u64() % 376;
+                ScheduleItem::Op {
+                    stream: *stream,
+                    engine: *engine,
+                    duration: Nanos::from_nanos((duration.as_nanos() * pct / 100).max(1)),
+                    label: label.clone(),
+                    access: access.clone(),
+                }
+            }
+            other => other.clone(),
+        };
+        replay.push_item(item);
+    }
+    let ops = replay.run().ops();
+    let (a, b) = (&ops[pair.0], &ops[pair.1]);
+    if a.end <= b.start {
+        Relation::Before
+    } else if b.end <= a.start {
+        Relation::After
+    } else {
+        Relation::Overlap
+    }
+}
+
+/// All op-ordinal pairs whose buffer accesses conflict (at least one write,
+/// overlapping chunk ranges on the same buffer) — flagged or not.
+fn conflicting_pairs(schedule: &StreamSchedule) -> Vec<(usize, usize)> {
+    let ops: Vec<&BufferAccess> = schedule
+        .items()
+        .iter()
+        .filter_map(|i| match i {
+            ScheduleItem::Op { access, .. } => Some(access.as_ref()),
+            _ => None,
+        })
+        .map(|a| a.expect("validation schedules annotate every op"))
+        .collect();
+    let mut pairs = Vec::new();
+    for i in 0..ops.len() {
+        for j in i + 1..ops.len() {
+            if ops[i].conflicts_with(ops[j]) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// The op-ordinal pairs the static checker flagged as hazards.
+fn flagged_pairs(schedule: &StreamSchedule) -> Vec<(usize, usize)> {
+    check_schedule("validation", schedule)
+        .diagnostics
+        .iter()
+        .filter(|d| matches!(d.lint, Lint::WriteWriteHazard | Lint::ReadWriteHazard))
+        .filter_map(|d| match d.span {
+            Span::OpPair { first, second } => Some((first, second)),
+            _ => None,
+        })
+        .collect()
+}
+
+const SAMPLES: u64 = 16;
+
+/// Asserts every statically flagged pair is order-dependent under jitter and
+/// every unflagged conflicting pair is order-invariant, then returns the
+/// flagged lints for hazard-class bookkeeping.
+fn cross_check(name: &str, schedule: &StreamSchedule) -> Vec<Lint> {
+    let flagged = flagged_pairs(schedule);
+    for &pair in &flagged {
+        let relations: std::collections::HashSet<Relation> = (0..SAMPLES)
+            .map(|s| jittered_relation(schedule, 0xD1F5 + s, pair))
+            .collect();
+        assert!(
+            relations.len() > 1 || relations.contains(&Relation::Overlap),
+            "{name}: flagged pair {pair:?} kept relation {relations:?} across \
+             all {SAMPLES} jitter samples — static hazard not order-dependent"
+        );
+    }
+    for &pair in &conflicting_pairs(schedule) {
+        if flagged.contains(&pair) {
+            continue;
+        }
+        let relations: std::collections::HashSet<Relation> = (0..SAMPLES)
+            .map(|s| jittered_relation(schedule, 0xC1EA + s, pair))
+            .collect();
+        assert_eq!(
+            relations.len(),
+            1,
+            "{name}: unflagged conflicting pair {pair:?} changed order under \
+             jitter ({relations:?}) — static checker missed a hazard"
+        );
+        assert!(
+            !relations.contains(&Relation::Overlap),
+            "{name}: unflagged conflicting pair {pair:?} overlaps in time"
+        );
+    }
+    check_schedule("validation", schedule)
+        .diagnostics
+        .iter()
+        .map(|d| d.lint)
+        .collect()
+}
+
+const US: Nanos = Nanos::from_micros(10);
+
+// ---------------------------------------------------------------------------
+// Hazard class 1: write-write — concurrent h2d and kernel both write the
+// same chunks from different streams with no ordering edge.
+// ---------------------------------------------------------------------------
+#[test]
+fn ww_hazard_is_order_dependent() {
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::CopyH2D,
+        US,
+        "h2d",
+        BufferAccess::writes("data", 0..4),
+    );
+    s.push_access(
+        StreamId(1),
+        Engine::Compute,
+        US,
+        "kernel",
+        BufferAccess::writes("data", 2..6),
+    );
+    let lints = cross_check("ww", &s);
+    assert!(lints.contains(&Lint::WriteWriteHazard), "{lints:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Hazard class 2: read-write — a kernel reads chunks another stream's h2d
+// is still (re)writing.
+// ---------------------------------------------------------------------------
+#[test]
+fn upload_vs_read_hazard_is_order_dependent() {
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::CopyH2D,
+        US,
+        "h2d",
+        BufferAccess::writes("in", 0..8),
+    );
+    s.push_access(
+        StreamId(1),
+        Engine::Compute,
+        US,
+        "kernel",
+        BufferAccess::reads("in", 4..8),
+    );
+    let lints = cross_check("upload-read", &s);
+    assert!(lints.contains(&Lint::ReadWriteHazard), "{lints:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Hazard class 3: write-read on the way out — d2h drains chunks a kernel on
+// another stream is still producing.
+// ---------------------------------------------------------------------------
+#[test]
+fn produce_vs_download_hazard_is_order_dependent() {
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::Compute,
+        US,
+        "kernel",
+        BufferAccess::writes("out", 0..4),
+    );
+    s.push_access(
+        StreamId(1),
+        Engine::CopyD2H,
+        US,
+        "d2h",
+        BufferAccess::reads("out", 0..4),
+    );
+    let lints = cross_check("produce-download", &s);
+    assert!(lints.contains(&Lint::ReadWriteHazard), "{lints:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Clean cases: conflicting accesses serialized by each of the three
+// happens-before edge kinds must stay order-invariant under jitter, with
+// zero diagnostics (no false positives).
+// ---------------------------------------------------------------------------
+#[test]
+fn event_serialized_conflict_is_order_invariant() {
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::CopyH2D,
+        US,
+        "h2d",
+        BufferAccess::writes("data", 0..4),
+    );
+    let ready = s.record_event(StreamId(0));
+    s.wait_event(StreamId(1), ready);
+    s.push_access(
+        StreamId(1),
+        Engine::Compute,
+        US,
+        "kernel",
+        BufferAccess::reads("data", 0..4),
+    );
+    let lints = cross_check("event-serialized", &s);
+    assert!(lints.is_empty(), "{lints:?}");
+}
+
+#[test]
+fn same_stream_conflict_is_order_invariant() {
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::CopyH2D,
+        US,
+        "h2d",
+        BufferAccess::writes("data", 0..4),
+    );
+    s.push_access(
+        StreamId(0),
+        Engine::Compute,
+        US,
+        "kernel",
+        BufferAccess::writes("data", 0..4),
+    );
+    let lints = cross_check("same-stream", &s);
+    assert!(lints.is_empty(), "{lints:?}");
+}
+
+#[test]
+fn same_engine_conflict_is_order_invariant() {
+    // Two different streams, but both ops occupy the one compute engine:
+    // issue order on the shared engine serializes them.
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::Compute,
+        US,
+        "k0",
+        BufferAccess::writes("data", 0..4),
+    );
+    s.push_access(
+        StreamId(1),
+        Engine::Compute,
+        US,
+        "k1",
+        BufferAccess::writes("data", 0..4),
+    );
+    let lints = cross_check("same-engine", &s);
+    assert!(lints.is_empty(), "{lints:?}");
+}
+
+#[test]
+fn disjoint_chunks_are_conflict_free() {
+    // Different chunk ranges on the same buffer: no conflict at all, so
+    // nothing to flag and nothing to pin.
+    let mut s = StreamSchedule::new();
+    s.push_access(
+        StreamId(0),
+        Engine::CopyH2D,
+        US,
+        "h2d",
+        BufferAccess::writes("data", 0..4),
+    );
+    s.push_access(
+        StreamId(1),
+        Engine::Compute,
+        US,
+        "kernel",
+        BufferAccess::writes("data", 4..8),
+    );
+    assert!(conflicting_pairs(&s).is_empty());
+    let lints = cross_check("disjoint", &s);
+    assert!(lints.is_empty(), "{lints:?}");
+}
+
+#[test]
+fn chunked_pipeline_is_clean_and_order_invariant() {
+    // The canonical async-memcpy pipeline: every chunk's h2d → kernel → d2h
+    // chain lives on one stream, so all its conflicts are program-ordered.
+    let s = StreamSchedule::chunked_pipeline(4, 8, US, US, US);
+    let lints = cross_check("chunked-pipeline", &s);
+    assert!(lints.is_empty(), "{lints:?}");
+}
+
+// ---------------------------------------------------------------------------
+// The fix direction the diagnostics suggest must actually work: take the
+// flagged two-stream schedule, add the event edge, and watch both the
+// diagnostics and the order-dependence disappear.
+// ---------------------------------------------------------------------------
+#[test]
+fn adding_the_suggested_edge_clears_the_hazard() {
+    let hazard = |serialize: bool| {
+        let mut s = StreamSchedule::new();
+        s.push_access(
+            StreamId(0),
+            Engine::CopyH2D,
+            US,
+            "h2d",
+            BufferAccess::writes("data", 0..4),
+        );
+        if serialize {
+            let e = s.record_event(StreamId(0));
+            s.wait_event(StreamId(1), e);
+        }
+        s.push_access(
+            StreamId(1),
+            Engine::Compute,
+            US,
+            "kernel",
+            BufferAccess::reads("data", 0..4),
+        );
+        s
+    };
+    assert!(!flagged_pairs(&hazard(false)).is_empty());
+    assert!(flagged_pairs(&hazard(true)).is_empty());
+    cross_check("fixed", &hazard(true));
+}
