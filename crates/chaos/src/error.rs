@@ -1,0 +1,134 @@
+//! The typed, panic-free failure surface of the simulator.
+
+use hetsim_engine::time::Nanos;
+use std::fmt;
+
+/// Everything that can go wrong in a fallible simulation run.
+///
+/// Recovery exhausts a bounded budget, a plan is impossible up front, a
+/// program is malformed, or the stream watchdog detects that the schedule
+/// can never make progress. Every variant renders a one-paragraph
+/// diagnostic via [`fmt::Display`]; the CLI prints it and exits nonzero
+/// instead of unwinding with a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A schedule's event waits form a cycle (or wait on an event that is
+    /// never recorded), so no execution order can make progress.
+    Deadlock {
+        /// The schedule or workload name.
+        schedule: String,
+        /// One human-readable line per blocked stream.
+        blocked: Vec<String>,
+    },
+    /// The schedule completed but its makespan exceeds the watchdog
+    /// deadline — the sim-time analogue of a hung stream.
+    Timeout {
+        /// The schedule or workload name.
+        schedule: String,
+        /// The schedule's actual makespan.
+        makespan: Nanos,
+        /// The deadline it blew through.
+        deadline: Nanos,
+    },
+    /// A transfer kept failing past the retry budget.
+    RetryExhausted {
+        /// Which transfer (e.g. `memcpy_h2d(in)`).
+        site: String,
+        /// Attempts made, including the first.
+        attempts: u32,
+    },
+    /// A kernel kept corrupting past the replay budget.
+    ReplayExhausted {
+        /// The kernel name.
+        kernel: String,
+        /// Replays attempted.
+        replays: u32,
+    },
+    /// Host pinned allocation failed and the policy forbids falling back
+    /// to pageable staging.
+    PinnedAllocFailed {
+        /// Which allocation (e.g. `staging`).
+        site: String,
+    },
+    /// The program description is malformed (e.g. no kernels).
+    InvalidProgram(String),
+    /// The fault plan is impossible under the given recovery policy and
+    /// was rejected before any simulation ran.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { schedule, blocked } => {
+                write!(f, "deadlock in `{schedule}`: no stream can make progress")?;
+                for b in blocked {
+                    write!(f, "\n  - {b}")?;
+                }
+                Ok(())
+            }
+            SimError::Timeout {
+                schedule,
+                makespan,
+                deadline,
+            } => write!(
+                f,
+                "timeout in `{schedule}`: makespan {makespan} exceeds deadline {deadline}"
+            ),
+            SimError::RetryExhausted { site, attempts } => write!(
+                f,
+                "transfer `{site}` failed {attempts} times, exhausting the retry budget"
+            ),
+            SimError::ReplayExhausted { kernel, replays } => write!(
+                f,
+                "kernel `{kernel}` corrupted through {replays} replays, exhausting the \
+                 replay budget"
+            ),
+            SimError::PinnedAllocFailed { site } => write!(
+                f,
+                "pinned host allocation `{site}` failed and pageable fallback is disabled"
+            ),
+            SimError::InvalidProgram(msg) => write!(f, "invalid program: {msg}"),
+            SimError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_details() {
+        let e = SimError::Deadlock {
+            schedule: "pipe".into(),
+            blocked: vec!["stream 0 waits on event 1".into()],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock in `pipe`"), "{s}");
+        assert!(s.contains("stream 0 waits on event 1"), "{s}");
+
+        let t = SimError::Timeout {
+            schedule: "pipe".into(),
+            makespan: Nanos::from_micros(90),
+            deadline: Nanos::from_micros(50),
+        }
+        .to_string();
+        assert!(t.contains("timeout"), "{t}");
+
+        let r = SimError::RetryExhausted {
+            site: "h2d(in)".into(),
+            attempts: 5,
+        }
+        .to_string();
+        assert!(r.contains("h2d(in)") && r.contains('5'), "{r}");
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::InvalidPlan("x".into()));
+        assert!(e.to_string().contains("invalid fault plan"));
+    }
+}

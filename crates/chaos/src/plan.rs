@@ -1,0 +1,218 @@
+//! The fault plan: a seed-deterministic description of what goes wrong.
+
+use crate::error::SimError;
+use crate::policy::RecoveryPolicy;
+
+/// What faults to inject, at what rates, from what seed.
+///
+/// Rates are per-site probabilities in `[0, 1)`; `storm_pressure` is the
+/// expected injected refault count per footprint chunk (dimensionless,
+/// usually in `[0, 1]`). All randomness derives from `seed` through
+/// [`SimRng`](hetsim_engine::rng::SimRng) — a plan never consults the
+/// clock, so the same `(plan, workload, mode)` triple injects the same
+/// faults everywhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Root seed for every injection decision.
+    pub seed: u64,
+    /// Probability that any one DMA transfer attempt fails transiently.
+    pub transfer_fault_rate: f64,
+    /// Probability that any one kernel execution is corrupted (ECC-style)
+    /// and must replay.
+    pub kernel_corruption_rate: f64,
+    /// Probability that the run's pinned host staging allocation fails.
+    pub pinned_fail_rate: f64,
+    /// Expected injected UVM refaults per footprint chunk (thrashing
+    /// pressure); only bites in managed modes.
+    pub storm_pressure: f64,
+}
+
+impl FaultPlan {
+    /// The inert plan: nothing ever fails. [`FaultPlan::is_active`] is
+    /// false and a run under it is bit-identical to a chaos-free run.
+    pub fn off() -> Self {
+        FaultPlan {
+            seed: 0,
+            transfer_fault_rate: 0.0,
+            kernel_corruption_rate: 0.0,
+            pinned_fail_rate: 0.0,
+            storm_pressure: 0.0,
+        }
+    }
+
+    /// Mild background faulting: occasional transfer retries and rare
+    /// kernel replays, no thrashing pressure.
+    pub fn light(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transfer_fault_rate: 0.05,
+            kernel_corruption_rate: 0.02,
+            pinned_fail_rate: 0.05,
+            storm_pressure: 0.1,
+        }
+    }
+
+    /// Heavy faulting across the whole taxonomy.
+    pub fn heavy(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transfer_fault_rate: 0.25,
+            kernel_corruption_rate: 0.10,
+            pinned_fail_rate: 0.25,
+            storm_pressure: 0.4,
+        }
+    }
+
+    /// A UVM fault storm: little transient failure, sustained thrashing
+    /// pressure past the default degradation threshold.
+    pub fn storm(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            transfer_fault_rate: 0.02,
+            kernel_corruption_rate: 0.0,
+            pinned_fail_rate: 0.0,
+            storm_pressure: 0.9,
+        }
+    }
+
+    /// The degradation-sweep axis: one scalar intensity `x` in `[0, 1)`
+    /// scaled across the whole taxonomy. `x = 0` is [`FaultPlan::off`];
+    /// as `x` grows, transfers retry more, kernels replay more, and storm
+    /// pressure eventually crosses the policy's thrash threshold.
+    pub fn at_intensity(seed: u64, x: f64) -> Self {
+        FaultPlan {
+            seed,
+            transfer_fault_rate: 0.3 * x,
+            kernel_corruption_rate: 0.1 * x,
+            pinned_fail_rate: 0.2 * x,
+            storm_pressure: x,
+        }
+    }
+
+    /// Whether any fault can ever fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.transfer_fault_rate > 0.0
+            || self.kernel_corruption_rate > 0.0
+            || self.pinned_fail_rate > 0.0
+            || self.storm_pressure > 0.0
+    }
+
+    /// Rejects impossible plans before any simulation runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidPlan`] when a rate is out of range or
+    /// non-finite, or when a nonzero fault rate meets a zero recovery
+    /// budget (a required transfer that can fail but may never retry can
+    /// only ever error — the sweep would burn compute producing nothing
+    /// but `RetryExhausted`).
+    pub fn validate(&self, policy: &RecoveryPolicy) -> Result<(), SimError> {
+        let prob = |name: &str, v: f64| -> Result<(), SimError> {
+            if !v.is_finite() || !(0.0..1.0).contains(&v) {
+                return Err(SimError::InvalidPlan(format!(
+                    "{name} must be a probability in [0, 1), got {v}"
+                )));
+            }
+            Ok(())
+        };
+        prob("transfer_fault_rate", self.transfer_fault_rate)?;
+        prob("kernel_corruption_rate", self.kernel_corruption_rate)?;
+        prob("pinned_fail_rate", self.pinned_fail_rate)?;
+        if !self.storm_pressure.is_finite() || self.storm_pressure < 0.0 {
+            return Err(SimError::InvalidPlan(format!(
+                "storm_pressure must be finite and non-negative, got {}",
+                self.storm_pressure
+            )));
+        }
+        if self.transfer_fault_rate > 0.0 && policy.max_retries == 0 {
+            return Err(SimError::InvalidPlan(format!(
+                "transfer_fault_rate {} with a retry budget of 0: a failed required \
+                 transfer could never recover",
+                self.transfer_fault_rate
+            )));
+        }
+        if self.kernel_corruption_rate > 0.0 && policy.max_replays == 0 {
+            return Err(SimError::InvalidPlan(format!(
+                "kernel_corruption_rate {} with a replay budget of 0: a corrupted \
+                 kernel could never recover",
+                self.kernel_corruption_rate
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inactive_and_valid() {
+        let p = FaultPlan::off();
+        assert!(!p.is_active());
+        assert!(p.validate(&RecoveryPolicy::default()).is_ok());
+        // Even with a zero-budget policy: nothing can fail.
+        let strict = RecoveryPolicy {
+            max_retries: 0,
+            max_replays: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(p.validate(&strict).is_ok());
+    }
+
+    #[test]
+    fn presets_are_active_and_valid() {
+        let pol = RecoveryPolicy::default();
+        for p in [
+            FaultPlan::light(1),
+            FaultPlan::heavy(2),
+            FaultPlan::storm(3),
+            FaultPlan::at_intensity(4, 0.5),
+        ] {
+            assert!(p.is_active());
+            assert!(p.validate(&pol).is_ok(), "{p:?}");
+        }
+        assert!(!FaultPlan::at_intensity(0, 0.0).is_active());
+    }
+
+    #[test]
+    fn zero_retry_budget_with_nonzero_rate_is_rejected() {
+        let plan = FaultPlan::light(7);
+        let pol = RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        };
+        let err = plan.validate(&pol).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)));
+        assert!(err.to_string().contains("retry budget of 0"), "{err}");
+
+        let pol = RecoveryPolicy {
+            max_replays: 0,
+            ..RecoveryPolicy::default()
+        };
+        assert!(plan.validate(&pol).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rates_are_rejected() {
+        let pol = RecoveryPolicy::default();
+        for bad in [1.0, 1.5, -0.1, f64::NAN, f64::INFINITY] {
+            let p = FaultPlan {
+                transfer_fault_rate: bad,
+                ..FaultPlan::off()
+            };
+            assert!(p.validate(&pol).is_err(), "rate {bad} accepted");
+        }
+        let p = FaultPlan {
+            storm_pressure: -1.0,
+            ..FaultPlan::off()
+        };
+        assert!(p.validate(&pol).is_err());
+    }
+}

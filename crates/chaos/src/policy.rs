@@ -1,0 +1,95 @@
+//! Recovery policies: what the runtime does when a fault fires.
+
+use hetsim_engine::time::Nanos;
+
+/// Bounded-recovery knobs, mirroring what production driver stacks do:
+/// retry with exponential backoff, replay corrupted kernels, fall back
+/// from pinned to pageable staging, and degrade the transfer mode under
+/// sustained UVM thrashing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Maximum retries per transfer after the initial attempt. `0` means
+    /// a single failure is fatal ([`validate`](crate::FaultPlan::validate)
+    /// rejects plans that could hit it).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is `backoff_base << k`.
+    pub backoff_base: Nanos,
+    /// Maximum kernel replays per kernel launch.
+    pub max_replays: u32,
+    /// Fixed cost per replay on top of re-running the kernel (fault
+    /// containment, context scrub).
+    pub replay_overhead: Nanos,
+    /// Whether a failed pinned host allocation falls back to pageable
+    /// staging (charging the fallback allocation) instead of erroring.
+    pub pinned_fallback: bool,
+    /// Whether sustained thrashing degrades the transfer mode down the
+    /// `uvm_prefetch_async` → `uvm_prefetch` → `uvm` → `standard` ladder.
+    pub degrade_modes: bool,
+    /// Injected refaults per footprint chunk above which an attempt is
+    /// abandoned and the mode degraded.
+    pub thrash_threshold: f64,
+}
+
+impl RecoveryPolicy {
+    /// The backoff charged before retry `attempt` (0-based): exponential
+    /// doubling from [`backoff_base`](RecoveryPolicy::backoff_base), with
+    /// the shift clamped so large budgets cannot overflow.
+    pub fn backoff(&self, attempt: u32) -> Nanos {
+        self.backoff_base * (1u64 << attempt.min(16))
+    }
+
+    /// A policy that never recovers anything: zero budgets, no fallback,
+    /// no degradation. Useful to assert that typed errors surface.
+    pub fn brittle() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            backoff_base: Nanos::ZERO,
+            max_replays: 0,
+            replay_overhead: Nanos::ZERO,
+            pinned_fallback: false,
+            degrade_modes: false,
+            thrash_threshold: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    /// Production-shaped defaults: 4 retries from a 2 µs backoff, 3
+    /// replays at 5 µs overhead, pageable fallback on, degradation on at
+    /// half a refault per chunk.
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 4,
+            backoff_base: Nanos::from_micros(2),
+            max_replays: 3,
+            replay_overhead: Nanos::from_micros(5),
+            pinned_fallback: true,
+            degrade_modes: true,
+            thrash_threshold: 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates_the_shift() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.backoff(0), Nanos::from_micros(2));
+        assert_eq!(p.backoff(1), Nanos::from_micros(4));
+        assert_eq!(p.backoff(3), Nanos::from_micros(16));
+        // Past the clamp the backoff stops growing instead of overflowing.
+        assert_eq!(p.backoff(16), p.backoff(40));
+    }
+
+    #[test]
+    fn brittle_never_recovers() {
+        let p = RecoveryPolicy::brittle();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.max_replays, 0);
+        assert!(!p.pinned_fallback);
+        assert!(!p.degrade_modes);
+    }
+}

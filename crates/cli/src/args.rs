@@ -43,6 +43,15 @@ pub struct Args {
     /// `--verify-specs`: run the sanitizer over the workloads a command is
     /// about to simulate and abort (deny-warnings) if any spec is dirty.
     pub verify_specs: bool,
+    /// `--seed N`: base seed for chaos fault plans (default 42).
+    pub seed: u64,
+    /// `--rates R1,R2,...`: fault-intensity ramp for `chaos` (each a
+    /// finite non-negative number).
+    pub rates: Option<Vec<f64>>,
+    /// `--seeds N`: seeds per chaos sweep cell (default 8, nonzero).
+    pub seeds: u64,
+    /// `--retries N`: overrides the chaos recovery retry/replay budgets.
+    pub retries: Option<u32>,
 }
 
 impl Default for Args {
@@ -65,6 +74,10 @@ impl Default for Args {
             deny_warnings: false,
             format: None,
             verify_specs: false,
+            seed: 42,
+            rates: None,
+            seeds: 8,
+            retries: None,
         }
     }
 }
@@ -107,8 +120,40 @@ impl Args {
                     let v = it.next()?;
                     args.size = InputSize::ALL.into_iter().find(|s| s.name() == v)?;
                 }
-                "--runs" => args.runs = it.next()?.parse().ok()?,
+                "--runs" => {
+                    // Zero runs would panic later in Experiment::with_runs;
+                    // reject it at the parse boundary instead.
+                    let n: u64 = it.next()?.parse().ok()?;
+                    if n == 0 {
+                        return None;
+                    }
+                    args.runs = n;
+                }
                 "--jobs" => args.jobs = it.next()?.parse().ok()?,
+                "--seed" => args.seed = it.next()?.parse().ok()?,
+                "--retries" => args.retries = Some(it.next()?.parse().ok()?),
+                "--seeds" => {
+                    let n: u64 = it.next()?.parse().ok()?;
+                    if n == 0 {
+                        return None;
+                    }
+                    args.seeds = n;
+                }
+                "--rates" => {
+                    let list = it.next()?;
+                    let mut rates = Vec::new();
+                    for part in list.split(',') {
+                        let r: f64 = part.trim().parse().ok()?;
+                        if !r.is_finite() || r < 0.0 {
+                            return None;
+                        }
+                        rates.push(r);
+                    }
+                    if rates.is_empty() {
+                        return None;
+                    }
+                    args.rates = Some(rates);
+                }
                 "--threads" => {
                     let n: usize = it.next()?.parse().ok()?;
                     if n == 0 {
@@ -239,7 +284,48 @@ mod tests {
         assert!(Args::parse(&v(&[])).is_none());
         assert!(Args::parse(&v(&["run", "--size", "giga"])).is_none());
         assert!(Args::parse(&v(&["run", "--runs", "abc"])).is_none());
+        assert!(Args::parse(&v(&["run", "--runs", "0"])).is_none());
         assert!(Args::parse(&v(&["run", "--bogus"])).is_none());
         assert!(Args::parse(&v(&["run", "--workload"])).is_none());
+    }
+
+    #[test]
+    fn parses_chaos_flags() {
+        let (cmd, a) = Args::parse(&v(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--rates",
+            "0.0,0.5, 1.0",
+            "--seeds",
+            "4",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "chaos");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.rates, Some(vec![0.0, 0.5, 1.0]));
+        assert_eq!(a.seeds, 4);
+        assert_eq!(a.retries, Some(2));
+    }
+
+    #[test]
+    fn chaos_flag_defaults() {
+        let (_, a) = Args::parse(&v(&["chaos"])).unwrap();
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.rates, None);
+        assert_eq!(a.seeds, 8);
+        assert_eq!(a.retries, None);
+    }
+
+    #[test]
+    fn rejects_bad_chaos_flags() {
+        assert!(Args::parse(&v(&["chaos", "--seeds", "0"])).is_none());
+        assert!(Args::parse(&v(&["chaos", "--rates", ""])).is_none());
+        assert!(Args::parse(&v(&["chaos", "--rates", "0.5,-1"])).is_none());
+        assert!(Args::parse(&v(&["chaos", "--rates", "0.5,nope"])).is_none());
+        assert!(Args::parse(&v(&["chaos", "--rates", "inf"])).is_none());
+        assert!(Args::parse(&v(&["chaos", "--retries", "x"])).is_none());
     }
 }

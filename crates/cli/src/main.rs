@@ -35,6 +35,13 @@
 //! format (load in Perfetto / `chrome://tracing`), `.csv` → flat CSV,
 //! anything else (or `-`) → plain text. `run` and `interjob` accept
 //! `--trace FILE` to export a trace alongside their tables.
+//!
+//! `chaos` sweeps the `hetsim-chaos` fault injector over a workload set ×
+//! intensity ramp × seed grid and prints the degradation curve: mean
+//! slowdown over the fault-free baseline, how many runs degraded off the
+//! requested mode, and how many exhausted their recovery budget. Plans
+//! that can never recover (a nonzero fault rate with `--retries 0`) are
+//! rejected before any simulation.
 
 use hetsim::batch::{InterJobPipeline, JobStages};
 use hetsim::experiment::Experiment;
@@ -83,6 +90,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), String> {
         "figures" => cmd_figures(args),
         "interjob" => cmd_interjob(args),
         "trace" => cmd_trace(args),
+        "chaos" => cmd_chaos(args),
         "alternatives" => cmd_alternatives(args),
         other => Err(format!("unknown command `{other}` (try `hetsim-cli list`)")),
     }
@@ -103,11 +111,13 @@ fn print_usage() {
          \u{20}  figures --out DIR                  write every figure's CSV to DIR\n\
          \u{20}  interjob [--workload W] [--jobs N] Fig 14: inter-job pipeline estimate\n\
          \u{20}  trace W [--mode M] [--out FILE]    export one run as a Chrome/Perfetto trace\n\
+         \u{20}  chaos [W...] [--all] [--rates L]   fault-injection sweep: degradation curves\n\
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
          \u{20}        --trace FILE  --self-profile\n\
          \u{20}        --format text|json            check report rendering\n\
          \u{20}        --verify-specs                run `check` on the involved specs first\n\
+         \u{20}        --seed N --seeds N --retries N --rates R1,R2,...   chaos sweep grid\n\
          \u{20}        --threads N   worker threads for sweeps (default: HETSIM_THREADS,\n\
          \u{20}                      then machine parallelism; output is identical at any N)\n\
          `run --help` lists every valid workload name."
@@ -360,15 +370,116 @@ fn cmd_irregular(args: &Args) -> Result<(), String> {
     emit(&Headline::from_suite(&s).to_table(), args.csv);
     // The memoized base runs: `figures::irregular` already simulated the
     // trio under plain uvm, so these lookups are free.
-    let rows: Vec<(String, TransferMode, hetsim_runtime::RunReport)> = figures::IRREGULAR_WORKLOADS
-        .iter()
-        .map(|name| {
-            let w = suite::by_name(name, args.size).expect("trio resolves");
-            let r = exp.base_run(&w, TransferMode::Uvm);
-            (name.to_string(), TransferMode::Uvm, r)
-        })
-        .collect();
+    let mut rows: Vec<(String, TransferMode, hetsim_runtime::RunReport)> = Vec::new();
+    for name in figures::IRREGULAR_WORKLOADS {
+        let w = suite::by_name(name, args.size)
+            .ok_or_else(|| format!("irregular trio workload `{name}` missing from registry"))?;
+        let r = exp.base_run(&w, TransferMode::Uvm);
+        rows.push((name.to_string(), TransferMode::Uvm, r));
+    }
     emit(&fault_stats_table(&rows), args.csv);
+    Ok(())
+}
+
+/// The `chaos` subcommand: sweep the fault injector over a workload ×
+/// intensity × seed grid and print the degradation curve.
+fn cmd_chaos(args: &Args) -> Result<(), String> {
+    use hetsim::degradation::{ChaosSweep, ChaosSweepConfig};
+    use hetsim_runtime::FaultPlan;
+    if args.help {
+        println!(
+            "usage: hetsim-cli chaos [<workload>...] [--all] [--size S] [--mode M]\n\
+             \u{20}       [--seed N] [--seeds N] [--retries N] [--rates R1,R2,...]\n\
+             \u{20}       [--format json] [--out FILE] [--trace FILE] [--csv]\n\
+             default workloads: bfs kmeans pathfinder vector_seq; --all sweeps the registry\n\
+             workloads:"
+        );
+        print!("{}", workload_registry());
+        return Ok(());
+    }
+    let mut cfg = ChaosSweepConfig {
+        size: args.size,
+        seed: args.seed,
+        seeds: args.seeds,
+        ..ChaosSweepConfig::default()
+    };
+    if args.all {
+        cfg.workloads = suite::all_entries()
+            .iter()
+            .map(|e| e.name.to_string())
+            .collect();
+    } else if !args.positional.is_empty() {
+        cfg.workloads = args.positional.clone();
+    } else if let Some(w) = args.workload.as_deref() {
+        cfg.workloads = vec![w.to_string()];
+    }
+    for name in &cfg.workloads {
+        if suite::by_name(name, cfg.size).is_none() {
+            return Err(format!(
+                "unknown workload `{name}`; valid names:\n{}",
+                workload_registry()
+            ));
+        }
+    }
+    if let Some(rates) = &args.rates {
+        cfg.rates = rates.clone();
+    }
+    if let Some(mode) = args.mode.as_deref() {
+        cfg.mode = parse_mode(mode)?;
+    }
+    if let Some(r) = args.retries {
+        cfg.policy.max_retries = r;
+        cfg.policy.max_replays = r;
+    }
+    // Plan-aware verification: reject grids that contain an impossible
+    // plan (e.g. a nonzero fault rate against a zero retry budget) before
+    // burning any compute on the possible cells.
+    for &rate in &cfg.rates {
+        hetsim::verify::check_plan(&FaultPlan::at_intensity(cfg.seed, rate), &cfg.policy)
+            .map_err(|e| format!("{e} (intensity {rate})"))?;
+    }
+    verify_specs(args, None)?;
+
+    let exp = Experiment::new().with_runs(args.runs);
+    let sweep = ChaosSweep::run(&exp, &cfg);
+    println!(
+        "chaos sweep @ {} [{}]: {} workloads x {} intensities x {} seeds",
+        args.size,
+        cfg.mode.name(),
+        cfg.workloads.len(),
+        cfg.rates.len(),
+        cfg.seeds,
+    );
+    match args.format.as_deref() {
+        Some("json") => println!("{}", sweep.to_json()),
+        _ => emit(&sweep.to_table(), args.csv),
+    }
+    if let Some(path) = args.out.as_deref() {
+        std::fs::write(path, sweep.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.trace.as_deref() {
+        // One representative traced run at the ramp's top intensity: the
+        // injected faults land as instants on the `chaos` track and every
+        // recovery cost as a phase span in its component's category.
+        let name = cfg
+            .workloads
+            .first()
+            .ok_or("chaos --trace needs at least one workload")?;
+        let w = suite::by_name(name, cfg.size).ok_or_else(|| format!("unknown workload {name}"))?;
+        let top = cfg.rates.iter().copied().fold(0.0, f64::max);
+        hetsim_trace::session::start(trace_config(args));
+        let armed = exp
+            .clone()
+            .with_chaos(FaultPlan::at_intensity(cfg.seed, top), cfg.policy);
+        let outcome = armed.try_run(&w, cfg.mode);
+        let trace =
+            hetsim_trace::session::finish().ok_or("trace session vanished before export")?;
+        write_trace(&trace, path)?;
+        if let Err(e) = outcome {
+            eprintln!("traced run at intensity {top:.2} did not recover: {e}");
+        }
+    }
     Ok(())
 }
 
@@ -436,8 +547,11 @@ fn write_trace(trace: &hetsim_trace::Trace, path: &str) -> Result<(), String> {
         print!("{contents}");
         return Ok(());
     }
+    // Status note on stderr: stdout may be carrying a machine-readable
+    // report (e.g. `chaos --format json --trace FILE`) that must stay
+    // byte-identical regardless of where the trace file landed.
     std::fs::write(path, contents).map_err(|e| format!("cannot write {path}: {e}"))?;
-    println!("wrote {path}");
+    eprintln!("wrote {path}");
     Ok(())
 }
 
@@ -501,7 +615,8 @@ fn cmd_interjob(args: &Args) -> Result<(), String> {
             let at = b.now();
             b.absorb_at(&piped, at);
         });
-        let trace = hetsim_trace::session::finish().expect("trace session active");
+        let trace =
+            hetsim_trace::session::finish().ok_or("trace session vanished before export")?;
         write_trace(&trace, path)?;
     }
     println!(

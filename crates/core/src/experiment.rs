@@ -11,7 +11,10 @@ use hetsim_counters::report::Table;
 use hetsim_engine::stats::Summary;
 use hetsim_engine::time::Nanos;
 use hetsim_runtime::report::Component;
-use hetsim_runtime::{Device, GpuProgram, RunReport, Runner, TransferMode};
+use hetsim_runtime::{
+    ChaosRunReport, Device, FaultPlan, GpuProgram, RecoveryPolicy, RunReport, Runner, SimError,
+    TransferMode,
+};
 use hetsim_trace::{HostProfiler, Trace, TraceBuilder, TraceConfig};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -67,6 +70,37 @@ impl Experiment {
     pub fn with_trace(mut self, config: TraceConfig) -> Self {
         self.trace = config;
         self
+    }
+
+    /// Arms fault injection for [`Experiment::try_run`]. The infallible
+    /// measurement paths ([`Experiment::base_run`], distributions, figure
+    /// grids) stay chaos-free, so fault-free baselines and a chaos run can
+    /// share one experiment — and one base-run memo, which this therefore
+    /// does *not* invalidate.
+    pub fn with_chaos(mut self, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        self.runner = self.runner.clone().with_chaos(plan, policy);
+        self
+    }
+
+    /// The fallible, chaos-aware run: injects faults from the plan armed
+    /// via [`Experiment::with_chaos`] (an inert plan when unarmed), pays
+    /// recovery costs in sim time, and degrades the transfer mode under
+    /// sustained thrashing instead of panicking.
+    ///
+    /// Never memoized: each call replays injection from the plan's seed,
+    /// which is the property the determinism gates assert on.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::try_run_base`] — invalid plans and programs are
+    /// rejected up front, and faults that outlast the recovery policy
+    /// surface as typed [`SimError`]s.
+    pub fn try_run(
+        &self,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+    ) -> Result<ChaosRunReport, SimError> {
+        self.runner.try_run_base(program, mode)
     }
 
     /// The trace configuration.

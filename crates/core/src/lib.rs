@@ -16,6 +16,9 @@
 //!   paper's proposed future direction, implemented;
 //! * [`extensions`] — studies beyond the paper: classic multi-stream
 //!   copy/compute overlap and UVM oversubscription;
+//! * [`degradation`] — chaos sweeps over the `hetsim-chaos` fault
+//!   injector: degradation curves of slowdown, mode fallback, and
+//!   recovery failure as fault pressure rises;
 //! * [`verify`] — pre-sweep spec verification via the re-exported
 //!   [`sanitizer`] static-analysis crate (`hetsim check` / `--verify-specs`);
 //! * the re-exported substrate crates (`engine`, `mem`, `uvm`, `gpu`,
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod degradation;
 pub mod experiment;
 pub mod extensions;
 pub mod figures;
@@ -73,11 +77,13 @@ pub use hetsim_workloads as workloads;
 pub use hetsim_sanitizer as sanitizer;
 
 pub use batch::{InterJobPipeline, PipelineEstimate};
+pub use degradation::{ChaosCell, ChaosSweep, ChaosSweepConfig};
 pub use experiment::{Experiment, MeanReport, ModeComparison};
 
 /// The types nearly every user of the crate needs.
 pub mod prelude {
     pub use crate::batch::{InterJobPipeline, PipelineEstimate};
+    pub use crate::degradation::{ChaosCell, ChaosSweep, ChaosSweepConfig};
     pub use crate::experiment::{Experiment, MeanReport, ModeComparison};
     pub use hetsim_counters::report::Table;
     pub use hetsim_engine::stats::{geomean, Summary};

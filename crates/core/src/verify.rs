@@ -28,6 +28,23 @@ pub fn check_registry(size: InputSize) -> Report {
     merged
 }
 
+/// Validates a chaos fault plan against its recovery policy, so
+/// impossible plans (a nonzero fault rate with a zero retry budget, an
+/// out-of-range probability) are rejected before any sweep starts rather
+/// than failing its first cell.
+///
+/// # Errors
+///
+/// Returns the rendered [`SimError::InvalidPlan`] message.
+///
+/// [`SimError::InvalidPlan`]: hetsim_runtime::SimError::InvalidPlan
+pub fn check_plan(
+    plan: &hetsim_runtime::FaultPlan,
+    policy: &hetsim_runtime::RecoveryPolicy,
+) -> Result<(), String> {
+    plan.validate(policy).map_err(|e| e.to_string())
+}
+
 /// Turns a dirty report into an error whose message carries the rendered
 /// diagnostics; clean reports pass through.
 ///

@@ -35,9 +35,10 @@ pub mod timeline;
 
 pub use alloc::AllocModel;
 pub use device::Device;
+pub use hetsim_chaos::{ChaosOverhead, ChaosReport, FaultPlan, RecoveryPolicy, SimError};
 pub use mode::TransferMode;
 pub use program::{BufferRole, BufferSpec, BufferSpecError, GpuProgram, PageTouch};
 pub use report::RunReport;
-pub use run::Runner;
+pub use run::{ChaosRunReport, Runner};
 pub use stream::{BufferAccess, Engine, EventId, ScheduleItem, StreamId, StreamSchedule};
 pub use timeline::Timeline;

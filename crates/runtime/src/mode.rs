@@ -60,6 +60,21 @@ impl TransferMode {
         matches!(self, TransferMode::Async | TransferMode::UvmPrefetchAsync)
     }
 
+    /// The next rung down the graceful-degradation ladder, the path real
+    /// driver stacks walk under sustained fault pressure: managed modes
+    /// shed their most fragile feature first
+    /// (`uvm_prefetch_async` → `uvm_prefetch` → `uvm` → `standard`) and
+    /// `async` falls back to the fully synchronous baseline. `standard`
+    /// has nowhere left to go.
+    pub fn degraded(self) -> Option<TransferMode> {
+        match self {
+            TransferMode::UvmPrefetchAsync => Some(TransferMode::UvmPrefetch),
+            TransferMode::UvmPrefetch => Some(TransferMode::Uvm),
+            TransferMode::Uvm | TransferMode::Async => Some(TransferMode::Standard),
+            TransferMode::Standard => None,
+        }
+    }
+
     /// The kernel style this mode runs a kernel with, given the kernel's
     /// hand-written standard style.
     pub fn kernel_style(self, standard: KernelStyle) -> KernelStyle {
@@ -109,6 +124,26 @@ mod tests {
                 && UvmPrefetchAsync.uses_prefetch()
                 && UvmPrefetchAsync.uses_async_copy()
         );
+    }
+
+    #[test]
+    fn degradation_ladder_terminates_at_standard() {
+        use TransferMode::*;
+        assert_eq!(UvmPrefetchAsync.degraded(), Some(UvmPrefetch));
+        assert_eq!(UvmPrefetch.degraded(), Some(Uvm));
+        assert_eq!(Uvm.degraded(), Some(Standard));
+        assert_eq!(Async.degraded(), Some(Standard));
+        assert_eq!(Standard.degraded(), None);
+        // Every mode reaches the floor in bounded steps.
+        for mut m in TransferMode::ALL {
+            let mut steps = 0;
+            while let Some(next) = m.degraded() {
+                m = next;
+                steps += 1;
+                assert!(steps <= 4);
+            }
+            assert_eq!(m, Standard);
+        }
     }
 
     #[test]

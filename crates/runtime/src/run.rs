@@ -5,6 +5,7 @@ use crate::device::Device;
 use crate::mode::TransferMode;
 use crate::program::{BufferSpec, GpuProgram, PageTouch};
 use crate::report::RunReport;
+use hetsim_chaos::{ChaosCtx, ChaosReport, FaultPlan, RecoveryPolicy, SimError};
 use hetsim_counters::{CounterSet, Occupancy};
 use hetsim_engine::rng::SimRng;
 use hetsim_engine::time::Nanos;
@@ -85,13 +86,41 @@ fn resolve_touches(
 pub struct Runner {
     device: Device,
     executor: KernelExecutor,
+    chaos: Option<(FaultPlan, RecoveryPolicy)>,
+}
+
+/// The result of a fallible, chaos-aware run: the (possibly degraded)
+/// report plus the full injection/recovery bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosRunReport {
+    /// The run's breakdown, inclusive of all recovery costs.
+    pub report: RunReport,
+    /// The mode the caller asked for.
+    pub requested_mode: TransferMode,
+    /// The mode the run actually completed under (equals
+    /// `requested_mode` unless thrashing degraded it down the ladder).
+    pub effective_mode: TransferMode,
+    /// Injected faults, recovery actions, and their per-component costs,
+    /// cumulative over every degradation attempt.
+    pub chaos: ChaosReport,
+}
+
+impl ChaosRunReport {
+    /// Whether the run degraded away from the requested mode.
+    pub fn degraded(&self) -> bool {
+        self.requested_mode != self.effective_mode
+    }
 }
 
 impl Runner {
     /// Creates a runner for a device.
     pub fn new(device: Device) -> Self {
         let executor = KernelExecutor::new(device.gpu.clone());
-        Runner { device, executor }
+        Runner {
+            device,
+            executor,
+            chaos: None,
+        }
     }
 
     /// The device configuration.
@@ -103,6 +132,20 @@ impl Runner {
     pub fn with_executor(mut self, executor: KernelExecutor) -> Self {
         self.executor = executor;
         self
+    }
+
+    /// Arms fault injection: [`Runner::try_run_base`] will inject from
+    /// `plan` and recover under `policy`. The infallible
+    /// [`Runner::run_base`]/[`Runner::run`] paths stay chaos-free, so
+    /// fault-free baselines remain available from the same runner.
+    pub fn with_chaos(mut self, plan: FaultPlan, policy: RecoveryPolicy) -> Self {
+        self.chaos = Some((plan, policy));
+        self
+    }
+
+    /// The armed fault plan and policy, if any.
+    pub fn chaos(&self) -> Option<&(FaultPlan, RecoveryPolicy)> {
+        self.chaos.as_ref()
     }
 
     /// Executes one run and reports the paper's three-way breakdown.
@@ -119,11 +162,111 @@ impl Runner {
     /// The deterministic, noise-free run: the expensive part (cache and
     /// UVM simulation). Experiments building 30-run distributions compute
     /// this once and call [`Runner::apply_noise`] per run index.
+    ///
+    /// Always chaos-free (an inert injection context), even on a runner
+    /// armed via [`Runner::with_chaos`] — fault injection only flows
+    /// through [`Runner::try_run_base`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no kernels; the fallible path returns
+    /// [`SimError::InvalidProgram`] instead.
     pub fn run_base(&self, program: &dyn GpuProgram, mode: TransferMode) -> RunReport {
+        let mut ctx = ChaosCtx::inert();
+        self.base_pipeline(program, mode, &mut ctx)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The fallible, chaos-aware base run: injects faults from the armed
+    /// [`FaultPlan`], pays recovery costs in sim time, degrades the mode
+    /// down the [`TransferMode::degraded`] ladder under sustained
+    /// thrashing, and never panics on a well-formed program.
+    ///
+    /// Every recovery cost is a pure additive overhead booked per
+    /// component in the returned [`ChaosReport`], so subtracting
+    /// `chaos.overhead` from the report's components reproduces the
+    /// fault-free [`Runner::run_base`] of `effective_mode` exactly —
+    /// counters included.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidPlan`] for impossible plans (checked up front),
+    /// [`SimError::InvalidProgram`] for kernel-less programs, and the
+    /// recovery-budget errors ([`SimError::RetryExhausted`],
+    /// [`SimError::ReplayExhausted`], [`SimError::PinnedAllocFailed`])
+    /// when faults outlast the policy.
+    pub fn try_run_base(
+        &self,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+    ) -> Result<ChaosRunReport, SimError> {
+        let (plan, policy) = self
+            .chaos
+            .unwrap_or((FaultPlan::off(), RecoveryPolicy::default()));
+        plan.validate(&policy)?;
+
+        let mut total = ChaosReport::new(plan.seed);
+        total.attempts = 0;
+        let mut attempt_mode = mode;
+        let mut abandoned = Nanos::ZERO;
+        loop {
+            let mut ctx = ChaosCtx::new(&plan, &policy, &[program.name(), attempt_mode.name()]);
+            let mut report = self.base_pipeline(program, attempt_mode, &mut ctx)?;
+
+            // Sustained thrashing (injected refaults per chunk-kernel
+            // site above the policy threshold) abandons the attempt and
+            // degrades the mode, charging the abandoned sim time to the
+            // system component — the driver's "stop fighting the fault
+            // storm and fall back" move.
+            let chunk = self.device.uvm.chunk_size.max(1);
+            let sites = program.footprint().div_ceil(chunk).max(1) * program.kernels().len() as u64;
+            let thrashing = attempt_mode.uses_uvm()
+                && policy.degrade_modes
+                && ctx.storm_ratio(sites) > policy.thrash_threshold;
+            if thrashing {
+                if let Some(next) = attempt_mode.degraded() {
+                    let cost = report.total();
+                    ctx.record_abandoned(attempt_mode.name(), next.name(), cost);
+                    total.absorb(ctx.finish());
+                    abandoned += cost;
+                    attempt_mode = next;
+                    continue;
+                }
+            }
+
+            total.absorb(ctx.finish());
+            report.system += abandoned;
+            return Ok(ChaosRunReport {
+                report,
+                requested_mode: mode,
+                effective_mode: attempt_mode,
+                chaos: total,
+            });
+        }
+    }
+
+    /// The shared pipeline behind [`Runner::run_base`] and
+    /// [`Runner::try_run_base`]: one attempt under one mode, with fault
+    /// injection threaded through `ctx`. With an inert context this is
+    /// bit-identical to the historical chaos-free run; chaos extras are
+    /// booked in `ctx` along the way and applied to the components once,
+    /// after occupancy is derived from the clean breakdown (so recovered
+    /// runs keep fault-free counters — the separability invariant).
+    fn base_pipeline(
+        &self,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+        ctx: &mut ChaosCtx,
+    ) -> Result<RunReport, SimError> {
         let dev = &self.device;
         let buffers = program.buffers();
         let kernels = program.kernels();
-        assert!(!kernels.is_empty(), "program has no kernels");
+        if kernels.is_empty() {
+            return Err(SimError::InvalidProgram(format!(
+                "program `{}` has no kernels",
+                program.name()
+            )));
+        }
 
         // ---- allocation: cudaMalloc/cudaMallocManaged + cudaFree ----
         let mut alloc = Nanos::ZERO;
@@ -133,11 +276,26 @@ impl Runner {
             alloc += t;
         }
 
+        // Async-copy modes stage through pinned host memory; chaos can
+        // fail that allocation, falling back to pageable staging (its
+        // allocation cost is the recovery charge) or erroring when the
+        // policy forbids the fallback.
+        if mode.uses_async_copy() && ctx.active() {
+            let staging: u64 = buffers
+                .iter()
+                .filter(|b| b.role.is_input())
+                .map(|b| b.bytes)
+                .sum();
+            let fallback = dev.alloc.alloc_and_free(staging.max(1), false);
+            let extra = ctx.pinned_alloc("staging", fallback)?;
+            trace_phase(Category::Alloc, "chaos_pinned_fallback", extra);
+        }
+
         let mut counters = CounterSet::new();
         let (memcpy, kernel) = if mode.uses_uvm() {
-            self.run_uvm(program, mode, &buffers, &kernels, &mut counters)
+            self.run_uvm(program, mode, &buffers, &kernels, &mut counters, ctx)?
         } else {
-            self.run_explicit(mode, &buffers, &kernels, &mut counters)
+            self.run_explicit(mode, &buffers, &kernels, &mut counters, ctx)?
         };
 
         // Freeing managed memory whose pages were demand-migrated tears
@@ -168,8 +326,15 @@ impl Runner {
             system: dev.system_overhead,
             counters,
         };
+        // Occupancy derives from the clean breakdown; chaos recovery time
+        // is applied after, as a pure additive overhead per component.
         set_achieved_occupancy(&mut report);
-        report
+        let overhead = ctx.report().overhead;
+        report.alloc += overhead.alloc;
+        report.memcpy += overhead.memcpy;
+        report.kernel += overhead.kernel;
+        report.system += overhead.system;
+        Ok(report)
     }
 
     /// Applies one run's measurement noise to a noise-free base report:
@@ -208,7 +373,8 @@ impl Runner {
         buffers: &[BufferSpec],
         kernels: &[&dyn hetsim_gpu::kernel::KernelModel],
         counters: &mut CounterSet,
-    ) -> (Nanos, Nanos) {
+        ctx: &mut ChaosCtx,
+    ) -> Result<(Nanos, Nanos), SimError> {
         let dev = &self.device;
         let mut memcpy = Nanos::ZERO;
         for b in buffers {
@@ -217,12 +383,24 @@ impl Runner {
                 counters.transfer.record_h2d_copy(b.bytes, t);
                 trace_phase(Category::Memcpy, format!("memcpy_h2d({})", b.name), t);
                 memcpy += t;
+                let extra = ctx.transfer(&format!("memcpy_h2d({})", b.name), t)?;
+                trace_phase(
+                    Category::Memcpy,
+                    format!("chaos_retry_h2d({})", b.name),
+                    extra,
+                );
             }
             if b.role.is_output() {
                 let t = dev.link.record_transfer(LinkPath::PageableCopy, b.bytes);
                 counters.transfer.record_d2h_copy(b.bytes, t);
                 trace_phase(Category::Memcpy, format!("memcpy_d2h({})", b.name), t);
                 memcpy += t;
+                let extra = ctx.transfer(&format!("memcpy_d2h({})", b.name), t)?;
+                trace_phase(
+                    Category::Memcpy,
+                    format!("chaos_retry_d2h({})", b.name),
+                    extra,
+                );
             }
         }
 
@@ -235,8 +413,14 @@ impl Runner {
             trace_phase(Category::Kernel, k.name().to_string(), r.time * inv);
             kernel += r.time * inv;
             merge_kernel_counters(counters, &r, inv);
+            let extra = ctx.kernel(k.name(), r.time * inv)?;
+            trace_phase(
+                Category::Kernel,
+                format!("chaos_replay({})", k.name()),
+                extra,
+            );
         }
-        (memcpy, kernel)
+        Ok((memcpy, kernel))
     }
 
     /// Managed-memory path: `uvm`, `uvm_prefetch`, `uvm_prefetch_async`.
@@ -247,7 +431,8 @@ impl Runner {
         buffers: &[BufferSpec],
         kernels: &[&dyn hetsim_gpu::kernel::KernelModel],
         counters: &mut CounterSet,
-    ) -> (Nanos, Nanos) {
+        ctx: &mut ChaosCtx,
+    ) -> Result<(Nanos, Nanos), SimError> {
         let dev = &self.device;
         let mut space = UvmSpace::new(dev.uvm);
         // Lay buffers out at chunk-aligned, non-overlapping bases.
@@ -315,6 +500,12 @@ impl Runner {
                         .record_prefetch((b.bytes as f64 * coverage) as u64, t);
                     trace_phase(Category::Memcpy, format!("prefetch({})", b.name), t);
                     memcpy += t;
+                    let extra = ctx.transfer(&format!("prefetch({})", b.name), t)?;
+                    trace_phase(
+                        Category::Memcpy,
+                        format!("chaos_retry_prefetch({})", b.name),
+                        extra,
+                    );
                 }
             }
         }
@@ -349,6 +540,12 @@ impl Runner {
             trace_phase(Category::Kernel, k.name().to_string(), r.time * inv);
             kernel += r.time * inv;
             merge_kernel_counters(counters, &r, inv);
+            let extra = ctx.kernel(k.name(), r.time * inv)?;
+            trace_phase(
+                Category::Kernel,
+                format!("chaos_replay({})", k.name()),
+                extra,
+            );
 
             // Demand-fault whatever the kernel touches that is not yet
             // resident: through the kernel's temporal touch sequence when
@@ -411,6 +608,30 @@ impl Runner {
             let exposed = stall.scale(1.0 / dev.fault_stall_overlap);
             trace_phase(Category::Kernel, "fault_stall", exposed);
             kernel += exposed;
+
+            // Injected fault-storm pressure: synthetic refaults against
+            // this kernel's working set, costed through the same batched
+            // fault-servicing model as real far faults (stall exposed as
+            // kernel inflation, migration traffic as transfer time), but
+            // never mutating the UVM space — so the storm stays a pure
+            // additive overhead.
+            if ctx.active() {
+                let chunk = dev.uvm.chunk_size.max(1);
+                let refaults = ctx.storm_refaults(program.footprint().div_ceil(chunk).max(1));
+                if refaults > 0 {
+                    let storm_stall = dev
+                        .uvm
+                        .fault
+                        .service_stall(refaults)
+                        .scale(1.0 / dev.fault_stall_overlap);
+                    let storm_transfer = dev
+                        .link
+                        .transfer_time(LinkPath::DemandMigration, refaults * chunk);
+                    ctx.record_storm(storm_stall, storm_transfer);
+                    trace_phase(Category::Kernel, "chaos_storm_stall", storm_stall);
+                    trace_phase(Category::Memcpy, "chaos_storm_migration", storm_transfer);
+                }
+            }
         }
 
         // Results flow back: write back dirty output chunks.
@@ -425,6 +646,12 @@ impl Runner {
                 counters.transfer.record_writeback(b.bytes, t);
                 trace_phase(Category::Memcpy, format!("writeback({})", b.name), t);
                 memcpy += t;
+                let extra = ctx.transfer(&format!("writeback({})", b.name), t)?;
+                trace_phase(
+                    Category::Memcpy,
+                    format!("chaos_retry_writeback({})", b.name),
+                    extra,
+                );
             }
         }
 
@@ -438,7 +665,7 @@ impl Runner {
         memcpy += space.eviction_transfer();
 
         counters.uvm += space.counters();
-        (memcpy, kernel)
+        Ok((memcpy, kernel))
     }
 }
 
@@ -663,5 +890,214 @@ mod tests {
             pfa.counters.occupancy.achieved(),
             std.counters.occupancy.achieved()
         );
+    }
+
+    #[test]
+    fn unarmed_try_run_base_matches_run_base() {
+        let p = TestProgram::new(64 * MB);
+        let r = runner();
+        for mode in TransferMode::ALL {
+            let chaos = r.try_run_base(&p, mode).expect("unarmed run succeeds");
+            assert_eq!(chaos.report, r.run_base(&p, mode), "{mode}");
+            assert_eq!(chaos.requested_mode, mode);
+            assert_eq!(chaos.effective_mode, mode);
+            assert_eq!(chaos.chaos.injected(), 0);
+            assert_eq!(chaos.chaos.overhead.total(), Nanos::ZERO);
+        }
+    }
+
+    #[test]
+    fn recovered_runs_are_separable_from_fault_free_baselines() {
+        // The invariant the property suite leans on: subtract the booked
+        // per-component overhead from a recovered run and the fault-free
+        // base run of the effective mode reappears exactly — counters
+        // included.
+        let p = TestProgram::new(64 * MB);
+        let r = runner().with_chaos(FaultPlan::light(7), RecoveryPolicy::default());
+        for mode in TransferMode::ALL {
+            let out = r.try_run_base(&p, mode).expect("light plan recovers");
+            let base = r.run_base(&p, out.effective_mode);
+            let oh = out.chaos.overhead;
+            let mut stripped = out.report.clone();
+            stripped.alloc -= oh.alloc;
+            stripped.memcpy -= oh.memcpy;
+            stripped.kernel -= oh.kernel;
+            stripped.system -= oh.system;
+            assert_eq!(stripped, base, "{mode}: separability");
+            assert_eq!(out.report.counters, base.counters, "{mode}: counters");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_chaos_outcome() {
+        let p = TestProgram::new(64 * MB);
+        let r = runner().with_chaos(FaultPlan::heavy(11), RecoveryPolicy::default());
+        let a = r.try_run_base(&p, TransferMode::UvmPrefetchAsync);
+        let b = r.try_run_base(&p, TransferMode::UvmPrefetchAsync);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_storm_degrades_down_the_mode_ladder() {
+        // storm() pushes ~0.9 refaults per chunk-kernel site, far above
+        // the default 0.5 thrash threshold: every UVM rung thrashes and
+        // the run lands on `standard`, with the abandoned attempts
+        // charged to the system component.
+        let p = TestProgram::new(64 * MB);
+        let r = runner().with_chaos(FaultPlan::storm(3), RecoveryPolicy::default());
+        let out = r
+            .try_run_base(&p, TransferMode::UvmPrefetchAsync)
+            .expect("degradation recovers the run");
+        assert!(out.degraded());
+        assert_eq!(out.effective_mode, TransferMode::Standard);
+        assert_eq!(
+            out.chaos
+                .degradations
+                .iter()
+                .filter(|(from, _)| from != "pinned")
+                .count(),
+            3,
+            "three rungs walked: {:?}",
+            out.chaos.degradations
+        );
+        assert!(out.chaos.storm_refaults > 0);
+        // The abandoned attempts are real sim time on top of the final
+        // attempt's fault-free baseline.
+        let base = r.run_base(&p, TransferMode::Standard);
+        assert!(out.report.total() > base.total());
+        assert!(out.report.system > base.system);
+    }
+
+    #[test]
+    fn storm_without_degradation_stays_on_requested_mode() {
+        let policy = RecoveryPolicy {
+            degrade_modes: false,
+            ..RecoveryPolicy::default()
+        };
+        let p = TestProgram::new(64 * MB);
+        let r = runner().with_chaos(FaultPlan::storm(3), policy);
+        let out = r
+            .try_run_base(&p, TransferMode::Uvm)
+            .expect("storm is absorbed as stalls when degradation is off");
+        assert!(!out.degraded());
+        assert!(out.chaos.storm_refaults > 0);
+        assert!(out.chaos.overhead.kernel > Nanos::ZERO);
+        assert!(out.chaos.overhead.memcpy > Nanos::ZERO);
+    }
+
+    #[test]
+    fn impossible_plan_is_rejected_up_front() {
+        let p = TestProgram::new(64 * MB);
+        let r = runner().with_chaos(FaultPlan::light(1), RecoveryPolicy::brittle());
+        match r.try_run_base(&p, TransferMode::Standard).unwrap_err() {
+            SimError::InvalidPlan(msg) => {
+                assert!(msg.contains("retry budget of 0"), "{msg}")
+            }
+            other => panic!("expected InvalidPlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_budgets_surface_typed_errors() {
+        // High fault rate against a one-retry budget: across a few seeds
+        // at least one run must exhaust the budget, and every failure is
+        // a typed recovery error — never a panic.
+        let p = TestProgram::new(64 * MB);
+        let policy = RecoveryPolicy {
+            max_retries: 1,
+            max_replays: 1,
+            ..RecoveryPolicy::default()
+        };
+        let mut exhausted = 0;
+        for seed in 0..8 {
+            let r = runner().with_chaos(FaultPlan::heavy(seed), policy);
+            match r.try_run_base(&p, TransferMode::Standard) {
+                Ok(_) => {}
+                Err(SimError::RetryExhausted { attempts, .. }) => {
+                    assert_eq!(attempts, 2);
+                    exhausted += 1;
+                }
+                Err(SimError::ReplayExhausted { .. }) => exhausted += 1,
+                Err(other) => panic!("unexpected error kind: {other:?}"),
+            }
+        }
+        assert!(exhausted > 0, "heavy plan never exhausted a 1-deep budget");
+    }
+
+    #[test]
+    fn pinned_failure_without_fallback_is_typed() {
+        let plan = FaultPlan {
+            seed: 0,
+            transfer_fault_rate: 0.0,
+            kernel_corruption_rate: 0.0,
+            pinned_fail_rate: 0.99,
+            storm_pressure: 0.0,
+        };
+        let policy = RecoveryPolicy {
+            pinned_fallback: false,
+            ..RecoveryPolicy::default()
+        };
+        let p = TestProgram::new(64 * MB);
+        let mut failed = 0;
+        for seed in 0..8 {
+            let r = runner().with_chaos(FaultPlan { seed, ..plan }, policy);
+            match r.try_run_base(&p, TransferMode::Async) {
+                Ok(out) => assert_eq!(out.chaos.pinned_failures, 0),
+                Err(SimError::PinnedAllocFailed { site }) => {
+                    assert_eq!(site, "staging");
+                    failed += 1;
+                }
+                Err(other) => panic!("unexpected error kind: {other:?}"),
+            }
+        }
+        assert!(failed > 0, "0.99 pinned-fail rate never fired in 8 seeds");
+    }
+
+    #[test]
+    fn pinned_fallback_books_alloc_overhead() {
+        let plan = FaultPlan {
+            seed: 0,
+            transfer_fault_rate: 0.0,
+            kernel_corruption_rate: 0.0,
+            pinned_fail_rate: 0.99,
+            storm_pressure: 0.0,
+        };
+        let p = TestProgram::new(64 * MB);
+        let mut fell_back = 0;
+        for seed in 0..8 {
+            let r = runner().with_chaos(FaultPlan { seed, ..plan }, RecoveryPolicy::default());
+            let out = r
+                .try_run_base(&p, TransferMode::Async)
+                .expect("fallback absorbs the failure");
+            if out.chaos.pinned_failures > 0 {
+                fell_back += 1;
+                assert!(out.chaos.overhead.alloc > Nanos::ZERO);
+                assert!(out
+                    .chaos
+                    .degradations
+                    .contains(&("pinned".to_string(), "pageable".to_string())));
+            }
+        }
+        assert!(fell_back > 0);
+    }
+
+    #[test]
+    fn kernel_less_program_is_invalid_not_a_panic() {
+        struct Empty;
+        impl GpuProgram for Empty {
+            fn name(&self) -> &str {
+                "empty"
+            }
+            fn buffers(&self) -> Vec<BufferSpec> {
+                vec![BufferSpec::new("b", MB, BufferRole::Input)]
+            }
+            fn kernels(&self) -> Vec<&dyn KernelModel> {
+                Vec::new()
+            }
+        }
+        match runner().try_run_base(&Empty, TransferMode::Standard) {
+            Err(SimError::InvalidProgram(msg)) => assert!(msg.contains("empty"), "{msg}"),
+            other => panic!("expected InvalidProgram, got {other:?}"),
+        }
     }
 }

@@ -13,6 +13,7 @@
 //! engine (the SM pool); operations on the same stream serialize, and each
 //! engine serializes operations across streams — exactly the CUDA model.
 
+use hetsim_chaos::SimError;
 use hetsim_engine::time::{Nanos, SimTime};
 use hetsim_trace::{Category, EventKind, Trace, TraceBuilder, TraceConfig};
 use std::fmt;
@@ -400,6 +401,213 @@ impl StreamSchedule {
         ScheduleOutcome { trace }
     }
 
+    /// Evaluates the schedule under *strict* event semantics with a
+    /// sim-time watchdog: unlike [`StreamSchedule::run`] (which keeps
+    /// CUDA's waits-on-unrecorded-events-are-no-ops behavior), a wait here
+    /// blocks its stream until the event's recording point — anywhere in
+    /// issue order — has executed. Event-wait cycles, self-waits, and
+    /// waits on never-recorded events therefore surface as a typed
+    /// [`SimError::Deadlock`] naming every blocked stream, instead of
+    /// silently reordering or spinning.
+    ///
+    /// For schedules where every wait follows its record in issue order
+    /// (the well-formed case the sanitizer's `SAN-S003`/`SAN-S005` lints
+    /// certify), `try_run` produces the same timing as `run`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when no execution order can make progress.
+    pub fn try_run(&self) -> Result<ScheduleOutcome, SimError> {
+        self.try_run_watchdog(None)
+    }
+
+    /// [`StreamSchedule::try_run`] with a makespan deadline: a schedule
+    /// that completes but takes longer than `deadline` returns
+    /// [`SimError::Timeout`] — the sim-time analogue of a watchdog timer
+    /// firing on a starved stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] on blocked schedules, [`SimError::Timeout`]
+    /// when the makespan exceeds `deadline`.
+    pub fn try_run_deadline(&self, deadline: Nanos) -> Result<ScheduleOutcome, SimError> {
+        self.try_run_watchdog(Some(deadline))
+    }
+
+    fn try_run_watchdog(&self, deadline: Option<Nanos>) -> Result<ScheduleOutcome, SimError> {
+        use std::collections::HashMap;
+        let items = &self.items;
+        let n = items.len();
+
+        // A wait binds to the event's *first* recording site in issue
+        // order; re-records later in the schedule don't retarget it.
+        let mut recorded_at: HashMap<u32, usize> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            if let ScheduleItem::RecordEvent { event, .. } = item {
+                recorded_at.entry(event.0).or_insert(i);
+            }
+        }
+        // Issue-order predecessors: the previous item on the same stream,
+        // and (for operations) the previous operation on the same engine.
+        let mut prev_stream: Vec<Option<usize>> = vec![None; n];
+        let mut prev_engine: Vec<Option<usize>> = vec![None; n];
+        {
+            let mut last_s: HashMap<u32, usize> = HashMap::new();
+            let mut last_e: HashMap<Engine, usize> = HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                let s = match item {
+                    ScheduleItem::Op { stream, .. }
+                    | ScheduleItem::RecordEvent { stream, .. }
+                    | ScheduleItem::WaitEvent { stream, .. } => stream.0,
+                };
+                prev_stream[i] = last_s.insert(s, i);
+                if let ScheduleItem::Op { engine, .. } = item {
+                    prev_engine[i] = last_e.insert(*engine, i);
+                }
+            }
+        }
+
+        let mut done = vec![false; n];
+        let mut remaining = n;
+        let mut stream_free: HashMap<StreamId, SimTime> = HashMap::new();
+        let mut engine_free: HashMap<Engine, SimTime> = HashMap::new();
+        // Event fire time, captured at the binding record's execution.
+        let mut record_time: Vec<Option<SimTime>> = vec![None; n];
+        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(self.len().max(1)));
+        for e in Engine::ALL {
+            b.track(e.name());
+        }
+
+        // Fixed-point over issue order: each pass executes every item
+        // whose predecessors (stream, engine, bound record) are done. The
+        // timing of an item depends only on those predecessors, so the
+        // result is independent of how the passes happen to interleave.
+        while remaining > 0 {
+            let mut progressed = false;
+            for i in 0..n {
+                if done[i] || prev_stream[i].is_some_and(|p| !done[p]) {
+                    continue;
+                }
+                match &items[i] {
+                    ScheduleItem::Op {
+                        stream,
+                        engine,
+                        duration,
+                        label,
+                        access: _,
+                    } => {
+                        if prev_engine[i].is_some_and(|p| !done[p]) {
+                            continue;
+                        }
+                        let s = stream_free.get(stream).copied().unwrap_or(SimTime::ZERO);
+                        let e = engine_free.get(engine).copied().unwrap_or(SimTime::ZERO);
+                        let start = s.max(e);
+                        let end = start + *duration;
+                        stream_free.insert(*stream, end);
+                        engine_free.insert(*engine, end);
+                        let track = b.track(engine.name());
+                        b.span_with(
+                            track,
+                            Category::Stream,
+                            label.clone(),
+                            start.as_nanos(),
+                            duration.as_nanos(),
+                            Some(("stream", f64::from(stream.0))),
+                        );
+                    }
+                    ScheduleItem::RecordEvent { stream, .. } => {
+                        let s = stream_free.get(stream).copied().unwrap_or(SimTime::ZERO);
+                        record_time[i] = Some(s);
+                    }
+                    ScheduleItem::WaitEvent { stream, event } => {
+                        let Some(&r) = recorded_at.get(&event.0) else {
+                            continue; // never recorded: blocks forever
+                        };
+                        if !done[r] {
+                            continue;
+                        }
+                        let t = record_time[r].unwrap_or(SimTime::ZERO);
+                        let s = stream_free.get(stream).copied().unwrap_or(SimTime::ZERO);
+                        stream_free.insert(*stream, s.max(t));
+                    }
+                }
+                done[i] = true;
+                remaining -= 1;
+                progressed = true;
+            }
+            if !progressed {
+                return Err(SimError::Deadlock {
+                    schedule: "stream_schedule".to_string(),
+                    blocked: self.describe_blocked(&done, &prev_stream, &recorded_at),
+                });
+            }
+        }
+
+        let trace = b.finish();
+        let makespan = Nanos::from_nanos(trace.horizon());
+        if let Some(d) = deadline {
+            if makespan > d {
+                return Err(SimError::Timeout {
+                    schedule: "stream_schedule".to_string(),
+                    makespan,
+                    deadline: d,
+                });
+            }
+        }
+        if hetsim_trace::session::enabled() {
+            hetsim_trace::session::with(|sess| {
+                let at = sess.now();
+                sess.absorb_at(&trace, at);
+            });
+        }
+        Ok(ScheduleOutcome { trace })
+    }
+
+    /// One line per stuck stream head, for the deadlock diagnostic.
+    fn describe_blocked(
+        &self,
+        done: &[bool],
+        prev_stream: &[Option<usize>],
+        recorded_at: &std::collections::HashMap<u32, usize>,
+    ) -> Vec<String> {
+        let mut blocked = Vec::new();
+        for (i, item) in self.items.iter().enumerate() {
+            // Stream heads only: the first undone item of each stream.
+            if done[i] || prev_stream[i].is_some_and(|p| !done[p]) {
+                continue;
+            }
+            match item {
+                ScheduleItem::WaitEvent { stream, event } => match recorded_at.get(&event.0) {
+                    Some(&r) => blocked.push(format!(
+                        "stream {} blocked at item {i}: waits on event {} whose record \
+                         (item {r}) cannot execute",
+                        stream.0, event.0
+                    )),
+                    None => blocked.push(format!(
+                        "stream {} blocked at item {i}: waits on event {} that is never \
+                         recorded",
+                        stream.0, event.0
+                    )),
+                },
+                ScheduleItem::Op {
+                    stream,
+                    engine,
+                    label,
+                    ..
+                } => blocked.push(format!(
+                    "stream {} blocked at item {i}: `{label}` waits for engine {engine} \
+                     held by a stalled stream",
+                    stream.0
+                )),
+                ScheduleItem::RecordEvent { stream, event } => blocked.push(format!(
+                    "stream {} blocked at item {i}: record of event {}",
+                    stream.0, event.0
+                )),
+            }
+        }
+        blocked
+    }
+
     /// Convenience: the chunked copy/compute pipeline over `chunks` chunks
     /// spread round-robin over `streams` streams, with per-chunk H2D,
     /// kernel, and D2H durations.
@@ -753,5 +961,196 @@ mod tests {
         let t = hetsim_trace::session::finish().unwrap();
         assert_eq!(t.category_count(Category::Stream), 1);
         assert!(t.find_track("compute").is_some());
+    }
+
+    #[test]
+    fn try_run_matches_run_on_well_formed_schedules() {
+        // Record precedes wait in issue order: strict and CUDA-no-op
+        // semantics agree, so the watchdog must reproduce run() exactly.
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::CopyH2D, us(10), "h2d");
+        let e = s.record_event(StreamId(0));
+        s.push(StreamId(0), Engine::Compute, us(20), "k0");
+        s.wait_event(StreamId(1), e);
+        s.push(StreamId(1), Engine::Compute, us(5), "k1");
+        let strict = s.try_run().expect("well-formed schedule runs");
+        assert_eq!(strict.makespan(), s.run().makespan());
+        // k1 waits on e (fires at 10us) then queues behind k0 on the
+        // compute engine (busy until 30us): 30 + 5.
+        assert_eq!(strict.makespan(), us(35));
+    }
+
+    #[test]
+    fn try_run_pipeline_parity() {
+        let s = StreamSchedule::chunked_pipeline(4, 3, us(7), us(11), us(5));
+        assert_eq!(s.try_run().unwrap().makespan(), s.run().makespan());
+    }
+
+    #[test]
+    fn watchdog_detects_two_cycle_deadlock() {
+        // s0 waits on e1 before recording e0; s1 waits on e0 before
+        // recording e1. run() treats both waits as no-ops; strict
+        // semantics deadlock.
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(0),
+            event: EventId(1),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(1),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(1),
+            event: EventId(1),
+        });
+        let err = s.try_run().unwrap_err();
+        match &err {
+            hetsim_chaos::SimError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 2, "both stream heads reported: {blocked:?}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        // Deterministic: the same schedule yields the same diagnostic.
+        assert_eq!(s.try_run().unwrap_err(), err);
+    }
+
+    #[test]
+    fn watchdog_detects_three_cycle_deadlock() {
+        let mut s = StreamSchedule::new();
+        for i in 0..3u32 {
+            s.push_item(ScheduleItem::WaitEvent {
+                stream: StreamId(i),
+                event: EventId((i + 1) % 3),
+            });
+            s.push_item(ScheduleItem::RecordEvent {
+                stream: StreamId(i),
+                event: EventId(i),
+            });
+        }
+        assert!(matches!(
+            s.try_run(),
+            Err(hetsim_chaos::SimError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn watchdog_detects_self_wait() {
+        // A stream waiting on an event it records *later* can never
+        // reach the record: classic self-deadlock.
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        let err = s.try_run().unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_detects_wait_on_never_recorded_event() {
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::Compute, us(1), "k");
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(0),
+            event: EventId(7),
+        });
+        match s.try_run().unwrap_err() {
+            hetsim_chaos::SimError::Deadlock { blocked, .. } => {
+                assert!(blocked.iter().any(|b| b.contains("never")), "{blocked:?}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_wait_binds_to_first_record() {
+        // The event is recorded twice; the wait observes the first
+        // recording point, not the later one.
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::Compute, us(10), "k0");
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push(StreamId(0), Engine::Compute, us(100), "k0b");
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(1),
+            event: EventId(0),
+        });
+        s.push(StreamId(1), Engine::CopyH2D, us(1), "h2d");
+        let o = s.try_run().unwrap();
+        // s1's copy starts at 10us (first record), not 110us.
+        assert_eq!(o.makespan(), us(110));
+    }
+
+    #[test]
+    fn watchdog_out_of_order_wait_blocks_until_record() {
+        // Wait issued before the record in issue order, but on a
+        // *different* stream: strict semantics resolve it (no cycle),
+        // while run() would treat it as a no-op.
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(1),
+            event: EventId(0),
+        });
+        s.push(StreamId(1), Engine::CopyH2D, us(1), "h2d");
+        s.push(StreamId(0), Engine::Compute, us(10), "k0");
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        let strict = s.try_run().unwrap();
+        assert_eq!(strict.makespan(), us(11));
+        // run()'s legacy no-op semantics finish earlier — the two
+        // entry points intentionally disagree here.
+        assert_eq!(s.run().makespan(), us(10));
+    }
+
+    #[test]
+    fn watchdog_timeout_on_missed_deadline() {
+        let mut s = StreamSchedule::new();
+        s.push(StreamId(0), Engine::Compute, us(10), "k");
+        assert!(s.try_run_deadline(us(10)).is_ok());
+        match s.try_run_deadline(us(9)).unwrap_err() {
+            hetsim_chaos::SimError::Timeout {
+                makespan, deadline, ..
+            } => {
+                assert_eq!(makespan, us(10));
+                assert_eq!(deadline, us(9));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_failure_leaves_session_clean() {
+        // A deadlocked evaluation must not fold partial work into an
+        // active trace session.
+        hetsim_trace::session::start(TraceConfig::default());
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        assert!(s.try_run().is_err());
+        let t = hetsim_trace::session::finish().unwrap();
+        assert_eq!(t.category_count(Category::Stream), 0);
     }
 }

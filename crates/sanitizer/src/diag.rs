@@ -25,6 +25,12 @@ pub enum Lint {
     ///
     /// [`Engine`]: hetsim_runtime::stream::Engine
     UnknownEngineTrack,
+    /// Under strict event semantics (`StreamSchedule::try_run`) the
+    /// schedule cannot make progress: a cycle of event waits — including a
+    /// stream waiting on an event it records itself — blocks every
+    /// participating stream forever. The legacy `run()` entry point
+    /// silently treats the waits as no-ops instead.
+    EventWaitCycle,
     /// A buffer spec fails [`BufferSpec::try_new`] validation (zero size,
     /// or large enough to alias the next buffer's UVM base address).
     ///
@@ -73,11 +79,12 @@ pub enum Lint {
 
 impl Lint {
     /// Every lint, in code order (the README table follows this order).
-    pub const ALL: [Lint; 17] = [
+    pub const ALL: [Lint; 18] = [
         Lint::WriteWriteHazard,
         Lint::ReadWriteHazard,
         Lint::WaitUnrecordedEvent,
         Lint::UnknownEngineTrack,
+        Lint::EventWaitCycle,
         Lint::InvalidBufferSize,
         Lint::DuplicateBufferName,
         Lint::OutputNeverStored,
@@ -100,6 +107,7 @@ impl Lint {
             Lint::ReadWriteHazard => "SAN-S002",
             Lint::WaitUnrecordedEvent => "SAN-S003",
             Lint::UnknownEngineTrack => "SAN-S004",
+            Lint::EventWaitCycle => "SAN-S005",
             Lint::InvalidBufferSize => "SAN-B001",
             Lint::DuplicateBufferName => "SAN-B002",
             Lint::OutputNeverStored => "SAN-B003",
@@ -123,6 +131,7 @@ impl Lint {
             Lint::ReadWriteHazard => "unordered read/write overlap across streams",
             Lint::WaitUnrecordedEvent => "wait on an event never recorded before it",
             Lint::UnknownEngineTrack => "stream spans on a track no engine recognizes",
+            Lint::EventWaitCycle => "event-wait cycle deadlocks strict execution",
             Lint::InvalidBufferSize => "invalid buffer size",
             Lint::DuplicateBufferName => "duplicate buffer name",
             Lint::OutputNeverStored => "output buffers declared but no kernel stores",
@@ -144,6 +153,7 @@ impl Lint {
         match self {
             Lint::WriteWriteHazard
             | Lint::ReadWriteHazard
+            | Lint::EventWaitCycle
             | Lint::InvalidBufferSize
             | Lint::TouchBufferOutOfRange => Severity::Error,
             _ => Severity::Warning,

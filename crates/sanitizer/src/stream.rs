@@ -100,6 +100,95 @@ pub fn check_schedule(name: &str, schedule: &StreamSchedule) -> Report {
         }
     }
 
+    // Strict-semantics progress check (SAN-S005): mirror
+    // `StreamSchedule::try_run`'s readiness rules as a duration-free
+    // boolean fixed point. A wait binds to its event's first recording
+    // site anywhere in issue order; if no execution order lets every item
+    // run, the waits that can never fire form a deadlock cycle under
+    // strict semantics.
+    {
+        use std::collections::HashMap;
+        let mut recorded_at: HashMap<u32, usize> = HashMap::new();
+        for (i, item) in items.iter().enumerate() {
+            if let ScheduleItem::RecordEvent { event, .. } = item {
+                recorded_at.entry(event.0).or_insert(i);
+            }
+        }
+        let mut prev_stream: Vec<Option<usize>> = vec![None; n];
+        let mut prev_engine: Vec<Option<usize>> = vec![None; n];
+        {
+            let mut last_s: HashMap<u32, usize> = HashMap::new();
+            let mut last_e: HashMap<&str, usize> = HashMap::new();
+            for (i, item) in items.iter().enumerate() {
+                let s = match item {
+                    ScheduleItem::Op { stream, .. }
+                    | ScheduleItem::RecordEvent { stream, .. }
+                    | ScheduleItem::WaitEvent { stream, .. } => stream.0,
+                };
+                prev_stream[i] = last_s.insert(s, i);
+                if let ScheduleItem::Op { engine, .. } = item {
+                    prev_engine[i] = last_e.insert(engine.name(), i);
+                }
+            }
+        }
+        let mut done = vec![false; n];
+        let mut remaining = n;
+        loop {
+            let mut progressed = false;
+            for i in 0..n {
+                if done[i] || prev_stream[i].is_some_and(|p| !done[p]) {
+                    continue;
+                }
+                let ready = match &items[i] {
+                    ScheduleItem::Op { .. } => prev_engine[i].is_none_or(|p| done[p]),
+                    ScheduleItem::RecordEvent { .. } => true,
+                    ScheduleItem::WaitEvent { event, .. } => {
+                        recorded_at.get(&event.0).is_some_and(|&r| done[r])
+                    }
+                };
+                if ready {
+                    done[i] = true;
+                    remaining -= 1;
+                    progressed = true;
+                }
+            }
+            if remaining == 0 || !progressed {
+                break;
+            }
+        }
+        if remaining > 0 {
+            for (i, item) in items.iter().enumerate() {
+                // Stream heads only: the first stuck item of each stream.
+                if done[i] || prev_stream[i].is_some_and(|p| !done[p]) {
+                    continue;
+                }
+                let ScheduleItem::WaitEvent { stream, event } = item else {
+                    continue;
+                };
+                // A wait on an event recorded nowhere is SAN-S003's
+                // finding; the cycle lint covers events that *are*
+                // recorded but whose recording can never execute.
+                if !recorded_at.contains_key(&event.0) {
+                    continue;
+                }
+                report.push(Diagnostic::new(
+                    Lint::EventWaitCycle,
+                    name,
+                    Span::Item { index: i },
+                    format!(
+                        "stream {}'s wait on event {} can never fire under strict \
+                         semantics: its recording point depends, through a cycle of \
+                         waits, on this wait completing — StreamSchedule::try_run \
+                         deadlocks here",
+                        stream.0, event.0
+                    ),
+                    "reorder the schedule so every record can execute before the \
+                     waits that depend on it, or drop one edge of the cycle",
+                ));
+            }
+        }
+    }
+
     // Transitive closure. Edges only point forward, so a reverse sweep
     // finishes in one pass: reach[i] = U_{i->j} ({j} U reach[j]).
     let mut reach: Vec<BitSet> = vec![BitSet::new(n); n];
@@ -409,6 +498,109 @@ mod tests {
         let mut c = codes(&r);
         c.sort_unstable();
         assert_eq!(c, vec!["SAN-S001", "SAN-S003"]);
+    }
+
+    #[test]
+    fn two_stream_event_cycle_is_flagged() {
+        // s0 waits on e1 before recording e0; s1 waits on e0 before
+        // recording e1: classic strict-semantics deadlock.
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(0),
+            event: EventId(1),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(1),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(1),
+            event: EventId(1),
+        });
+        let r = check_schedule("adv", &s);
+        let s005: Vec<_> = r
+            .diagnostics
+            .iter()
+            .filter(|d| d.code() == "SAN-S005")
+            .collect();
+        assert_eq!(s005.len(), 2, "{r:?}");
+        assert_eq!(s005[0].span, Span::Item { index: 0 });
+        assert_eq!(s005[1].span, Span::Item { index: 2 });
+        // The runtime watchdog agrees with the static verdict.
+        assert!(s.try_run().is_err());
+    }
+
+    #[test]
+    fn three_stream_event_cycle_is_flagged() {
+        let mut s = StreamSchedule::new();
+        for i in 0..3u32 {
+            s.push_item(ScheduleItem::WaitEvent {
+                stream: StreamId(i),
+                event: EventId((i + 1) % 3),
+            });
+            s.push_item(ScheduleItem::RecordEvent {
+                stream: StreamId(i),
+                event: EventId(i),
+            });
+        }
+        let r = check_schedule("adv", &s);
+        assert_eq!(
+            r.diagnostics
+                .iter()
+                .filter(|d| d.code() == "SAN-S005")
+                .count(),
+            3,
+            "{r:?}"
+        );
+        assert!(s.try_run().is_err());
+    }
+
+    #[test]
+    fn self_wait_is_flagged_as_cycle() {
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        let r = check_schedule("adv", &s);
+        assert!(codes(&r).contains(&"SAN-S005"), "{r:?}");
+        assert!(s.try_run().is_err());
+    }
+
+    #[test]
+    fn never_recorded_wait_stays_s003_not_s005() {
+        let mut s = StreamSchedule::new();
+        s.wait_event(StreamId(0), EventId(9));
+        let r = check_schedule("adv", &s);
+        assert_eq!(codes(&r), vec!["SAN-S003"]);
+    }
+
+    #[test]
+    fn resolvable_out_of_order_wait_is_not_a_cycle() {
+        // Wait precedes the record in issue order but on another stream:
+        // strict execution resolves it, so only SAN-S003 (the legacy
+        // no-op warning) fires, not SAN-S005.
+        let mut s = StreamSchedule::new();
+        s.push_item(ScheduleItem::WaitEvent {
+            stream: StreamId(1),
+            event: EventId(0),
+        });
+        s.push(StreamId(0), Engine::Compute, us(1), "k");
+        s.push_item(ScheduleItem::RecordEvent {
+            stream: StreamId(0),
+            event: EventId(0),
+        });
+        let r = check_schedule("adv", &s);
+        assert_eq!(codes(&r), vec!["SAN-S003"]);
+        assert!(s.try_run().is_ok());
     }
 
     #[test]

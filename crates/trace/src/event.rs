@@ -38,6 +38,8 @@ pub enum Category {
     Counter,
     /// Simulator self-profiling in host wall-clock time.
     Host,
+    /// An injected fault or recovery action from the chaos layer.
+    Chaos,
 }
 
 impl Category {
@@ -57,6 +59,7 @@ impl Category {
             Category::Mem => "mem",
             Category::Counter => "counter",
             Category::Host => "host",
+            Category::Chaos => "chaos",
         }
     }
 }
@@ -132,6 +135,7 @@ mod tests {
         assert_eq!(Category::FaultBatch.name(), "fault_batch");
         assert_eq!(Category::Alloc.to_string(), "alloc");
         assert_eq!(Category::Kernel.name(), "kernel");
+        assert_eq!(Category::Chaos.name(), "chaos");
     }
 
     #[test]

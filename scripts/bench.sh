@@ -7,7 +7,9 @@
 #   * the static spec sanitizer over the full registry (`check --all`) —
 #     the pre-sweep verification pass must stay negligible next to a sweep;
 #   * the Mega-size bfs fault path under plain uvm — the page table's
-#     O(1) register/touch/evict hot loop.
+#     O(1) register/touch/evict hot loop;
+#   * the chaos degradation sweep over the irregular trio — the fault
+#     injector's end-to-end cost on top of the plain grid.
 #
 # Usage:
 #   scripts/bench.sh            # full sizes, writes BENCH_sweep.json
@@ -15,10 +17,14 @@
 #                               # same JSON shape to a scratch file so the
 #                               # committed baseline is not clobbered
 #
-# The CLI's output is asserted byte-identical between the serial and the
-# parallel grid run — the determinism guarantee, enforced here end to end
-# on the real binary, not just in unit tests.
-set -euo pipefail
+# Robustness contract: every stage runs under `timeout` and records
+# `{status, wall_ms}` ("ok" | "fail" | "timeout") in the JSON. A failing
+# or hung stage does not abort the others — the script finishes the
+# sweep, writes the full record, and only then exits non-zero if any
+# stage was not ok. Byte-identity between the serial and parallel grid
+# runs is itself a recorded stage, so a determinism regression shows up
+# in the baseline file, not just in the exit code.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE=0
@@ -30,79 +36,104 @@ if [[ $SMOKE -eq 1 ]]; then
   GRID_SIZE=tiny
   GRID_RUNS=3
   BFS_SIZE=small
+  CHAOS_SIZE=tiny
+  STAGE_TIMEOUT="${STAGE_TIMEOUT:-300}"
 else
   GRID_SIZE=large
   GRID_RUNS=30
   BFS_SIZE=mega
+  CHAOS_SIZE=small
+  STAGE_TIMEOUT="${STAGE_TIMEOUT:-1800}"
 fi
 
 CLI=./target/release/hetsim-cli
 if [[ ! -x "$CLI" ]]; then
   echo "==> building release CLI"
-  cargo build --release -q -p hetsim-cli
+  cargo build --release -q -p hetsim-cli || { echo "FAIL: build"; exit 1; }
 fi
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
-# Milliseconds of wall clock for a command, stdout captured to a file.
-# Sets TIMED_MS; called at top level so `set -e` still aborts on a
-# failing CLI invocation (command substitution would swallow it).
 now_ms() { python3 -c 'import time; print(int(time.time()*1000))' 2>/dev/null \
   || date +%s%3N; }
-run_timed() {
-  local capture="$1"; shift
-  local t0 t1
-  t0="$(now_ms)"
-  "$@" > "$capture"
-  t1="$(now_ms)"
-  TIMED_MS=$((t1 - t0))
+
+FAILED_STAGES=""
+STAGE_RECORDS=""
+
+# record_stage NAME STATUS WALL_MS — appends one JSON stage record and
+# tracks failures for the final exit code.
+record_stage() {
+  local name="$1" status="$2" wall="$3"
+  if [[ -n "$STAGE_RECORDS" ]]; then
+    STAGE_RECORDS+=$',\n'
+  fi
+  STAGE_RECORDS+="    \"$name\": {\"status\": \"$status\", \"wall_ms\": $wall}"
+  if [[ "$status" != "ok" ]]; then
+    FAILED_STAGES+=" $name"
+  fi
 }
 
-echo "==> Fig 7 grid (micro suite @ $GRID_SIZE, $GRID_RUNS runs): serial"
-run_timed "$out/micro1.txt" \
+# run_stage NAME CAPTURE_FILE CMD... — runs CMD under the stage timeout,
+# times it, and records {status, wall_ms}. Never aborts the script.
+run_stage() {
+  local name="$1" capture="$2"; shift 2
+  local t0 t1 rc status
+  echo "==> $name"
+  t0="$(now_ms)"
+  timeout "$STAGE_TIMEOUT" "$@" > "$capture" 2> "$out/$name.err"
+  rc=$?
+  t1="$(now_ms)"
+  TIMED_MS=$((t1 - t0))
+  if [[ $rc -eq 0 && -s "$capture" ]]; then
+    status=ok
+  elif [[ $rc -eq 124 ]]; then
+    status=timeout
+    echo "    TIMEOUT after ${STAGE_TIMEOUT}s"
+  else
+    status=fail
+    echo "    FAIL (exit $rc)"
+    sed 's/^/    stderr: /' "$out/$name.err" | tail -5
+  fi
+  echo "    ${TIMED_MS} ms [$status]"
+  record_stage "$name" "$status" "$TIMED_MS"
+  [[ "$status" == "ok" ]]
+}
+
+# check_stage NAME CMD... — a zero-duration assertion stage (e.g. the
+# serial-vs-parallel byte-identity check); records ok/fail.
+check_stage() {
+  local name="$1"; shift
+  if "$@"; then
+    record_stage "$name" ok 0
+  else
+    echo "==> $name: FAIL"
+    record_stage "$name" fail 0
+  fi
+}
+
+run_stage fig7_micro_grid_serial "$out/micro1.txt" \
   "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1
-MICRO_SERIAL_MS=$TIMED_MS
-echo "    ${MICRO_SERIAL_MS} ms"
-
-echo "==> Fig 7 grid: parallel (--threads 4)"
-run_timed "$out/micro4.txt" \
+run_stage fig7_micro_grid_threads4 "$out/micro4.txt" \
   "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
-MICRO_PARALLEL_MS=$TIMED_MS
-echo "    ${MICRO_PARALLEL_MS} ms"
-[[ -s "$out/micro1.txt" ]] || { echo "FAIL: empty Fig 7 output"; exit 1; }
-cmp "$out/micro1.txt" "$out/micro4.txt" \
-  || { echo "FAIL: Fig 7 output differs between --threads 1 and 4"; exit 1; }
+check_stage fig7_determinism cmp -s "$out/micro1.txt" "$out/micro4.txt"
 
-echo "==> Fig 8 grid (app suite @ $GRID_SIZE, $GRID_RUNS runs): serial"
-run_timed "$out/apps1.txt" \
+run_stage fig8_apps_grid_serial "$out/apps1.txt" \
   "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1
-APPS_SERIAL_MS=$TIMED_MS
-echo "    ${APPS_SERIAL_MS} ms"
-
-echo "==> Fig 8 grid: parallel (--threads 4)"
-run_timed "$out/apps4.txt" \
+run_stage fig8_apps_grid_threads4 "$out/apps4.txt" \
   "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
-APPS_PARALLEL_MS=$TIMED_MS
-echo "    ${APPS_PARALLEL_MS} ms"
-[[ -s "$out/apps1.txt" ]] || { echo "FAIL: empty Fig 8 output"; exit 1; }
-cmp "$out/apps1.txt" "$out/apps4.txt" \
-  || { echo "FAIL: Fig 8 output differs between --threads 1 and 4"; exit 1; }
+check_stage fig8_determinism cmp -s "$out/apps1.txt" "$out/apps4.txt"
 
-echo "==> spec sanitizer (check --all @ $GRID_SIZE, full registry, no simulation)"
-run_timed "$out/check.txt" \
-  "$CLI" check --all --deny warnings --size "$GRID_SIZE"
-CHECK_MS=$TIMED_MS
-echo "    ${CHECK_MS} ms"
-grep -q "0 errors, 0 warnings" "$out/check.txt" \
-  || { echo "FAIL: sanitizer sweep not clean"; exit 1; }
+if run_stage sanitizer_check_all "$out/check.txt" \
+  "$CLI" check --all --deny warnings --size "$GRID_SIZE"; then
+  check_stage sanitizer_clean grep -q "0 errors, 0 warnings" "$out/check.txt"
+fi
 
-echo "==> bfs fault path (@ $BFS_SIZE, plain uvm, single run)"
-run_timed "$out/bfs.txt" \
+run_stage bfs_uvm_fault_path "$out/bfs.txt" \
   "$CLI" run bfs --size "$BFS_SIZE" --mode uvm --runs 1 --threads 1
-BFS_MS=$TIMED_MS
-echo "    ${BFS_MS} ms"
-[[ -s "$out/bfs.txt" ]] || { echo "FAIL: empty bfs output"; exit 1; }
+
+run_stage chaos_degradation_sweep "$out/chaos.txt" \
+  "$CLI" chaos --size "$CHAOS_SIZE" --seeds 4 --rates 0,0.5,1 --threads 1
 
 # The parallel stages can only beat serial when the host has cores to
 # spare; record the machine's parallelism so the baseline is
@@ -123,15 +154,17 @@ cat > "$RESULT" <<EOF
   "grid_size": "$GRID_SIZE",
   "grid_runs": $GRID_RUNS,
   "bfs_size": "$BFS_SIZE",
-  "stages_ms": {
-    "fig7_micro_grid_serial": $MICRO_SERIAL_MS,
-    "fig7_micro_grid_threads4": $MICRO_PARALLEL_MS,
-    "fig8_apps_grid_serial": $APPS_SERIAL_MS,
-    "fig8_apps_grid_threads4": $APPS_PARALLEL_MS,
-    "sanitizer_check_all": $CHECK_MS,
-    "bfs_uvm_fault_path": $BFS_MS
+  "chaos_size": "$CHAOS_SIZE",
+  "stage_timeout_s": $STAGE_TIMEOUT,
+  "stages": {
+$STAGE_RECORDS
   }
 }
 EOF
 echo "==> wrote $RESULT"
 cat "$RESULT"
+
+if [[ -n "$FAILED_STAGES" ]]; then
+  echo "FAIL: stages not ok:$FAILED_STAGES"
+  exit 1
+fi

@@ -49,4 +49,32 @@ cmp "$out/t.json" "$out/t2.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/t.json" 2>/dev/null \
   || echo "(python3 not available; skipping JSON validation)"
 
+echo "==> chaos determinism gate (fixed seed matrix, threads 1 vs 4)"
+# The same fixed-seed fault plan must produce byte-identical degradation
+# reports (table + JSON) and chaos traces at any worker-thread count —
+# the chaos layer's determinism contract, enforced on the real binary.
+for seed in 7 42; do
+  HETSIM_THREADS=1 ./target/release/hetsim-cli chaos --size tiny \
+    --seed "$seed" --seeds 4 --rates 0,0.5,1 --format json \
+    --trace "$out/chaos_t1_$seed.json" > "$out/chaos1_$seed.json"
+  HETSIM_THREADS=4 ./target/release/hetsim-cli chaos --size tiny \
+    --seed "$seed" --seeds 4 --rates 0,0.5,1 --format json \
+    --trace "$out/chaos_t4_$seed.json" > "$out/chaos4_$seed.json"
+  cmp "$out/chaos1_$seed.json" "$out/chaos4_$seed.json" \
+    || { echo "FAIL: chaos report differs across thread counts (seed $seed)"; exit 1; }
+  cmp "$out/chaos_t1_$seed.json" "$out/chaos_t4_$seed.json" \
+    || { echo "FAIL: chaos trace differs across thread counts (seed $seed)"; exit 1; }
+done
+cmp -s "$out/chaos1_7.json" "$out/chaos1_42.json" \
+  && { echo "FAIL: different seeds produced identical chaos reports"; exit 1; }
+
+echo "==> chaos plan verification gate (impossible plans rejected up front)"
+if ./target/release/hetsim-cli chaos --size tiny --retries 0 --rates 0.5 \
+  > "$out/chaos_bad.txt" 2>&1; then
+  echo "FAIL: impossible chaos plan (retries 0, rate 0.5) was accepted"
+  exit 1
+fi
+grep -q "retry budget" "$out/chaos_bad.txt" \
+  || { echo "FAIL: rejection lacks the plan diagnostic"; exit 1; }
+
 echo "CI OK"
