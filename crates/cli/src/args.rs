@@ -25,6 +25,12 @@ pub struct Args {
     pub mode: Option<String>,
     /// `--trace FILE`: also export a trace of the run to FILE.
     pub trace: Option<String>,
+    /// `--trace-stream FILE`: stream trace events to FILE *during* the
+    /// run (bounded memory) instead of buffering the whole recording.
+    pub trace_stream: Option<String>,
+    /// `--trace-format jsonl|chrome`: wire format for `--trace-stream`
+    /// (default: jsonl, or chrome when the file ends in `.json`).
+    pub trace_format: Option<String>,
     /// `--self-profile`: include host wall-clock spans in the trace.
     pub self_profile: bool,
     /// `--threads N`: worker threads for parallel sweeps (default: the
@@ -67,6 +73,8 @@ impl Default for Args {
             jobs: 16,
             mode: None,
             trace: None,
+            trace_stream: None,
+            trace_format: None,
             self_profile: false,
             threads: None,
             help: false,
@@ -116,6 +124,14 @@ impl Args {
                 "--out" => args.out = Some(it.next()?.clone()),
                 "--mode" => args.mode = Some(it.next()?.clone()),
                 "--trace" => args.trace = Some(it.next()?.clone()),
+                "--trace-stream" => args.trace_stream = Some(it.next()?.clone()),
+                "--trace-format" => {
+                    let v = it.next()?;
+                    if v != "jsonl" && v != "chrome" {
+                        return None;
+                    }
+                    args.trace_format = Some(v.clone());
+                }
                 "--size" => {
                     let v = it.next()?;
                     args.size = InputSize::ALL.into_iter().find(|s| s.name() == v)?;
@@ -232,6 +248,26 @@ mod tests {
         let (_, a) = Args::parse(&v(&["run", "--workload", "lud", "--trace", "t.json"])).unwrap();
         assert_eq!(a.trace.as_deref(), Some("t.json"));
         assert!(!a.self_profile);
+    }
+
+    #[test]
+    fn parses_trace_stream_flags() {
+        let (_, a) = Args::parse(&v(&[
+            "run",
+            "--workload",
+            "lud",
+            "--trace-stream",
+            "t.jsonl",
+            "--trace-format",
+            "chrome",
+        ]))
+        .unwrap();
+        assert_eq!(a.trace_stream.as_deref(), Some("t.jsonl"));
+        assert_eq!(a.trace_format.as_deref(), Some("chrome"));
+        let (_, a) = Args::parse(&v(&["run", "--trace-stream", "t.jsonl"])).unwrap();
+        assert_eq!(a.trace_format, None);
+        assert!(Args::parse(&v(&["run", "--trace-format", "xml"])).is_none());
+        assert!(Args::parse(&v(&["run", "--trace-stream"])).is_none());
     }
 
     #[test]

@@ -31,10 +31,18 @@
 //! `--verify-specs` to run the same checks before burning compute.
 //!
 //! `trace` records one deterministic run as a structured sim-time trace
-//! and exports it by output extension: `.json` → Chrome trace-event
-//! format (load in Perfetto / `chrome://tracing`), `.csv` → flat CSV,
-//! anything else (or `-`) → plain text. `run` and `interjob` accept
-//! `--trace FILE` to export a trace alongside their tables.
+//! and exports it by output extension: `.jsonl` → line-delimited JSON,
+//! `.json` → Chrome trace-event format (load in Perfetto /
+//! `chrome://tracing`), `.csv` → flat CSV, anything else (or `-`) →
+//! plain text. `run` and `interjob` accept `--trace FILE` to export a
+//! trace alongside their tables.
+//!
+//! `run`, `irregular`, `interjob`, `chaos`, and `trace` also accept
+//! `--trace-stream FILE` (with `--trace-format jsonl|chrome`): events
+//! drain to FILE *during* the run in bounded memory, so fleet-scale
+//! recordings never have to fit in the ring buffer — and never drop. The
+//! streamed bytes are identical to a buffered export of the same run, at
+//! any `--threads N`.
 //!
 //! `chaos` sweeps the `hetsim-chaos` fault injector over a workload set ×
 //! intensity ramp × seed grid and prints the degradation curve: mean
@@ -115,6 +123,9 @@ fn print_usage() {
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
          \u{20}        --trace FILE  --self-profile\n\
+         \u{20}        --trace-stream FILE           stream events to FILE during the run\n\
+         \u{20}        --trace-format jsonl|chrome   wire format for --trace-stream\n\
+         \u{20}                      (default: jsonl, or chrome when FILE ends in .json)\n\
          \u{20}        --format text|json            check report rendering\n\
          \u{20}        --verify-specs                run `check` on the involved specs first\n\
          \u{20}        --seed N --seeds N --retries N --rates R1,R2,...   chaos sweep grid\n\
@@ -337,6 +348,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             let (_, trace) = exp.traced_run(&w, mode);
             write_trace(&trace, path)?;
         }
+        if let Some(path) = args.trace_stream.as_deref() {
+            // A second deterministic base run, this time draining events
+            // to the sink as it goes; identical content by determinism.
+            let (_, trace) = exp.traced_run_streaming(&w, mode, open_sink(args, path)?);
+            report_stream(&trace, args, path)?;
+        }
         return Ok(());
     }
     let cmp = exp.compare_modes(&w);
@@ -352,6 +369,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let (_, trace) = exp.traced_modes(&w);
         write_trace(&trace, path)?;
     }
+    if let Some(path) = args.trace_stream.as_deref() {
+        // Same five-mode recording, but the merge drains through the sink
+        // in mode order — byte-identical output at every --threads N.
+        let (_, trace) = exp.traced_modes_streaming(&w, open_sink(args, path)?);
+        report_stream(&trace, args, path)?;
+    }
     Ok(())
 }
 
@@ -360,7 +383,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 /// `uvm` (where batching behaviour is undiluted by prefetch).
 fn cmd_irregular(args: &Args) -> Result<(), String> {
     verify_specs(args, None)?;
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = Experiment::new()
+        .with_runs(args.runs)
+        .with_trace(trace_config(args));
     let s = figures::irregular(&exp, args.size);
     println!(
         "irregular study (bfs/kmeans/pathfinder) @ {} ({} runs)",
@@ -378,6 +403,22 @@ fn cmd_irregular(args: &Args) -> Result<(), String> {
         rows.push((name.to_string(), TransferMode::Uvm, r));
     }
     emit(&fault_stats_table(&rows), args.csv);
+    if let Some(path) = args.trace_stream.as_deref() {
+        // Stream the trio's plain-uvm base runs back to back as one
+        // bounded-memory recording: each run carries its own mode/device
+        // labels, and the merge order is the fixed trio order.
+        let sink = open_sink(args, path)?;
+        let mut merged = hetsim_trace::TraceBuilder::new(trace_config(args)).with_sink(sink);
+        for name in figures::IRREGULAR_WORKLOADS {
+            let w = suite::by_name(name, args.size)
+                .ok_or_else(|| format!("irregular trio workload `{name}` missing from registry"))?;
+            let (_, t) = exp.traced_run(&w, TransferMode::Uvm);
+            let at = merged.now();
+            merged.absorb_at(&t, at);
+        }
+        let trace = merged.finish();
+        report_stream(&trace, args, path)?;
+    }
     Ok(())
 }
 
@@ -458,7 +499,8 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         std::fs::write(path, sweep.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
         eprintln!("wrote {path}");
     }
-    if let Some(path) = args.trace.as_deref() {
+    if args.trace.is_some() || args.trace_stream.is_some() {
+        reject_trace_and_stream("chaos", args)?;
         // One representative traced run at the ramp's top intensity: the
         // injected faults land as instants on the `chaos` track and every
         // recovery cost as a phase span in its component's category.
@@ -468,14 +510,24 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
             .ok_or("chaos --trace needs at least one workload")?;
         let w = suite::by_name(name, cfg.size).ok_or_else(|| format!("unknown workload {name}"))?;
         let top = cfg.rates.iter().copied().fold(0.0, f64::max);
-        hetsim_trace::session::start(trace_config(args));
+        match args.trace_stream.as_deref() {
+            Some(path) => {
+                hetsim_trace::session::start_streaming(trace_config(args), open_sink(args, path)?)
+            }
+            None => hetsim_trace::session::start(trace_config(args)),
+        }
         let armed = exp
             .clone()
             .with_chaos(FaultPlan::at_intensity(cfg.seed, top), cfg.policy);
         let outcome = armed.try_run(&w, cfg.mode);
         let trace =
             hetsim_trace::session::finish().ok_or("trace session vanished before export")?;
-        write_trace(&trace, path)?;
+        if let Some(path) = args.trace.as_deref() {
+            write_trace(&trace, path)?;
+        }
+        if let Some(path) = args.trace_stream.as_deref() {
+            report_stream(&trace, args, path)?;
+        }
         if let Err(e) = outcome {
             eprintln!("traced run at intensity {top:.2} did not recover: {e}");
         }
@@ -493,8 +545,18 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
     let mode = parse_mode(args.mode.as_deref().unwrap_or("standard"))?;
     let exp = Experiment::new().with_trace(trace_config(args));
-    let (report, trace) = exp.traced_run(&w, mode);
-    write_trace(&trace, args.out.as_deref().unwrap_or("-"))?;
+    let (report, trace) = match args.trace_stream.as_deref() {
+        Some(path) => {
+            let (report, trace) = exp.traced_run_streaming(&w, mode, open_sink(args, path)?);
+            report_stream(&trace, args, path)?;
+            (report, trace)
+        }
+        None => {
+            let (report, trace) = exp.traced_run(&w, mode);
+            write_trace(&trace, args.out.as_deref().unwrap_or("-"))?;
+            (report, trace)
+        }
+    };
     eprintln!(
         "{name} @ {} [{}]: alloc {} memcpy {} kernel {} system {} | {} events{}",
         args.size,
@@ -503,7 +565,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         report.memcpy,
         report.kernel,
         report.system,
-        trace.len(),
+        trace.total_events(),
         if trace.dropped() > 0 {
             format!(" ({} dropped)", trace.dropped())
         } else {
@@ -523,6 +585,72 @@ fn trace_config(args: &Args) -> hetsim_trace::TraceConfig {
     }
 }
 
+/// The streamed-trace wire format for `path`: the explicit
+/// `--trace-format` when given, else Chrome trace-event JSON for `.json`
+/// outputs, else JSONL.
+fn stream_format(args: &Args, path: &str) -> &'static str {
+    match args.trace_format.as_deref() {
+        Some("chrome") => "chrome",
+        Some(_) => "jsonl",
+        None if path.ends_with(".json") => "chrome",
+        None => "jsonl",
+    }
+}
+
+/// Opens `path` and wraps it in the streaming sink for the chosen format.
+fn open_sink(args: &Args, path: &str) -> Result<Box<dyn hetsim_trace::TraceSink>, String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let out = std::io::BufWriter::new(file);
+    Ok(match stream_format(args, path) {
+        "chrome" => Box::new(hetsim_trace::ChromeSink::new(out)),
+        _ => Box::new(hetsim_trace::JsonlSink::new(out)),
+    })
+}
+
+/// Post-run status for a streamed trace: where it went, how many events,
+/// and a hard error when the sink failed mid-run (the file is truncated;
+/// trusting it silently is worse than failing the command).
+fn report_stream(trace: &hetsim_trace::Trace, args: &Args, path: &str) -> Result<(), String> {
+    if let Some(err) = trace.stream_error() {
+        return Err(format!(
+            "trace stream to {path} failed mid-run: {err} \
+             (recording fell back to the in-memory ring; the file is incomplete)"
+        ));
+    }
+    warn_dropped(trace);
+    eprintln!(
+        "streamed {} events to {path} ({})",
+        trace.total_events(),
+        stream_format(args, path)
+    );
+    Ok(())
+}
+
+/// Loud stderr warning when a recording dropped events (ring buffer full
+/// with no sink attached) — silently truncated traces get trusted, so
+/// every CLI trace path routes through this.
+fn warn_dropped(trace: &hetsim_trace::Trace) {
+    if trace.dropped() > 0 {
+        eprintln!(
+            "warning: trace dropped {} events (ring buffer full); \
+             raise the capacity or stream with --trace-stream",
+            trace.dropped()
+        );
+    }
+}
+
+/// Rejects `--trace` + `--trace-stream` together on commands where both
+/// would have to share one recording session.
+fn reject_trace_and_stream(command: &str, args: &Args) -> Result<(), String> {
+    if args.trace.is_some() && args.trace_stream.is_some() {
+        return Err(format!(
+            "{command}: --trace and --trace-stream are mutually exclusive here \
+             (one run, one recording session)"
+        ));
+    }
+    Ok(())
+}
+
 fn parse_mode(name: &str) -> Result<TransferMode, String> {
     TransferMode::ALL
         .into_iter()
@@ -533,10 +661,14 @@ fn parse_mode(name: &str) -> Result<TransferMode, String> {
         })
 }
 
-/// Writes a trace in the format implied by the output path: `.json` →
-/// Chrome trace-event JSON, `.csv` → CSV, `-` or anything else → text.
+/// Writes a trace in the format implied by the output path: `.jsonl` →
+/// line-delimited JSON, `.json` → Chrome trace-event JSON, `.csv` → CSV,
+/// `-` or anything else → text.
 fn write_trace(trace: &hetsim_trace::Trace, path: &str) -> Result<(), String> {
-    let contents = if path.ends_with(".json") {
+    warn_dropped(trace);
+    let contents = if path.ends_with(".jsonl") {
+        trace.to_jsonl()
+    } else if path.ends_with(".json") {
         trace.to_chrome_json()
     } else if path.ends_with(".csv") {
         trace.to_csv()
@@ -599,15 +731,20 @@ fn cmd_sensitivity(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_interjob(args: &Args) -> Result<(), String> {
+    reject_trace_and_stream("interjob", args)?;
     let name = args.workload.as_deref().unwrap_or("vector_seq");
     let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
     let exp = Experiment::new().with_runs(args.runs);
-    if args.trace.is_some() {
-        hetsim_trace::session::start(trace_config(args));
+    match args.trace_stream.as_deref() {
+        Some(path) => {
+            hetsim_trace::session::start_streaming(trace_config(args), open_sink(args, path)?)
+        }
+        None if args.trace.is_some() => hetsim_trace::session::start(trace_config(args)),
+        None => {}
     }
     let report = exp.base_run(&w, TransferMode::UvmPrefetchAsync);
     let pipeline = InterJobPipeline::homogeneous(JobStages::from_report(&report), args.jobs);
-    if let Some(path) = args.trace.as_deref() {
+    if args.trace.is_some() || args.trace_stream.is_some() {
         // Append the pipelined batch schedule after the measured job, so
         // the export shows both the single run and the Fig 14 overlap.
         let (_, piped) = pipeline.traces();
@@ -617,7 +754,12 @@ fn cmd_interjob(args: &Args) -> Result<(), String> {
         });
         let trace =
             hetsim_trace::session::finish().ok_or("trace session vanished before export")?;
-        write_trace(&trace, path)?;
+        if let Some(path) = args.trace.as_deref() {
+            write_trace(&trace, path)?;
+        }
+        if let Some(path) = args.trace_stream.as_deref() {
+            report_stream(&trace, args, path)?;
+        }
     }
     println!(
         "Fig 14: inter-job pipeline, {name} @ {} x {} jobs",

@@ -13,7 +13,7 @@
 use hetsim_counters::report::Table;
 use hetsim_engine::time::Nanos;
 use hetsim_runtime::{RunReport, Timeline};
-use hetsim_trace::{Category, Trace, TraceBuilder, TraceConfig};
+use hetsim_trace::{Category, Dim, Trace, TraceBuilder, TraceConfig};
 
 /// One job's stage costs in the batch pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +110,7 @@ impl InterJobPipeline {
         let gpu = serial.track("gpu");
         let mut clock = 0u64;
         for (i, j) in self.jobs.iter().enumerate() {
+            serial.set_label(Dim::Job, &i.to_string());
             serial.span_at(
                 cpu,
                 Category::Alloc,
@@ -137,6 +138,7 @@ impl InterJobPipeline {
         let mut cpu_free = 0u64; // when the host is next available
         let mut gpu_free = 0u64; // when the device is next available
         for (i, j) in self.jobs.iter().enumerate() {
+            piped.set_label(Dim::Job, &i.to_string());
             piped.span_at(
                 cpu,
                 Category::Alloc,

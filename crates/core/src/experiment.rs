@@ -15,7 +15,7 @@ use hetsim_runtime::{
     ChaosRunReport, Device, FaultPlan, GpuProgram, RecoveryPolicy, RunReport, Runner, SimError,
     TransferMode,
 };
-use hetsim_trace::{HostProfiler, Trace, TraceBuilder, TraceConfig};
+use hetsim_trace::{Dim, HostProfiler, Trace, TraceBuilder, TraceConfig, TraceSink};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -182,6 +182,34 @@ impl Experiment {
     /// in via [`TraceConfig::with_self_profile`].
     pub fn traced_run(&self, program: &dyn GpuProgram, mode: TransferMode) -> (RunReport, Trace) {
         hetsim_trace::session::start(self.trace);
+        self.finish_traced_run(program, mode)
+    }
+
+    /// Like [`Experiment::traced_run`], but attaches `sink` to the
+    /// session so completed events drain to it *during* the run: memory
+    /// stays bounded by the configured capacity and nothing is dropped
+    /// even when the recording outgrows the ring many times over.
+    pub fn traced_run_streaming(
+        &self,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+        sink: Box<dyn TraceSink>,
+    ) -> (RunReport, Trace) {
+        hetsim_trace::session::start_streaming(self.trace, sink);
+        self.finish_traced_run(program, mode)
+    }
+
+    fn finish_traced_run(
+        &self,
+        program: &dyn GpuProgram,
+        mode: TransferMode,
+    ) -> (RunReport, Trace) {
+        if let Some(job) = pool::current_task() {
+            // Label every event of this run with its grid slot. The index
+            // comes from the work item, never the worker thread, so the
+            // labels are identical at every thread count.
+            hetsim_trace::session::with(|b| b.set_label(Dim::Job, &job.to_string()));
+        }
         let profiler = HostProfiler::new();
         let report = profiler.phase("simulate", || self.runner.run_base(program, mode));
         let trace = hetsim_trace::session::finish().expect("trace session active");
@@ -199,10 +227,33 @@ impl Experiment {
     /// is identical at every thread count, so the exported trace is
     /// byte-identical whether the modes ran serially or in parallel.
     pub fn traced_modes(&self, program: &dyn GpuProgram) -> ([RunReport; 5], Trace) {
+        self.traced_modes_into(program, TraceBuilder::new(self.trace))
+    }
+
+    /// Like [`Experiment::traced_modes`], but drains the merged recording
+    /// through `sink` as the per-mode traces fold in, so the whole
+    /// five-mode picture never has to fit in the merge buffer at once.
+    ///
+    /// The per-mode runs still record into their own (bounded) sessions;
+    /// only the *merge* streams. Merging happens in mode order after the
+    /// join at every thread count, so the streamed bytes are identical
+    /// whether the modes ran serially or across [`pool`] workers.
+    pub fn traced_modes_streaming(
+        &self,
+        program: &dyn GpuProgram,
+        sink: Box<dyn TraceSink>,
+    ) -> ([RunReport; 5], Trace) {
+        self.traced_modes_into(program, TraceBuilder::new(self.trace).with_sink(sink))
+    }
+
+    fn traced_modes_into(
+        &self,
+        program: &dyn GpuProgram,
+        mut merged: TraceBuilder,
+    ) -> ([RunReport; 5], Trace) {
         let runs: Vec<(RunReport, Trace)> = pool::run(TransferMode::ALL.len(), |i| {
             self.traced_run(program, TransferMode::ALL[i])
         });
-        let mut merged = TraceBuilder::new(self.trace);
         let mut reports = Vec::with_capacity(runs.len());
         for (report, trace) in runs {
             let at = merged.now();

@@ -44,6 +44,33 @@ thread_local! {
     /// nested `run`s then degrade to serial instead of spawning `T²`
     /// threads.
     static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// The index of the job the current thread is executing, if any. Set
+    /// identically on the serial and parallel paths so anything derived
+    /// from it (trace labels) cannot depend on the thread count.
+    static CURRENT_TASK: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The index of the [`run`] job executing on the current thread, or
+/// `None` outside a job. Instrumentation uses this to label events with
+/// the job slot; it is maintained on the serial fallback path too, so the
+/// label is a function of the work item, never of the scheduling.
+pub fn current_task() -> Option<usize> {
+    CURRENT_TASK.with(std::cell::Cell::get)
+}
+
+/// Runs one job closure with [`current_task`] set to `i`, restoring the
+/// previous value afterwards (nested grids see their own index).
+fn with_task<T>(i: usize, f: impl FnOnce(usize) -> T) -> T {
+    let prev = CURRENT_TASK.with(|c| c.replace(Some(i)));
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_TASK.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f(i)
 }
 
 /// Sets (or with `None`, clears) the process-wide thread-count override.
@@ -97,7 +124,7 @@ where
 {
     let threads = configured_threads().min(n.max(1));
     if threads <= 1 || n < 2 || IN_POOL.with(|c| c.get()) {
-        return (0..n).map(f).collect();
+        return (0..n).map(|i| with_task(i, &f)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -112,7 +139,7 @@ where
                         if i >= n {
                             break;
                         }
-                        mine.push((i, f(i)));
+                        mine.push((i, with_task(i, &f)));
                     }
                     IN_POOL.with(|c| c.set(false));
                     mine
@@ -210,6 +237,18 @@ mod tests {
             .map(|i| (0..4).map(|j| i * 10 + j).collect())
             .collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn current_task_tracks_job_index_on_both_paths() {
+        assert_eq!(current_task(), None);
+        let serial = with_threads(1, || run(5, |i| (i, current_task())));
+        let parallel = with_threads(4, || run(5, |i| (i, current_task())));
+        for (i, task) in &serial {
+            assert_eq!(*task, Some(*i), "serial path sets the task index");
+        }
+        assert_eq!(serial, parallel, "thread count cannot leak into labels");
+        assert_eq!(current_task(), None, "cleared after the grid");
     }
 
     #[test]

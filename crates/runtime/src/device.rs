@@ -11,6 +11,10 @@ use hetsim_uvm::space::UvmConfig;
 /// default), plus the runtime-level calibration knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Device {
+    /// Short identifier of the device configuration, used as the `device`
+    /// label dimension on traced events (`"a100_epyc"` for the paper's
+    /// Table 1 machine).
+    pub name: &'static str,
     /// GPU configuration.
     pub gpu: GpuConfig,
     /// Host memory system.
@@ -50,6 +54,7 @@ impl Device {
     /// The paper's evaluation platform: A100 + EPYC 7742 + PCIe 4.0.
     pub fn a100_epyc() -> Self {
         Device {
+            name: "a100_epyc",
             gpu: GpuConfig::a100(),
             host: HostMemory::new(HostConfig::epyc7742()),
             link: CpuGpuLink::pcie4_a100(),

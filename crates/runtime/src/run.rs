@@ -12,10 +12,35 @@ use hetsim_engine::time::Nanos;
 use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
 use hetsim_mem::addr::Addr;
 use hetsim_mem::link::LinkPath;
-use hetsim_trace::Category;
+use hetsim_trace::{Category, Dim};
 use hetsim_uvm::prefetch::PrefetchModel;
 use hetsim_uvm::space::UvmSpace;
 use std::borrow::Cow;
+
+/// Sets one ambient label dimension on the active trace session: every
+/// event recorded from here on carries it. No-op when tracing is off.
+fn set_label(dim: Dim, value: &str) {
+    hetsim_trace::session::with(|b| b.set_label(dim, value));
+}
+
+/// Saves the active session's label context on construction and restores
+/// it on drop, so labels set inside a scope (device, mode, stream) cannot
+/// leak past it — including through `?` early returns.
+struct LabelScope(Option<hetsim_trace::LabelSet>);
+
+impl LabelScope {
+    fn new() -> Self {
+        LabelScope(hetsim_trace::session::with(|b| b.label_context()))
+    }
+}
+
+impl Drop for LabelScope {
+    fn drop(&mut self) {
+        if let Some(saved) = self.0 {
+            hetsim_trace::session::with(|b| b.set_label_context(saved));
+        }
+    }
+}
 
 /// Emits one runtime phase span on the `runtime` track of the active trace
 /// session and advances trace time by its duration. No-op when tracing is
@@ -226,6 +251,10 @@ impl Runner {
             if thrashing {
                 if let Some(next) = attempt_mode.degraded() {
                     let cost = report.total();
+                    // The abandonment marker belongs to the mode being
+                    // abandoned, not to the caller's ambient context.
+                    let _labels = LabelScope::new();
+                    set_label(Dim::Mode, attempt_mode.name());
                     ctx.record_abandoned(attempt_mode.name(), next.name(), cost);
                     total.absorb(ctx.finish());
                     abandoned += cost;
@@ -259,6 +288,13 @@ impl Runner {
         ctx: &mut ChaosCtx,
     ) -> Result<RunReport, SimError> {
         let dev = &self.device;
+        // Every event this attempt records carries the device and mode as
+        // label dimensions, so multi-mode traces slice per mode without
+        // span-name parsing. The scope guard restores the caller's
+        // context on every exit path.
+        let _labels = LabelScope::new();
+        set_label(Dim::Device, dev.name);
+        set_label(Dim::Mode, mode.name());
         let buffers = program.buffers();
         let kernels = program.kernels();
         if kernels.is_empty() {
@@ -376,9 +412,14 @@ impl Runner {
         ctx: &mut ChaosCtx,
     ) -> Result<(Nanos, Nanos), SimError> {
         let dev = &self.device;
+        // Copies and kernels are labeled with the engine lane they'd
+        // occupy on real hardware (`h2d` / `d2h` copy engines, `compute`),
+        // restored to the caller's context by the scope guard.
+        let _labels = LabelScope::new();
         let mut memcpy = Nanos::ZERO;
         for b in buffers {
             if b.role.is_input() {
+                set_label(Dim::Stream, "h2d");
                 let t = dev.link.record_transfer(LinkPath::PageableCopy, b.bytes);
                 counters.transfer.record_h2d_copy(b.bytes, t);
                 trace_phase(Category::Memcpy, format!("memcpy_h2d({})", b.name), t);
@@ -391,6 +432,7 @@ impl Runner {
                 );
             }
             if b.role.is_output() {
+                set_label(Dim::Stream, "d2h");
                 let t = dev.link.record_transfer(LinkPath::PageableCopy, b.bytes);
                 counters.transfer.record_d2h_copy(b.bytes, t);
                 trace_phase(Category::Memcpy, format!("memcpy_d2h({})", b.name), t);
@@ -406,6 +448,7 @@ impl Runner {
 
         let mut kernel = Nanos::ZERO;
         let env = ExecEnv::standard();
+        set_label(Dim::Stream, "compute");
         for k in kernels {
             let style = mode.kernel_style(k.standard_style());
             let r = self.executor.execute(*k, style, &env);
@@ -434,6 +477,10 @@ impl Runner {
         ctx: &mut ChaosCtx,
     ) -> Result<(Nanos, Nanos), SimError> {
         let dev = &self.device;
+        // Same lane labeling as the explicit path: migration and prefetch
+        // traffic rides the `h2d` lane, writebacks and evictions `d2h`,
+        // kernels and their fault stalls `compute`.
+        let _labels = LabelScope::new();
         let mut space = UvmSpace::new(dev.uvm);
         // Lay buffers out at chunk-aligned, non-overlapping bases.
         let bases: Vec<Addr> = (0..buffers.len())
@@ -492,6 +539,7 @@ impl Runner {
 
         // Explicit prefetch of every input buffer before the kernels.
         if mode.uses_prefetch() {
+            set_label(Dim::Stream, "h2d");
             for (b, &base) in buffers.iter().zip(&bases) {
                 if b.role.is_input() {
                     let t = space.prefetch_range(base, b.bytes, coverage, &dev.link);
@@ -517,6 +565,7 @@ impl Runner {
             // repeats as the kernels alternate.
             let mut conflict_refault = hetsim_uvm::fault::FaultReport::default();
             if ki > 0 && mode.uses_prefetch() && program.prefetch_conflict() < 1.0 {
+                set_label(Dim::Stream, "h2d");
                 let displaced_fraction = 1.0 - program.prefetch_conflict();
                 let rounds = k.invocations().clamp(1, 4);
                 for _ in 0..rounds {
@@ -534,6 +583,7 @@ impl Runner {
                 }
             }
 
+            set_label(Dim::Stream, "compute");
             let style = mode.kernel_style(k.standard_style());
             let r = self.executor.execute(*k, style, &env);
             let inv = k.invocations().max(1);
@@ -551,6 +601,7 @@ impl Runner {
             // resident: through the kernel's temporal touch sequence when
             // the program models one (irregular workloads), else through
             // the address-ordered range walk.
+            set_label(Dim::Stream, "h2d");
             let mut stall = conflict_refault.stall;
             trace_phase(
                 Category::Memcpy,
@@ -605,6 +656,7 @@ impl Runner {
             // The part of fault servicing the SMs cannot hide shows up as
             // kernel-time inflation; trace it as its own kernel-category
             // span so the stall cost is separable in the viewer.
+            set_label(Dim::Stream, "compute");
             let exposed = stall.scale(1.0 / dev.fault_stall_overlap);
             trace_phase(Category::Kernel, "fault_stall", exposed);
             kernel += exposed;
@@ -629,12 +681,15 @@ impl Runner {
                         .transfer_time(LinkPath::DemandMigration, refaults * chunk);
                     ctx.record_storm(storm_stall, storm_transfer);
                     trace_phase(Category::Kernel, "chaos_storm_stall", storm_stall);
+                    set_label(Dim::Stream, "h2d");
                     trace_phase(Category::Memcpy, "chaos_storm_migration", storm_transfer);
+                    set_label(Dim::Stream, "compute");
                 }
             }
         }
 
         // Results flow back: write back dirty output chunks.
+        set_label(Dim::Stream, "d2h");
         for (b, &base) in buffers.iter().zip(&bases) {
             if b.role.is_output() {
                 let path = if mode.uses_prefetch() {

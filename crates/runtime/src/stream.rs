@@ -15,7 +15,7 @@
 
 use hetsim_chaos::SimError;
 use hetsim_engine::time::{Nanos, SimTime};
-use hetsim_trace::{Category, EventKind, Trace, TraceBuilder, TraceConfig};
+use hetsim_trace::{Category, Dim, EventKind, Trace, TraceBuilder, TraceConfig};
 use std::fmt;
 
 /// Identifier of a stream within one [`StreamSchedule`].
@@ -364,6 +364,7 @@ impl StreamSchedule {
                     stream_free.insert(*stream, end);
                     engine_free.insert(*engine, end);
                     let track = b.track(engine.name());
+                    b.set_label(Dim::Stream, &stream.0.to_string());
                     b.span_with(
                         track,
                         Category::Stream,
@@ -506,6 +507,7 @@ impl StreamSchedule {
                         stream_free.insert(*stream, end);
                         engine_free.insert(*engine, end);
                         let track = b.track(engine.name());
+                        b.set_label(Dim::Stream, &stream.0.to_string());
                         b.span_with(
                             track,
                             Category::Stream,

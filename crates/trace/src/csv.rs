@@ -1,17 +1,23 @@
 //! Plain-text CSV exporter for spreadsheet-side analysis.
 //!
-//! One row per event: `ts_ns,dur_ns,track,category,name,value`. Spans put
-//! their duration in `dur_ns`, counters their sample in `value`; instants
-//! leave both blank-equivalent (zero / empty). Fields containing commas or
-//! quotes are quoted per RFC 4180.
+//! One row per event: `ts_ns,dur_ns,track,category,name,value,labels`.
+//! Spans put their duration in `dur_ns`, counters their sample in
+//! `value`; instants leave both blank-equivalent (zero / empty). The
+//! `labels` column renders the event's label dimensions as
+//! `dim=value;dim=value` pairs in [`Dim::ALL`] order. Fields containing
+//! commas or quotes are quoted per RFC 4180. When events were lost to
+//! ring-buffer overwrite, a trailing `# dropped,N` comment row embeds the
+//! drop count so truncation is visible in the artifact itself.
+//!
+//! [`Dim::ALL`]: crate::Dim::ALL
 
-use crate::event::EventKind;
+use crate::event::{EventKind, TraceEvent};
 use crate::trace::Trace;
 use std::fmt::Write as _;
 
 /// Renders `trace` as CSV with a header row.
 pub fn to_csv(trace: &Trace) -> String {
-    let mut out = String::from("ts_ns,dur_ns,track,category,name,value\n");
+    let mut out = String::from("ts_ns,dur_ns,track,category,name,value,labels\n");
     for ev in trace.events() {
         let track = trace.track_name(ev.track);
         let (dur, value) = match ev.kind {
@@ -21,14 +27,31 @@ pub fn to_csv(trace: &Trace) -> String {
         };
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{}",
             ev.ts,
             dur,
             field(track),
             ev.cat.name(),
             field(&ev.name),
-            value
+            value,
+            field(&labels_field(trace, ev))
         );
+    }
+    if trace.dropped() > 0 {
+        let _ = writeln!(out, "# dropped,{}", trace.dropped());
+    }
+    out
+}
+
+fn labels_field(trace: &Trace, ev: &TraceEvent) -> String {
+    let mut out = String::new();
+    for (dim, value) in trace.labels(ev) {
+        if !out.is_empty() {
+            out.push(';');
+        }
+        out.push_str(dim.key());
+        out.push('=');
+        out.push_str(value);
     }
     out
 }
@@ -44,7 +67,7 @@ fn field(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Category, TraceBuilder, TraceConfig};
+    use crate::{Category, Dim, TraceBuilder, TraceConfig};
 
     #[test]
     fn rows_cover_all_kinds() {
@@ -55,10 +78,36 @@ mod tests {
         b.counter_at("faults", 20, 2.0);
         let csv = b.finish().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "ts_ns,dur_ns,track,category,name,value");
-        assert_eq!(lines[1], "0,400,host,memcpy,h2d,");
-        assert_eq!(lines[2], "10,,host,mem,spill,");
-        assert_eq!(lines[3], "20,,metrics,counter,faults,2");
+        assert_eq!(lines[0], "ts_ns,dur_ns,track,category,name,value,labels");
+        assert_eq!(lines[1], "0,400,host,memcpy,h2d,,");
+        assert_eq!(lines[2], "10,,host,mem,spill,,");
+        assert_eq!(lines[3], "20,,metrics,counter,faults,2,");
+        assert_eq!(lines.len(), 4, "no drop footer when nothing dropped");
+    }
+
+    #[test]
+    fn labels_render_in_dim_order() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let t = b.track("runtime");
+        b.set_label(Dim::Mode, "uvm");
+        b.set_label(Dim::Stream, "h2d");
+        b.span_at(t, Category::Memcpy, "h2d", 0, 5);
+        let csv = b.finish().to_csv();
+        assert!(
+            csv.contains("0,5,runtime,memcpy,h2d,,stream=h2d;mode=uvm\n"),
+            "{csv}"
+        );
+    }
+
+    #[test]
+    fn drop_count_embedded_as_footer() {
+        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(2));
+        let t = b.track("x");
+        for i in 0..5u64 {
+            b.span_at(t, Category::Kernel, "k", i, 1);
+        }
+        let csv = b.finish().to_csv();
+        assert!(csv.ends_with("# dropped,3\n"), "{csv}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The structured event model: categories, kinds, and the event record.
 
+use crate::label::LabelSet;
 use std::borrow::Cow;
 use std::fmt;
 
@@ -104,6 +105,12 @@ pub struct TraceEvent {
     /// One optional named numeric argument (bytes moved, pages faulted,
     /// stream id …), carried into the Chrome `args` object.
     pub arg: Option<(&'static str, f64)>,
+    /// Interned label dimensions stamped from the recorder's ambient
+    /// context at record time (symbol indices into the owning recording's
+    /// table — resolve through [`Trace::label`]).
+    ///
+    /// [`Trace::label`]: crate::Trace::label
+    pub labels: LabelSet,
 }
 
 impl TraceEvent {
@@ -147,6 +154,7 @@ mod tests {
             ts: 10,
             kind: EventKind::Span { dur: 5 },
             arg: None,
+            labels: LabelSet::EMPTY,
         };
         assert_eq!(e.dur(), 5);
         assert_eq!(e.end(), 15);

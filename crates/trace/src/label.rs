@@ -1,0 +1,140 @@
+//! Labeled metric dimensions: a small, fixed vocabulary of dimensions
+//! ([`Dim`]) and an interned per-event label set ([`LabelSet`]).
+//!
+//! Fleet-scale questions are sliced — per device, per stream, per SM, per
+//! job, per transfer mode — so every event can carry one value per
+//! dimension, attached at record time from the recorder's ambient label
+//! context ([`TraceBuilder::set_label`]). Values are interned once per
+//! recording into a string table; an event stores only five `u16` slots,
+//! so labeling adds no allocation on the record path.
+//!
+//! [`TraceBuilder::set_label`]: crate::TraceBuilder::set_label
+
+/// A label dimension. The vocabulary is closed on purpose: a fixed set of
+/// dimensions keeps [`LabelSet`] `Copy` and keeps every exporter column
+/// stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dim {
+    /// The simulated device configuration (`"a100_epyc"`, …).
+    Device,
+    /// The stream / engine lane the work was issued on (`"h2d"`, `"d2h"`,
+    /// `"compute"`, or a numeric stream id from a stream schedule).
+    Stream,
+    /// The streaming multiprocessor a sampled block executed on.
+    Sm,
+    /// The job index within a batch (pool task or inter-job pipeline slot).
+    Job,
+    /// The transfer mode of the surrounding run (`"uvm"`, `"async"`, …).
+    Mode,
+}
+
+impl Dim {
+    /// Every dimension, in the canonical export-column order.
+    pub const ALL: [Dim; 5] = [Dim::Device, Dim::Stream, Dim::Sm, Dim::Job, Dim::Mode];
+
+    /// The stable lowercase key used in exports (`"device"`, `"mode"` …).
+    pub fn key(self) -> &'static str {
+        match self {
+            Dim::Device => "device",
+            Dim::Stream => "stream",
+            Dim::Sm => "sm",
+            Dim::Job => "job",
+            Dim::Mode => "mode",
+        }
+    }
+
+    /// The position of this dimension in [`Dim::ALL`].
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl std::fmt::Display for Dim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One value slot per [`Dim`], each an index into the owning recording's
+/// symbol table (see [`Trace::symbols`]). `0` means "unset"; `n` means
+/// symbol `n - 1`. The set is `Copy` and eight bytes padded, so stamping
+/// it onto every event is free compared to the event's name allocation.
+///
+/// [`Trace::symbols`]: crate::Trace::symbols
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LabelSet([u16; 5]);
+
+impl LabelSet {
+    /// The set with every dimension unset.
+    pub const EMPTY: LabelSet = LabelSet([0; 5]);
+
+    /// Whether every dimension is unset.
+    pub fn is_empty(&self) -> bool {
+        self.0 == [0; 5]
+    }
+
+    /// The symbol index bound to `dim`, if set.
+    pub fn get(&self, dim: Dim) -> Option<u16> {
+        match self.0[dim.index()] {
+            0 => None,
+            n => Some(n - 1),
+        }
+    }
+
+    /// Binds `dim` to symbol index `symbol`.
+    pub(crate) fn set(&mut self, dim: Dim, symbol: u16) {
+        self.0[dim.index()] = symbol
+            .checked_add(1)
+            .expect("label symbol table overflowed u16");
+    }
+
+    /// Unsets `dim`.
+    pub(crate) fn clear(&mut self, dim: Dim) {
+        self.0[dim.index()] = 0;
+    }
+
+    /// `(dim, symbol)` pairs for every set dimension, in [`Dim::ALL`]
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (Dim, u16)> + '_ {
+        Dim::ALL
+            .into_iter()
+            .filter_map(|d| self.get(d).map(|s| (d, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_values() {
+        let s = LabelSet::EMPTY;
+        assert!(s.is_empty());
+        for d in Dim::ALL {
+            assert_eq!(s.get(d), None);
+        }
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut s = LabelSet::EMPTY;
+        s.set(Dim::Mode, 3);
+        s.set(Dim::Stream, 0);
+        assert!(!s.is_empty());
+        assert_eq!(s.get(Dim::Mode), Some(3));
+        assert_eq!(s.get(Dim::Stream), Some(0));
+        assert_eq!(s.get(Dim::Device), None);
+        let pairs: Vec<_> = s.iter().collect();
+        assert_eq!(pairs, vec![(Dim::Stream, 0), (Dim::Mode, 3)], "ALL order");
+        s.clear(Dim::Mode);
+        assert_eq!(s.get(Dim::Mode), None);
+    }
+
+    #[test]
+    fn dim_keys_are_stable() {
+        let keys: Vec<_> = Dim::ALL.iter().map(|d| d.key()).collect();
+        assert_eq!(keys, vec!["device", "stream", "sm", "job", "mode"]);
+        assert_eq!(Dim::Mode.to_string(), "mode");
+    }
+}

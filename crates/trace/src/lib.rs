@@ -58,15 +58,20 @@ pub mod chrome;
 pub mod config;
 pub mod csv;
 pub mod event;
+pub mod label;
 pub mod metrics;
 pub mod recorder;
 pub mod selfprof;
 pub mod session;
+pub mod sink;
 pub mod trace;
 
+pub use chrome::ChromeSink;
 pub use config::TraceConfig;
 pub use event::{Category, EventKind, TraceEvent, TrackId};
+pub use label::{Dim, LabelSet};
 pub use metrics::MetricsRegistry;
 pub use recorder::TraceBuilder;
 pub use selfprof::HostProfiler;
-pub use trace::Trace;
+pub use sink::{JsonlSink, SharedBuffer, StreamSummary, TraceSink};
+pub use trace::{Trace, Track};

@@ -1,10 +1,15 @@
-//! [`TraceBuilder`] — the bounded-ring-buffer event recorder.
+//! [`TraceBuilder`] — the bounded-ring-buffer event recorder, optionally
+//! draining into a streaming [`TraceSink`].
 
 use crate::config::TraceConfig;
 use crate::event::{Category, EventKind, TraceEvent, TrackId};
+use crate::label::{Dim, LabelSet};
+use crate::selfprof;
+use crate::sink::{StreamSummary, TraceSink};
 use crate::trace::{Trace, Track};
 use std::borrow::Cow;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Records events into a bounded ring buffer.
 ///
@@ -20,6 +25,22 @@ use std::collections::HashMap;
 ///   `max(track_cursor, now)`, so advancing the global cursor pulls every
 ///   detail lane forward to the new phase.
 ///
+/// # Buffering vs streaming
+///
+/// Without a sink, a full ring overwrites its oldest events (counted as
+/// [dropped](Trace::dropped)). With a sink attached
+/// ([`TraceBuilder::with_sink`]), a full ring instead **drains**: the
+/// buffered events are handed to the sink as one chunk and the buffer is
+/// cleared, so arbitrarily long runs stream with bounded memory and zero
+/// drops. [`TraceBuilder::flush`] forces a chunk boundary explicitly.
+///
+/// # Labels
+///
+/// The builder carries an ambient label context
+/// ([`TraceBuilder::set_label`]); every event recorded through the emit
+/// methods is stamped with it. Absorbed events keep the labels they were
+/// recorded with.
+///
 /// # Example
 ///
 /// ```
@@ -34,18 +55,38 @@ use std::collections::HashMap;
 /// assert_eq!((start, end), (0, 600));
 /// assert_eq!(b.now(), 600);
 /// ```
-#[derive(Debug, Clone)]
 pub struct TraceBuilder {
     config: TraceConfig,
     tracks: Vec<Track>,
     track_index: HashMap<String, TrackId>,
+    symbols: Vec<String>,
+    symbol_index: HashMap<String, u16>,
+    context: LabelSet,
     events: Vec<TraceEvent>,
     head: usize,
     dropped: u64,
+    streamed: u64,
     now: u64,
     cursors: Vec<u64>,
     counter_track: Option<TrackId>,
-    last_counter_ts: HashMap<String, u64>,
+    last_counter_ts: HashMap<(TrackId, String), u64>,
+    sink: Option<Box<dyn TraceSink>>,
+    sink_error: Option<String>,
+    export_origin: Instant,
+}
+
+impl std::fmt::Debug for TraceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuilder")
+            .field("config", &self.config)
+            .field("tracks", &self.tracks.len())
+            .field("events", &self.events.len())
+            .field("streamed", &self.streamed)
+            .field("dropped", &self.dropped)
+            .field("now", &self.now)
+            .field("sink", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TraceBuilder {
@@ -55,14 +96,51 @@ impl TraceBuilder {
             config,
             tracks: Vec::new(),
             track_index: HashMap::new(),
+            symbols: Vec::new(),
+            symbol_index: HashMap::new(),
+            context: LabelSet::EMPTY,
             events: Vec::new(),
             head: 0,
             dropped: 0,
+            streamed: 0,
             now: 0,
             cursors: Vec::new(),
             counter_track: None,
             last_counter_ts: HashMap::new(),
+            sink: None,
+            sink_error: None,
+            export_origin: Instant::now(),
         }
+    }
+
+    /// Attaches a streaming sink (builder style): completed events drain
+    /// to it at every chunk boundary instead of being overwritten when
+    /// the ring fills.
+    pub fn with_sink(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.attach_sink(sink);
+        self
+    }
+
+    /// Attaches a streaming sink, replacing any previous one.
+    pub fn attach_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether a sink is attached (and healthy — a write error detaches).
+    pub fn streaming(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The first sink write error, if the attached sink failed. After an
+    /// error the sink is detached and the recorder falls back to plain
+    /// ring buffering.
+    pub fn sink_error(&self) -> Option<&str> {
+        self.sink_error.as_deref()
+    }
+
+    /// Events already handed to the sink.
+    pub fn streamed(&self) -> u64 {
+        self.streamed
     }
 
     /// The configuration.
@@ -93,6 +171,50 @@ impl TraceBuilder {
         self.track_index.insert(name.to_string(), id);
         self.cursors.push(0);
         id
+    }
+
+    // ---- labels ----
+
+    /// Interns a label value into the symbol table.
+    fn intern_symbol(&mut self, value: &str) -> u16 {
+        if let Some(&sym) = self.symbol_index.get(value) {
+            return sym;
+        }
+        let sym = u16::try_from(self.symbols.len()).expect("too many label values");
+        self.symbols.push(value.to_string());
+        self.symbol_index.insert(value.to_string(), sym);
+        sym
+    }
+
+    /// Binds `dim` to `value` in the ambient label context: every event
+    /// recorded from now on is stamped with it, until the dimension is
+    /// cleared or the context is restored.
+    pub fn set_label(&mut self, dim: Dim, value: &str) {
+        let sym = self.intern_symbol(value);
+        self.context.set(dim, sym);
+    }
+
+    /// Unsets `dim` in the ambient label context.
+    pub fn clear_label(&mut self, dim: Dim) {
+        self.context.clear(dim);
+    }
+
+    /// The current ambient label context (save before scoped overrides).
+    pub fn label_context(&self) -> LabelSet {
+        self.context
+    }
+
+    /// Restores a context previously returned by
+    /// [`TraceBuilder::label_context`]. Symbol indices stay valid because
+    /// the symbol table only appends.
+    pub fn set_label_context(&mut self, context: LabelSet) {
+        self.context = context;
+    }
+
+    /// The interned label values, indexed by the symbols in each event's
+    /// [`LabelSet`].
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
     }
 
     // ---- cursors ----
@@ -145,6 +267,7 @@ impl TraceBuilder {
             ts: start,
             kind: EventKind::Span { dur },
             arg,
+            labels: self.context,
         });
     }
 
@@ -206,27 +329,23 @@ impl TraceBuilder {
             ts,
             kind: EventKind::Instant,
             arg,
+            labels: self.context,
         });
     }
 
-    /// Samples a named counter at the global cursor. Samples closer than
+    /// Samples a named counter at the global cursor, on the shared
+    /// `metrics` track. Samples closer than
     /// [`TraceConfig::counter_interval`] to the previous kept sample of
-    /// the same counter are dropped (the first sample is always kept).
+    /// the same counter *on the same track* are dropped (the first sample
+    /// is always kept).
     pub fn counter(&mut self, name: impl Into<Cow<'static, str>>, value: f64) {
         let ts = self.now;
         self.counter_at(name, ts, value);
     }
 
-    /// Samples a named counter at an explicit time.
+    /// Samples a named counter at an explicit time, on the shared
+    /// `metrics` track.
     pub fn counter_at(&mut self, name: impl Into<Cow<'static, str>>, ts: u64, value: f64) {
-        let name = name.into();
-        if let Some(interval) = self.config.counter_interval {
-            match self.last_counter_ts.get(name.as_ref()) {
-                Some(&last) if ts < last.saturating_add(interval) => return,
-                _ => {}
-            }
-            self.last_counter_ts.insert(name.to_string(), ts);
-        }
         let track = match self.counter_track {
             Some(t) => t,
             None => {
@@ -235,6 +354,37 @@ impl TraceBuilder {
                 t
             }
         };
+        self.counter_on_at(track, name, ts, value);
+    }
+
+    /// Samples a named counter on an explicit track at the global cursor.
+    /// Subsystems with their own lane (`uvm`, `gpu.blocks`, …) use this so
+    /// their counters render next to their spans.
+    pub fn counter_on(&mut self, track: TrackId, name: impl Into<Cow<'static, str>>, value: f64) {
+        let ts = self.now;
+        self.counter_on_at(track, name, ts, value);
+    }
+
+    /// Samples a named counter on an explicit track at an explicit time.
+    ///
+    /// Decimation is keyed on `(track, name)`: same-timestamp samples of
+    /// the same counter name on *different* tracks are independent and
+    /// never coalesced.
+    pub fn counter_on_at(
+        &mut self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        ts: u64,
+        value: f64,
+    ) {
+        let name = name.into();
+        if let Some(interval) = self.config.counter_interval {
+            match self.last_counter_ts.get(&(track, name.to_string())) {
+                Some(&last) if ts < last.saturating_add(interval) => return,
+                _ => {}
+            }
+            self.last_counter_ts.insert((track, name.to_string()), ts);
+        }
         self.push(TraceEvent {
             track,
             cat: Category::Counter,
@@ -242,6 +392,7 @@ impl TraceBuilder {
             ts,
             kind: EventKind::Counter { value },
             arg: None,
+            labels: self.context,
         });
     }
 
@@ -256,29 +407,48 @@ impl TraceBuilder {
     /// point on this recording's timeline. Host-track timestamps are kept
     /// as-is (wall clock has its own origin).
     ///
+    /// Absorbed events keep the labels they were recorded with (label
+    /// symbols are re-interned into this recording's table); the ambient
+    /// label context is *not* stamped over them.
+    ///
     /// The global cursor advances past the absorbed recording's own
     /// [`Trace::end_cursor`] (shifted by `offset`), so repeated
     /// `absorb_at(t, builder.now())` calls lay independent recordings out
     /// back to back — the merge step of parallel per-worker tracing.
     pub fn absorb_at(&mut self, other: &Trace, offset: u64) {
-        let map: Vec<TrackId> = other
+        let track_map: Vec<TrackId> = other
             .tracks()
             .iter()
             .map(|t| self.intern(&t.name, t.host))
             .collect();
+        let symbol_map: Vec<u16> = other
+            .symbols()
+            .iter()
+            .map(|s| self.intern_symbol(s))
+            .collect();
         for ev in other.events() {
             let src = ev.track.0 as usize;
             let mut ev = ev.clone();
-            ev.track = map[src];
+            ev.track = track_map[src];
             if !other.tracks()[src].host {
                 ev.ts += offset;
             }
+            let mut labels = LabelSet::EMPTY;
+            for (dim, sym) in ev.labels.iter() {
+                labels.set(dim, symbol_map[sym as usize]);
+            }
+            ev.labels = labels;
             self.push(ev);
         }
         self.now = self.now.max(offset + other.end_cursor());
     }
 
     fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.config.capacity {
+            // Streaming replaces dropping: hand the full buffer to the
+            // sink as one chunk, then append into the cleared buffer.
+            self.drain_to_sink();
+        }
         if self.events.len() < self.config.capacity {
             self.events.push(ev);
         } else {
@@ -288,29 +458,93 @@ impl TraceBuilder {
         }
     }
 
-    /// Number of buffered events.
+    /// Forces a chunk boundary: every buffered event is handed to the
+    /// attached sink now. A no-op without a sink (or after a sink error).
+    pub fn flush(&mut self) {
+        self.drain_to_sink();
+    }
+
+    fn drain_to_sink(&mut self) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        if self.events.is_empty() {
+            return;
+        }
+        let started = self.config.self_profile.then(Instant::now);
+        let chunk_len = self.events.len();
+        let result = sink.chunk(&self.tracks, &self.symbols, &self.events);
+        self.streamed += chunk_len as u64;
+        self.events.clear();
+        self.head = 0;
+        if let Err(e) = result {
+            if self.sink_error.is_none() {
+                self.sink_error = Some(e.to_string());
+            }
+            self.sink = None;
+            return;
+        }
+        if let Some(t0) = started {
+            selfprof::export_overhead_span(self, self.export_origin, t0, chunk_len);
+        }
+    }
+
+    /// Number of buffered (not yet drained) events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing is currently buffered.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }
 
     /// Finalizes the recording into an immutable [`Trace`], restoring
-    /// chronological append order if the ring wrapped.
+    /// chronological append order if the ring wrapped. With a sink
+    /// attached, the remaining buffered events are drained as the final
+    /// chunk and [`TraceSink::finish`] is called with the stream totals;
+    /// the returned trace then holds no events itself but reports them
+    /// via [`Trace::streamed`].
     pub fn finish(mut self) -> Trace {
         if self.head > 0 {
             self.events.rotate_left(self.head);
+            self.head = 0;
         }
-        Trace::new(self.tracks, self.events, self.dropped, self.now)
+        if self.sink.is_some() {
+            self.drain_to_sink();
+            // The drain above may have recorded one exporter-overhead
+            // span; flush it without measuring the flush itself.
+            self.config.self_profile = false;
+            self.drain_to_sink();
+            let summary = StreamSummary {
+                events: self.streamed,
+                dropped: self.dropped,
+                end_cursor: self.now,
+            };
+            if let Some(mut sink) = self.sink.take() {
+                if let Err(e) = sink.finish(&summary) {
+                    if self.sink_error.is_none() {
+                        self.sink_error = Some(e.to_string());
+                    }
+                }
+            }
+        }
+        Trace::new(
+            self.tracks,
+            self.symbols,
+            self.events,
+            self.dropped,
+            self.streamed,
+            self.now,
+            self.sink_error,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::{JsonlSink, SharedBuffer};
 
     #[test]
     fn tracks_are_interned_once() {
@@ -366,6 +600,42 @@ mod tests {
     }
 
     #[test]
+    fn sink_drains_instead_of_dropping() {
+        let buf = SharedBuffer::new();
+        let mut b = TraceBuilder::new(TraceConfig::default().with_capacity(3))
+            .with_sink(Box::new(JsonlSink::new(buf.clone())));
+        let t = b.track("x");
+        for i in 0..10u64 {
+            b.span_at(t, Category::Kernel, format!("s{i}"), i * 10, 1);
+        }
+        let trace = b.finish();
+        assert_eq!(trace.dropped(), 0, "streaming never drops");
+        assert_eq!(trace.streamed(), 10);
+        assert!(trace.is_empty(), "all events went to the sink");
+        let out = buf.into_string();
+        for i in 0..10u64 {
+            assert!(out.contains(&format!("\"name\":\"s{i}\"")), "s{i} in {out}");
+        }
+        assert!(
+            out.ends_with("{\"type\":\"summary\",\"events\":10,\"dropped\":0,\"end_cursor\":0}\n")
+        );
+    }
+
+    #[test]
+    fn explicit_flush_is_a_chunk_boundary() {
+        let buf = SharedBuffer::new();
+        let mut b = TraceBuilder::new(TraceConfig::default())
+            .with_sink(Box::new(JsonlSink::new(buf.clone())));
+        let t = b.track("x");
+        b.span_at(t, Category::Kernel, "early", 0, 1);
+        assert!(buf.contents().is_empty(), "nothing written before flush");
+        b.flush();
+        assert!(buf.into_string().contains("\"name\":\"early\""));
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.streamed(), 1);
+    }
+
+    #[test]
     fn counter_interval_decimates() {
         let mut b = TraceBuilder::new(TraceConfig::default().with_counter_interval(100));
         b.counter_at("faults", 0, 1.0);
@@ -376,6 +646,51 @@ mod tests {
         let faults = trace.counter_series("faults");
         assert_eq!(faults, vec![(0, 1.0), (100, 3.0)]);
         assert_eq!(trace.counter_series("other").len(), 1);
+    }
+
+    #[test]
+    fn counter_decimation_is_per_track() {
+        // The dedup key is (track, name): same-timestamp samples of the
+        // same counter name on different tracks must both survive.
+        let mut b = TraceBuilder::new(TraceConfig::default().with_counter_interval(100));
+        let uvm = b.track("uvm");
+        let gpu = b.track("gpu");
+        b.counter_on_at(uvm, "busy", 0, 1.0);
+        b.counter_on_at(gpu, "busy", 0, 2.0); // different track: kept
+        b.counter_on_at(uvm, "busy", 50, 3.0); // same track, too close: dropped
+        let trace = b.finish();
+        assert_eq!(trace.counter_series("busy"), vec![(0, 1.0), (0, 2.0)]);
+    }
+
+    #[test]
+    fn labels_stamp_ambient_context() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        let t = b.track("runtime");
+        b.set_label(Dim::Mode, "uvm");
+        b.span_at(t, Category::Kernel, "k", 0, 10);
+        b.counter("uvm.page_faults", 4.0);
+        b.clear_label(Dim::Mode);
+        b.span_at(t, Category::Kernel, "bare", 10, 10);
+        let trace = b.finish();
+        assert_eq!(trace.label(&trace.events()[0], Dim::Mode), Some("uvm"));
+        assert_eq!(trace.label(&trace.events()[1], Dim::Mode), Some("uvm"));
+        assert_eq!(trace.label(&trace.events()[2], Dim::Mode), None);
+    }
+
+    #[test]
+    fn label_context_save_restore() {
+        let mut b = TraceBuilder::new(TraceConfig::default());
+        b.set_label(Dim::Job, "3");
+        let saved = b.label_context();
+        b.set_label(Dim::Mode, "async");
+        b.set_label(Dim::Job, "4");
+        b.set_label_context(saved);
+        let t = b.track("x");
+        b.span_at(t, Category::Kernel, "k", 0, 1);
+        let trace = b.finish();
+        let ev = &trace.events()[0];
+        assert_eq!(trace.label(ev, Dim::Job), Some("3"));
+        assert_eq!(trace.label(ev, Dim::Mode), None);
     }
 
     #[test]
@@ -391,5 +706,26 @@ mod tests {
         let trace = outer.finish();
         let ev = &trace.events()[0];
         assert_eq!(trace.track_name(ev.track), "compute");
+    }
+
+    #[test]
+    fn absorb_reinterns_label_symbols() {
+        let mut inner = TraceBuilder::new(TraceConfig::default());
+        inner.set_label(Dim::Mode, "uvm");
+        let t = inner.track("runtime");
+        inner.span_at(t, Category::Kernel, "k", 0, 10);
+        let inner = inner.finish();
+
+        let mut outer = TraceBuilder::new(TraceConfig::default());
+        // Occupy symbol slots so the absorbed indices must be remapped.
+        outer.set_label(Dim::Device, "a100");
+        outer.set_label(Dim::Stream, "h2d");
+        outer.clear_label(Dim::Device);
+        outer.clear_label(Dim::Stream);
+        outer.absorb(&inner);
+        let trace = outer.finish();
+        let ev = &trace.events()[0];
+        assert_eq!(trace.label(ev, Dim::Mode), Some("uvm"));
+        assert_eq!(trace.label(ev, Dim::Device), None);
     }
 }

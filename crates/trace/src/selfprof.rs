@@ -12,8 +12,38 @@
 //! [`TraceConfig::self_profile`]: crate::TraceConfig::self_profile
 
 use crate::event::Category;
+use crate::recorder::TraceBuilder;
 use crate::session;
 use std::time::Instant;
+
+/// Records the wall-clock cost of one sink drain as a `host` span on the
+/// `host.trace_export` track, so streaming overhead is itself measured.
+/// Called by the recorder after a successful chunk write, only when
+/// [`TraceConfig::self_profile`](crate::TraceConfig::self_profile) is set
+/// (the span's wall-clock duration varies run to run, so the default
+/// keeps streamed output byte-reproducible).
+pub(crate) fn export_overhead_span(
+    b: &mut TraceBuilder,
+    origin: Instant,
+    started: Instant,
+    chunk_events: usize,
+) {
+    if b.len() >= b.config().capacity {
+        // Never let measuring a drain force another drain (or a drop).
+        return;
+    }
+    let ts = started.duration_since(origin).as_nanos() as u64;
+    let dur = started.elapsed().as_nanos() as u64;
+    let track = b.host_track("host.trace_export");
+    b.span_with(
+        track,
+        Category::Host,
+        "export_chunk",
+        ts,
+        dur,
+        Some(("events", chunk_events as f64)),
+    );
+}
 
 /// Measures host wall-clock phases and records them into the active
 /// thread-local session (when it was configured with `self_profile`).

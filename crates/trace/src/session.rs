@@ -26,6 +26,7 @@
 
 use crate::config::TraceConfig;
 use crate::recorder::TraceBuilder;
+use crate::sink::TraceSink;
 use crate::trace::Trace;
 use std::cell::{Cell, RefCell};
 
@@ -45,6 +46,17 @@ pub fn enabled() -> bool {
 /// session already active on this thread.
 pub fn start(config: TraceConfig) {
     BUILDER.with(|b| *b.borrow_mut() = Some(TraceBuilder::new(config)));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Starts a **streaming** session: like [`start`], but completed events
+/// drain into `sink` at every chunk boundary instead of overwriting the
+/// ring's oldest events when it fills. The returned trace from
+/// [`finish`] then reports its event count via
+/// [`Trace::streamed`](crate::Trace::streamed) and holds no events
+/// itself.
+pub fn start_streaming(config: TraceConfig, sink: Box<dyn TraceSink>) {
+    BUILDER.with(|b| *b.borrow_mut() = Some(TraceBuilder::new(config).with_sink(sink)));
     ENABLED.with(|e| e.set(true));
 }
 

@@ -1,6 +1,8 @@
 //! [`Trace`] — an immutable, finished recording.
 
 use crate::event::{Category, EventKind, TraceEvent, TrackId};
+use crate::label::Dim;
+use crate::sink::{JsonlSink, StreamSummary, TraceSink};
 
 /// A named lane within a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,29 +21,38 @@ pub struct Track {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     tracks: Vec<Track>,
+    symbols: Vec<String>,
     events: Vec<TraceEvent>,
     dropped: u64,
+    streamed: u64,
     end_cursor: u64,
+    stream_error: Option<String>,
 }
 
 impl Trace {
     pub(crate) fn new(
         tracks: Vec<Track>,
+        symbols: Vec<String>,
         events: Vec<TraceEvent>,
         dropped: u64,
+        streamed: u64,
         end_cursor: u64,
+        stream_error: Option<String>,
     ) -> Self {
         Trace {
             tracks,
+            symbols,
             events,
             dropped,
+            streamed,
             end_cursor,
+            stream_error,
         }
     }
 
     /// An empty trace.
     pub fn empty() -> Self {
-        Trace::new(Vec::new(), Vec::new(), 0, 0)
+        Trace::new(Vec::new(), Vec::new(), Vec::new(), 0, 0, 0, None)
     }
 
     /// The recorder's global sim-time cursor at
@@ -64,6 +75,30 @@ impl Trace {
         &self.tracks
     }
 
+    /// The interned label values; each event's
+    /// [`labels`](TraceEvent::labels) holds indices into this table.
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
+    }
+
+    /// Resolves one label dimension of an event to its string value.
+    pub fn label<'a>(&'a self, ev: &TraceEvent, dim: Dim) -> Option<&'a str> {
+        ev.labels
+            .get(dim)
+            .map(|sym| self.symbols[sym as usize].as_str())
+    }
+
+    /// `(dim, value)` pairs for every labeled dimension of an event, in
+    /// [`Dim::ALL`] order.
+    pub fn labels<'a>(&'a self, ev: &TraceEvent) -> impl Iterator<Item = (Dim, &'a str)> + 'a {
+        let labels = ev.labels;
+        Dim::ALL.into_iter().filter_map(move |d| {
+            labels
+                .get(d)
+                .map(|sym| (d, self.symbols[sym as usize].as_str()))
+        })
+    }
+
     /// The display name of a track.
     pub fn track_name(&self, id: TrackId) -> &str {
         &self.tracks[id.0 as usize].name
@@ -80,6 +115,24 @@ impl Trace {
     /// Events dropped because the ring buffer was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Events drained to an attached [`TraceSink`] before finish. A fully
+    /// streamed recording holds no events itself; its data lives in the
+    /// sink's output.
+    pub fn streamed(&self) -> u64 {
+        self.streamed
+    }
+
+    /// Total events recorded: streamed to a sink plus retained here.
+    pub fn total_events(&self) -> u64 {
+        self.streamed + self.events.len() as u64
+    }
+
+    /// The first sink write error, if streaming failed mid-run (the
+    /// recorder then fell back to plain ring buffering).
+    pub fn stream_error(&self) -> Option<&str> {
+        self.stream_error.as_deref()
     }
 
     /// Number of recorded events.
@@ -158,9 +211,33 @@ impl Trace {
         spans
     }
 
+    /// The end-of-stream totals a sink would receive for this trace: used
+    /// by the buffered exporters so a buffered export and a streamed one
+    /// of the same recording agree on their summary records.
+    pub(crate) fn stream_summary(&self) -> StreamSummary {
+        StreamSummary {
+            events: self.total_events(),
+            dropped: self.dropped,
+            end_cursor: self.end_cursor,
+        }
+    }
+
     /// Exports the trace as Chrome trace-event JSON — see [`crate::chrome`].
     pub fn to_chrome_json(&self) -> String {
         crate::chrome::to_chrome_json(self)
+    }
+
+    /// Exports the trace as JSONL, one self-describing object per line —
+    /// byte-identical to streaming the same recording through a
+    /// [`JsonlSink`], by construction: this *is* a single-chunk stream.
+    pub fn to_jsonl(&self) -> String {
+        let mut buf = Vec::with_capacity(64 + self.len() * 96);
+        let mut sink = JsonlSink::new(&mut buf);
+        sink.chunk(&self.tracks, &self.symbols, &self.events)
+            .expect("in-memory write cannot fail");
+        sink.finish(&self.stream_summary())
+            .expect("in-memory write cannot fail");
+        String::from_utf8(buf).expect("JSONL output is UTF-8")
     }
 
     /// Exports span events as CSV — see [`crate::csv`].
@@ -289,5 +366,13 @@ mod tests {
         assert!(text.contains("h2d"));
         assert!(text.contains("spill"));
         assert!(text.contains("faults = 4"));
+    }
+
+    #[test]
+    fn total_events_counts_streamed_and_retained() {
+        let t = sample();
+        assert_eq!(t.streamed(), 0);
+        assert_eq!(t.total_events(), t.len() as u64);
+        assert!(t.stream_error().is_none());
     }
 }

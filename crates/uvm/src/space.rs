@@ -136,7 +136,8 @@ impl UvmSpace {
                 t.as_nanos(),
                 Some(("chunks", moved as f64)),
             );
-            b.counter(
+            b.counter_on(
+                track,
                 "uvm.pages_prefetched",
                 self.counters.pages_prefetched() as f64,
             );
@@ -219,9 +220,13 @@ impl UvmSpace {
                     Some(("chunks", faulted as f64)),
                 );
             }
-            b.counter("uvm.page_faults", self.counters.page_faults() as f64);
-            b.counter("uvm.pages_migrated", self.counters.pages_migrated() as f64);
-            b.counter("uvm.resident_bytes", self.resident_bytes as f64);
+            b.counter_on(track, "uvm.page_faults", self.counters.page_faults() as f64);
+            b.counter_on(
+                track,
+                "uvm.pages_migrated",
+                self.counters.pages_migrated() as f64,
+            );
+            b.counter_on(track, "uvm.resident_bytes", self.resident_bytes as f64);
         });
         FaultReport {
             chunks: faulted,
@@ -345,10 +350,14 @@ impl UvmSpace {
                     Some(("chunks", migrated as f64)),
                 );
             }
-            b.counter("uvm.page_faults", self.counters.page_faults() as f64);
-            b.counter("uvm.pages_migrated", self.counters.pages_migrated() as f64);
-            b.counter("uvm.refaults", self.counters.refaults() as f64);
-            b.counter("uvm.resident_bytes", self.resident_bytes as f64);
+            b.counter_on(track, "uvm.page_faults", self.counters.page_faults() as f64);
+            b.counter_on(
+                track,
+                "uvm.pages_migrated",
+                self.counters.pages_migrated() as f64,
+            );
+            b.counter_on(track, "uvm.refaults", self.counters.refaults() as f64);
+            b.counter_on(track, "uvm.resident_bytes", self.resident_bytes as f64);
         });
         FaultReport {
             chunks: faulted,
@@ -440,7 +449,11 @@ impl UvmSpace {
                     "displace",
                     Some(("chunks", displaced as f64)),
                 );
-                b.counter("uvm.pages_evicted", self.counters.pages_evicted() as f64);
+                b.counter_on(
+                    track,
+                    "uvm.pages_evicted",
+                    self.counters.pages_evicted() as f64,
+                );
             });
         }
         displaced
@@ -497,7 +510,11 @@ impl UvmSpace {
                     "evict",
                     Some(("chunks", evicted as f64)),
                 );
-                b.counter("uvm.pages_evicted", self.counters.pages_evicted() as f64);
+                b.counter_on(
+                    track,
+                    "uvm.pages_evicted",
+                    self.counters.pages_evicted() as f64,
+                );
             });
         }
         self.table.make_resident(chunk);

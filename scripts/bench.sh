@@ -9,7 +9,9 @@
 #   * the Mega-size bfs fault path under plain uvm — the page table's
 #     O(1) register/touch/evict hot loop;
 #   * the chaos degradation sweep over the irregular trio — the fault
-#     injector's end-to-end cost on top of the plain grid.
+#     injector's end-to-end cost on top of the plain grid;
+#   * the streaming trace exporter — a five-mode sweep drained to JSONL
+#     during the merge, recorded as events/sec.
 #
 # Usage:
 #   scripts/bench.sh            # full sizes, writes BENCH_sweep.json
@@ -135,6 +137,23 @@ run_stage bfs_uvm_fault_path "$out/bfs.txt" \
 run_stage chaos_degradation_sweep "$out/chaos.txt" \
   "$CLI" chaos --size "$CHAOS_SIZE" --seeds 4 --rates 0,0.5,1 --threads 1
 
+# Streaming trace export: a five-mode sweep drained to JSONL during the
+# merge. The wall time covers simulation + export (the export is the
+# delta over an untraced run, which the grid stages above record); the
+# events/sec figure is the baseline for exporter-overhead regressions.
+TRACE_EVENTS=0
+TRACE_MS=1
+if run_stage trace_export_throughput "$out/tracestream.txt" \
+  "$CLI" run vector_seq --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1 \
+  --trace-stream "$out/stream.jsonl"; then
+  TRACE_EVENTS="$(grep -o 'streamed [0-9]* events' \
+    "$out/trace_export_throughput.err" | grep -o '[0-9]*' | head -1)"
+  TRACE_EVENTS="${TRACE_EVENTS:-0}"
+  TRACE_MS=$TIMED_MS
+fi
+TRACE_EPS="$(awk "BEGIN{ms=$TRACE_MS; if (ms <= 0) ms = 1; \
+  printf \"%.0f\", $TRACE_EVENTS * 1000 / ms}")"
+
 # The parallel stages can only beat serial when the host has cores to
 # spare; record the machine's parallelism so the baseline is
 # interpretable (on a 1-core CI container the --threads 4 numbers are
@@ -156,6 +175,11 @@ cat > "$RESULT" <<EOF
   "bfs_size": "$BFS_SIZE",
   "chaos_size": "$CHAOS_SIZE",
   "stage_timeout_s": $STAGE_TIMEOUT,
+  "trace_export": {
+    "events": $TRACE_EVENTS,
+    "wall_ms": $TRACE_MS,
+    "events_per_sec": $TRACE_EPS
+  },
   "stages": {
 $STAGE_RECORDS
   }

@@ -49,6 +49,31 @@ cmp "$out/t.json" "$out/t2.json"
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/t.json" 2>/dev/null \
   || echo "(python3 not available; skipping JSON validation)"
 
+echo "==> streaming determinism gate (stream vs buffer, threads 1 vs 4)"
+# A streamed export must be byte-identical to a buffered export of the
+# same deterministic run, in both wire formats, at any thread count —
+# the contract that makes --trace-stream a pure memory knob.
+HETSIM_THREADS=1 ./target/release/hetsim-cli run vector_seq --size small --runs 2 \
+  --trace "$out/buf.json" > /dev/null
+HETSIM_THREADS=1 ./target/release/hetsim-cli run vector_seq --size small --runs 2 \
+  --trace-stream "$out/stream_t1.json" --trace-format chrome > /dev/null
+HETSIM_THREADS=4 ./target/release/hetsim-cli run vector_seq --size small --runs 2 \
+  --trace-stream "$out/stream_t4.json" --trace-format chrome > /dev/null
+cmp "$out/buf.json" "$out/stream_t1.json" \
+  || { echo "FAIL: streamed chrome trace differs from buffered export"; exit 1; }
+cmp "$out/stream_t1.json" "$out/stream_t4.json" \
+  || { echo "FAIL: streamed chrome trace differs across thread counts"; exit 1; }
+HETSIM_THREADS=1 ./target/release/hetsim-cli run vector_seq --size small --runs 2 \
+  --trace "$out/buf.jsonl" > /dev/null
+HETSIM_THREADS=4 ./target/release/hetsim-cli run vector_seq --size small --runs 2 \
+  --trace-stream "$out/stream.jsonl" > /dev/null
+cmp "$out/buf.jsonl" "$out/stream.jsonl" \
+  || { echo "FAIL: streamed jsonl trace differs from buffered export"; exit 1; }
+grep -q '"type":"summary"' "$out/stream.jsonl" \
+  || { echo "FAIL: streamed jsonl lacks the summary record"; exit 1; }
+grep -q '"dropped":0' "$out/stream.jsonl" \
+  || { echo "FAIL: streamed jsonl reports dropped events"; exit 1; }
+
 echo "==> chaos determinism gate (fixed seed matrix, threads 1 vs 4)"
 # The same fixed-seed fault plan must produce byte-identical degradation
 # reports (table + JSON) and chaos traces at any worker-thread count —

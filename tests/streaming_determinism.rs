@@ -1,0 +1,214 @@
+//! Streaming observability gates: the chunked exporters must produce
+//! byte-identical output to the buffered ones, at every thread count and
+//! at every chunk boundary; a sink-attached recorder must never drop an
+//! event however small its ring; and the labeled metric dimensions must
+//! answer per-mode and per-stream queries from a real five-mode sweep.
+//!
+//! Byte identity is the contract that makes `--trace-stream` a pure
+//! memory knob: the buffered exporters *are* single-chunk streams through
+//! the same writers, so any divergence here means a writer peeked at a
+//! chunk boundary.
+
+use hetsim::experiment::Experiment;
+use hetsim::pool;
+use hetsim_trace::{ChromeSink, Dim, JsonlSink, MetricsRegistry, SharedBuffer, Trace, TraceConfig};
+use hetsim_workloads::{micro, InputSize};
+
+fn exp() -> Experiment {
+    Experiment::new().with_runs(2)
+}
+
+/// One five-mode traced sweep, buffered, at the given thread count.
+fn buffered_sweep(threads: usize) -> Trace {
+    pool::with_threads(threads, || {
+        let (_, trace) = exp().traced_modes(&micro::vector_seq(InputSize::Tiny));
+        trace
+    })
+}
+
+/// The same sweep streamed through a sink during the merge, returning
+/// `(finished_trace, streamed_bytes)`. The capacity applies to the
+/// per-mode sessions too, so it must stay above any single mode's event
+/// count (~40 at Tiny) while the five-mode merge (~170 events) overflows
+/// it and chunks mid-run.
+fn streamed_sweep(threads: usize, capacity: usize, chrome: bool) -> (Trace, String) {
+    pool::with_threads(threads, || {
+        let buf = SharedBuffer::new();
+        let sink: Box<dyn hetsim_trace::TraceSink> = if chrome {
+            Box::new(ChromeSink::new(buf.clone()))
+        } else {
+            Box::new(JsonlSink::new(buf.clone()))
+        };
+        let e = exp().with_trace(TraceConfig::default().with_capacity(capacity));
+        let (_, trace) = e.traced_modes_streaming(&micro::vector_seq(InputSize::Tiny), sink);
+        (trace, buf.into_string())
+    })
+}
+
+#[test]
+fn streamed_jsonl_is_byte_identical_to_buffered_export() {
+    let buffered = buffered_sweep(1).to_jsonl();
+    // A merge ring smaller than the sweep forces chunk boundaries mid-run.
+    let (trace, streamed) = streamed_sweep(1, 64, false);
+    assert_eq!(trace.dropped(), 0, "a sink-attached ring never drops");
+    assert_eq!(streamed, buffered, "chunking must not leak into the bytes");
+}
+
+#[test]
+fn streamed_chrome_is_byte_identical_to_buffered_export() {
+    let buffered = buffered_sweep(1).to_chrome_json();
+    let (trace, streamed) = streamed_sweep(1, 64, true);
+    assert_eq!(trace.dropped(), 0);
+    assert_eq!(streamed, buffered);
+}
+
+#[test]
+fn streamed_export_is_thread_count_invariant() {
+    // threads=1 vs threads=4, chunked vs buffered, one equality web:
+    // every corner must produce the same bytes.
+    let buffered_serial = buffered_sweep(1).to_chrome_json();
+    let buffered_parallel = buffered_sweep(4).to_chrome_json();
+    assert_eq!(buffered_serial, buffered_parallel);
+    let (_, streamed_serial) = streamed_sweep(1, 64, true);
+    let (_, streamed_parallel) = streamed_sweep(4, 64, true);
+    assert_eq!(streamed_serial, streamed_parallel);
+    assert_eq!(streamed_serial, buffered_serial);
+}
+
+#[test]
+fn ring_smaller_than_event_count_streams_without_drops() {
+    let full = buffered_sweep(1);
+    let events = full.total_events();
+    assert!(events > 64, "sweep must outgrow the ring for this gate");
+    let (trace, _) = streamed_sweep(1, 64, false);
+    assert_eq!(
+        trace.dropped(),
+        0,
+        "capacity < total event count, zero drops"
+    );
+    assert_eq!(trace.streamed(), events, "every event reached the sink");
+    assert!(trace.stream_error().is_none());
+}
+
+#[test]
+fn streamed_summary_agrees_with_buffered_trace() {
+    let buffered = buffered_sweep(1);
+    let (trace, streamed) = streamed_sweep(1, 64, false);
+    assert_eq!(trace.total_events(), buffered.total_events());
+    let summary = streamed.lines().last().expect("summary line");
+    assert!(summary.contains(&format!("\"events\":{}", buffered.total_events())));
+    assert!(summary.contains("\"dropped\":0"));
+}
+
+#[test]
+fn labeled_metrics_answer_per_mode_and_per_stream_queries() {
+    let trace = buffered_sweep(1);
+    let metrics = MetricsRegistry::from_trace(&trace);
+
+    // Per-mode: fault counters exist only under the UVM modes, and the
+    // uvm slice is non-empty while standard has no faults at all.
+    let modes = metrics.label_values("uvm.page_faults", Dim::Mode);
+    assert!(
+        modes.contains(&"uvm"),
+        "per-mode query must surface the uvm slice, got {modes:?}"
+    );
+    assert!(
+        !metrics
+            .series_where("uvm.page_faults", &[(Dim::Mode, "uvm")])
+            .is_empty(),
+        "uvm mode recorded page faults"
+    );
+    assert!(
+        metrics
+            .series_where("uvm.page_faults", &[(Dim::Mode, "standard")])
+            .is_empty(),
+        "standard mode takes no page faults"
+    );
+    let by_mode = metrics.group_by("uvm.page_faults", Dim::Mode);
+    assert!(by_mode.contains_key("uvm"));
+
+    // Per-stream: every traced event carries the stream label set by the
+    // runtime phases; the h2d slice must be distinct from d2h.
+    let mut streams: Vec<String> = Vec::new();
+    for ev in trace.events() {
+        if let Some(s) = trace.label(ev, Dim::Stream) {
+            if !streams.iter().any(|x| x == s) {
+                streams.push(s.to_string());
+            }
+        }
+    }
+    for expected in ["h2d", "d2h", "compute"] {
+        assert!(
+            streams.iter().any(|s| s == expected),
+            "stream label `{expected}` missing from sweep, got {streams:?}"
+        );
+    }
+}
+
+#[test]
+fn labeled_queries_are_thread_count_invariant() {
+    let (serial, parallel) = (
+        MetricsRegistry::from_trace(&buffered_sweep(1)).to_labeled_csv(),
+        MetricsRegistry::from_trace(&buffered_sweep(4)).to_labeled_csv(),
+    );
+    assert_eq!(serial, parallel, "labels are functions of the work item");
+}
+
+#[test]
+fn per_mode_slices_carry_the_job_dimension() {
+    // traced_modes fans the five modes over the pool; each per-mode run
+    // is job slot 0..5, stamped identically at any thread count.
+    let trace = buffered_sweep(4);
+    let mut jobs: Vec<String> = Vec::new();
+    for ev in trace.events() {
+        if let Some(j) = trace.label(ev, Dim::Job) {
+            if !jobs.iter().any(|x| x == j) {
+                jobs.push(j.to_string());
+            }
+        }
+    }
+    jobs.sort();
+    assert_eq!(jobs, vec!["0", "1", "2", "3", "4"]);
+}
+
+#[test]
+fn zero_event_run_streams_a_valid_empty_export() {
+    let buf = SharedBuffer::new();
+    let b = hetsim_trace::TraceBuilder::new(TraceConfig::default().with_capacity(4))
+        .with_sink(Box::new(JsonlSink::new(buf.clone())));
+    let trace = b.finish();
+    assert_eq!(trace.total_events(), 0);
+    assert_eq!(
+        buf.into_string(),
+        "{\"type\":\"summary\",\"events\":0,\"dropped\":0,\"end_cursor\":0}\n"
+    );
+}
+
+#[test]
+fn explicit_flush_boundary_does_not_change_the_bytes() {
+    let record = |flush_every: Option<usize>| {
+        let buf = SharedBuffer::new();
+        let mut b = hetsim_trace::TraceBuilder::new(TraceConfig::default())
+            .with_sink(Box::new(JsonlSink::new(buf.clone())));
+        let t = b.track("gpu");
+        for i in 0..10u64 {
+            b.span_at(
+                t,
+                hetsim_trace::Category::Kernel,
+                format!("k{i}"),
+                i * 10,
+                5,
+            );
+            if let Some(n) = flush_every {
+                if (i as usize + 1).is_multiple_of(n) {
+                    b.flush();
+                }
+            }
+        }
+        b.finish();
+        buf.into_string()
+    };
+    let unflushed = record(None);
+    assert_eq!(record(Some(1)), unflushed, "flush after every event");
+    assert_eq!(record(Some(3)), unflushed, "flush at an odd stride");
+}
