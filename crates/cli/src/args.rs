@@ -58,6 +58,19 @@ pub struct Args {
     pub seeds: u64,
     /// `--retries N`: overrides the chaos recovery retry/replay budgets.
     pub retries: Option<u32>,
+    /// `--policy NAME|all`: serving policy for `serve` (default: all).
+    pub policy: Option<String>,
+    /// `--mix poisson|bursty|diurnal`: arrival mix for `serve`
+    /// (default: poisson).
+    pub mix: Option<String>,
+    /// `--rate R`: base arrival rate in requests/second for `serve`
+    /// (default 100; finite and positive).
+    pub rate: Option<f64>,
+    /// `--gpus N`: fleet size for `serve` (default 4, nonzero).
+    pub gpus: usize,
+    /// `--requests N`: offered requests per serve cell (default 200,
+    /// nonzero).
+    pub requests: u64,
 }
 
 impl Default for Args {
@@ -86,6 +99,11 @@ impl Default for Args {
             rates: None,
             seeds: 8,
             retries: None,
+            policy: None,
+            mix: None,
+            rate: None,
+            gpus: 4,
+            requests: 200,
         }
     }
 }
@@ -169,6 +187,35 @@ impl Args {
                         return None;
                     }
                     args.rates = Some(rates);
+                }
+                "--policy" => args.policy = Some(it.next()?.clone()),
+                "--mix" => {
+                    let v = it.next()?;
+                    if v != "poisson" && v != "bursty" && v != "diurnal" {
+                        return None;
+                    }
+                    args.mix = Some(v.clone());
+                }
+                "--rate" => {
+                    let r: f64 = it.next()?.parse().ok()?;
+                    if !r.is_finite() || r <= 0.0 {
+                        return None;
+                    }
+                    args.rate = Some(r);
+                }
+                "--gpus" => {
+                    let n: usize = it.next()?.parse().ok()?;
+                    if n == 0 {
+                        return None;
+                    }
+                    args.gpus = n;
+                }
+                "--requests" => {
+                    let n: u64 = it.next()?.parse().ok()?;
+                    if n == 0 {
+                        return None;
+                    }
+                    args.requests = n;
                 }
                 "--threads" => {
                     let n: usize = it.next()?.parse().ok()?;
@@ -353,6 +400,49 @@ mod tests {
         assert_eq!(a.rates, None);
         assert_eq!(a.seeds, 8);
         assert_eq!(a.retries, None);
+    }
+
+    #[test]
+    fn parses_serve_flags() {
+        let (cmd, a) = Args::parse(&v(&[
+            "serve",
+            "--policy",
+            "uvm_spillover",
+            "--mix",
+            "bursty",
+            "--rate",
+            "250.5",
+            "--gpus",
+            "8",
+            "--requests",
+            "500",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        assert_eq!(cmd, "serve");
+        assert_eq!(a.policy.as_deref(), Some("uvm_spillover"));
+        assert_eq!(a.mix.as_deref(), Some("bursty"));
+        assert_eq!(a.rate, Some(250.5));
+        assert_eq!(a.gpus, 8);
+        assert_eq!(a.requests, 500);
+        assert_eq!(a.seed, 9);
+    }
+
+    #[test]
+    fn serve_flag_defaults_and_rejections() {
+        let (_, a) = Args::parse(&v(&["serve"])).unwrap();
+        assert_eq!(a.policy, None);
+        assert_eq!(a.mix, None);
+        assert_eq!(a.rate, None);
+        assert_eq!(a.gpus, 4);
+        assert_eq!(a.requests, 200);
+        assert!(Args::parse(&v(&["serve", "--mix", "steady"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--rate", "0"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--rate", "-3"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--rate", "inf"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--gpus", "0"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--requests", "0"])).is_none());
     }
 
     #[test]

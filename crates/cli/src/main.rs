@@ -50,6 +50,15 @@
 //! requested mode, and how many exhausted their recovery budget. Plans
 //! that can never recover (a nonzero fault rate with `--retries 0`) are
 //! rejected before any simulation.
+//!
+//! `serve` puts a multi-GPU fleet under open-loop traffic
+//! (`hetsim-serve`): seeded Poisson/bursty/diurnal arrivals drawn from
+//! the workload registry, admission + placement through one of the three
+//! shipped policies (or all of them), and a report of p50/p99/p999
+//! latency, goodput, and per-device utilization. A single-cell run can
+//! export the fleet schedule with `--trace`/`--trace-stream`; reports and
+//! traces are byte-identical at any `--threads N` for a fixed seed. See
+//! `docs/SERVING.md` for the architecture.
 
 use hetsim::batch::{InterJobPipeline, JobStages};
 use hetsim::experiment::Experiment;
@@ -99,6 +108,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), String> {
         "interjob" => cmd_interjob(args),
         "trace" => cmd_trace(args),
         "chaos" => cmd_chaos(args),
+        "serve" => cmd_serve(args),
         "alternatives" => cmd_alternatives(args),
         other => Err(format!("unknown command `{other}` (try `hetsim-cli list`)")),
     }
@@ -120,6 +130,8 @@ fn print_usage() {
          \u{20}  interjob [--workload W] [--jobs N] Fig 14: inter-job pipeline estimate\n\
          \u{20}  trace W [--mode M] [--out FILE]    export one run as a Chrome/Perfetto trace\n\
          \u{20}  chaos [W...] [--all] [--rates L]   fault-injection sweep: degradation curves\n\
+         \u{20}  serve [--policy P] [--mix M]       GPU fleet under open-loop traffic: latency,\n\
+         \u{20}        [--rate R] [--gpus N]        goodput, and per-device utilization\n\
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
          \u{20}        --trace FILE  --self-profile\n\
@@ -129,6 +141,8 @@ fn print_usage() {
          \u{20}        --format text|json            check report rendering\n\
          \u{20}        --verify-specs                run `check` on the involved specs first\n\
          \u{20}        --seed N --seeds N --retries N --rates R1,R2,...   chaos sweep grid\n\
+         \u{20}        --policy mode_packing|uvm_spillover|chaos_failover|all\n\
+         \u{20}        --mix poisson|bursty|diurnal  --rate R  --gpus N  --requests N   serve\n\
          \u{20}        --threads N   worker threads for sweeps (default: HETSIM_THREADS,\n\
          \u{20}                      then machine parallelism; output is identical at any N)\n\
          `run --help` lists every valid workload name."
@@ -531,6 +545,113 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
         if let Err(e) = outcome {
             eprintln!("traced run at intensity {top:.2} did not recover: {e}");
         }
+    }
+    Ok(())
+}
+
+/// The `serve` subcommand: a GPU fleet under open-loop traffic.
+///
+/// One `(policy, rate)` cell prints the summary row plus the per-device
+/// breakdown and may export the fleet schedule as a trace; multiple
+/// policies (`--policy all`, the default) or rates (`--rates`) run the
+/// full grid through the pool executor. Reports and traces are
+/// byte-identical at any `--threads N` for a fixed seed.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use hetsim_serve::{ArrivalMix, Fleet, PolicyKind, ServeConfig, ServeReport, ServeSweep};
+    if args.help {
+        println!(
+            "usage: hetsim-cli serve [--policy P|all] [--mix M] [--rate R | --rates R1,R2,...]\n\
+             \u{20}       [--gpus N] [--requests N] [--size S] [--seed N] [--format json]\n\
+             \u{20}       [--out FILE] [--csv] [--trace FILE | --trace-stream FILE]\n\
+             policies: {}   (default: all)\n\
+             mixes:    {}   (default: poisson)\n\
+             Requests draw uniformly from the full workload registry at --size.",
+            PolicyKind::NAMES.join(" "),
+            ArrivalMix::NAMES.join(" "),
+        );
+        return Ok(());
+    }
+    let policies: Vec<PolicyKind> = match args.policy.as_deref() {
+        None | Some("all") => PolicyKind::ALL.to_vec(),
+        Some(name) => vec![PolicyKind::by_name(name).ok_or_else(|| {
+            format!(
+                "unknown policy `{name}` ({}|all)",
+                PolicyKind::NAMES.join("|")
+            )
+        })?],
+    };
+    let mix_name = args.mix.as_deref().unwrap_or("poisson");
+    let rates: Vec<f64> = match &args.rates {
+        Some(rates) => {
+            if rates.iter().any(|&r| r <= 0.0) {
+                return Err("serve: every --rates entry must be positive".into());
+            }
+            rates.clone()
+        }
+        None => vec![args.rate.unwrap_or(100.0)],
+    };
+    reject_trace_and_stream("serve", args)?;
+    let single_cell = policies.len() == 1 && rates.len() == 1;
+    if (args.trace.is_some() || args.trace_stream.is_some()) && !single_cell {
+        return Err(
+            "serve: tracing needs a single (policy, rate) cell — pick one --policy and one --rate"
+                .into(),
+        );
+    }
+
+    eprintln!(
+        "serve @ {} [{mix_name}]: {} gpus, {} requests/cell, {} policies x {} rates",
+        args.size,
+        args.gpus,
+        args.requests,
+        policies.len(),
+        rates.len(),
+    );
+    let fleet = Fleet::nvlink(args.gpus, args.size);
+
+    let report = if single_cell {
+        let mix = ArrivalMix::by_name(mix_name, rates[0]).expect("mix validated at parse");
+        let outcome = fleet.serve(&ServeConfig {
+            policy: policies[0],
+            mix,
+            seed: args.seed,
+            requests: args.requests,
+        });
+        let cap = outcome.trace_events().max(1);
+        let config = hetsim_trace::TraceConfig::default().with_capacity(cap);
+        if let Some(path) = args.trace_stream.as_deref() {
+            let trace = outcome.trace_streaming(config, open_sink(args, path)?);
+            report_stream(&trace, args, path)?;
+        } else if let Some(path) = args.trace.as_deref() {
+            let trace = outcome.trace(config);
+            write_trace(&trace, path)?;
+        }
+        ServeReport {
+            cells: vec![outcome.report],
+        }
+    } else {
+        let sweep = ServeSweep {
+            policies,
+            rates,
+            mix: mix_name.to_string(),
+            seed: args.seed,
+            requests: args.requests,
+        };
+        sweep.run(&fleet)
+    };
+
+    match args.format.as_deref() {
+        Some("json") => print!("{}", report.to_json()),
+        _ => {
+            emit(&report.to_table(), args.csv);
+            if let [cell] = report.cells.as_slice() {
+                emit(&cell.device_table(), args.csv);
+            }
+        }
+    }
+    if let Some(path) = args.out.as_deref() {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote {path}");
     }
     Ok(())
 }

@@ -1,0 +1,718 @@
+//! The fleet simulator: arrivals × policy × topology → a serving report.
+//!
+//! [`Fleet`] owns the expensive, shareable state — the cost model (one
+//! memoized base simulation per `(workload, mode)`, prewarmed in parallel
+//! through the pool executor) and the cluster topology. [`Fleet::serve`]
+//! then plays one arrival plan through one policy in a **single serial
+//! pass in arrival order**: that pass is the determinism backbone, so no
+//! thread count can reorder placement decisions. Parallelism lives where
+//! order cannot leak — the prewarm grid and the independent
+//! `(policy × rate)` cells of a [`ServeSweep`], both assembled in index
+//! order by `hetsim::pool`.
+//!
+//! Per-device execution generalizes the batch `InterJobPipeline`
+//! recurrence. A request is a two-stage job (CPU alloc stage, GPU
+//! memcpy+kernel stage) with a *release time* (its arrival plus any
+//! policy-charged queue delay):
+//!
+//! ```text
+//! cpu_start = max(release, cpu_free[d])      cpu_free[d] = cpu_start + cpu
+//! gpu_start = max(cpu_done, gpu_free[d])     gpu_free[d] = gpu_start + gpu
+//! ```
+//!
+//! With every release at zero this is *exactly* the pipelined schedule of
+//! `InterJobPipeline` — pinned by a unit test — so the serving layer and
+//! the batch figures share one execution model rather than two
+//! re-implementations that could drift.
+
+use crate::arrival::{ArrivalMix, ArrivalPlan};
+use crate::metrics::{DeviceUtilization, LatencyStats, PolicyReport, ServeReport};
+use crate::policy::{Admission, DeviceView, FleetView, PolicyKind, ServingPolicy};
+use crate::topology::ClusterTopology;
+use hetsim::batch::JobStages;
+use hetsim::{pool, Experiment};
+use hetsim_engine::rng::SimRng;
+use hetsim_engine::time::Nanos;
+use hetsim_runtime::{GpuProgram, TransferMode};
+use hetsim_trace::{Category, Dim, Trace, TraceBuilder, TraceConfig, TraceSink};
+use hetsim_workloads::spec::Workload;
+use hetsim_workloads::{suite, InputSize};
+
+/// Configuration of one serving cell.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The policy under test.
+    pub policy: PolicyKind,
+    /// The arrival mix.
+    pub mix: ArrivalMix,
+    /// Base seed (arrivals, noise, and policy draws all derive from it).
+    pub seed: u64,
+    /// Number of offered requests.
+    pub requests: u64,
+}
+
+/// One request that ran to completion, with its full schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRequest {
+    /// Request id (arrival order).
+    pub id: u64,
+    /// Workload registry name.
+    pub workload: &'static str,
+    /// Transfer mode it ran in.
+    pub mode: TransferMode,
+    /// Device it landed on.
+    pub device: usize,
+    /// Arrival instant.
+    pub arrival: Nanos,
+    /// Policy-charged delay before the CPU stage could start.
+    pub queue_delay: Nanos,
+    /// CPU (alloc) stage start.
+    pub cpu_start: Nanos,
+    /// CPU stage duration.
+    pub cpu_dur: Nanos,
+    /// GPU (memcpy+kernel) stage start.
+    pub gpu_start: Nanos,
+    /// GPU stage duration (after any policy scaling).
+    pub gpu_dur: Nanos,
+    /// Devices that failed a placement attempt before this one, in
+    /// attempt order.
+    pub failed_devices: Vec<usize>,
+}
+
+impl CompletedRequest {
+    /// Completion instant (GPU stage end).
+    pub fn completion(&self) -> Nanos {
+        self.gpu_start + self.gpu_dur
+    }
+
+    /// End-to-end latency: arrival → completion, queueing included.
+    pub fn latency(&self) -> Nanos {
+        self.completion() - self.arrival
+    }
+}
+
+/// One request shed at admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedRequest {
+    /// Request id.
+    pub id: u64,
+    /// Arrival instant.
+    pub arrival: Nanos,
+    /// The policy's shed reason.
+    pub reason: &'static str,
+}
+
+/// Everything one serving cell produced: the report plus the raw
+/// schedule, from which [`FleetOutcome::trace`] renders the observability
+/// view.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The aggregated report.
+    pub report: PolicyReport,
+    /// Completed requests in arrival order.
+    pub completed: Vec<CompletedRequest>,
+    /// Shed requests in arrival order.
+    pub shed: Vec<ShedRequest>,
+    /// Fleet size (device count).
+    pub devices: usize,
+}
+
+/// Internal per-device scheduling state for the serial pass.
+#[derive(Debug, Clone, Default)]
+struct DeviceState {
+    cpu_free: Nanos,
+    gpu_free: Nanos,
+    /// In-flight working sets: `(completion, bytes)`.
+    inflight: Vec<(Nanos, u64)>,
+    busy: Nanos,
+    completed: usize,
+    peak_committed: u64,
+    consecutive_failures: u32,
+}
+
+impl DeviceState {
+    /// Drops working sets completed by `now` and returns committed bytes.
+    fn settle(&mut self, now: Nanos) -> u64 {
+        self.inflight.retain(|&(done, _)| done > now);
+        self.inflight.iter().map(|&(_, b)| b).sum()
+    }
+}
+
+/// The two-stage pipelined step shared with `InterJobPipeline` (see the
+/// module docs): returns `(cpu_start, gpu_start)` and advances the
+/// per-device availability clocks.
+fn two_stage_step(
+    release: Nanos,
+    stages: JobStages,
+    cpu_free: &mut Nanos,
+    gpu_free: &mut Nanos,
+) -> (Nanos, Nanos) {
+    let cpu_start = release.max(*cpu_free);
+    let cpu_done = cpu_start + stages.cpu;
+    *cpu_free = cpu_done;
+    let gpu_start = cpu_done.max(*gpu_free);
+    *gpu_free = gpu_start + stages.gpu;
+    (cpu_start, gpu_start)
+}
+
+/// A GPU fleet with a prewarmed cost model, ready to serve arrival plans.
+pub struct Fleet {
+    topology: ClusterTopology,
+    experiment: Experiment,
+    catalog: Vec<&'static str>,
+    workloads: Vec<Workload>,
+    size: InputSize,
+}
+
+impl Fleet {
+    /// The transfer modes the shipped policies can place requests in;
+    /// the prewarm grid covers exactly these.
+    const PREWARM_MODES: [TransferMode; 2] = [TransferMode::Async, TransferMode::UvmPrefetchAsync];
+
+    /// Builds a fleet over `topology` serving the full workload registry
+    /// at `size`, and prewarms the cost model: one deterministic base
+    /// simulation per `(workload, prewarm mode)`, fanned across the pool
+    /// executor (results land in the experiment's index-independent memo,
+    /// so thread count cannot affect anything downstream).
+    pub fn new(topology: ClusterTopology, size: InputSize) -> Fleet {
+        let catalog = ArrivalPlan::full_catalog();
+        let workloads: Vec<Workload> = catalog
+            .iter()
+            .map(|name| suite::by_name(name, size).expect("catalog names come from the registry"))
+            .collect();
+        let experiment = Experiment::new();
+        let grid = workloads.len() * Fleet::PREWARM_MODES.len();
+        pool::run(grid, |i| {
+            let w = &workloads[i / Fleet::PREWARM_MODES.len()];
+            let mode = Fleet::PREWARM_MODES[i % Fleet::PREWARM_MODES.len()];
+            experiment.base_run(w, mode);
+        });
+        Fleet {
+            topology,
+            experiment,
+            catalog,
+            workloads,
+            size,
+        }
+    }
+
+    /// An NVLink-mesh fleet of `gpus` devices at `size` (the CLI default).
+    pub fn nvlink(gpus: usize, size: InputSize) -> Fleet {
+        Fleet::new(ClusterTopology::nvlink_mesh(gpus), size)
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
+    }
+
+    /// The per-request stage costs of `catalog_idx` in `mode`, with the
+    /// run's deterministic measurement noise applied (`run_index` is the
+    /// request id, matching the batch harness convention).
+    fn stages(&self, catalog_idx: usize, mode: TransferMode, run_index: u64) -> JobStages {
+        let w = &self.workloads[catalog_idx];
+        let base = self.experiment.base_run(w, mode);
+        let noisy = self
+            .experiment
+            .runner()
+            .apply_noise(&base, w, mode, run_index);
+        JobStages::from_report(&noisy)
+    }
+
+    /// Plays one serving cell: generates the arrival plan, admits and
+    /// places every request through `config.policy`, schedules per-device
+    /// execution, and aggregates the report.
+    pub fn serve(&self, config: &ServeConfig) -> FleetOutcome {
+        let policy = config.policy.build();
+        let plan = ArrivalPlan::generate(
+            config.mix,
+            config.seed,
+            config.requests,
+            &self.catalog,
+            self.size,
+        );
+        self.serve_plan(&plan, policy.as_ref(), config.seed)
+    }
+
+    /// [`Fleet::serve`] with an explicit plan and policy instance (the
+    /// extension point for custom policies).
+    pub fn serve_plan(
+        &self,
+        plan: &ArrivalPlan,
+        policy: &dyn ServingPolicy,
+        seed: u64,
+    ) -> FleetOutcome {
+        let n = self.topology.len();
+        let mut states = vec![DeviceState::default(); n];
+        let mut completed = Vec::new();
+        let mut shed = Vec::new();
+        let mut failovers = 0usize;
+
+        for req in &plan.requests {
+            let catalog_idx = self
+                .catalog
+                .iter()
+                .position(|&w| w == req.workload)
+                .expect("request workloads come from the catalog");
+            let footprint = self.workloads[catalog_idx].footprint();
+
+            // Snapshot the fleet as of this arrival.
+            let views: Vec<DeviceView> = states
+                .iter_mut()
+                .enumerate()
+                .map(|(index, s)| {
+                    let committed = s.settle(req.arrival);
+                    DeviceView {
+                        index,
+                        cpu_free: s.cpu_free,
+                        gpu_free: s.gpu_free,
+                        committed,
+                        capacity: self.topology.capacity(index),
+                        inflight: s.inflight.len(),
+                        consecutive_failures: s.consecutive_failures,
+                    }
+                })
+                .collect();
+            let view = FleetView {
+                now: req.arrival,
+                devices: &views,
+                topology: &self.topology,
+            };
+
+            // One deterministic RNG per request, independent of every
+            // other request's draws.
+            let mut rng = SimRng::seed_from_parts(
+                &["serve.fleet", policy.name()],
+                config_index(seed, req.id),
+            );
+
+            match policy.admit(req, footprint, &view, &mut rng) {
+                Admission::Shed { reason } => {
+                    shed.push(ShedRequest {
+                        id: req.id,
+                        arrival: req.arrival,
+                        reason,
+                    });
+                    continue;
+                }
+                Admission::Accept => {}
+            }
+
+            let placement = policy.place(req, footprint, &view, &mut rng);
+            assert!(placement.device < n, "policy placed outside the fleet");
+            let stages = self.stages(catalog_idx, placement.mode, req.id);
+            let gpu_dur = if placement.gpu_scale > 1.0 {
+                stages.gpu.scale(placement.gpu_scale)
+            } else {
+                stages.gpu
+            };
+
+            // Chaos bookkeeping before the schedule advances.
+            for &failed in &placement.failed_devices {
+                states[failed].consecutive_failures += 1;
+            }
+            failovers += placement.failed_devices.len();
+            let d = placement.device;
+            states[d].consecutive_failures = 0;
+
+            let release = req.arrival + placement.queue_delay;
+            let run_stages = JobStages {
+                cpu: stages.cpu,
+                gpu: gpu_dur,
+            };
+            let (cpu_start, gpu_start) = {
+                let s = &mut states[d];
+                two_stage_step(release, run_stages, &mut s.cpu_free, &mut s.gpu_free)
+            };
+            let done = gpu_start + gpu_dur;
+            let s = &mut states[d];
+            s.busy += gpu_dur;
+            s.completed += 1;
+            s.inflight.push((done, footprint));
+            let committed_now: u64 = s.inflight.iter().map(|&(_, b)| b).sum();
+            s.peak_committed = s.peak_committed.max(committed_now);
+
+            completed.push(CompletedRequest {
+                id: req.id,
+                workload: req.workload,
+                mode: placement.mode,
+                device: d,
+                arrival: req.arrival,
+                queue_delay: placement.queue_delay,
+                cpu_start,
+                cpu_dur: stages.cpu,
+                gpu_start,
+                gpu_dur,
+                failed_devices: placement.failed_devices,
+            });
+        }
+
+        let horizon = completed
+            .iter()
+            .map(CompletedRequest::completion)
+            .max()
+            .unwrap_or(Nanos::ZERO);
+        let horizon_s = horizon.as_secs_f64();
+        let latencies: Vec<Nanos> = completed.iter().map(CompletedRequest::latency).collect();
+        let per_device: Vec<DeviceUtilization> = states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| DeviceUtilization {
+                device: self.topology.device_label(i),
+                completed: s.completed,
+                busy: s.busy,
+                utilization: if horizon_s > 0.0 {
+                    s.busy.as_secs_f64() / horizon_s
+                } else {
+                    0.0
+                },
+                peak_committed: s.peak_committed,
+            })
+            .collect();
+
+        let report = PolicyReport {
+            policy: policy.name().to_string(),
+            mix: plan.mix.name().to_string(),
+            rate_rps: plan.mix.base_rate(),
+            seed,
+            offered: plan.requests.len(),
+            completed: completed.len(),
+            shed: shed.len(),
+            failovers,
+            horizon,
+            goodput_rps: if horizon_s > 0.0 {
+                completed.len() as f64 / horizon_s
+            } else {
+                0.0
+            },
+            latency: LatencyStats::from_samples(&latencies),
+            per_device,
+        };
+
+        FleetOutcome {
+            report,
+            completed,
+            shed,
+            devices: n,
+        }
+    }
+}
+
+/// Mixes a serve seed and a request id into one RNG index (SplitMix-style
+/// odd multiplier spreads consecutive seeds far apart before the id is
+/// added, so per-request streams never overlap within a run).
+fn config_index(seed: u64, id: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id)
+}
+
+impl FleetOutcome {
+    /// Renders the schedule as a trace: per device a `gpu{d}.cpu` and a
+    /// `gpu{d}.gpu` track (alloc / kernel spans per request, labeled with
+    /// the `device`, `job`, and `mode` dimensions), plus a `fleet` track
+    /// carrying shed and failover instants. Emission order is fixed —
+    /// fleet track first, then devices in index order, requests in
+    /// arrival order — so exports are byte-identical regardless of how
+    /// the outcome was computed.
+    pub fn trace(&self, config: TraceConfig) -> Trace {
+        self.render(TraceBuilder::new(config))
+    }
+
+    /// [`FleetOutcome::trace`] with a streaming sink attached: events are
+    /// drained to `sink` incrementally, so arbitrarily long serving runs
+    /// export without buffering the whole schedule.
+    pub fn trace_streaming(&self, config: TraceConfig, sink: Box<dyn TraceSink>) -> Trace {
+        self.render(TraceBuilder::new(config).with_sink(sink))
+    }
+
+    /// The number of events [`FleetOutcome::trace`] emits (for sizing
+    /// ring capacities).
+    pub fn trace_events(&self) -> usize {
+        2 * self.completed.len()
+            + self.shed.len()
+            + self
+                .completed
+                .iter()
+                .filter(|c| !c.failed_devices.is_empty())
+                .count()
+    }
+
+    fn render(&self, mut b: TraceBuilder) -> Trace {
+        let fleet = b.track("fleet");
+        for s in &self.shed {
+            b.instant_at(
+                fleet,
+                Category::Chaos,
+                format!("shed[{}]({})", s.id, s.reason),
+                s.arrival.as_nanos(),
+                None,
+            );
+        }
+        for c in self
+            .completed
+            .iter()
+            .filter(|c| !c.failed_devices.is_empty())
+        {
+            b.instant_at(
+                fleet,
+                Category::Chaos,
+                format!("failover[{}]", c.id),
+                c.arrival.as_nanos(),
+                Some(("hops", c.failed_devices.len() as f64)),
+            );
+        }
+        for d in 0..self.devices {
+            let cpu = b.track(&format!("gpu{d}.cpu"));
+            let gpu = b.track(&format!("gpu{d}.gpu"));
+            for c in self.completed.iter().filter(|c| c.device == d) {
+                b.set_label(Dim::Device, &format!("gpu{d}"));
+                b.set_label(Dim::Job, &c.id.to_string());
+                b.set_label(Dim::Mode, c.mode.name());
+                b.span_at(
+                    cpu,
+                    Category::Alloc,
+                    format!("alloc[{}]", c.id),
+                    c.cpu_start.as_nanos(),
+                    c.cpu_dur.as_nanos(),
+                );
+                b.span_at(
+                    gpu,
+                    Category::Kernel,
+                    format!("kernel[{}]", c.id),
+                    c.gpu_start.as_nanos(),
+                    c.gpu_dur.as_nanos(),
+                );
+            }
+            b.clear_label(Dim::Device);
+            b.clear_label(Dim::Job);
+            b.clear_label(Dim::Mode);
+        }
+        b.finish()
+    }
+}
+
+/// A `(policy × rate)` sweep over one fleet — the serving analogue of the
+/// chaos degradation sweep, with cells fanned across the pool executor
+/// and assembled in grid order.
+#[derive(Debug, Clone)]
+pub struct ServeSweep {
+    /// Policies, in report order.
+    pub policies: Vec<PolicyKind>,
+    /// Base arrival rates (requests per second), in report order.
+    pub rates: Vec<f64>,
+    /// Mix name (`poisson`, `bursty`, `diurnal`); each rate instantiates
+    /// it via [`ArrivalMix::by_name`].
+    pub mix: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Offered requests per cell.
+    pub requests: u64,
+}
+
+impl ServeSweep {
+    /// Runs every `(policy, rate)` cell on `fleet` and collects the
+    /// report. Cells are independent, so they fan out through
+    /// `hetsim::pool`; results are assembled in grid order (policy-major),
+    /// which keeps the report identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy or rate list is empty, or the mix name is
+    /// unknown.
+    pub fn run(&self, fleet: &Fleet) -> ServeReport {
+        assert!(!self.policies.is_empty(), "sweep needs at least one policy");
+        assert!(!self.rates.is_empty(), "sweep needs at least one rate");
+        assert!(
+            ArrivalMix::by_name(&self.mix, 1.0).is_some(),
+            "unknown mix {:?}",
+            self.mix
+        );
+        let grid: Vec<(PolicyKind, f64)> = self
+            .policies
+            .iter()
+            .flat_map(|&p| self.rates.iter().map(move |&r| (p, r)))
+            .collect();
+        let cells = pool::run(grid.len(), |i| {
+            let (policy, rate) = grid[i];
+            let mix = ArrivalMix::by_name(&self.mix, rate).expect("mix validated above");
+            fleet
+                .serve(&ServeConfig {
+                    policy,
+                    mix,
+                    seed: self.seed,
+                    requests: self.requests,
+                })
+                .report
+        });
+        ServeReport { cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim::batch::InterJobPipeline;
+
+    fn small_fleet(gpus: usize) -> Fleet {
+        Fleet::nvlink(gpus, InputSize::Tiny)
+    }
+
+    fn config(policy: PolicyKind, requests: u64) -> ServeConfig {
+        ServeConfig {
+            policy,
+            mix: ArrivalMix::Poisson { rate_rps: 500.0 },
+            seed: 11,
+            requests,
+        }
+    }
+
+    #[test]
+    fn two_stage_step_matches_interjob_pipeline() {
+        // With every release at zero, folding the step over a job list is
+        // exactly the batch pipeline's schedule.
+        let jobs: Vec<JobStages> = [(40u64, 60u64), (10, 90), (90, 10), (55, 55), (1, 200)]
+            .iter()
+            .map(|&(c, g)| JobStages {
+                cpu: Nanos::from_millis(c),
+                gpu: Nanos::from_millis(g),
+            })
+            .collect();
+        let mut cpu_free = Nanos::ZERO;
+        let mut gpu_free = Nanos::ZERO;
+        for &j in &jobs {
+            two_stage_step(Nanos::ZERO, j, &mut cpu_free, &mut gpu_free);
+        }
+        let expected = InterJobPipeline::new(jobs).estimate().pipelined;
+        assert_eq!(gpu_free, expected, "fleet recurrence == batch pipeline");
+    }
+
+    #[test]
+    fn release_times_delay_the_schedule() {
+        let j = JobStages {
+            cpu: Nanos::from_millis(10),
+            gpu: Nanos::from_millis(20),
+        };
+        let mut cpu_free = Nanos::ZERO;
+        let mut gpu_free = Nanos::ZERO;
+        let (cpu_start, gpu_start) =
+            two_stage_step(Nanos::from_millis(5), j, &mut cpu_free, &mut gpu_free);
+        assert_eq!(cpu_start, Nanos::from_millis(5));
+        assert_eq!(gpu_start, Nanos::from_millis(15));
+        // A second job released earlier still queues behind the first.
+        let (cpu2, _) = two_stage_step(Nanos::ZERO, j, &mut cpu_free, &mut gpu_free);
+        assert_eq!(cpu2, Nanos::from_millis(15));
+    }
+
+    #[test]
+    fn serve_is_reproducible() {
+        let fleet = small_fleet(2);
+        let cfg = config(PolicyKind::ModePacking, 40);
+        let a = fleet.serve(&cfg);
+        let b = fleet.serve(&cfg);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.completed, b.completed);
+        // And across independently built fleets (no hidden shared state).
+        let c = small_fleet(2).serve(&cfg);
+        assert_eq!(a.report, c.report);
+    }
+
+    #[test]
+    fn all_policies_complete_requests() {
+        let fleet = small_fleet(2);
+        for kind in PolicyKind::ALL {
+            let out = fleet.serve(&config(kind, 30));
+            assert_eq!(
+                out.report.offered,
+                out.report.completed + out.report.shed,
+                "{}: offered = completed + shed",
+                kind.name()
+            );
+            assert!(
+                out.report.completed > 0,
+                "{}: tiny requests must mostly complete",
+                kind.name()
+            );
+            assert!(out.report.horizon > Nanos::ZERO);
+            assert!(out.report.goodput_rps > 0.0);
+            assert_eq!(out.report.per_device.len(), 2);
+            for c in &out.completed {
+                assert!(c.cpu_start >= c.arrival, "no time travel");
+                assert!(c.gpu_start >= c.cpu_start + c.cpu_dur);
+                assert!(c.latency() >= c.gpu_dur);
+            }
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        // Same offered work, 10x the arrival rate: queueing must show up
+        // in the tail.
+        let fleet = small_fleet(1);
+        let slow = fleet.serve(&ServeConfig {
+            policy: PolicyKind::ModePacking,
+            mix: ArrivalMix::Poisson { rate_rps: 2.0 },
+            seed: 5,
+            requests: 30,
+        });
+        let fast = fleet.serve(&ServeConfig {
+            policy: PolicyKind::ModePacking,
+            mix: ArrivalMix::Poisson { rate_rps: 2000.0 },
+            seed: 5,
+            requests: 30,
+        });
+        assert!(
+            fast.report.latency.p99 > slow.report.latency.p99,
+            "open-loop overload must inflate p99: {:?} vs {:?}",
+            fast.report.latency.p99,
+            slow.report.latency.p99
+        );
+    }
+
+    #[test]
+    fn trace_covers_every_completion() {
+        let fleet = small_fleet(2);
+        let out = fleet.serve(&config(PolicyKind::ChaosFailover, 25));
+        let cap = out.trace_events().max(1);
+        let trace = out.trace(TraceConfig::default().with_capacity(cap));
+        assert_eq!(trace.dropped(), 0, "capacity estimate must hold");
+        assert_eq!(trace.total_events(), out.trace_events() as u64);
+        // Device + job labels are queryable, per the observability
+        // contract.
+        let jsonl = trace.to_jsonl();
+        assert!(jsonl.contains("\"device\":\"gpu0\""));
+        assert!(jsonl.contains("\"job\":\"0\""));
+        // The trace horizon is the report horizon.
+        assert_eq!(trace.horizon(), out.report.horizon.as_nanos());
+    }
+
+    #[test]
+    fn sweep_grid_is_policy_major() {
+        let fleet = small_fleet(2);
+        let sweep = ServeSweep {
+            policies: vec![PolicyKind::ModePacking, PolicyKind::UvmSpillover],
+            rates: vec![100.0, 1000.0],
+            mix: "poisson".into(),
+            seed: 3,
+            requests: 12,
+        };
+        let report = sweep.run(&fleet);
+        assert_eq!(report.cells.len(), 4);
+        assert_eq!(report.cells[0].policy, "mode_packing");
+        assert_eq!(report.cells[1].policy, "mode_packing");
+        assert_eq!(report.cells[2].policy, "uvm_spillover");
+        assert!((report.cells[0].rate_rps - 100.0).abs() < 1e-9);
+        assert!((report.cells[1].rate_rps - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_sweep_rejected() {
+        let sweep = ServeSweep {
+            policies: vec![],
+            rates: vec![1.0],
+            mix: "poisson".into(),
+            seed: 0,
+            requests: 1,
+        };
+        let _ = sweep.run(&small_fleet(1));
+    }
+}

@@ -1,0 +1,443 @@
+//! Serving metrics: latency percentiles, goodput, per-device utilization.
+//!
+//! The serving layer reports what a service owner watches, not what a
+//! benchmark prints: **p50/p99/p999 latency** over completed requests
+//! (arrival to GPU-stage completion, queueing included), **goodput**
+//! (completed requests per second of simulated horizon — shed requests
+//! don't count), and **per-device utilization** (GPU-busy fraction of the
+//! horizon, which exposes the imbalance a placement policy creates).
+//!
+//! Percentiles are *exact* sample quantiles — sorted samples with linear
+//! interpolation between ranks, the same estimator as
+//! `hetsim_engine::stats::Summary::percentile` — not a streaming sketch.
+//! A serving simulation holds every latency in memory anyway, and exact
+//! quantiles keep reports byte-reproducible, which a randomized sketch
+//! would forfeit.
+
+use hetsim_counters::report::Table;
+use hetsim_engine::time::Nanos;
+
+/// Exact sample quantiles over a latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean latency.
+    pub mean: Nanos,
+    /// Median (p50).
+    pub p50: Nanos,
+    /// 99th percentile.
+    pub p99: Nanos,
+    /// 99.9th percentile.
+    pub p999: Nanos,
+    /// Worst observed latency.
+    pub max: Nanos,
+}
+
+impl LatencyStats {
+    /// Computes the stats from unsorted latency samples. Returns an
+    /// all-zero record for an empty population (an all-shed cell).
+    pub fn from_samples(samples: &[Nanos]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats {
+                count: 0,
+                mean: Nanos::ZERO,
+                p50: Nanos::ZERO,
+                p99: Nanos::ZERO,
+                p999: Nanos::ZERO,
+                max: Nanos::ZERO,
+            };
+        }
+        let mut sorted: Vec<u64> = samples.iter().map(|n| n.as_nanos()).collect();
+        sorted.sort_unstable();
+        let sum: u64 = sorted.iter().sum();
+        LatencyStats {
+            count: sorted.len(),
+            mean: Nanos::from_nanos(sum / sorted.len() as u64),
+            p50: percentile(&sorted, 50.0),
+            p99: percentile(&sorted, 99.0),
+            p999: percentile(&sorted, 99.9),
+            max: Nanos::from_nanos(*sorted.last().expect("non-empty")),
+        }
+    }
+}
+
+/// Exact linear-interpolated percentile over an already-sorted sample
+/// array (ascending), `p` in `[0, 100]`.
+///
+/// Rank convention matches `Summary::percentile`: rank
+/// `p/100 × (n-1)` interpolated between the two straddling samples, so
+/// `p=0` is the minimum and `p=100` the maximum. The interpolation is
+/// done in integer-free `f64` and rounded to the nearest nanosecond.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(sorted: &[u64], p: f64) -> Nanos {
+    assert!(!sorted.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile out of [0,100]");
+    if sorted.len() == 1 {
+        return Nanos::from_nanos(sorted[0]);
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    let v = sorted[lo] as f64 * (1.0 - frac) + sorted[hi] as f64 * frac;
+    Nanos::from_nanos(v.round() as u64)
+}
+
+/// One device's share of a serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceUtilization {
+    /// Stable device label (`gpu0`, `gpu1`, …).
+    pub device: String,
+    /// Requests completed on the device.
+    pub completed: usize,
+    /// GPU-busy time.
+    pub busy: Nanos,
+    /// GPU-busy fraction of the fleet horizon, in `[0, 1]`.
+    pub utilization: f64,
+    /// Peak committed working-set bytes observed on the device.
+    pub peak_committed: u64,
+}
+
+/// The serving report for one `(policy, mix, rate)` cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyReport {
+    /// Policy name.
+    pub policy: String,
+    /// Arrival mix name.
+    pub mix: String,
+    /// Requested base arrival rate, requests per second.
+    pub rate_rps: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Requests offered by the arrival plan.
+    pub offered: usize,
+    /// Requests completed.
+    pub completed: usize,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// Failed placement attempts absorbed by failover.
+    pub failovers: usize,
+    /// End of the simulated schedule (last GPU-stage completion).
+    pub horizon: Nanos,
+    /// Completed requests per second of horizon.
+    pub goodput_rps: f64,
+    /// Latency over completed requests (arrival → completion).
+    pub latency: LatencyStats,
+    /// Per-device breakdown, in device-index order.
+    pub per_device: Vec<DeviceUtilization>,
+}
+
+impl PolicyReport {
+    /// The summary row of this cell (shared column layout with
+    /// [`ServeReport::to_table`]).
+    fn table_row(&self) -> Vec<String> {
+        vec![
+            self.policy.clone(),
+            self.mix.clone(),
+            format!("{:.1}", self.rate_rps),
+            self.offered.to_string(),
+            self.completed.to_string(),
+            self.shed.to_string(),
+            self.failovers.to_string(),
+            format!("{:.3}", self.latency.p50.as_millis_f64()),
+            format!("{:.3}", self.latency.p99.as_millis_f64()),
+            format!("{:.3}", self.latency.p999.as_millis_f64()),
+            format!("{:.2}", self.goodput_rps),
+            self.per_device
+                .iter()
+                .map(|d| format!("{:.2}", d.utilization))
+                .collect::<Vec<_>>()
+                .join("/"),
+        ]
+    }
+
+    /// Renders the cell as a two-part table: the summary row plus one row
+    /// per device.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(ServeReport::COLUMNS.to_vec());
+        t.row(self.table_row());
+        t
+    }
+
+    /// Per-device breakdown table.
+    pub fn device_table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "device",
+            "completed",
+            "busy_ms",
+            "utilization",
+            "peak_committed_mb",
+        ]);
+        for d in &self.per_device {
+            t.row(vec![
+                d.device.clone(),
+                d.completed.to_string(),
+                format!("{:.3}", d.busy.as_millis_f64()),
+                format!("{:.4}", d.utilization),
+                format!("{:.1}", d.peak_committed as f64 / (1 << 20) as f64),
+            ]);
+        }
+        t
+    }
+
+    /// The cell as one JSON object (no trailing newline).
+    pub fn to_json_value(&self) -> String {
+        let devices: Vec<String> = self
+            .per_device
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"device\": {}, \"completed\": {}, \"busy_ns\": {}, \
+                     \"utilization\": {:.6}, \"peak_committed_bytes\": {}}}",
+                    json_string(&d.device),
+                    d.completed,
+                    d.busy.as_nanos(),
+                    d.utilization,
+                    d.peak_committed,
+                )
+            })
+            .collect();
+        format!(
+            "{{\"policy\": {}, \"mix\": {}, \"rate_rps\": {:.4}, \"seed\": {}, \
+             \"offered\": {}, \"completed\": {}, \"shed\": {}, \"failovers\": {}, \
+             \"horizon_ns\": {}, \"goodput_rps\": {:.6}, \
+             \"latency\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}, \
+             \"devices\": [{}]}}",
+            json_string(&self.policy),
+            json_string(&self.mix),
+            self.rate_rps,
+            self.seed,
+            self.offered,
+            self.completed,
+            self.shed,
+            self.failovers,
+            self.horizon.as_nanos(),
+            self.goodput_rps,
+            self.latency.count,
+            self.latency.mean.as_nanos(),
+            self.latency.p50.as_nanos(),
+            self.latency.p99.as_nanos(),
+            self.latency.p999.as_nanos(),
+            self.latency.max.as_nanos(),
+            devices.join(", "),
+        )
+    }
+}
+
+/// A collection of cells — one serving run or a (policy × rate) sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The cells, in deterministic (policy, rate) grid order.
+    pub cells: Vec<PolicyReport>,
+}
+
+impl ServeReport {
+    /// The shared summary-table column layout.
+    pub const COLUMNS: [&'static str; 12] = [
+        "policy",
+        "mix",
+        "rate_rps",
+        "offered",
+        "completed",
+        "shed",
+        "failovers",
+        "p50_ms",
+        "p99_ms",
+        "p999_ms",
+        "goodput_rps",
+        "util_per_gpu",
+    ];
+
+    /// One summary row per cell.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(ServeReport::COLUMNS.to_vec());
+        for c in &self.cells {
+            t.row(c.table_row());
+        }
+        t
+    }
+
+    /// The whole report as pretty-printed JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&c.to_json_value());
+            if i + 1 < self.cells.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string quoting (policy/mix/device names are printable
+/// ASCII, but quotes and backslashes must still escape).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(vals: &[u64]) -> Vec<Nanos> {
+        vals.iter().copied().map(Nanos::from_nanos).collect()
+    }
+
+    #[test]
+    fn percentiles_exact_on_uniform_ramp() {
+        // 0, 1, ..., 100: pXX lands exactly on sample XX.
+        let sorted: Vec<u64> = (0..=100).collect();
+        assert_eq!(percentile(&sorted, 0.0).as_nanos(), 0);
+        assert_eq!(percentile(&sorted, 50.0).as_nanos(), 50);
+        assert_eq!(percentile(&sorted, 99.0).as_nanos(), 99);
+        assert_eq!(percentile(&sorted, 100.0).as_nanos(), 100);
+        // p99.9 interpolates between 99 and 100: 99.9.
+        assert_eq!(percentile(&sorted, 99.9).as_nanos(), 100);
+    }
+
+    #[test]
+    fn percentiles_interpolate_between_ranks() {
+        let sorted = vec![10, 20, 30, 40];
+        // rank(50) = 1.5 -> midway between 20 and 30.
+        assert_eq!(percentile(&sorted, 50.0).as_nanos(), 25);
+        // rank(75) = 2.25 -> 30 + 0.25 * 10 = 32.5, rounds to 33 (ties
+        // away from zero in f64::round).
+        assert_eq!(percentile(&sorted, 75.0).as_nanos(), 33);
+    }
+
+    #[test]
+    fn percentile_matches_engine_summary() {
+        use hetsim_engine::stats::Summary;
+        let samples: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 97, 11];
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let summary = Summary::from_samples(&samples.iter().map(|&v| v as f64).collect::<Vec<_>>());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let got = percentile(&sorted, p).as_nanos();
+            let want = summary.percentile(p).round() as u64;
+            assert_eq!(got, want, "p{p}");
+        }
+    }
+
+    #[test]
+    fn singleton_and_constant_distributions() {
+        assert_eq!(percentile(&[42], 99.9).as_nanos(), 42);
+        let constant = vec![7u64; 1000];
+        for p in [0.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(percentile(&constant, p).as_nanos(), 7, "p{p}");
+        }
+    }
+
+    #[test]
+    fn stats_from_samples_known_values() {
+        let s = LatencyStats::from_samples(&ns(&(1..=1000).collect::<Vec<u64>>()));
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.mean.as_nanos(), 500); // integer mean of 500.5
+                                            // p50 rank is 499.5: midway between samples 500 and 501 -> 500.5,
+                                            // rounded half-away-from-zero to 501.
+        assert_eq!(s.p50.as_nanos(), 501);
+        assert_eq!(s.max.as_nanos(), 1000);
+    }
+
+    #[test]
+    fn empty_population_is_all_zero() {
+        let s = LatencyStats::from_samples(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p999, Nanos::ZERO);
+        assert_eq!(s.max, Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1], 101.0);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    fn sample_report() -> PolicyReport {
+        PolicyReport {
+            policy: "mode_packing".into(),
+            mix: "poisson".into(),
+            rate_rps: 100.0,
+            seed: 42,
+            offered: 10,
+            completed: 9,
+            shed: 1,
+            failovers: 0,
+            horizon: Nanos::from_millis(100),
+            goodput_rps: 90.0,
+            latency: LatencyStats::from_samples(&ns(&[1_000_000, 2_000_000, 3_000_000])),
+            per_device: vec![DeviceUtilization {
+                device: "gpu0".into(),
+                completed: 9,
+                busy: Nanos::from_millis(60),
+                utilization: 0.6,
+                peak_committed: 1 << 20,
+            }],
+        }
+    }
+
+    #[test]
+    fn tables_have_expected_shape() {
+        let cell = sample_report();
+        let report = ServeReport {
+            cells: vec![cell.clone(), cell.clone()],
+        };
+        assert_eq!(report.to_table().len(), 2);
+        assert_eq!(cell.to_table().len(), 1);
+        assert_eq!(cell.device_table().len(), 1);
+        let csv = report.to_table().to_csv();
+        assert!(csv.starts_with("policy,mix,rate_rps"));
+        assert!(csv.contains("mode_packing"));
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let report = ServeReport {
+            cells: vec![sample_report()],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"policy\": \"mode_packing\""));
+        assert!(json.contains("\"p999_ns\""));
+        assert!(json.contains("\"devices\": ["));
+        assert!(json.ends_with("]\n}\n"));
+        // Balanced braces/brackets (cheap well-formedness check without a
+        // JSON parser in a zero-dep crate).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = json.matches(open).count();
+            let closes = json.matches(close).count();
+            assert_eq!(opens, closes, "{open}{close} balance");
+        }
+    }
+}

@@ -1,0 +1,743 @@
+//! Admission and placement: who gets in, where they run, in which mode.
+//!
+//! The serving control plane is a pair of traits. [`AdmissionPolicy`]
+//! answers *"do we take this request at all?"* — a fleet past saturation
+//! serves its existing queue better by shedding than by queueing without
+//! bound. [`PlacementPolicy`] answers *"which device, which transfer
+//! mode, at what extra cost?"*. The two are split so that experiments can
+//! mix them independently, but each shipped policy implements both (tied
+//! together by [`ServingPolicy`]).
+//!
+//! Policies are pure decision functions over a [`FleetView`] snapshot —
+//! they hold no mutable state, and all randomness comes from the
+//! per-request [`SimRng`] the fleet hands in (forked deterministically
+//! from the serve seed and the request id), so a policy decision depends
+//! only on `(policy, view, request, seed)` and never on thread timing.
+//!
+//! Three implementations ship:
+//!
+//! * [`ModePacking`] — the fleet is split into an *explicit* lane
+//!   (async memcpy) and a *managed* lane (UVM + prefetch); requests are
+//!   routed by working-set size and best-fit bin-packed within the lane.
+//! * [`UvmSpillover`] — everything runs managed; admission allows the
+//!   fleet to oversubscribe up to a ratio, and placement spills to the
+//!   least-committed device, charging a thrashing penalty on the GPU
+//!   stage once a device is past its HBM capacity.
+//! * [`ChaosFailover`] — devices fail placement attempts at a seeded
+//!   rate; the policy walks healthy devices in load order, paying
+//!   recovery backoff plus the peer-link cost of re-staging the working
+//!   set on each hop, and quarantines devices that fail repeatedly.
+
+use crate::arrival::Request;
+use crate::topology::ClusterTopology;
+use hetsim_engine::rng::SimRng;
+use hetsim_engine::time::Nanos;
+use hetsim_runtime::{RecoveryPolicy, TransferMode};
+
+/// One device's scheduling state as a policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceView {
+    /// Device index in the topology.
+    pub index: usize,
+    /// When the device's CPU (alloc) stage next drains.
+    pub cpu_free: Nanos,
+    /// When the device's GPU stage next drains.
+    pub gpu_free: Nanos,
+    /// Bytes of working sets currently in flight on the device.
+    pub committed: u64,
+    /// HBM capacity, bytes.
+    pub capacity: u64,
+    /// Requests currently in flight.
+    pub inflight: usize,
+    /// Consecutive failed placement attempts (chaos bookkeeping).
+    pub consecutive_failures: u32,
+}
+
+/// The fleet snapshot a policy decides against.
+#[derive(Debug)]
+pub struct FleetView<'a> {
+    /// The deciding request's arrival instant.
+    pub now: Nanos,
+    /// Per-device state, indexed like the topology.
+    pub devices: &'a [DeviceView],
+    /// The cluster's device + peer-link model.
+    pub topology: &'a ClusterTopology,
+}
+
+impl FleetView<'_> {
+    /// Total committed bytes across the fleet.
+    pub fn total_committed(&self) -> u64 {
+        self.devices.iter().map(|d| d.committed).sum()
+    }
+
+    /// Total HBM capacity across the fleet.
+    pub fn total_capacity(&self) -> u64 {
+        self.devices.iter().map(|d| d.capacity).sum()
+    }
+}
+
+/// An admission decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the request.
+    Accept,
+    /// Reject it up front (load shedding).
+    Shed {
+        /// Stable shed reason, reported and traced.
+        reason: &'static str,
+    },
+}
+
+/// A placement decision: where the request runs and at what extra cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Target device index.
+    pub device: usize,
+    /// Transfer mode the request runs in.
+    pub mode: TransferMode,
+    /// Extra delay before the request's CPU stage may start (failover
+    /// backoff, peer re-staging).
+    pub queue_delay: Nanos,
+    /// Multiplier on the GPU stage (≥ 1; oversubscription thrashing).
+    pub gpu_scale: f64,
+    /// Devices that failed an attempt before the request landed, in
+    /// attempt order (chaos bookkeeping + trace instants).
+    pub failed_devices: Vec<usize>,
+}
+
+impl Placement {
+    /// A clean placement on `device` in `mode` with no extra cost.
+    pub fn clean(device: usize, mode: TransferMode) -> Placement {
+        Placement {
+            device,
+            mode,
+            queue_delay: Nanos::ZERO,
+            gpu_scale: 1.0,
+            failed_devices: Vec::new(),
+        }
+    }
+}
+
+/// Decides whether a request is served at all.
+pub trait AdmissionPolicy {
+    /// Admit or shed `req` (working set `footprint` bytes) given the
+    /// fleet snapshot. `rng` is the request's deterministic fork.
+    fn admit(
+        &self,
+        req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        rng: &mut SimRng,
+    ) -> Admission;
+}
+
+/// Decides where an admitted request runs.
+pub trait PlacementPolicy {
+    /// Place `req` (working set `footprint` bytes). Must return a device
+    /// index inside the view; only called after admission accepted.
+    fn place(
+        &self,
+        req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        rng: &mut SimRng,
+    ) -> Placement;
+}
+
+/// A complete serving policy: admission + placement + a stable name.
+pub trait ServingPolicy: AdmissionPolicy + PlacementPolicy + Sync {
+    /// Stable policy name (CLI `--policy` value, report rows).
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// ModePacking
+// ---------------------------------------------------------------------------
+
+/// Per-mode bin-packing: an explicit-copy lane and a managed (UVM) lane.
+///
+/// The fleet's first half serves async-memcpy requests, the second half
+/// serves UVM+prefetch requests (a single-device "fleet" serves both from
+/// device 0). Requests route by working-set size — at or above
+/// [`ModePacking::managed_threshold`] the request runs managed, below it
+/// explicit — and within the lane are **best-fit** packed: the fittest
+/// device is the one with the *most* committed bytes that still has room,
+/// which keeps the other lane devices free for large requests. A request
+/// that fits no lane device is shed.
+#[derive(Debug, Clone)]
+pub struct ModePacking {
+    /// Working sets at or above this many bytes run in the managed lane.
+    pub managed_threshold: u64,
+    /// Mode of the explicit lane.
+    pub explicit_mode: TransferMode,
+    /// Mode of the managed lane.
+    pub managed_mode: TransferMode,
+}
+
+impl Default for ModePacking {
+    fn default() -> Self {
+        ModePacking {
+            managed_threshold: 512 << 20,
+            explicit_mode: TransferMode::Async,
+            managed_mode: TransferMode::UvmPrefetchAsync,
+        }
+    }
+}
+
+impl ModePacking {
+    /// The lane (device index list) and mode for a working set.
+    fn lane(&self, footprint: u64, n: usize) -> (std::ops::Range<usize>, TransferMode) {
+        let split = n.div_ceil(2);
+        if footprint >= self.managed_threshold {
+            (split.min(n - 1)..n, self.managed_mode)
+        } else if n == 1 {
+            (0..1, self.explicit_mode)
+        } else {
+            (0..split, self.explicit_mode)
+        }
+    }
+
+    /// Best-fit device in the lane: most committed bytes that still fits.
+    fn best_fit(
+        &self,
+        footprint: u64,
+        lane: std::ops::Range<usize>,
+        view: &FleetView<'_>,
+    ) -> Option<usize> {
+        lane.filter(|&d| {
+            let dev = &view.devices[d];
+            dev.committed + footprint <= dev.capacity
+        })
+        .max_by_key(|&d| (view.devices[d].committed, usize::MAX - d))
+    }
+}
+
+impl AdmissionPolicy for ModePacking {
+    fn admit(
+        &self,
+        _req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Admission {
+        let (lane, _) = self.lane(footprint, view.devices.len());
+        if self.best_fit(footprint, lane, view).is_some() {
+            Admission::Accept
+        } else {
+            Admission::Shed {
+                reason: "lane_full",
+            }
+        }
+    }
+}
+
+impl PlacementPolicy for ModePacking {
+    fn place(
+        &self,
+        _req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Placement {
+        let (lane, mode) = self.lane(footprint, view.devices.len());
+        let device = self
+            .best_fit(footprint, lane, view)
+            .expect("place called without admission");
+        Placement::clean(device, mode)
+    }
+}
+
+impl ServingPolicy for ModePacking {
+    fn name(&self) -> &'static str {
+        "mode_packing"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UvmSpillover
+// ---------------------------------------------------------------------------
+
+/// UVM oversubscription spillover: everything runs managed, and the fleet
+/// admits past physical capacity.
+///
+/// Admission allows total committed bytes up to
+/// [`UvmSpillover::oversubscription`] × total HBM capacity — UVM's demand
+/// paging makes that *possible*, and this policy measures what it *costs*:
+/// placement always spills to the least-committed device, and once that
+/// device is past its own capacity the request's GPU stage is scaled by
+/// `1 + thrash_penalty × overflow_ratio`, the serving-layer analogue of
+/// the paper's UVM oversubscription cliff.
+#[derive(Debug, Clone)]
+pub struct UvmSpillover {
+    /// Admitted committed-bytes ratio over total HBM capacity (≥ 1).
+    pub oversubscription: f64,
+    /// GPU-stage penalty slope per unit of device-level overflow.
+    pub thrash_penalty: f64,
+    /// The managed mode requests run in.
+    pub mode: TransferMode,
+}
+
+impl Default for UvmSpillover {
+    fn default() -> Self {
+        UvmSpillover {
+            oversubscription: 1.5,
+            thrash_penalty: 4.0,
+            mode: TransferMode::UvmPrefetchAsync,
+        }
+    }
+}
+
+impl AdmissionPolicy for UvmSpillover {
+    fn admit(
+        &self,
+        _req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Admission {
+        let admitted = view.total_committed() + footprint;
+        let limit = (view.total_capacity() as f64 * self.oversubscription) as u64;
+        if admitted <= limit {
+            Admission::Accept
+        } else {
+            Admission::Shed {
+                reason: "oversubscription_limit",
+            }
+        }
+    }
+}
+
+impl PlacementPolicy for UvmSpillover {
+    fn place(
+        &self,
+        _req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Placement {
+        let device = view
+            .devices
+            .iter()
+            .min_by_key(|d| (d.committed, d.index))
+            .expect("fleet has at least one device")
+            .index;
+        let dev = &view.devices[device];
+        let after = dev.committed + footprint;
+        let overflow = (after as f64 / dev.capacity as f64 - 1.0).max(0.0);
+        let mut p = Placement::clean(device, self.mode);
+        p.gpu_scale = 1.0 + self.thrash_penalty * overflow;
+        p
+    }
+}
+
+impl ServingPolicy for UvmSpillover {
+    fn name(&self) -> &'static str {
+        "uvm_spillover"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosFailover
+// ---------------------------------------------------------------------------
+
+/// Chaos-aware failover: placements fail at a seeded rate and the request
+/// hops to the next healthy device, paying for the detour.
+///
+/// Devices are tried in load order (least committed first). Each attempt
+/// fails independently with probability [`ChaosFailover::fault_rate`]
+/// (drawn from the request's deterministic RNG). A failed attempt charges
+/// the recovery policy's exponential backoff, and moving on to the next
+/// device additionally charges the peer-link transfer of the request's
+/// working set from the failed device — an NVLink-island hop is cheap, a
+/// NUMA-remote hop is not. Devices whose recent attempts failed
+/// [`ChaosFailover::quarantine_threshold`] times in a row are skipped
+/// while any healthy device remains (the fleet resets the counter on the
+/// next success). If every attempt fails, the final device retries once
+/// more at full backoff and is forced through — shedding on chaos alone
+/// would confound the latency comparison.
+#[derive(Debug, Clone)]
+pub struct ChaosFailover {
+    /// Per-attempt placement failure probability, in `[0, 1)`.
+    pub fault_rate: f64,
+    /// Recovery costs (backoff schedule) charged per failed attempt.
+    pub recovery: RecoveryPolicy,
+    /// Consecutive failures after which a device is quarantined.
+    pub quarantine_threshold: u32,
+    /// Mode requests run in.
+    pub mode: TransferMode,
+}
+
+impl Default for ChaosFailover {
+    fn default() -> Self {
+        ChaosFailover {
+            fault_rate: 0.05,
+            recovery: RecoveryPolicy::default(),
+            quarantine_threshold: 3,
+            mode: TransferMode::Async,
+        }
+    }
+}
+
+impl AdmissionPolicy for ChaosFailover {
+    fn admit(
+        &self,
+        _req: &Request,
+        _footprint: u64,
+        _view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Admission {
+        // Failover never sheds: the policy's whole point is to absorb
+        // faults, and its cost shows up as latency, not lost requests.
+        Admission::Accept
+    }
+}
+
+impl PlacementPolicy for ChaosFailover {
+    fn place(
+        &self,
+        _req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        rng: &mut SimRng,
+    ) -> Placement {
+        // Healthy devices in load order; quarantined ones only as a last
+        // resort (appended so the walk still terminates fleet-wide).
+        let mut order: Vec<usize> = view
+            .devices
+            .iter()
+            .filter(|d| d.consecutive_failures < self.quarantine_threshold)
+            .map(|d| d.index)
+            .collect();
+        let quarantined: Vec<usize> = view
+            .devices
+            .iter()
+            .filter(|d| d.consecutive_failures >= self.quarantine_threshold)
+            .map(|d| d.index)
+            .collect();
+        order.extend(quarantined);
+        order.sort_by_key(|&d| {
+            let dev = &view.devices[d];
+            (
+                dev.consecutive_failures >= self.quarantine_threshold,
+                dev.committed,
+                d,
+            )
+        });
+
+        let mut delay = Nanos::ZERO;
+        let mut failed = Vec::new();
+        for (attempt, &device) in order.iter().enumerate() {
+            if let Some(&prev) = failed.last() {
+                delay += view.topology.peer_transfer_time(prev, device, footprint);
+            }
+            if !rng.chance(self.fault_rate) {
+                let mut p = Placement::clean(device, self.mode);
+                p.queue_delay = delay;
+                p.failed_devices = failed;
+                return p;
+            }
+            delay += self.recovery.backoff(attempt as u32);
+            failed.push(device);
+        }
+        // Everyone failed once: force the request through on the last
+        // device after one more full-depth backoff.
+        let device = *failed.last().expect("fleet has at least one device");
+        failed.pop();
+        delay += self.recovery.backoff(order.len() as u32);
+        let mut p = Placement::clean(device, self.mode);
+        p.queue_delay = delay;
+        p.failed_devices = failed;
+        p
+    }
+}
+
+impl ServingPolicy for ChaosFailover {
+    fn name(&self) -> &'static str {
+        "chaos_failover"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PolicyKind
+// ---------------------------------------------------------------------------
+
+/// The shipped policies, by CLI name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`ModePacking`].
+    ModePacking,
+    /// [`UvmSpillover`].
+    UvmSpillover,
+    /// [`ChaosFailover`].
+    ChaosFailover,
+}
+
+impl PolicyKind {
+    /// All shipped policies, in canonical order.
+    pub const ALL: [PolicyKind; 3] = [
+        PolicyKind::ModePacking,
+        PolicyKind::UvmSpillover,
+        PolicyKind::ChaosFailover,
+    ];
+
+    /// The canonical CLI names, aligned with [`PolicyKind::ALL`].
+    pub const NAMES: [&'static str; 3] = ["mode_packing", "uvm_spillover", "chaos_failover"];
+
+    /// Parses a CLI name.
+    pub fn by_name(name: &str) -> Option<PolicyKind> {
+        match name {
+            "mode_packing" => Some(PolicyKind::ModePacking),
+            "uvm_spillover" => Some(PolicyKind::UvmSpillover),
+            "chaos_failover" => Some(PolicyKind::ChaosFailover),
+            _ => None,
+        }
+    }
+
+    /// The policy's CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::ModePacking => "mode_packing",
+            PolicyKind::UvmSpillover => "uvm_spillover",
+            PolicyKind::ChaosFailover => "chaos_failover",
+        }
+    }
+
+    /// Instantiates the policy with its default parameters.
+    pub fn build(self) -> Box<dyn ServingPolicy> {
+        match self {
+            PolicyKind::ModePacking => Box::new(ModePacking::default()),
+            PolicyKind::UvmSpillover => Box::new(UvmSpillover::default()),
+            PolicyKind::ChaosFailover => Box::new(ChaosFailover::default()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetsim_workloads::InputSize;
+
+    fn devices(n: usize, capacity: u64) -> Vec<DeviceView> {
+        (0..n)
+            .map(|index| DeviceView {
+                index,
+                cpu_free: Nanos::ZERO,
+                gpu_free: Nanos::ZERO,
+                committed: 0,
+                capacity,
+                inflight: 0,
+                consecutive_failures: 0,
+            })
+            .collect()
+    }
+
+    fn req(id: u64) -> Request {
+        Request {
+            id,
+            arrival: Nanos::ZERO,
+            workload: "vector_seq",
+            size: InputSize::Tiny,
+        }
+    }
+
+    fn rng(id: u64) -> SimRng {
+        SimRng::seed_from_parts(&["test.policy"], id)
+    }
+
+    #[test]
+    fn mode_packing_routes_by_size_and_packs_best_fit() {
+        let topo = ClusterTopology::nvlink_mesh(4);
+        let mut devs = devices(4, 100);
+        devs[0].committed = 40;
+        devs[1].committed = 60;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ModePacking {
+            managed_threshold: 50,
+            ..ModePacking::default()
+        };
+        // Small request: explicit lane {0,1}; best fit is device 1 (more
+        // committed, still fits 30).
+        let placed = p.place(&req(0), 30, &view, &mut rng(0));
+        assert_eq!(placed.device, 1);
+        assert_eq!(placed.mode, TransferMode::Async);
+        // Large request: managed lane {2,3}, both empty -> best-fit
+        // tie-break picks the lowest index.
+        let placed = p.place(&req(1), 60, &view, &mut rng(1));
+        assert_eq!(placed.device, 2);
+        assert_eq!(placed.mode, TransferMode::UvmPrefetchAsync);
+    }
+
+    #[test]
+    fn mode_packing_sheds_when_lane_is_full() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        devs[0].committed = 95; // explicit lane = {0}
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ModePacking {
+            managed_threshold: 50,
+            ..ModePacking::default()
+        };
+        assert_eq!(
+            p.admit(&req(0), 10, &view, &mut rng(0)),
+            Admission::Shed {
+                reason: "lane_full"
+            }
+        );
+        // The managed lane {1} still has room for a big request.
+        assert_eq!(p.admit(&req(1), 60, &view, &mut rng(1)), Admission::Accept);
+    }
+
+    #[test]
+    fn single_device_fleet_serves_both_lanes() {
+        let topo = ClusterTopology::single();
+        let devs = devices(1, 100);
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ModePacking {
+            managed_threshold: 50,
+            ..ModePacking::default()
+        };
+        assert_eq!(p.place(&req(0), 10, &view, &mut rng(0)).device, 0);
+        assert_eq!(p.place(&req(1), 90, &view, &mut rng(1)).device, 0);
+    }
+
+    #[test]
+    fn spillover_admits_past_capacity_then_sheds() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        let p = UvmSpillover {
+            oversubscription: 1.5,
+            ..UvmSpillover::default()
+        };
+        devs[0].committed = 150;
+        devs[1].committed = 100;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        // 250 committed of 200 capacity: below the 300 limit.
+        assert_eq!(p.admit(&req(0), 40, &view, &mut rng(0)), Admission::Accept);
+        assert_eq!(
+            p.admit(&req(1), 60, &view, &mut rng(1)),
+            Admission::Shed {
+                reason: "oversubscription_limit"
+            }
+        );
+    }
+
+    #[test]
+    fn spillover_places_least_loaded_and_charges_thrash() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        devs[0].committed = 120;
+        devs[1].committed = 80;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = UvmSpillover {
+            thrash_penalty: 4.0,
+            ..UvmSpillover::default()
+        };
+        let placed = p.place(&req(0), 40, &view, &mut rng(0));
+        assert_eq!(placed.device, 1, "least committed wins");
+        // Device 1 lands at 120 of 100: overflow 0.2 -> scale 1.8.
+        assert!((placed.gpu_scale - 1.8).abs() < 1e-9);
+        // An in-capacity placement carries no penalty.
+        let mut fits = devices(2, 100);
+        fits[0].committed = 50;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &fits,
+            topology: &topo,
+        };
+        assert_eq!(p.place(&req(1), 10, &view, &mut rng(1)).gpu_scale, 1.0);
+    }
+
+    #[test]
+    fn failover_is_deterministic_and_pays_for_hops() {
+        let topo = ClusterTopology::nvlink_mesh(4);
+        let devs = devices(4, 100);
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ChaosFailover {
+            fault_rate: 0.9, // almost always hop
+            ..ChaosFailover::default()
+        };
+        let a = p.place(&req(7), 1 << 20, &view, &mut rng(7));
+        let b = p.place(&req(7), 1 << 20, &view, &mut rng(7));
+        assert_eq!(a, b, "same request seed, same decision");
+        if !a.failed_devices.is_empty() {
+            assert!(a.queue_delay > Nanos::ZERO, "hops must cost backoff");
+        }
+    }
+
+    #[test]
+    fn failover_skips_quarantined_devices() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        devs[0].consecutive_failures = 5; // quarantined
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ChaosFailover {
+            fault_rate: 0.0, // first healthy attempt succeeds
+            ..ChaosFailover::default()
+        };
+        let placed = p.place(&req(0), 1 << 20, &view, &mut rng(0));
+        assert_eq!(placed.device, 1, "healthy device preferred");
+        assert!(placed.failed_devices.is_empty());
+        assert_eq!(placed.queue_delay, Nanos::ZERO);
+    }
+
+    #[test]
+    fn failover_forces_through_when_everything_fails() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let devs = devices(2, 100);
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ChaosFailover {
+            fault_rate: 1.0,
+            ..ChaosFailover::default()
+        };
+        let placed = p.place(&req(3), 1 << 20, &view, &mut rng(3));
+        assert!(placed.device < 2);
+        assert!(placed.queue_delay > Nanos::ZERO);
+        assert_eq!(
+            p.admit(&req(3), 1 << 20, &view, &mut rng(3)),
+            Admission::Accept,
+            "failover never sheds"
+        );
+    }
+
+    #[test]
+    fn policy_kind_round_trips() {
+        for (kind, name) in PolicyKind::ALL.iter().zip(PolicyKind::NAMES) {
+            assert_eq!(kind.name(), name);
+            assert_eq!(PolicyKind::by_name(name), Some(*kind));
+            assert_eq!(kind.build().name(), name);
+        }
+        assert!(PolicyKind::by_name("round_robin").is_none());
+    }
+}

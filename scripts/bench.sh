@@ -10,6 +10,8 @@
 #     O(1) register/touch/evict hot loop;
 #   * the chaos degradation sweep over the irregular trio — the fault
 #     injector's end-to-end cost on top of the plain grid;
+#   * the serving layer's arrival-rate sweep (`serve --policy all`) —
+#     three policies x four rates on a 4-GPU fleet, serial vs parallel;
 #   * the streaming trace exporter — a five-mode sweep drained to JSONL
 #     during the merge, recorded as events/sec.
 #
@@ -39,12 +41,14 @@ if [[ $SMOKE -eq 1 ]]; then
   GRID_RUNS=3
   BFS_SIZE=small
   CHAOS_SIZE=tiny
+  SERVE_REQUESTS=120
   STAGE_TIMEOUT="${STAGE_TIMEOUT:-300}"
 else
   GRID_SIZE=large
   GRID_RUNS=30
   BFS_SIZE=mega
   CHAOS_SIZE=small
+  SERVE_REQUESTS=400
   STAGE_TIMEOUT="${STAGE_TIMEOUT:-1800}"
 fi
 
@@ -137,6 +141,19 @@ run_stage bfs_uvm_fault_path "$out/bfs.txt" \
 run_stage chaos_degradation_sweep "$out/chaos.txt" \
   "$CLI" chaos --size "$CHAOS_SIZE" --seeds 4 --rates 0,0.5,1 --threads 1
 
+# The serving layer's arrival-rate sweep: all three policies across a
+# quiet->saturated rate ladder on a 4-GPU fleet, the hot path behind
+# `hetsim-cli serve` (EXPERIMENTS.md latency-under-load appendix). The
+# threads-4 rerun must be byte-identical — the serve determinism gate,
+# recorded here as a baseline stage as well as asserted in ci.sh.
+run_stage serve_latency_sweep "$out/serve1.txt" \
+  "$CLI" serve --policy all --mix poisson --rates 50,200,800,3200 \
+  --seed 42 --gpus 4 --requests "$SERVE_REQUESTS" --size "$CHAOS_SIZE" --threads 1
+run_stage serve_latency_sweep_threads4 "$out/serve4.txt" \
+  "$CLI" serve --policy all --mix poisson --rates 50,200,800,3200 \
+  --seed 42 --gpus 4 --requests "$SERVE_REQUESTS" --size "$CHAOS_SIZE" --threads 4
+check_stage serve_determinism cmp -s "$out/serve1.txt" "$out/serve4.txt"
+
 # Streaming trace export: a five-mode sweep drained to JSONL during the
 # merge. The wall time covers simulation + export (the export is the
 # delta over an untraced run, which the grid stages above record); the
@@ -174,6 +191,7 @@ cat > "$RESULT" <<EOF
   "grid_runs": $GRID_RUNS,
   "bfs_size": "$BFS_SIZE",
   "chaos_size": "$CHAOS_SIZE",
+  "serve_requests": $SERVE_REQUESTS,
   "stage_timeout_s": $STAGE_TIMEOUT,
   "trace_export": {
     "events": $TRACE_EVENTS,

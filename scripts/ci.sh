@@ -102,4 +102,27 @@ fi
 grep -q "retry budget" "$out/chaos_bad.txt" \
   || { echo "FAIL: rejection lacks the plan diagnostic"; exit 1; }
 
+echo "==> serve determinism gate (fleet reports + streamed traces, threads 1 vs 4)"
+# The serving layer's contract: a fixed (policy, mix, seed) cell produces
+# byte-identical report JSON and streamed fleet traces at any worker
+# thread count, for every shipped policy.
+for policy in mode_packing uvm_spillover chaos_failover; do
+  HETSIM_THREADS=1 ./target/release/hetsim-cli serve --policy "$policy" \
+    --mix bursty --rate 400 --seed 11 --gpus 4 --requests 120 --size tiny \
+    --format json --trace-stream "$out/serve_t1_$policy.jsonl" \
+    > "$out/serve1_$policy.json" 2> /dev/null
+  HETSIM_THREADS=4 ./target/release/hetsim-cli serve --policy "$policy" \
+    --mix bursty --rate 400 --seed 11 --gpus 4 --requests 120 --size tiny \
+    --format json --trace-stream "$out/serve_t4_$policy.jsonl" \
+    > "$out/serve4_$policy.json" 2> /dev/null
+  cmp "$out/serve1_$policy.json" "$out/serve4_$policy.json" \
+    || { echo "FAIL: serve report differs across thread counts ($policy)"; exit 1; }
+  cmp "$out/serve_t1_$policy.jsonl" "$out/serve_t4_$policy.jsonl" \
+    || { echo "FAIL: serve trace differs across thread counts ($policy)"; exit 1; }
+  grep -q '"dropped":0' "$out/serve_t1_$policy.jsonl" \
+    || { echo "FAIL: serve trace reports dropped events ($policy)"; exit 1; }
+done
+cmp -s "$out/serve1_mode_packing.json" "$out/serve1_uvm_spillover.json" \
+  && { echo "FAIL: different policies produced identical serve reports"; exit 1; }
+
 echo "CI OK"

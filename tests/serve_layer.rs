@@ -1,0 +1,119 @@
+//! Serving-layer invariants: the fleet's reports and traces must be
+//! byte-identical at any worker-thread count, for every shipped policy.
+//!
+//! This extends the thread-invariance contract of
+//! `parallel_determinism.rs` to the open-loop serving path: arrival
+//! generation is a pure function of its seed, placement is one serial
+//! pass in arrival order, and the only parallelism (cost-model prewarm
+//! and sweep-cell fan-out) assembles results in index order.
+
+use hetsim::pool;
+use hetsim_serve::{
+    ArrivalMix, ArrivalPlan, Fleet, PolicyKind, ServeConfig, ServeReport, ServeSweep,
+};
+use hetsim_trace::TraceConfig;
+use hetsim_workloads::InputSize;
+
+/// Runs `f` under both thread counts and returns the two results.
+fn both<T>(f: impl Fn() -> T) -> (T, T) {
+    let serial = pool::with_threads(1, &f);
+    let parallel = pool::with_threads(4, &f);
+    (serial, parallel)
+}
+
+fn config(policy: PolicyKind) -> ServeConfig {
+    ServeConfig {
+        policy,
+        mix: ArrivalMix::by_name("bursty", 300.0).unwrap(),
+        seed: 17,
+        requests: 120,
+    }
+}
+
+#[test]
+fn arrival_plans_are_thread_count_invariant() {
+    let (serial, parallel) = both(|| {
+        let mix = ArrivalMix::by_name("diurnal", 250.0).unwrap();
+        let plan =
+            ArrivalPlan::generate(mix, 9, 200, &ArrivalPlan::full_catalog(), InputSize::Tiny);
+        plan.requests
+            .iter()
+            .map(|r| format!("{}:{}:{}", r.id, r.arrival.as_nanos(), r.workload))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        serial, parallel,
+        "arrival sequence must not depend on threads"
+    );
+}
+
+#[test]
+fn serve_reports_are_thread_count_invariant_for_every_policy() {
+    for policy in PolicyKind::ALL {
+        let (serial, parallel) = both(|| {
+            let fleet = Fleet::nvlink(4, InputSize::Tiny);
+            let outcome = fleet.serve(&config(policy));
+            ServeReport {
+                cells: vec![outcome.report],
+            }
+            .to_json()
+        });
+        assert_eq!(
+            serial,
+            parallel,
+            "{} report JSON must be byte-identical",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn serve_traces_are_thread_count_invariant_for_every_policy() {
+    for policy in PolicyKind::ALL {
+        let (serial, parallel) = both(|| {
+            let fleet = Fleet::nvlink(4, InputSize::Tiny);
+            let outcome = fleet.serve(&config(policy));
+            let cap = outcome.trace_events().max(1);
+            let trace = outcome.trace(TraceConfig::default().with_capacity(cap));
+            assert_eq!(trace.dropped(), 0, "trace capacity must cover the run");
+            trace.to_jsonl()
+        });
+        assert_eq!(
+            serial,
+            parallel,
+            "{} trace must be byte-identical",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn sweep_grids_are_thread_count_invariant() {
+    let (serial, parallel) = both(|| {
+        let fleet = Fleet::nvlink(2, InputSize::Tiny);
+        let sweep = ServeSweep {
+            policies: PolicyKind::ALL.to_vec(),
+            rates: vec![50.0, 800.0],
+            mix: "poisson".into(),
+            seed: 5,
+            requests: 80,
+        };
+        sweep.run(&fleet).to_json()
+    });
+    assert_eq!(serial, parallel, "sweep JSON must be byte-identical");
+}
+
+#[test]
+fn fresh_fleets_reproduce_the_same_outcome() {
+    // Determinism must hold across Fleet instances, not just across
+    // thread counts: nothing may leak from the prewarm memo's fill order.
+    let run = || {
+        let fleet = Fleet::nvlink(2, InputSize::Tiny);
+        let outcome = fleet.serve(&config(PolicyKind::ChaosFailover));
+        ServeReport {
+            cells: vec![outcome.report],
+        }
+        .to_json()
+    };
+    assert_eq!(run(), run());
+}
