@@ -1,18 +1,19 @@
 //! Ablation: block/tile sampling width vs extrapolation error. The
 //! executor simulates a handful of blocks and tiles and extrapolates;
-//! this sweep quantifies how much the answer moves with the sample.
+//! this sweep quantifies how much the answer moves with the sample, then
+//! times the default-width executor with `std::time::Instant`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use hetsim_bench::quick_criterion;
+use hetsim_bench::{parse_bench_args, time_stage};
 use hetsim_gpu::exec::{ExecEnv, KernelExecutor};
 use hetsim_gpu::kernel::KernelStyle;
 use hetsim_gpu::GpuConfig;
 use hetsim_runtime::GpuProgram;
-use hetsim_workloads::{micro, InputSize};
+use hetsim_workloads::micro;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let args = parse_bench_args();
     println!("\n==== Ablation: sampling width vs kernel-time estimate ====");
-    let w = micro::conv2d(InputSize::Large);
+    let w = micro::conv2d(args.size);
     let kernels = w.kernels();
     let k = kernels[0];
     let reference = KernelExecutor::new(GpuConfig::a100())
@@ -29,14 +30,7 @@ fn bench(c: &mut Criterion) {
     }
 
     let exec = KernelExecutor::new(GpuConfig::a100());
-    c.bench_function("ablation/conv2d_exec_6_blocks", |b| {
-        b.iter(|| exec.execute(k, KernelStyle::Direct, &ExecEnv::standard()))
+    time_stage("ablation/conv2d_exec_default_blocks", args.iters, || {
+        exec.execute(k, KernelStyle::Direct, &ExecEnv::standard())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = quick_criterion();
-    targets = bench
-}
-criterion_main!(benches);

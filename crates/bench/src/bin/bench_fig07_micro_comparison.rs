@@ -1,0 +1,41 @@
+//! Regenerates the paper's Fig 7: side-by-side comparison of the five
+//! transfer modes on the 7 microbenchmarks, normalized to `standard`,
+//! then times the headline aggregation and one full grid regeneration
+//! with `std::time::Instant`.
+//!
+//! By default the figure data is printed at both main-experiment sizes
+//! (Large and Super); passing `--size S` restricts it to that one size so
+//! smoke runs stay cheap.
+
+use hetsim::experiment::Experiment;
+use hetsim::figures;
+use hetsim::headline::Headline;
+use hetsim_bench::{parse_bench_args, time_stage};
+use hetsim_workloads::InputSize;
+
+fn main() {
+    let args = parse_bench_args();
+    let exp = Experiment::new().with_runs(args.runs);
+    let sizes: Vec<InputSize> = if args.size == InputSize::Large {
+        InputSize::main_experiment_sizes().to_vec()
+    } else {
+        vec![args.size]
+    };
+    for &size in &sizes {
+        let s = figures::fig7(&exp, size);
+        println!("\n==== Figure 7: micro comparison @ {size} ====");
+        println!("{}", s.to_table());
+        println!("{}", Headline::from_suite(&s).to_table());
+    }
+
+    let size = sizes[0];
+    let suite = figures::fig7(&exp, size);
+    time_stage("fig07/headline_aggregation", args.iters, || {
+        Headline::from_suite(&suite)
+    });
+    // A cold grid per iteration: fresh experiment, empty memo, so the
+    // timing tracks the simulator itself rather than the cache layer.
+    time_stage("fig07/grid_regeneration", args.iters.min(3), || {
+        figures::fig7(&Experiment::new().with_runs(args.runs), size)
+    });
+}

@@ -1,29 +1,29 @@
 //! # hetsim-bench
 //!
-//! The benchmark harness of the hetsim reproduction. Every bench target
-//! regenerates one of the paper's tables or figures — it *prints the data
-//! series the paper plots* and then times a representative slice of the
-//! simulation with Criterion. The `ablation_*` targets sweep the
-//! simulator's own design knobs (fault batch size, prefetch coverage,
-//! async control overhead, block/tile sampling) to show how sensitive the
-//! reproduced results are to each modelling choice.
+//! Zero-dependency wall-clock benchmarks for the hetsim reproduction.
+//! Each binary regenerates one of the paper's tables or figures — it
+//! *prints the data series the paper plots* — and then times a
+//! representative slice of the simulation with `std::time::Instant`,
+//! reporting a `bench:` summary line that `scripts/bench.sh` records in
+//! `BENCH_sweep.json`.
 //!
-//! Run everything with `cargo bench --workspace`; each target's figure
-//! data appears on stdout before its timing samples.
+//! The harness used to be a criterion bench suite; criterion needs
+//! registry access, which the offline tier-1 build cannot assume, so the
+//! targets that earn their keep live on as plain binaries
+//! (`bench_fig07_micro_comparison`, `bench_ablation_sampling`) and the
+//! rest were retired — the figure data they printed is available from
+//! `hetsim-cli figures`, and their wall-clock behaviour is covered by the
+//! staged sweeps in `scripts/bench.sh`.
+//!
+//! Build with the workspace (`cargo build --release`) and run the
+//! binaries from `target/release/`; each accepts `--size S`, `--runs N`,
+//! and `--iters N` so CI smoke runs can shrink the work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use hetsim::experiment::Experiment;
-
-/// Criterion configuration shared by all figure benches: tiny sample
-/// counts, since each iteration is a full simulator run.
-pub fn quick_criterion() -> criterion::Criterion {
-    criterion::Criterion::default()
-        .sample_size(10)
-        .measurement_time(std::time::Duration::from_secs(3))
-        .warm_up_time(std::time::Duration::from_millis(500))
-}
+use std::time::Instant;
 
 /// The experiment configuration used when regenerating figure data inside
 /// a bench: full 30-run methodology.
@@ -34,4 +34,84 @@ pub fn paper_experiment() -> Experiment {
 /// A faster experiment for the expensive sweeps.
 pub fn quick_experiment() -> Experiment {
     Experiment::new().with_runs(10)
+}
+
+/// Times `iters` calls of `f` and prints the uniform summary line
+/// `bench: <name> <iters> iters, <total_ms> ms total, <ns> ns/iter`
+/// that `scripts/bench.sh` scrapes. Returns the mean ns/iter.
+pub fn time_stage<T>(name: &str, iters: u64, mut f: impl FnMut() -> T) -> u64 {
+    assert!(iters > 0, "time_stage needs at least one iteration");
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = t0.elapsed();
+    let per_iter = (elapsed.as_nanos() / u128::from(iters)) as u64;
+    println!(
+        "bench: {name} {iters} iters, {} ms total, {per_iter} ns/iter",
+        elapsed.as_millis()
+    );
+    per_iter
+}
+
+/// Parses the shared benchmark flags out of `std::env::args`:
+/// `--size S` (default `large`), `--runs N` (default 30), `--iters N`
+/// (default 10). Unknown flags abort with a usage message so a typo
+/// cannot silently benchmark the wrong configuration.
+pub fn parse_bench_args() -> BenchArgs {
+    let mut out = BenchArgs::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs {what}")))
+        };
+        match flag.as_str() {
+            "--size" => {
+                let name = value("a size name");
+                out.size = hetsim_workloads::InputSize::ALL
+                    .into_iter()
+                    .find(|s| s.name() == name)
+                    .unwrap_or_else(|| die(&format!("unknown size `{name}`")));
+            }
+            "--runs" => out.runs = parse_count(value("a run count")),
+            "--iters" => out.iters = parse_count(value("an iteration count")),
+            other => die(&format!("unknown flag `{other}`")),
+        }
+    }
+    out
+}
+
+fn parse_count(s: &str) -> u64 {
+    match s.parse() {
+        Ok(n) if n > 0 => n,
+        _ => die(&format!("`{s}` is not a positive count")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\nusage: bench_* [--size S] [--runs N] [--iters N]");
+    std::process::exit(2);
+}
+
+/// Shared benchmark configuration (see [`parse_bench_args`]).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Input size the figure data is regenerated at.
+    pub size: hetsim_workloads::InputSize,
+    /// Runs per experiment cell (the paper's methodology uses 30).
+    pub runs: u64,
+    /// Timed iterations of the hot-path slice.
+    pub iters: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            size: hetsim_workloads::InputSize::Large,
+            runs: 30,
+            iters: 10,
+        }
+    }
 }

@@ -71,6 +71,11 @@ pub struct Args {
     /// `--requests N`: offered requests per serve cell (default 200,
     /// nonzero).
     pub requests: u64,
+    /// `--cache off|on|DIR`: on-disk base-run result cache. `on` uses
+    /// `target/hetsim-cache`, a path roots the store there, `off`
+    /// disables. Unset falls back to the `HETSIM_CACHE` env var with the
+    /// same grammar; default disabled.
+    pub cache: Option<String>,
 }
 
 impl Default for Args {
@@ -104,6 +109,7 @@ impl Default for Args {
             rate: None,
             gpus: 4,
             requests: 200,
+            cache: None,
         }
     }
 }
@@ -189,6 +195,7 @@ impl Args {
                     args.rates = Some(rates);
                 }
                 "--policy" => args.policy = Some(it.next()?.clone()),
+                "--cache" => args.cache = Some(it.next()?.clone()),
                 "--mix" => {
                     let v = it.next()?;
                     if v != "poisson" && v != "bursty" && v != "diurnal" {
@@ -443,6 +450,21 @@ mod tests {
         assert!(Args::parse(&v(&["serve", "--rate", "inf"])).is_none());
         assert!(Args::parse(&v(&["serve", "--gpus", "0"])).is_none());
         assert!(Args::parse(&v(&["serve", "--requests", "0"])).is_none());
+    }
+
+    #[test]
+    fn parses_cache_flag() {
+        let (_, a) = Args::parse(&v(&["micro", "--cache", "on"])).unwrap();
+        assert_eq!(a.cache.as_deref(), Some("on"));
+        let (_, a) = Args::parse(&v(&["micro", "--cache", "/tmp/c"])).unwrap();
+        assert_eq!(a.cache.as_deref(), Some("/tmp/c"));
+        let (cmd, a) = Args::parse(&v(&["cache", "stats", "--cache", "off"])).unwrap();
+        assert_eq!(cmd, "cache");
+        assert_eq!(a.positional, vec!["stats".to_string()]);
+        assert_eq!(a.cache.as_deref(), Some("off"));
+        let (_, a) = Args::parse(&v(&["micro"])).unwrap();
+        assert_eq!(a.cache, None);
+        assert!(Args::parse(&v(&["micro", "--cache"])).is_none());
     }
 
     #[test]

@@ -61,6 +61,7 @@
 //! `docs/SERVING.md` for the architecture.
 
 use hetsim::batch::{InterJobPipeline, JobStages};
+use hetsim::cache::{CacheChoice, DiskCache};
 use hetsim::experiment::Experiment;
 use hetsim::figures;
 use hetsim::headline::{Headline, Section6};
@@ -70,6 +71,7 @@ use hetsim_runtime::TransferMode;
 use hetsim_workloads::{suite, InputSize};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::{Arc, OnceLock};
 
 mod args;
 use args::Args;
@@ -81,12 +83,103 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     hetsim::pool::set_threads(args.threads);
-    match dispatch(&command, &args) {
+    let result = dispatch(&command, &args);
+    report_cache_stats();
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The process-wide disk cache, resolved once from `--cache` (falling back
+/// to `HETSIM_CACHE`). `None` when caching is disabled — the default.
+static DISK_CACHE: OnceLock<Option<Arc<DiskCache>>> = OnceLock::new();
+
+fn disk_cache(args: &Args) -> Option<Arc<DiskCache>> {
+    DISK_CACHE
+        .get_or_init(
+            || match hetsim::cache::resolve_choice(args.cache.as_deref()) {
+                CacheChoice::Disabled => None,
+                CacheChoice::Dir(dir) => Some(Arc::new(DiskCache::at(dir))),
+            },
+        )
+        .clone()
+}
+
+/// The experiment every sweep command starts from: `--runs` applied and
+/// the on-disk result cache attached when `--cache`/`HETSIM_CACHE`
+/// enables one.
+fn experiment(args: &Args) -> Experiment {
+    let exp = Experiment::new().with_runs(args.runs);
+    match disk_cache(args) {
+        Some(disk) => exp.with_cache(disk),
+        None => exp,
+    }
+}
+
+/// One summary line on stderr after a cached command, so sweep scripts can
+/// scrape hit/miss counts without perturbing the byte-compared stdout.
+fn report_cache_stats() {
+    if let Some(Some(disk)) = DISK_CACHE.get() {
+        let s = disk.stats();
+        if s.hits + s.misses + s.stores + s.errors > 0 {
+            eprintln!(
+                "cache: {} hits, {} misses, {} stored, {} errors ({})",
+                s.hits,
+                s.misses,
+                s.stores,
+                s.errors,
+                disk.root().display()
+            );
+        }
+    }
+}
+
+/// `cache stats` / `cache clear`: administration of the on-disk result
+/// cache. Location follows the same `--cache`/`HETSIM_CACHE` resolution
+/// as the sweep commands, except an unset knob points at the default root
+/// (`target/hetsim-cache`) instead of disabling — inspecting a cache
+/// should not require turning caching on.
+fn cmd_cache(args: &Args) -> Result<(), String> {
+    if args.help {
+        println!(
+            "usage: hetsim-cli cache <stats|clear> [--cache DIR]\n\
+             \u{20} stats   entry count and total bytes of the cache store\n\
+             \u{20} clear   delete every cached entry (the directory stays)"
+        );
+        return Ok(());
+    }
+    let root = match hetsim::cache::resolve_choice(args.cache.as_deref()) {
+        CacheChoice::Dir(dir) => dir,
+        CacheChoice::Disabled => DiskCache::default_root(),
+    };
+    let disk = DiskCache::at(root);
+    let op = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("stats");
+    match op {
+        "stats" => {
+            let scan = disk
+                .scan()
+                .map_err(|e| format!("cannot scan {}: {e}", disk.root().display()))?;
+            println!("cache root: {}", disk.root().display());
+            println!("entries:    {}", scan.entries);
+            println!("bytes:      {}", scan.bytes);
+            Ok(())
+        }
+        "clear" => {
+            let removed = disk
+                .clear()
+                .map_err(|e| format!("cannot clear {}: {e}", disk.root().display()))?;
+            println!("removed {removed} entries from {}", disk.root().display());
+            Ok(())
+        }
+        other => Err(format!("unknown cache operation `{other}` (stats|clear)")),
     }
 }
 
@@ -109,6 +202,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), String> {
         "trace" => cmd_trace(args),
         "chaos" => cmd_chaos(args),
         "serve" => cmd_serve(args),
+        "cache" => cmd_cache(args),
         "alternatives" => cmd_alternatives(args),
         other => Err(format!("unknown command `{other}` (try `hetsim-cli list`)")),
     }
@@ -132,7 +226,11 @@ fn print_usage() {
          \u{20}  chaos [W...] [--all] [--rates L]   fault-injection sweep: degradation curves\n\
          \u{20}  serve [--policy P] [--mix M]       GPU fleet under open-loop traffic: latency,\n\
          \u{20}        [--rate R] [--gpus N]        goodput, and per-device utilization\n\
+         \u{20}  cache stats|clear                  inspect or empty the on-disk result cache\n\
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
+         \u{20}        --cache off|on|DIR            on-disk result cache for base runs\n\
+         \u{20}                      (default: HETSIM_CACHE env, else off; `on` uses\n\
+         \u{20}                      target/hetsim-cache; stats print on stderr)\n\
          \u{20}        --mode standard|async|uvm|uvm_prefetch|uvm_prefetch_async\n\
          \u{20}        --trace FILE  --self-profile\n\
          \u{20}        --trace-stream FILE           stream events to FILE during the run\n\
@@ -337,9 +435,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         )
     })?;
     verify_specs(args, Some(name))?;
-    let exp = Experiment::new()
-        .with_runs(args.runs)
-        .with_trace(trace_config(args));
+    let exp = experiment(args).with_trace(trace_config(args));
     if let Some(mode_name) = args.mode.as_deref() {
         // Single-mode run: the paper's three-way breakdown plus the UVM
         // fault-batcher profile of the deterministic base run.
@@ -397,9 +493,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 /// `uvm` (where batching behaviour is undiluted by prefetch).
 fn cmd_irregular(args: &Args) -> Result<(), String> {
     verify_specs(args, None)?;
-    let exp = Experiment::new()
-        .with_runs(args.runs)
-        .with_trace(trace_config(args));
+    let exp = experiment(args).with_trace(trace_config(args));
     let s = figures::irregular(&exp, args.size);
     println!(
         "irregular study (bfs/kmeans/pathfinder) @ {} ({} runs)",
@@ -495,7 +589,7 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
     }
     verify_specs(args, None)?;
 
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
     let sweep = ChaosSweep::run(&exp, &cfg);
     println!(
         "chaos sweep @ {} [{}]: {} workloads x {} intensities x {} seeds",
@@ -557,7 +651,9 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 /// full grid through the pool executor. Reports and traces are
 /// byte-identical at any `--threads N` for a fixed seed.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use hetsim_serve::{ArrivalMix, Fleet, PolicyKind, ServeConfig, ServeReport, ServeSweep};
+    use hetsim_serve::{
+        ArrivalMix, ClusterTopology, Fleet, PolicyKind, ServeConfig, ServeReport, ServeSweep,
+    };
     if args.help {
         println!(
             "usage: hetsim-cli serve [--policy P|all] [--mix M] [--rate R | --rates R1,R2,...]\n\
@@ -607,7 +703,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         policies.len(),
         rates.len(),
     );
-    let fleet = Fleet::nvlink(args.gpus, args.size);
+    let fleet = Fleet::with_experiment(
+        ClusterTopology::nvlink_mesh(args.gpus),
+        args.size,
+        experiment(args),
+    );
 
     let report = if single_cell {
         let mix = ArrivalMix::by_name(mix_name, rates[0]).expect("mix validated at parse");
@@ -810,7 +910,7 @@ fn write_trace(trace: &hetsim_trace::Trace, path: &str) -> Result<(), String> {
 
 fn cmd_micro(args: &Args) -> Result<(), String> {
     verify_specs(args, None)?;
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
     let s = figures::fig7(&exp, args.size);
     println!("Fig 7: microbenchmarks @ {}", args.size);
     emit(&s.to_table(), args.csv);
@@ -820,7 +920,7 @@ fn cmd_micro(args: &Args) -> Result<(), String> {
 
 fn cmd_apps(args: &Args) -> Result<(), String> {
     verify_specs(args, None)?;
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
     let s = figures::fig8_at(&exp, args.size);
     println!("Fig 8: applications @ {}", args.size);
     emit(&s.to_table(), args.csv);
@@ -830,7 +930,7 @@ fn cmd_apps(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_counters(args: &Args) -> Result<(), String> {
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
     let c = figures::fig9_fig10(&exp, args.size);
     println!("Figs 9/10: counters @ {}", args.size);
     emit(&c.to_table(), args.csv);
@@ -838,7 +938,7 @@ fn cmd_counters(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_sensitivity(args: &Args) -> Result<(), String> {
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
     let study = args.study.as_deref().ok_or("sensitivity needs --study")?;
     let sweep = match study {
         "blocks" => figures::fig11(&exp, args.size),
@@ -855,7 +955,7 @@ fn cmd_interjob(args: &Args) -> Result<(), String> {
     reject_trace_and_stream("interjob", args)?;
     let name = args.workload.as_deref().unwrap_or("vector_seq");
     let w = suite::by_name(name, args.size).ok_or_else(|| format!("unknown workload {name}"))?;
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
     match args.trace_stream.as_deref() {
         Some(path) => {
             hetsim_trace::session::start_streaming(trace_config(args), open_sink(args, path)?)
@@ -909,7 +1009,7 @@ fn cmd_figures(args: &Args) -> Result<(), String> {
     verify_specs(args, None)?;
     let out = args.out.as_deref().ok_or("figures needs --out DIR")?;
     std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    let exp = Experiment::new().with_runs(args.runs);
+    let exp = experiment(args);
 
     let mut files: HashMap<&str, String> = HashMap::new();
     eprintln!("fig4/fig5 ...");

@@ -6,6 +6,8 @@
 //! `(workload, mode)` plus per-run measurement noise, so a 30-run
 //! distribution costs one cache simulation, not thirty.
 
+use crate::cache::{self, CacheKey, DiskCache};
+use crate::memo::{MemoStats, ShardedMemo};
 use crate::pool;
 use hetsim_counters::report::Table;
 use hetsim_engine::stats::Summary;
@@ -16,14 +18,16 @@ use hetsim_runtime::{
     TransferMode,
 };
 use hetsim_trace::{Dim, HostProfiler, Trace, TraceBuilder, TraceConfig, TraceSink};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Memoized base runs, keyed on the program's structural fingerprint plus
 /// the transfer mode. The device is fixed per `Experiment` (and
-/// [`Experiment::with_device`] swaps in a fresh cache), so it needs no
-/// spot in the key.
-type BaseMemo = Arc<Mutex<HashMap<(String, TransferMode), RunReport>>>;
+/// [`Experiment::with_device`] swaps in a fresh memo), so it needs no
+/// spot in the key. Sharded and single-flight: parallel grid workers that
+/// race on one cell block on its in-flight computation instead of
+/// duplicating the simulation, and workers on different cells never share
+/// a lock.
+type BaseMemo = Arc<ShardedMemo<(String, TransferMode), RunReport>>;
 
 /// A configured experiment: a device plus a run count.
 #[derive(Debug, Clone)]
@@ -32,6 +36,8 @@ pub struct Experiment {
     runs: u64,
     trace: TraceConfig,
     memo: BaseMemo,
+    disk: Option<Arc<DiskCache>>,
+    device_hash: u64,
 }
 
 impl Experiment {
@@ -42,6 +48,8 @@ impl Experiment {
             runs: 30,
             trace: TraceConfig::default(),
             memo: BaseMemo::default(),
+            disk: None,
+            device_hash: 0,
         }
     }
 
@@ -57,12 +65,38 @@ impl Experiment {
     }
 
     /// Uses a custom device (sensitivity studies re-point the carveout).
-    /// Invalidates the base-run memo: cached reports belong to the old
-    /// device.
+    /// Invalidates the in-memory base-run memo: cached reports belong to
+    /// the old device. Disk-cache entries stay valid — they are keyed on
+    /// the device fingerprint, which is recomputed here.
     pub fn with_device(mut self, device: Device) -> Self {
         self.runner = Runner::new(device);
         self.memo = BaseMemo::default();
+        if self.disk.is_some() {
+            self.device_hash = cache::device_fingerprint(self.runner.device());
+        }
         self
+    }
+
+    /// Attaches an on-disk result cache (see [`crate::cache`]): base runs
+    /// missing from the memo are looked up on disk before simulating, and
+    /// freshly simulated cells are written back, so repeated sweeps only
+    /// compute changed cells.
+    pub fn with_cache(mut self, disk: Arc<DiskCache>) -> Self {
+        self.device_hash = cache::device_fingerprint(self.runner.device());
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The attached disk cache, if any.
+    pub fn disk_cache(&self) -> Option<&Arc<DiskCache>> {
+        self.disk.as_ref()
+    }
+
+    /// Counters of the in-memory base-run memo. `computes` counts actual
+    /// simulations (or disk-cache loads) — with single-flight it equals
+    /// `entries` regardless of how many workers raced on the same cell.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
     }
 
     /// Overrides the trace configuration used by
@@ -128,19 +162,20 @@ impl Experiment {
         if hetsim_trace::session::enabled() {
             return self.runner.run_base(program, mode);
         }
-        let key = (program.memo_key(), mode);
-        if let Some(hit) = self.lock_memo().get(&key) {
-            return hit.clone();
-        }
-        let report = self.runner.run_base(program, mode);
-        self.lock_memo().insert(key, report.clone());
-        report
-    }
-
-    fn lock_memo(&self) -> std::sync::MutexGuard<'_, HashMap<(String, TransferMode), RunReport>> {
+        let memo_key = program.memo_key();
         self.memo
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get_or_compute((memo_key.clone(), mode), || match &self.disk {
+                Some(disk) => {
+                    let key = CacheKey::new(&memo_key, mode, self.device_hash);
+                    if let Some(hit) = disk.load(&key) {
+                        return hit;
+                    }
+                    let report = self.runner.run_base(program, mode);
+                    disk.store(&key, &report);
+                    report
+                }
+                None => self.runner.run_base(program, mode),
+            })
     }
 
     /// The full run distribution for one `(workload, mode)` pair.

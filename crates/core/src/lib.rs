@@ -44,11 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache;
 pub mod degradation;
 pub mod experiment;
 pub mod extensions;
 pub mod figures;
 pub mod headline;
+pub mod memo;
 pub mod pool;
 pub mod verify;
 
@@ -77,8 +79,10 @@ pub use hetsim_workloads as workloads;
 pub use hetsim_sanitizer as sanitizer;
 
 pub use batch::{InterJobPipeline, PipelineEstimate};
+pub use cache::{CacheChoice, CacheKey, CacheScan, CacheStats, DiskCache};
 pub use degradation::{ChaosCell, ChaosSweep, ChaosSweepConfig};
 pub use experiment::{Experiment, MeanReport, ModeComparison};
+pub use memo::{MemoStats, ShardedMemo};
 
 /// The types nearly every user of the crate needs.
 pub mod prelude {

@@ -22,6 +22,22 @@ impl CacheCounters {
         CacheCounters::default()
     }
 
+    /// Reconstructs a counter set from raw field values, as read back from a
+    /// serialized result cache entry. Inverse of the four field accessors.
+    pub fn from_parts(
+        load_hits: u64,
+        load_misses: u64,
+        store_hits: u64,
+        store_misses: u64,
+    ) -> Self {
+        CacheCounters {
+            load_hits,
+            load_misses,
+            store_hits,
+            store_misses,
+        }
+    }
+
     /// Records a load outcome.
     pub fn record_load(&mut self, hit: bool) {
         if hit {

@@ -26,6 +26,31 @@ impl TransferCounters {
         TransferCounters::default()
     }
 
+    /// Reconstructs a counter set from raw field values, as read back from a
+    /// serialized result cache entry. The `record_*` methods conflate fields
+    /// (a migration bumps both bytes and op counts), so exact round-trips
+    /// need direct field reconstruction. Inverse of the field accessors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        h2d_bytes: u64,
+        d2h_bytes: u64,
+        h2d_time: Nanos,
+        d2h_time: Nanos,
+        explicit_copies: u64,
+        migrations: u64,
+        prefetch_ops: u64,
+    ) -> Self {
+        TransferCounters {
+            h2d_bytes,
+            d2h_bytes,
+            h2d_time,
+            d2h_time,
+            explicit_copies,
+            migrations,
+            prefetch_ops,
+        }
+    }
+
     /// Records an explicit host→device copy.
     pub fn record_h2d_copy(&mut self, bytes: u64, time: Nanos) {
         self.h2d_bytes += bytes;

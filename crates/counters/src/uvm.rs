@@ -36,6 +36,40 @@ impl UvmCounters {
         UvmCounters::default()
     }
 
+    /// Reconstructs a counter set from raw field values, as read back from a
+    /// serialized result cache entry. `batch_fill` is the histogram returned
+    /// by [`UvmCounters::batch_fill_histogram`]; `fill_batches`/`fill_faults`
+    /// are the totals behind [`UvmCounters::mean_batch_fill`]. Inverse of the
+    /// field accessors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        page_faults: u64,
+        fault_batches: u64,
+        pages_migrated: u64,
+        pages_prefetched: u64,
+        pages_heuristic: u64,
+        pages_evicted: u64,
+        refaults: u64,
+        fault_stall: Nanos,
+        batch_fill: [u64; BATCH_FILL_BUCKETS],
+        fill_batches: u64,
+        fill_faults: u64,
+    ) -> Self {
+        UvmCounters {
+            page_faults,
+            fault_batches,
+            pages_migrated,
+            pages_prefetched,
+            pages_heuristic,
+            pages_evicted,
+            refaults,
+            fault_stall,
+            batch_fill,
+            fill_batches,
+            fill_faults,
+        }
+    }
+
     /// Records `faults` far faults serviced in one batch with total stall
     /// `stall`.
     pub fn record_fault_batch(&mut self, faults: u64, stall: Nanos) {
@@ -130,6 +164,20 @@ impl UvmCounters {
     /// fill was in `[2^i, 2^(i+1))`, with the last bucket open-ended.
     pub fn batch_fill_histogram(&self) -> [u64; BATCH_FILL_BUCKETS] {
         self.batch_fill
+    }
+
+    /// Number of batches recorded through
+    /// [`UvmCounters::record_batch_fill`] (the denominator of
+    /// [`UvmCounters::mean_batch_fill`]).
+    pub fn fill_batches(&self) -> u64 {
+        self.fill_batches
+    }
+
+    /// Total faults across batches recorded through
+    /// [`UvmCounters::record_batch_fill`] (the numerator of
+    /// [`UvmCounters::mean_batch_fill`]).
+    pub fn fill_faults(&self) -> u64 {
+        self.fill_faults
     }
 
     /// Mean fill of batches recorded through

@@ -26,7 +26,7 @@
 //! re-implementations that could drift.
 
 use crate::arrival::{ArrivalMix, ArrivalPlan};
-use crate::metrics::{DeviceUtilization, LatencyStats, PolicyReport, ServeReport};
+use crate::metrics::{DeviceUtilization, LatencyAccumulator, PolicyReport, ServeReport};
 use crate::policy::{Admission, DeviceView, FleetView, PolicyKind, ServingPolicy};
 use crate::topology::ClusterTopology;
 use hetsim::batch::JobStages;
@@ -175,12 +175,22 @@ impl Fleet {
     /// executor (results land in the experiment's index-independent memo,
     /// so thread count cannot affect anything downstream).
     pub fn new(topology: ClusterTopology, size: InputSize) -> Fleet {
+        Fleet::with_experiment(topology, size, Experiment::new())
+    }
+
+    /// Like [`Fleet::new`], but prewarms through a caller-supplied
+    /// [`Experiment`] — the hook for attaching an on-disk result cache so
+    /// repeated serve runs skip the cold prewarm grid.
+    pub fn with_experiment(
+        topology: ClusterTopology,
+        size: InputSize,
+        experiment: Experiment,
+    ) -> Fleet {
         let catalog = ArrivalPlan::full_catalog();
         let workloads: Vec<Workload> = catalog
             .iter()
             .map(|name| suite::by_name(name, size).expect("catalog names come from the registry"))
             .collect();
-        let experiment = Experiment::new();
         let grid = workloads.len() * Fleet::PREWARM_MODES.len();
         pool::run(grid, |i| {
             let w = &workloads[i / Fleet::PREWARM_MODES.len()];
@@ -247,6 +257,9 @@ impl Fleet {
         let mut completed = Vec::new();
         let mut shed = Vec::new();
         let mut failovers = 0usize;
+        // O(1)-per-sample latency accounting: exact for small cells,
+        // fixed-memory streaming histogram past the exact limit.
+        let mut latency = LatencyAccumulator::new();
 
         for req in &plan.requests {
             let catalog_idx = self
@@ -325,6 +338,7 @@ impl Fleet {
                 two_stage_step(release, run_stages, &mut s.cpu_free, &mut s.gpu_free)
             };
             let done = gpu_start + gpu_dur;
+            latency.observe(done - req.arrival);
             let s = &mut states[d];
             s.busy += gpu_dur;
             s.completed += 1;
@@ -353,7 +367,6 @@ impl Fleet {
             .max()
             .unwrap_or(Nanos::ZERO);
         let horizon_s = horizon.as_secs_f64();
-        let latencies: Vec<Nanos> = completed.iter().map(CompletedRequest::latency).collect();
         let per_device: Vec<DeviceUtilization> = states
             .iter()
             .enumerate()
@@ -385,7 +398,7 @@ impl Fleet {
             } else {
                 0.0
             },
-            latency: LatencyStats::from_samples(&latencies),
+            latency: latency.finalize(),
             per_device,
         };
 

@@ -60,7 +60,10 @@ pub mod topology;
 
 pub use arrival::{ArrivalMix, ArrivalPlan, Request};
 pub use fleet::{CompletedRequest, Fleet, FleetOutcome, ServeConfig, ServeSweep, ShedRequest};
-pub use metrics::{DeviceUtilization, LatencyStats, PolicyReport, ServeReport};
+pub use metrics::{
+    DeviceUtilization, LatencyAccumulator, LatencyStats, PolicyReport, ServeReport,
+    StreamingHistogram,
+};
 pub use policy::{
     Admission, AdmissionPolicy, ChaosFailover, FleetView, ModePacking, Placement, PlacementPolicy,
     PolicyKind, ServingPolicy, UvmSpillover,

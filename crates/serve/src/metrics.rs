@@ -7,15 +7,257 @@
 //! don't count), and **per-device utilization** (GPU-busy fraction of the
 //! horizon, which exposes the imbalance a placement policy creates).
 //!
-//! Percentiles are *exact* sample quantiles — sorted samples with linear
+//! # Two quantile regimes
+//!
+//! Small runs use *exact* sample quantiles — sorted samples with linear
 //! interpolation between ranks, the same estimator as
-//! `hetsim_engine::stats::Summary::percentile` — not a streaming sketch.
-//! A serving simulation holds every latency in memory anyway, and exact
-//! quantiles keep reports byte-reproducible, which a randomized sketch
-//! would forfeit.
+//! `hetsim_engine::stats::Summary::percentile`. Fleet-scale runs cannot
+//! buffer and sort millions of latencies, so [`LatencyAccumulator`]
+//! switches to a fixed-memory [`StreamingHistogram`] once a run outgrows
+//! [`LatencyAccumulator::EXACT_LIMIT`] samples: an HDR-style
+//! logarithmic-bucket histogram (128 sub-buckets per power of two) whose
+//! quantiles are within a *guaranteed* relative error bound of the exact
+//! oracle ([`StreamingHistogram::RELATIVE_ERROR_BOUND`], 1/256 ≈ 0.4%).
+//! Count, mean, and max stay exact in both regimes.
+//!
+//! The histogram is a deterministic, order-insensitive function of the
+//! sample multiset — no randomization, no merge order — so reports remain
+//! byte-reproducible at any thread count, which a randomized sketch
+//! (t-digest) would forfeit. The exact path doubles as the test oracle:
+//! `tests/streaming_estimator.rs` pins the error bound across all arrival
+//! mixes.
 
 use hetsim_counters::report::Table;
 use hetsim_engine::time::Nanos;
+
+/// Number of sub-bucket bits per power of two in [`StreamingHistogram`]:
+/// 128 sub-buckets per octave.
+const SUB_BITS: u32 = 7;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range: values below
+/// `2 * SUBS` get one bucket each (exact), every octave above contributes
+/// `SUBS` buckets.
+const BUCKETS: usize = (63 - SUB_BITS as usize + 2) * SUBS;
+
+/// A fixed-memory logarithmic histogram over `u64` nanosecond samples.
+///
+/// Values below 256 are binned exactly; larger values share a bucket with
+/// at most a `1/128` relative spread, so reporting a bucket's midpoint is
+/// off by at most [`StreamingHistogram::RELATIVE_ERROR_BOUND`] of the true
+/// sample. Memory is a constant ~58 KiB regardless of sample count, and
+/// every observation is O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl StreamingHistogram {
+    /// Guaranteed relative error of any reported quantile against the
+    /// exact sample quantile: a bucket's midpoint is within `1/256` of
+    /// every sample the bucket holds, and interpolation between bucket
+    /// midpoints preserves the bound (plus ≤ 1 ns of integer rounding).
+    pub const RELATIVE_ERROR_BOUND: f64 = 1.0 / 256.0;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample. O(1).
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact integer mean (sum / count); zero when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.sum / u128::from(self.count)) as u64
+        }
+    }
+
+    /// Exact maximum observed; zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Estimated quantile with the exact path's rank convention
+    /// (`p/100 × (n-1)`, linear interpolation between the straddling
+    /// ranks' bucket midpoints).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
+    pub fn quantile(&self, p: f64) -> u64 {
+        assert!(self.count > 0, "quantile of an empty histogram");
+        assert!((0.0..=100.0).contains(&p), "percentile out of [0,100]");
+        if self.count == 1 {
+            // A single sample may still be mid-bucket; max is exact.
+            return self.max;
+        }
+        let rank = p / 100.0 * (self.count - 1) as f64;
+        let lo = rank.floor() as u64;
+        let hi = rank.ceil() as u64;
+        let frac = rank - lo as f64;
+        let (a, b) = self.values_at_ranks(lo, hi);
+        let v = a as f64 * (1.0 - frac) + b as f64 * frac;
+        v.round() as u64
+    }
+
+    /// Bucket-midpoint values at two 0-based ranks (`lo <= hi`), found in
+    /// one cumulative walk. The top rank reports the exact max.
+    fn values_at_ranks(&self, lo: u64, hi: u64) -> (u64, u64) {
+        let exact_top = |rank: u64, mid: u64| -> u64 {
+            // The greatest rank is the greatest sample: exact.
+            if rank == self.count - 1 {
+                self.max
+            } else {
+                mid
+            }
+        };
+        let mut cum = 0u64;
+        let mut first = None;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if first.is_none() && cum > lo {
+                first = Some(exact_top(lo, bucket_mid(i)));
+            }
+            if cum > hi {
+                let a = first.expect("lo <= hi implies lo found by now");
+                return (a, exact_top(hi, bucket_mid(i)));
+            }
+        }
+        unreachable!("ranks are below the total count");
+    }
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        StreamingHistogram::new()
+    }
+}
+
+/// Bucket index of a value: identity below `2 * SUBS`, then
+/// `SUBS` log-spaced buckets per octave.
+fn bucket_index(v: u64) -> usize {
+    if v < (2 * SUBS) as u64 {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros();
+        let shift = top - SUB_BITS;
+        shift as usize * SUBS + (v >> shift) as usize
+    }
+}
+
+/// Midpoint of a bucket (inverse of [`bucket_index`] up to the bucket's
+/// width).
+fn bucket_mid(index: usize) -> u64 {
+    if index < 2 * SUBS {
+        index as u64
+    } else {
+        let shift = (index / SUBS - 1) as u32;
+        let q = (index - shift as usize * SUBS) as u64;
+        (q << shift) + (1u64 << shift) / 2
+    }
+}
+
+/// Streaming latency accounting: exact below
+/// [`LatencyAccumulator::EXACT_LIMIT`] samples, fixed-memory
+/// [`StreamingHistogram`] beyond. Feeding samples in any order yields the
+/// same [`LatencyStats`] for the same multiset, and a run that stays small
+/// is *byte-identical* to [`LatencyStats::from_samples`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyAccumulator {
+    exact: Vec<Nanos>,
+    hist: Option<StreamingHistogram>,
+}
+
+impl LatencyAccumulator {
+    /// Largest population kept exact. Past this, samples stream into the
+    /// histogram and memory stays constant.
+    pub const EXACT_LIMIT: usize = 8192;
+
+    /// An empty accumulator in the exact regime.
+    pub fn new() -> Self {
+        LatencyAccumulator {
+            exact: Vec::new(),
+            hist: None,
+        }
+    }
+
+    /// Records one latency sample. O(1) amortized: the one-time spill into
+    /// the histogram replays the buffered samples and frees the buffer.
+    pub fn observe(&mut self, v: Nanos) {
+        if let Some(h) = &mut self.hist {
+            h.observe(v.as_nanos());
+            return;
+        }
+        self.exact.push(v);
+        if self.exact.len() > Self::EXACT_LIMIT {
+            let mut h = StreamingHistogram::new();
+            for s in self.exact.drain(..) {
+                h.observe(s.as_nanos());
+            }
+            self.exact.shrink_to_fit();
+            self.hist = Some(h);
+        }
+    }
+
+    /// Number of samples recorded so far.
+    pub fn count(&self) -> usize {
+        match &self.hist {
+            Some(h) => h.count() as usize,
+            None => self.exact.len(),
+        }
+    }
+
+    /// Whether the accumulator has spilled into the streaming regime.
+    pub fn is_streaming(&self) -> bool {
+        self.hist.is_some()
+    }
+
+    /// Produces the stats. Exact regime delegates to
+    /// [`LatencyStats::from_samples`]; streaming regime reports exact
+    /// count/mean/max and histogram quantiles within
+    /// [`StreamingHistogram::RELATIVE_ERROR_BOUND`].
+    pub fn finalize(&self) -> LatencyStats {
+        match &self.hist {
+            None => LatencyStats::from_samples(&self.exact),
+            Some(h) => LatencyStats {
+                count: h.count() as usize,
+                mean: Nanos::from_nanos(h.mean()),
+                p50: Nanos::from_nanos(h.quantile(50.0)),
+                p99: Nanos::from_nanos(h.quantile(99.0)),
+                p999: Nanos::from_nanos(h.quantile(99.9)),
+                max: Nanos::from_nanos(h.max()),
+            },
+        }
+    }
+}
+
+impl Default for LatencyAccumulator {
+    fn default() -> Self {
+        LatencyAccumulator::new()
+    }
+}
 
 /// Exact sample quantiles over a latency population.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -383,6 +625,142 @@ mod tests {
     #[test]
     fn json_escapes_quotes() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_mid_is_in_bucket() {
+        let mut last = 0usize;
+        for v in (0u64..2048).chain([1 << 20, (1 << 20) + 513, 1 << 40, u64::MAX]) {
+            let i = bucket_index(v);
+            assert!(i >= last || v < 2048, "monotone");
+            last = last.max(i);
+            assert!(i < BUCKETS);
+            let mid = bucket_mid(i);
+            assert_eq!(bucket_index(mid), i, "midpoint stays in its bucket (v={v})");
+            if v >= 256 {
+                let rel = (mid as f64 - v as f64).abs() / v as f64;
+                assert!(
+                    rel <= StreamingHistogram::RELATIVE_ERROR_BOUND,
+                    "v={v} mid={mid} rel={rel}"
+                );
+            } else {
+                assert_eq!(mid, v, "small values are exact");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_exact_for_small_values() {
+        let mut h = StreamingHistogram::new();
+        for v in 0..=255u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 256);
+        assert_eq!(h.max(), 255);
+        let sorted: Vec<u64> = (0..=255).collect();
+        for p in [0.0, 25.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.quantile(p), percentile(&sorted, p).as_nanos(), "p{p}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_within_bound_on_log_uniform() {
+        // A deterministic log-uniform-ish stream spanning six decades.
+        let mut samples: Vec<u64> = (0..50_000u64)
+            .map(|i| {
+                let x = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) % 60;
+                (1u64 << (x / 3)) + i % 997
+            })
+            .collect();
+        let mut h = StreamingHistogram::new();
+        for &s in &samples {
+            h.observe(s);
+        }
+        samples.sort_unstable();
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
+            let exact = percentile(&samples, p).as_nanos();
+            let est = h.quantile(p);
+            let err = (est as f64 - exact as f64).abs();
+            assert!(
+                err <= exact as f64 * StreamingHistogram::RELATIVE_ERROR_BOUND + 1.0,
+                "p{p}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(100.0), *samples.last().unwrap(), "max exact");
+    }
+
+    #[test]
+    fn accumulator_matches_exact_path_below_limit() {
+        let samples: Vec<Nanos> = (0..1000u64)
+            .map(|i| Nanos::from_nanos(i.wrapping_mul(2_654_435_761) % 10_000_000))
+            .collect();
+        let mut acc = LatencyAccumulator::new();
+        for &s in &samples {
+            acc.observe(s);
+        }
+        assert!(!acc.is_streaming());
+        assert_eq!(acc.finalize(), LatencyStats::from_samples(&samples));
+    }
+
+    #[test]
+    fn accumulator_spills_once_and_stays_bounded() {
+        let mut acc = LatencyAccumulator::new();
+        let n = LatencyAccumulator::EXACT_LIMIT * 3;
+        for i in 0..n as u64 {
+            acc.observe(Nanos::from_nanos(1_000_000 + i * 13));
+        }
+        assert!(acc.is_streaming());
+        assert_eq!(acc.count(), n);
+        let stats = acc.finalize();
+        assert_eq!(stats.count, n);
+        // Count, mean, max exact even in the streaming regime.
+        let samples: Vec<Nanos> = (0..n as u64)
+            .map(|i| Nanos::from_nanos(1_000_000 + i * 13))
+            .collect();
+        let exact = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.mean, exact.mean);
+        assert_eq!(stats.max, exact.max);
+        for (got, want, label) in [
+            (stats.p50, exact.p50, "p50"),
+            (stats.p99, exact.p99, "p99"),
+            (stats.p999, exact.p999, "p999"),
+        ] {
+            let err = (got.as_nanos() as f64 - want.as_nanos() as f64).abs();
+            assert!(
+                err <= want.as_nanos() as f64 * StreamingHistogram::RELATIVE_ERROR_BOUND + 1.0,
+                "{label}: {got:?} vs {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulator_is_order_insensitive() {
+        let forward: Vec<Nanos> = (0..20_000u64)
+            .map(|i| Nanos::from_nanos(i.wrapping_mul(0x5851_F42D_4C95_7F2D) % 1_000_000_000))
+            .collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let mut a = LatencyAccumulator::new();
+        let mut b = LatencyAccumulator::new();
+        for (&x, &y) in forward.iter().zip(reversed.iter()) {
+            a.observe(x);
+            b.observe(y);
+        }
+        assert_eq!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn empty_accumulator_finalizes_to_zero() {
+        assert_eq!(
+            LatencyAccumulator::new().finalize(),
+            LatencyStats::from_samples(&[])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty histogram")]
+    fn histogram_quantile_rejects_empty() {
+        let _ = StreamingHistogram::new().quantile(50.0);
     }
 
     fn sample_report() -> PolicyReport {

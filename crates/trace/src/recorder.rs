@@ -69,7 +69,7 @@ pub struct TraceBuilder {
     now: u64,
     cursors: Vec<u64>,
     counter_track: Option<TrackId>,
-    last_counter_ts: HashMap<(TrackId, String), u64>,
+    last_counter_ts: HashMap<TrackId, HashMap<String, u64>>,
     sink: Option<Box<dyn TraceSink>>,
     sink_error: Option<String>,
     export_origin: Instant,
@@ -379,11 +379,17 @@ impl TraceBuilder {
     ) {
         let name = name.into();
         if let Some(interval) = self.config.counter_interval {
-            match self.last_counter_ts.get(&(track, name.to_string())) {
-                Some(&last) if ts < last.saturating_add(interval) => return,
-                _ => {}
+            // Nested map keeps the decimation lookup allocation-free on
+            // the hot path: a `String` key is only built the first time a
+            // `(track, name)` pair appears.
+            let per_track = self.last_counter_ts.entry(track).or_default();
+            match per_track.get_mut(name.as_ref()) {
+                Some(last) if ts < last.saturating_add(interval) => return,
+                Some(last) => *last = ts,
+                None => {
+                    per_track.insert(name.clone().into_owned(), ts);
+                }
             }
-            self.last_counter_ts.insert((track, name.to_string()), ts);
         }
         self.push(TraceEvent {
             track,
@@ -426,6 +432,18 @@ impl TraceBuilder {
             .iter()
             .map(|s| self.intern_symbol(s))
             .collect();
+        // Merge fast paths: when the other trace's symbols landed on the
+        // same ids here (the common case — per-mode traces share one
+        // label vocabulary), per-event label rebuilding is a no-op and is
+        // skipped wholesale. Track remaps rarely coincide, so those stay
+        // per-event, but unlabeled events skip the label loop either way.
+        let symbols_identity = symbol_map.iter().enumerate().all(|(i, &s)| s as usize == i);
+        self.events.reserve(
+            other
+                .events()
+                .len()
+                .min(self.config.capacity.saturating_sub(self.events.len())),
+        );
         for ev in other.events() {
             let src = ev.track.0 as usize;
             let mut ev = ev.clone();
@@ -433,11 +451,13 @@ impl TraceBuilder {
             if !other.tracks()[src].host {
                 ev.ts += offset;
             }
-            let mut labels = LabelSet::EMPTY;
-            for (dim, sym) in ev.labels.iter() {
-                labels.set(dim, symbol_map[sym as usize]);
+            if !symbols_identity && !ev.labels.is_empty() {
+                let mut labels = LabelSet::EMPTY;
+                for (dim, sym) in ev.labels.iter() {
+                    labels.set(dim, symbol_map[sym as usize]);
+                }
+                ev.labels = labels;
             }
-            ev.labels = labels;
             self.push(ev);
         }
         self.now = self.now.max(offset + other.end_cursor());

@@ -13,7 +13,12 @@
 #   * the serving layer's arrival-rate sweep (`serve --policy all`) —
 #     three policies x four rates on a 4-GPU fleet, serial vs parallel;
 #   * the streaming trace exporter — a five-mode sweep drained to JSONL
-#     during the merge, recorded as events/sec.
+#     during the merge, recorded as events/sec;
+#   * the on-disk result cache — cold vs warm Fig 7/8 grid reruns, with
+#     byte-identity and zero-warm-miss gates and (in full mode) a hard
+#     >= 5x incremental-speedup assertion;
+#   * the hetsim-bench binaries (fig07 regeneration, sampling ablation),
+#     plain std::time::Instant timings with no external framework.
 #
 # Usage:
 #   scripts/bench.sh            # full sizes, writes BENCH_sweep.json
@@ -42,6 +47,7 @@ if [[ $SMOKE -eq 1 ]]; then
   BFS_SIZE=small
   CHAOS_SIZE=tiny
   SERVE_REQUESTS=120
+  BENCH_ITERS=3
   STAGE_TIMEOUT="${STAGE_TIMEOUT:-300}"
 else
   GRID_SIZE=large
@@ -49,20 +55,34 @@ else
   BFS_SIZE=mega
   CHAOS_SIZE=small
   SERVE_REQUESTS=400
+  BENCH_ITERS=10
   STAGE_TIMEOUT="${STAGE_TIMEOUT:-1800}"
 fi
 
 CLI=./target/release/hetsim-cli
-if [[ ! -x "$CLI" ]]; then
-  echo "==> building release CLI"
-  cargo build --release -q -p hetsim-cli || { echo "FAIL: build"; exit 1; }
+BENCH_DIR=./target/release
+if [[ ! -x "$CLI" || ! -x "$BENCH_DIR/bench_fig07_micro_comparison" ]]; then
+  echo "==> building release CLI + bench binaries"
+  cargo build --release -q -p hetsim-cli -p hetsim-bench \
+    || { echo "FAIL: build"; exit 1; }
 fi
 
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
-now_ms() { python3 -c 'import time; print(int(time.time()*1000))' 2>/dev/null \
-  || date +%s%3N; }
+# Millisecond clock. GNU date is a few ms; the python3 fallback (for
+# platforms whose date lacks %N) costs ~40ms of interpreter startup,
+# which would put a floor under every recorded stage — so it is the
+# fallback, not the default.
+now_ms() {
+  local ms
+  ms="$(date +%s%3N 2>/dev/null)"
+  if [[ "$ms" =~ ^[0-9]+$ ]]; then
+    echo "$ms"
+  else
+    python3 -c 'import time; print(int(time.time()*1000))'
+  fi
+}
 
 FAILED_STAGES=""
 STAGE_RECORDS=""
@@ -130,6 +150,63 @@ run_stage fig8_apps_grid_threads4 "$out/apps4.txt" \
   "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
 check_stage fig8_determinism cmp -s "$out/apps1.txt" "$out/apps4.txt"
 
+# Incremental sweep: the Fig 7/8 grids against the on-disk result cache.
+# The cold pass fills a fresh store (all misses), the warm pass replays
+# it (zero misses) and must reproduce the cold stdout byte-for-byte —
+# which the uncached grid stages above also pin, so a cache bug cannot
+# hide behind a deterministic-but-wrong store. The hit/miss counts come
+# from the CLI's stderr stats line; the warm/cold ratio is the caching
+# win recorded in the baseline (asserted >= 5x in full mode, where the
+# grids dwarf process startup).
+CACHE_DIR="$out/result-cache"
+cache_count() { # FILE FIELD -> count scraped from "cache: H hits, M misses, S stored"
+  grep -o "[0-9]* $2" "$1" | grep -o '[0-9]*' | head -1 || echo 0
+}
+run_stage fig7_grid_cached_cold "$out/micro_cold.txt" \
+  "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4 --cache "$CACHE_DIR"
+FIG7_COLD_MS=$TIMED_MS
+FIG7_COLD_MISSES="$(cache_count "$out/fig7_grid_cached_cold.err" misses)"
+run_stage fig7_grid_cached_warm "$out/micro_warm.txt" \
+  "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4 --cache "$CACHE_DIR"
+FIG7_WARM_MS=$TIMED_MS
+FIG7_WARM_HITS="$(cache_count "$out/fig7_grid_cached_warm.err" hits)"
+FIG7_WARM_MISSES="$(cache_count "$out/fig7_grid_cached_warm.err" misses)"
+check_stage fig7_cache_byte_identity cmp -s "$out/micro_cold.txt" "$out/micro_warm.txt"
+check_stage fig7_cache_matches_uncached cmp -s "$out/micro4.txt" "$out/micro_warm.txt"
+check_stage fig7_cache_warm_has_no_misses test "$FIG7_WARM_MISSES" = 0
+
+run_stage fig8_grid_cached_cold "$out/apps_cold.txt" \
+  "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4 --cache "$CACHE_DIR"
+FIG8_COLD_MS=$TIMED_MS
+FIG8_COLD_MISSES="$(cache_count "$out/fig8_grid_cached_cold.err" misses)"
+run_stage fig8_grid_cached_warm "$out/apps_warm.txt" \
+  "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4 --cache "$CACHE_DIR"
+FIG8_WARM_MS=$TIMED_MS
+FIG8_WARM_HITS="$(cache_count "$out/fig8_grid_cached_warm.err" hits)"
+FIG8_WARM_MISSES="$(cache_count "$out/fig8_grid_cached_warm.err" misses)"
+check_stage fig8_cache_byte_identity cmp -s "$out/apps_cold.txt" "$out/apps_warm.txt"
+check_stage fig8_cache_matches_uncached cmp -s "$out/apps4.txt" "$out/apps_warm.txt"
+check_stage fig8_cache_warm_has_no_misses test "$FIG8_WARM_MISSES" = 0
+
+if [[ $SMOKE -eq 0 ]]; then
+  # Startup noise is negligible at full sizes, so the >= 5x incremental
+  # win is a hard gate there (smoke grids are too small to assert it).
+  check_stage fig7_cache_speedup_5x \
+    awk "BEGIN{exit !($FIG7_COLD_MS >= 5 * $FIG7_WARM_MS)}"
+  check_stage fig8_cache_speedup_5x \
+    awk "BEGIN{exit !($FIG8_COLD_MS >= 5 * $FIG8_WARM_MS)}"
+fi
+
+# The zero-dependency bench binaries (formerly the criterion harness):
+# each regenerates its figure data and prints `bench: ... ns/iter` lines
+# for its timed hot paths; the stage wall time is the recorded baseline.
+run_stage bench_fig07_micro_comparison "$out/bench_fig07.txt" \
+  "$BENCH_DIR/bench_fig07_micro_comparison" \
+  --size "$GRID_SIZE" --runs "$GRID_RUNS" --iters "$BENCH_ITERS"
+run_stage bench_ablation_sampling "$out/bench_abl.txt" \
+  "$BENCH_DIR/bench_ablation_sampling" \
+  --size "$GRID_SIZE" --iters "$BENCH_ITERS"
+
 if run_stage sanitizer_check_all "$out/check.txt" \
   "$CLI" check --all --deny warnings --size "$GRID_SIZE"; then
   check_stage sanitizer_clean grep -q "0 errors, 0 warnings" "$out/check.txt"
@@ -178,10 +255,18 @@ TRACE_EPS="$(awk "BEGIN{ms=$TRACE_MS; if (ms <= 0) ms = 1; \
 # everywhere).
 HOST_PARALLELISM="$(nproc 2>/dev/null || echo 1)"
 
-RESULT=BENCH_sweep.json
-if [[ $SMOKE -eq 1 ]]; then
+# BENCH_RESULT overrides the output path (CI writes smoke runs to a
+# scratch file for the regression comparator without clobbering the
+# committed full-mode baseline).
+RESULT="${BENCH_RESULT:-BENCH_sweep.json}"
+if [[ $SMOKE -eq 1 && -z "${BENCH_RESULT:-}" ]]; then
   RESULT="$out/BENCH_smoke.json"
 fi
+
+FIG7_SPEEDUP="$(awk "BEGIN{w=$FIG7_WARM_MS; if (w <= 0) w = 1; \
+  printf \"%.1f\", $FIG7_COLD_MS / w}")"
+FIG8_SPEEDUP="$(awk "BEGIN{w=$FIG8_WARM_MS; if (w <= 0) w = 1; \
+  printf \"%.1f\", $FIG8_COLD_MS / w}")"
 
 cat > "$RESULT" <<EOF
 {
@@ -197,6 +282,14 @@ cat > "$RESULT" <<EOF
     "events": $TRACE_EVENTS,
     "wall_ms": $TRACE_MS,
     "events_per_sec": $TRACE_EPS
+  },
+  "result_cache": {
+    "fig7": {"cold_wall_ms": $FIG7_COLD_MS, "warm_wall_ms": $FIG7_WARM_MS,
+             "cold_misses": $FIG7_COLD_MISSES, "warm_hits": $FIG7_WARM_HITS,
+             "speedup_x": $FIG7_SPEEDUP},
+    "fig8": {"cold_wall_ms": $FIG8_COLD_MS, "warm_wall_ms": $FIG8_WARM_MS,
+             "cold_misses": $FIG8_COLD_MISSES, "warm_hits": $FIG8_WARM_HITS,
+             "speedup_x": $FIG8_SPEEDUP}
   },
   "stages": {
 $STAGE_RECORDS

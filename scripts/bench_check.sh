@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Bench regression gate: compares a fresh bench run against a recorded
+# baseline and fails when any shared stage got more than REGRESSION_X
+# times slower.
+#
+# Usage:
+#   scripts/bench_check.sh BASELINE.json FRESH.json
+#
+# Rules:
+#   * only stages present in BOTH files are compared (renamed or new
+#     stages are reported, not failed);
+#   * stages that were not "ok" in either file are skipped — a failing
+#     stage is bench.sh's problem, not a timing regression;
+#   * stages under MIN_BASELINE_MS in the baseline are skipped: at
+#     startup-dominated durations the ratio is pure noise;
+#   * the two files must agree on the "smoke" flag — comparing a tiny
+#     smoke run against a full-size baseline (or vice versa) would make
+#     every ratio meaningless, so that is a usage error.
+#
+# Knobs: REGRESSION_X (default 2), MIN_BASELINE_MS (default 20).
+set -euo pipefail
+
+BASELINE="${1:?usage: bench_check.sh BASELINE.json FRESH.json}"
+FRESH="${2:?usage: bench_check.sh BASELINE.json FRESH.json}"
+REGRESSION_X="${REGRESSION_X:-2}"
+MIN_BASELINE_MS="${MIN_BASELINE_MS:-20}"
+
+[[ -f "$BASELINE" ]] || { echo "FAIL: baseline $BASELINE not found"; exit 1; }
+[[ -f "$FRESH" ]] || { echo "FAIL: fresh result $FRESH not found"; exit 1; }
+
+mode_of() { sed -n 's/.*"smoke": *\([01]\).*/\1/p' "$1" | head -1; }
+BASE_MODE="$(mode_of "$BASELINE")"
+FRESH_MODE="$(mode_of "$FRESH")"
+if [[ "$BASE_MODE" != "$FRESH_MODE" ]]; then
+  echo "FAIL: smoke flags differ (baseline=$BASE_MODE fresh=$FRESH_MODE);"
+  echo "      regenerate the baseline in the same mode before comparing"
+  exit 1
+fi
+
+# Each stage record is one line of the uniform shape bench.sh writes:
+#   "name": {"status": "ok", "wall_ms": 123}
+extract() {
+  sed -n 's/.*"\([a-z0-9_]*\)": {"status": "\([a-z]*\)", "wall_ms": \([0-9]*\)}.*/\1 \2 \3/p' "$1"
+}
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+extract "$BASELINE" > "$tmp/base"
+extract "$FRESH" > "$tmp/fresh"
+[[ -s "$tmp/base" ]] || { echo "FAIL: no stage records in $BASELINE"; exit 1; }
+[[ -s "$tmp/fresh" ]] || { echo "FAIL: no stage records in $FRESH"; exit 1; }
+
+awk -v limit="$REGRESSION_X" -v floor="$MIN_BASELINE_MS" '
+  NR == FNR { base_ms[$1] = $3; base_st[$1] = $2; next }
+  {
+    if (!($1 in base_ms)) { printf "  new stage (no baseline): %s\n", $1; next }
+    seen[$1] = 1
+    if (base_st[$1] != "ok" || $2 != "ok") {
+      printf "  skip (not ok): %s\n", $1; next
+    }
+    if (base_ms[$1] < floor) { next }
+    if ($3 > limit * base_ms[$1]) {
+      printf "  REGRESSION: %s took %d ms, baseline %d ms (> %gx)\n", \
+        $1, $3, base_ms[$1], limit
+      bad = 1
+      next
+    }
+    printf "  ok: %s %d ms (baseline %d ms)\n", $1, $3, base_ms[$1]
+  }
+  END {
+    for (name in base_ms) {
+      if (!(name in seen)) printf "  stage missing from fresh run: %s\n", name
+    }
+    exit bad
+  }
+' "$tmp/base" "$tmp/fresh" || { echo "FAIL: bench regression over ${REGRESSION_X}x"; exit 1; }
+
+echo "bench_check OK (no stage over ${REGRESSION_X}x baseline)"

@@ -2,8 +2,8 @@
 # The full CI gate, runnable locally: `scripts/ci.sh`.
 #
 # Everything here is offline-safe: the workspace has no external
-# dependencies (crates/bench, which needs criterion from the registry,
-# is excluded from the workspace and not built here).
+# dependencies (the bench harness is plain `std::time::Instant` binaries,
+# so even the benchmarks build without registry access).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -124,5 +124,45 @@ for policy in mode_packing uvm_spillover chaos_failover; do
 done
 cmp -s "$out/serve1_mode_packing.json" "$out/serve1_uvm_spillover.json" \
   && { echo "FAIL: different policies produced identical serve reports"; exit 1; }
+
+echo "==> result-cache correctness gate (cold vs warm, byte-identical, no warm misses)"
+# The incremental-sweep contract on the real binary: a warm rerun against
+# the on-disk store must reproduce the cold stdout byte-for-byte while
+# reporting zero misses on stderr — and the cache admin subcommand must
+# see, then clear, exactly the entries the sweep stored.
+cachedir="$out/result-cache"
+./target/release/hetsim-cli micro --size tiny --runs 2 --cache "$cachedir" \
+  > "$out/cache_cold.txt" 2> "$out/cache_cold.err"
+./target/release/hetsim-cli micro --size tiny --runs 2 --cache "$cachedir" \
+  > "$out/cache_warm.txt" 2> "$out/cache_warm.err"
+cmp "$out/cache_cold.txt" "$out/cache_warm.txt" \
+  || { echo "FAIL: warm cached rerun differs from the cold run"; exit 1; }
+grep -q 'cache: 0 hits, [1-9][0-9]* misses' "$out/cache_cold.err" \
+  || { echo "FAIL: cold run did not report all-miss cache stats"; exit 1; }
+grep -q 'cache: [1-9][0-9]* hits, 0 misses' "$out/cache_warm.err" \
+  || { echo "FAIL: warm run was not simulation-free (expected all hits)"; exit 1; }
+./target/release/hetsim-cli cache stats --cache "$cachedir" > "$out/cache_stats.txt"
+grep -q 'entries:    [1-9]' "$out/cache_stats.txt" \
+  || { echo "FAIL: cache stats does not see the stored entries"; exit 1; }
+./target/release/hetsim-cli cache clear --cache "$cachedir" > "$out/cache_clear.txt"
+grep -q 'removed [1-9]' "$out/cache_clear.txt" \
+  || { echo "FAIL: cache clear removed nothing"; exit 1; }
+./target/release/hetsim-cli cache stats --cache "$cachedir" > "$out/cache_stats2.txt"
+grep -q 'entries:    0' "$out/cache_stats2.txt" \
+  || { echo "FAIL: cache store not empty after clear"; exit 1; }
+# The HETSIM_CACHE env fallback and the --cache off override.
+HETSIM_CACHE="$cachedir" ./target/release/hetsim-cli micro --size tiny --runs 2 \
+  > /dev/null 2> "$out/cache_env.err"
+grep -q '^cache:' "$out/cache_env.err" \
+  || { echo "FAIL: HETSIM_CACHE env did not enable the cache"; exit 1; }
+HETSIM_CACHE="$cachedir" ./target/release/hetsim-cli micro --size tiny --runs 2 \
+  --cache off > /dev/null 2> "$out/cache_off.err"
+grep -q '^cache:' "$out/cache_off.err" \
+  && { echo "FAIL: --cache off did not override HETSIM_CACHE"; exit 1; }
+
+echo "==> bench regression gate (full sweep vs committed baseline, >2x fails)"
+BENCH_RESULT="$out/bench_fresh.json" scripts/bench.sh > "$out/bench_fresh.log" 2>&1 \
+  || { echo "FAIL: full bench sweep failed"; tail -20 "$out/bench_fresh.log"; exit 1; }
+scripts/bench_check.sh BENCH_sweep.json "$out/bench_fresh.json"
 
 echo "CI OK"

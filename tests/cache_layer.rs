@@ -1,0 +1,166 @@
+//! The incremental-sweep contract: a warm rerun against the on-disk
+//! result cache must reproduce a cold run byte-for-byte while skipping
+//! every simulation, the cache key must invalidate on device changes,
+//! and the in-memory memo must never run the same base simulation twice
+//! no matter how many threads race for it.
+
+use hetsim::cache::{CacheKey, DiskCache};
+use hetsim::experiment::Experiment;
+use hetsim::pool;
+use hetsim_runtime::{Device, GpuProgram, TransferMode};
+use hetsim_workloads::{suite, InputSize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique scratch directory per test invocation.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "hetsim-cache-test-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn cached_experiment(dir: &Path) -> (Experiment, Arc<DiskCache>) {
+    let disk = Arc::new(DiskCache::at(dir.to_path_buf()));
+    (
+        Experiment::new().with_runs(3).with_cache(disk.clone()),
+        disk,
+    )
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_simulation_free() {
+    let dir = scratch_dir("warm");
+    let w = suite::by_name("vector_seq", InputSize::Tiny).unwrap();
+
+    // Cold: fresh experiment, empty store — every mode is a miss + store.
+    let (cold_exp, cold_disk) = cached_experiment(&dir);
+    let cold: Vec<_> = TransferMode::ALL
+        .iter()
+        .map(|&m| cold_exp.base_run(&w, m))
+        .collect();
+    let cold_stats = cold_disk.stats();
+    assert_eq!(cold_stats.hits, 0, "empty store cannot hit");
+    assert_eq!(cold_stats.misses, TransferMode::ALL.len() as u64);
+    assert_eq!(cold_stats.stores, TransferMode::ALL.len() as u64);
+
+    // Warm: a brand-new experiment (empty in-memory memo) over the same
+    // store must replay every report exactly, with zero misses.
+    let (warm_exp, warm_disk) = cached_experiment(&dir);
+    let warm: Vec<_> = TransferMode::ALL
+        .iter()
+        .map(|&m| warm_exp.base_run(&w, m))
+        .collect();
+    let warm_stats = warm_disk.stats();
+    assert_eq!(warm_stats.misses, 0, "warm rerun must not simulate");
+    assert_eq!(warm_stats.hits, TransferMode::ALL.len() as u64);
+    assert_eq!(cold, warm, "cached reports must round-trip exactly");
+
+    // The memo counted zero disk-era computes on the warm side too: the
+    // closure ran (to consult the disk) but produced no fresh simulation.
+    assert_eq!(warm_exp.memo_stats().entries, TransferMode::ALL.len());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn device_change_invalidates_cached_entries() {
+    let dir = scratch_dir("device");
+    let w = suite::by_name("2DCONV", InputSize::Tiny).unwrap();
+
+    let (exp_a, disk_a) = cached_experiment(&dir);
+    exp_a.base_run(&w, TransferMode::Async);
+    assert_eq!(disk_a.stats().stores, 1);
+
+    // Same store, different device: the fingerprint changes, so the
+    // entry written above must not be served.
+    let mut device = Device::a100_epyc();
+    device.system_overhead = device.system_overhead + device.system_overhead;
+    let disk_b = Arc::new(DiskCache::at(dir.clone()));
+    let exp_b = Experiment::new()
+        .with_runs(3)
+        .with_cache(disk_b.clone())
+        .with_device(device);
+    exp_b.base_run(&w, TransferMode::Async);
+    let stats = disk_b.stats();
+    assert_eq!(stats.hits, 0, "a different device must miss");
+    assert_eq!(stats.misses, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_key_collisions_degrade_to_misses() {
+    let dir = scratch_dir("verify");
+    let w = suite::by_name("vector_seq", InputSize::Tiny).unwrap();
+    let (exp, disk) = cached_experiment(&dir);
+    let report = exp.base_run(&w, TransferMode::Standard);
+
+    // The stored entry answers only the exact key it was written under:
+    // a lookup whose full key line differs (here: another mode) misses
+    // even though nothing else about the store changed.
+    let hit_key = CacheKey::new(&w.memo_key(), TransferMode::Standard, {
+        hetsim::cache::device_fingerprint(&Device::a100_epyc())
+    });
+    let miss_key = CacheKey::new(&w.memo_key(), TransferMode::Uvm, {
+        hetsim::cache::device_fingerprint(&Device::a100_epyc())
+    });
+    assert_eq!(disk.load(&hit_key), Some(report));
+    assert_eq!(disk.load(&miss_key), None);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn racing_threads_never_duplicate_a_base_simulation() {
+    let w = suite::by_name("kmeans", InputSize::Tiny).unwrap();
+    let exp = Experiment::new().with_runs(3);
+    // 32 tasks on 4 workers all demand the same (workload, mode) cell;
+    // the sharded memo's single-flight cell must run it exactly once.
+    pool::with_threads(4, || {
+        pool::run(32, |_| {
+            exp.base_run(&w, TransferMode::UvmPrefetchAsync);
+        })
+    });
+    let stats = exp.memo_stats();
+    assert_eq!(stats.entries, 1);
+    assert_eq!(stats.lookups, 32);
+    assert_eq!(
+        stats.computes, 1,
+        "check-then-insert race would simulate more than once"
+    );
+}
+
+#[test]
+fn warm_rerun_of_the_fig7_grid_reuses_the_store_across_thread_counts() {
+    let dir = scratch_dir("grid");
+    let w_names = suite::micro_names();
+
+    let (cold_exp, cold_disk) = cached_experiment(&dir);
+    let cold = pool::with_threads(4, || {
+        hetsim::figures::fig7(&cold_exp, InputSize::Tiny)
+            .to_table()
+            .to_string()
+    });
+    let grid = w_names.len() * TransferMode::ALL.len();
+    assert_eq!(cold_disk.stats().stores as usize, grid);
+
+    // Warm rerun at a different thread count: same bytes, all hits.
+    let (warm_exp, warm_disk) = cached_experiment(&dir);
+    let warm = pool::with_threads(1, || {
+        hetsim::figures::fig7(&warm_exp, InputSize::Tiny)
+            .to_table()
+            .to_string()
+    });
+    assert_eq!(cold, warm);
+    let stats = warm_disk.stats();
+    assert_eq!(stats.misses, 0);
+    assert_eq!(stats.hits as usize, grid);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,102 @@
+//! The streaming-percentile contract: once a serving cell outgrows the
+//! exact buffer ([`LatencyAccumulator::EXACT_LIMIT`]), the fixed-memory
+//! histogram takes over, and its p50/p99/p999 must stay within the
+//! documented relative error bound of the exact sorted-sample oracle —
+//! across every arrival mix and seed — while count, mean, and max stay
+//! exact and the report bytes stay identical at any thread count.
+
+use hetsim::pool;
+use hetsim_serve::{
+    ArrivalMix, Fleet, LatencyAccumulator, PolicyKind, ServeConfig, ServeReport, StreamingHistogram,
+};
+use hetsim_serve::{LatencyStats, PolicyReport};
+use hetsim_workloads::InputSize;
+
+/// Enough offered requests that every mix completes well past the exact
+/// buffer and the histogram path is exercised for real.
+const REQUESTS: u64 = 12_000;
+
+fn config(mix_name: &str, seed: u64) -> ServeConfig {
+    ServeConfig {
+        policy: PolicyKind::ALL[0],
+        mix: ArrivalMix::by_name(mix_name, 400.0).unwrap(),
+        seed,
+        requests: REQUESTS,
+    }
+}
+
+/// |estimate - exact| must be within the histogram's relative error
+/// bound of the exact value (plus 1 ns of integer rounding slack).
+fn assert_within_bound(what: &str, estimate: u64, exact: u64) {
+    let slack = (exact as f64 * StreamingHistogram::RELATIVE_ERROR_BOUND).ceil() as u64 + 1;
+    let err = estimate.abs_diff(exact);
+    assert!(
+        err <= slack,
+        "{what}: estimate {estimate} vs exact {exact} — off by {err}, bound {slack}"
+    );
+}
+
+fn check_cell(fleet: &Fleet, mix_name: &str, seed: u64) -> PolicyReport {
+    let outcome = fleet.serve(&config(mix_name, seed));
+    let report = outcome.report.clone();
+    let stats = report.latency;
+
+    assert!(
+        outcome.completed.len() > LatencyAccumulator::EXACT_LIMIT,
+        "{mix_name}/{seed}: needs {} completions to stream, got {}",
+        LatencyAccumulator::EXACT_LIMIT,
+        outcome.completed.len()
+    );
+
+    // The exact oracle, recomputed from the raw schedule.
+    let samples: Vec<_> = outcome.completed.iter().map(|c| c.latency()).collect();
+    let exact = LatencyStats::from_samples(&samples);
+
+    // Count, mean, and max never leave the exact path.
+    assert_eq!(stats.count, exact.count, "{mix_name}/{seed}: count");
+    assert_eq!(stats.mean, exact.mean, "{mix_name}/{seed}: mean");
+    assert_eq!(stats.max, exact.max, "{mix_name}/{seed}: max");
+
+    // The quantiles may move, but only within the documented bound.
+    for (what, est, ex) in [
+        ("p50", stats.p50, exact.p50),
+        ("p99", stats.p99, exact.p99),
+        ("p999", stats.p999, exact.p999),
+    ] {
+        assert_within_bound(
+            &format!("{mix_name}/{seed}/{what}"),
+            est.as_nanos(),
+            ex.as_nanos(),
+        );
+    }
+    report
+}
+
+#[test]
+fn streaming_percentiles_track_the_exact_oracle_across_mixes_and_seeds() {
+    let fleet = Fleet::nvlink(4, InputSize::Tiny);
+    for mix_name in ArrivalMix::NAMES {
+        for seed in [7, 42] {
+            check_cell(&fleet, mix_name, seed);
+        }
+    }
+}
+
+#[test]
+fn streaming_reports_are_byte_identical_across_thread_counts() {
+    let render = || {
+        let fleet = Fleet::nvlink(4, InputSize::Tiny);
+        let outcome = fleet.serve(&config("bursty", 11));
+        assert!(outcome.completed.len() > LatencyAccumulator::EXACT_LIMIT);
+        ServeReport {
+            cells: vec![outcome.report],
+        }
+        .to_json()
+    };
+    let serial = pool::with_threads(1, render);
+    let parallel = pool::with_threads(4, render);
+    assert_eq!(
+        serial, parallel,
+        "streaming-path serve report must not depend on thread count"
+    );
+}
