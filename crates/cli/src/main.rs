@@ -30,6 +30,12 @@
 //! (`run`, `micro`, `apps`, `irregular`, `figures`) accept
 //! `--verify-specs` to run the same checks before burning compute.
 //!
+//! `advise` runs the static performance advisor: per workload it ranks
+//! all five transfer modes by predicted cost (alloc/memcpy/kernel, with a
+//! one-line rationale each) and reports the `SAN-P*` advisory lints —
+//! again with no simulation. `--format json` emits an array of advice
+//! objects whose shape is pinned by a CI golden test.
+//!
 //! `trace` records one deterministic run as a structured sim-time trace
 //! and exports it by output extension: `.jsonl` → line-delimited JSON,
 //! `.json` → Chrome trace-event format (load in Perfetto /
@@ -191,6 +197,7 @@ fn dispatch(command: &str, args: &Args) -> Result<(), String> {
         }
         "list" => cmd_list(),
         "check" => cmd_check(args),
+        "advise" => cmd_advise(args),
         "run" => cmd_run(args),
         "micro" => cmd_micro(args),
         "apps" => cmd_apps(args),
@@ -214,6 +221,8 @@ fn print_usage() {
          commands:\n\
          \u{20}  list                               list every registered workload\n\
          \u{20}  check [--all | W] [--deny warnings] static spec sanitizer (no simulation)\n\
+         \u{20}  advise [--all | W] [--size S]      static transfer-mode advisor (no simulation):\n\
+         \u{20}         [--deny warnings]           per-mode cost ranking + SAN-P lints\n\
          \u{20}  run W [--size S] [--mode M]        compare modes (or run one) for a workload\n\
          \u{20}  micro [--size S]                   Fig 7: the microbenchmark suite\n\
          \u{20}  apps [--size S]                    Fig 8: the application suite\n\
@@ -239,7 +248,7 @@ fn print_usage() {
          \u{20}        --format text|json            check report rendering\n\
          \u{20}        --verify-specs                run `check` on the involved specs first\n\
          \u{20}        --seed N --seeds N --retries N --rates R1,R2,...   chaos sweep grid\n\
-         \u{20}        --policy mode_packing|uvm_spillover|chaos_failover|all\n\
+         \u{20}        --policy mode_packing|uvm_spillover|chaos_failover|mode_advisor|all\n\
          \u{20}        --mix poisson|bursty|diurnal  --rate R  --gpus N  --requests N   serve\n\
          \u{20}        --threads N   worker threads for sweeps (default: HETSIM_THREADS,\n\
          \u{20}                      then machine parallelism; output is identical at any N)\n\
@@ -384,6 +393,106 @@ fn cmd_check(args: &Args) -> Result<(), String> {
     }
 }
 
+/// The `advise` subcommand: runs the static performance advisor over one
+/// workload or (with `--all`, or no operand) the full registry — no
+/// simulation — printing each workload's per-mode cost ranking with
+/// rationale plus any `SAN-P*` advisory lints. JSON output is an array of
+/// advice objects (one per workload); the shape is pinned by a CI golden
+/// test. `--deny warnings` exits non-zero when any advisory fires.
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    if args.help {
+        println!(
+            "usage: hetsim-cli advise [--all | <workload>] [--size S] [--deny warnings] \
+             [--format text|json]\n\
+             workloads:"
+        );
+        print!("{}", workload_registry());
+        return Ok(());
+    }
+    let device = hetsim_runtime::Device::a100_epyc();
+    let target = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .or(args.workload.as_deref());
+    let advices = match target {
+        Some(name) if !args.all => {
+            let w = suite::by_name(name, args.size).ok_or_else(|| {
+                format!(
+                    "unknown workload `{name}`; valid names:\n{}",
+                    workload_registry()
+                )
+            })?;
+            vec![hetsim::verify::advise_program(&w, &device)]
+        }
+        _ => hetsim::verify::advise_registry(args.size, &device),
+    };
+
+    if args.format.as_deref() == Some("json") {
+        let body: Vec<String> = advices.iter().map(|a| a.to_json()).collect();
+        println!("[{}]", body.join(","));
+    } else {
+        for advice in &advices {
+            println!(
+                "{} @ {} on {} — best: {}",
+                advice.workload,
+                args.size,
+                advice.device,
+                advice.best().mode.name()
+            );
+            let mut t = Table::new(vec![
+                "rank",
+                "mode",
+                "alloc_ms",
+                "memcpy_ms",
+                "kernel_ms",
+                "total_ms",
+                "rationale",
+            ]);
+            for (rank, p) in advice.ranked.iter().enumerate() {
+                t.row(vec![
+                    (rank + 1).to_string(),
+                    p.mode.name().to_string(),
+                    format!("{:.3}", p.alloc.as_millis_f64()),
+                    format!("{:.3}", p.memcpy.as_millis_f64()),
+                    format!("{:.3}", p.kernel.as_millis_f64()),
+                    format!("{:.3}", p.total().as_millis_f64()),
+                    p.rationale.clone(),
+                ]);
+            }
+            emit(&t, args.csv);
+            if !advice.report.diagnostics.is_empty() {
+                println!("{}", advice.report.to_text());
+            }
+        }
+    }
+
+    let warnings: usize = advices.iter().map(|a| a.report.warnings()).sum();
+    let errors: usize = advices.iter().map(|a| a.report.errors()).sum();
+    eprintln!(
+        "advised {} workload{} at {} on {} ({} advisories)",
+        advices.len(),
+        if advices.len() == 1 { "" } else { "s" },
+        args.size,
+        device.name,
+        warnings + errors,
+    );
+    if errors > 0 || (args.deny_warnings && warnings > 0) {
+        Err(format!(
+            "advise failed: {errors} error{}, {warnings} warning{}{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if args.deny_warnings {
+                " (warnings denied)"
+            } else {
+                ""
+            },
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 /// `--verify-specs` support: sanitize the spec(s) a command is about to
 /// simulate — one workload when named, else the whole registry — and fail
 /// fast (deny-warnings) before any compute is spent.
@@ -478,14 +587,50 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         // One recording with all five modes back to back on the timeline.
         let (_, trace) = exp.traced_modes(&w);
         write_trace(&trace, path)?;
+        report_merge_profile(&trace, args);
     }
     if let Some(path) = args.trace_stream.as_deref() {
         // Same five-mode recording, but the merge drains through the sink
         // in mode order — byte-identical output at every --threads N.
         let (_, trace) = exp.traced_modes_streaming(&w, open_sink(args, path)?);
         report_stream(&trace, args, path)?;
+        report_merge_profile(&trace, args);
     }
     Ok(())
+}
+
+/// Under `--self-profile`, one stderr line with the memo layer's
+/// bookkeeping overhead after a figure grid: wall time spent in
+/// `get_or_compute` that was not spent simulating. This is the number
+/// ROADMAP's sweep-throughput item asks to track (threads=4 slower than
+/// serial on 1-core hosts), recorded per PR by `scripts/bench.sh`.
+fn report_memo_profile(exp: &Experiment, args: &Args) {
+    if !args.self_profile {
+        return;
+    }
+    let stats = exp.memo_stats();
+    eprintln!(
+        "self-profile: memo overhead {:.3} ms ({} lookups, {} computes, {:.3} ms simulating)",
+        stats.overhead_ns() as f64 / 1e6,
+        stats.lookups,
+        stats.computes,
+        stats.compute_ns as f64 / 1e6,
+    );
+}
+
+/// Under `--self-profile`, one stderr line with the five-mode trace
+/// merge's wall-clock cost (the `host.trace_merge` span recorded by the
+/// experiment's merge loop) — the serial tail every parallel traced
+/// sweep pays.
+fn report_merge_profile(trace: &hetsim_trace::Trace, args: &Args) {
+    if !args.self_profile {
+        return;
+    }
+    let Some(track) = trace.find_track("host.trace_merge") else {
+        return;
+    };
+    let merge_ns: u64 = trace.track_spans(track).iter().map(|e| e.dur()).sum();
+    eprintln!("self-profile: trace merge {:.3} ms", merge_ns as f64 / 1e6);
 }
 
 /// The irregular-access study: bfs, kmeans, and pathfinder compared
@@ -915,6 +1060,7 @@ fn cmd_micro(args: &Args) -> Result<(), String> {
     println!("Fig 7: microbenchmarks @ {}", args.size);
     emit(&s.to_table(), args.csv);
     emit(&Headline::from_suite(&s).to_table(), args.csv);
+    report_memo_profile(&exp, args);
     Ok(())
 }
 
@@ -926,6 +1072,7 @@ fn cmd_apps(args: &Args) -> Result<(), String> {
     emit(&s.to_table(), args.csv);
     emit(&Headline::from_suite(&s).to_table(), args.csv);
     emit(&Section6::from_suite(&s).to_table(), args.csv);
+    report_memo_profile(&exp, args);
     Ok(())
 }
 

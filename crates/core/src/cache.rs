@@ -546,6 +546,45 @@ mod tests {
     }
 
     #[test]
+    fn stats_and_clear_on_nonexistent_directory() {
+        // `cache stats` / `cache clear` on a root that was never created:
+        // both succeed and report an empty store, and neither creates the
+        // directory as a side effect.
+        let dir = scratch_dir("nonexistent");
+        let cache = DiskCache::at(&dir);
+        assert!(!dir.exists());
+        assert_eq!(cache.scan().unwrap(), CacheScan::default());
+        assert_eq!(cache.clear().unwrap(), 0);
+        assert!(!dir.exists(), "inspection must not create the store");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.stores, stats.errors),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn corrupt_entry_counts_an_error_and_next_store_overwrites() {
+        let dir = scratch_dir("corrupt-counters");
+        let cache = DiskCache::at(&dir);
+        let report = rich_report();
+        cache.store(&key(), &report);
+        let entry = cache.entry_path(&key().line());
+        fs::write(&entry, "not a cache record at all").unwrap();
+        // The corrupt read is both a miss and an error.
+        assert_eq!(cache.load(&key()), None);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.errors), (1, 1));
+        // The next store overwrites the corrupt file in place and the
+        // entry round-trips again; the error count stays historical.
+        cache.store(&key(), &report);
+        assert_eq!(cache.load(&key()), Some(report));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.stores, stats.errors), (1, 2, 1));
+        let _ = cache.clear();
+    }
+
+    #[test]
     fn scan_and_clear() {
         let cache = DiskCache::at(scratch_dir("scan"));
         assert_eq!(cache.scan().unwrap(), CacheScan::default());

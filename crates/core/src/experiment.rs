@@ -289,11 +289,26 @@ impl Experiment {
         let runs: Vec<(RunReport, Trace)> = pool::run(TransferMode::ALL.len(), |i| {
             self.traced_run(program, TransferMode::ALL[i])
         });
+        let started = std::time::Instant::now();
         let mut reports = Vec::with_capacity(runs.len());
         for (report, trace) in runs {
             let at = merged.now();
             merged.absorb_at(&trace, at);
             reports.push(report);
+        }
+        if self.trace.self_profile {
+            // The merge is the serial tail of the parallel fan-out (the
+            // overhead flagged in ROADMAP's sweep-throughput item), so
+            // self-profiling records it as a host span alongside the
+            // per-mode `host.simulate` spans it competes with.
+            let track = merged.host_track("host.trace_merge");
+            merged.span_at(
+                track,
+                hetsim_trace::Category::Host,
+                "trace_merge",
+                0,
+                started.elapsed().as_nanos() as u64,
+            );
         }
         (
             reports.try_into().expect("one report per mode"),

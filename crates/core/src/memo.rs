@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 /// Number of independently locked shards. Sixteen is far beyond the pool's
 /// worker count, so two workers only contend when they race on the *same*
@@ -28,6 +29,8 @@ pub struct ShardedMemo<K, V> {
     shards: Vec<Shard<K, V>>,
     lookups: AtomicU64,
     computes: AtomicU64,
+    lookup_ns: AtomicU64,
+    compute_ns: AtomicU64,
 }
 
 /// Counter snapshot for a [`ShardedMemo`].
@@ -40,6 +43,21 @@ pub struct MemoStats {
     /// Times the compute closure actually ran. With single-flight this
     /// equals `entries` no matter how many workers raced.
     pub computes: u64,
+    /// Wall-clock nanoseconds spent inside `get_or_compute` in total
+    /// (shard locking, key hashing, the compute closure, result clones).
+    pub lookup_ns: u64,
+    /// Wall-clock nanoseconds spent inside the compute closures alone.
+    pub compute_ns: u64,
+}
+
+impl MemoStats {
+    /// Wall-clock nanoseconds of pure memo bookkeeping: lookup time that
+    /// was *not* spent computing values. This is the sweep executor's
+    /// memoization overhead, the quantity the `--self-profile` grid
+    /// stage in `scripts/bench.sh` records per PR.
+    pub fn overhead_ns(&self) -> u64 {
+        self.lookup_ns.saturating_sub(self.compute_ns)
+    }
 }
 
 impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
@@ -49,6 +67,8 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
             shards: (0..SHARDS).map(|_| Shard::default()).collect(),
             lookups: AtomicU64::new(0),
             computes: AtomicU64::new(0),
+            lookup_ns: AtomicU64::new(0),
+            compute_ns: AtomicU64::new(0),
         }
     }
 
@@ -63,6 +83,7 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
     /// in-flight computation finishes and then share its result; callers
     /// with different keys proceed independently.
     pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let entered = Instant::now();
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let shard = self.shard(&key);
         let cell = {
@@ -76,11 +97,19 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
                 .or_insert_with(|| Arc::new(OnceLock::new()))
                 .clone()
         });
-        cell.get_or_init(|| {
-            self.computes.fetch_add(1, Ordering::Relaxed);
-            compute()
-        })
-        .clone()
+        let value = cell
+            .get_or_init(|| {
+                self.computes.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
+                let v = compute();
+                self.compute_ns
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                v
+            })
+            .clone();
+        self.lookup_ns
+            .fetch_add(entered.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        value
     }
 
     /// Number of distinct keys resident (initialized or in flight).
@@ -96,12 +125,15 @@ impl<K: Hash + Eq, V: Clone> ShardedMemo<K, V> {
         self.len() == 0
     }
 
-    /// Lookup/compute counters.
+    /// Lookup/compute counters (counts are deterministic; the wall-clock
+    /// nanosecond totals vary run to run and exist for `--self-profile`).
     pub fn stats(&self) -> MemoStats {
         MemoStats {
             entries: self.len(),
             lookups: self.lookups.load(Ordering::Relaxed),
             computes: self.computes.load(Ordering::Relaxed),
+            lookup_ns: self.lookup_ns.load(Ordering::Relaxed),
+            compute_ns: self.compute_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -179,6 +211,20 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 1, "simulation ran twice");
         assert_eq!(memo.stats().computes, 1);
+    }
+
+    #[test]
+    fn wall_clock_counters_cover_compute_time() {
+        let memo: ShardedMemo<u8, u8> = ShardedMemo::new();
+        memo.get_or_compute(1, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            9
+        });
+        memo.get_or_compute(1, || 9);
+        let stats = memo.stats();
+        assert!(stats.compute_ns >= 2_000_000, "sleep not captured");
+        assert!(stats.lookup_ns >= stats.compute_ns, "lookup covers compute");
+        assert_eq!(stats.overhead_ns(), stats.lookup_ns - stats.compute_ns);
     }
 
     #[test]

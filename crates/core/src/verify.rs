@@ -7,13 +7,33 @@
 //! CLI's `--verify-specs` flag calls [`enforce`] before any run so a dirty
 //! spec fails fast with the full diagnostic text instead.
 
-use hetsim_sanitizer::{CheckConfig, Report};
+use hetsim_runtime::Device;
+use hetsim_sanitizer::{CheckConfig, ModeAdvice, PerfConfig, Report};
 use hetsim_workloads::suite;
 use hetsim_workloads::InputSize;
 
 /// Checks one program with the default [`CheckConfig`].
 pub fn check_program(program: &dyn hetsim_runtime::GpuProgram) -> Report {
     hetsim_sanitizer::check_program(program, &CheckConfig::default())
+}
+
+/// Runs the static performance advisor on one program with the default
+/// [`PerfConfig`] (see [`hetsim_sanitizer::advise`]).
+pub fn advise_program(program: &dyn hetsim_runtime::GpuProgram, device: &Device) -> ModeAdvice {
+    hetsim_sanitizer::advise(program, device, &PerfConfig::default())
+}
+
+/// Advises every registered workload at `size` on `device`, in registry
+/// order.
+pub fn advise_registry(size: InputSize, device: &Device) -> Vec<ModeAdvice> {
+    let cfg = PerfConfig::default();
+    suite::all_entries()
+        .iter()
+        .map(|entry| {
+            let w = (entry.build)(size);
+            hetsim_sanitizer::advise(&w, device, &cfg)
+        })
+        .collect()
 }
 
 /// Checks every registered workload (micro + apps + irregular) at `size`,

@@ -99,12 +99,14 @@ fn resolve_touches(
 ///
 /// # Example
 ///
-/// ```no_run
+/// ```
 /// use hetsim_runtime::{Device, Runner, TransferMode};
-/// # fn get_program() -> Box<dyn hetsim_runtime::GpuProgram> { unimplemented!() }
+/// use hetsim_workloads::{suite, InputSize};
+///
 /// let runner = Runner::new(Device::a100_epyc());
-/// let program = get_program();
-/// let report = runner.run(program.as_ref(), TransferMode::UvmPrefetchAsync, 0);
+/// let program = suite::by_name("vector_seq", InputSize::Tiny).expect("registered");
+/// let report = runner.run(&program, TransferMode::UvmPrefetchAsync, 0);
+/// assert!(report.total() > hetsim_engine::time::Nanos::ZERO);
 /// println!("{report}");
 /// ```
 #[derive(Debug, Clone)]

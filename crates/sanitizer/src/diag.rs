@@ -7,8 +7,9 @@ use std::fmt;
 ///
 /// Codes are grouped by the description layer they inspect: `SAN-S*` for
 /// stream schedules, `SAN-B*` for buffer specs, `SAN-T*` for page-touch
-/// sequences, and `SAN-M*` for transfer-mode compatibility. Codes are part
-/// of the CLI contract (`hetsim check --format json`) and never reused.
+/// sequences, `SAN-M*` for transfer-mode compatibility, and `SAN-P*` for
+/// the static performance advisor (see `crate::perf`). Codes are part of
+/// the CLI contract (`hetsim check --format json`) and never reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// Two operations on different streams write overlapping chunk ranges
@@ -75,11 +76,25 @@ pub enum Lint {
     /// Every buffer is `Scratch`: no transfer mode moves any data, so all
     /// five configurations degenerate to the same run.
     AllScratch,
+    /// A UVM mode was chosen (or would be) for a workload whose predicted
+    /// fault-service stall exceeds the kernel's own compute time: demand
+    /// paging dominates and an explicit-copy mode is predicted to win.
+    UvmFaultDominated,
+    /// An async mode is selected but the critical-path analysis finds zero
+    /// overlap slack: kernels cannot hide any copy bytes, so `cp.async`
+    /// staging pays its instruction overhead for nothing.
+    AsyncZeroSlack,
+    /// The program footprint exceeds the device's HBM carveout: the UVM
+    /// LRU will thrash, re-migrating evicted chunks on every pass.
+    ThrashPredicted,
+    /// The bytes an async mode would stage through pinned host buffers
+    /// exceed the configured pinned-memory budget.
+    PinnedBudgetExceeded,
 }
 
 impl Lint {
     /// Every lint, in code order (the README table follows this order).
-    pub const ALL: [Lint; 18] = [
+    pub const ALL: [Lint; 22] = [
         Lint::WriteWriteHazard,
         Lint::ReadWriteHazard,
         Lint::WaitUnrecordedEvent,
@@ -98,6 +113,10 @@ impl Lint {
         Lint::UnhonorableStandardStyle,
         Lint::ConflictWithoutSiblings,
         Lint::AllScratch,
+        Lint::UvmFaultDominated,
+        Lint::AsyncZeroSlack,
+        Lint::ThrashPredicted,
+        Lint::PinnedBudgetExceeded,
     ];
 
     /// The stable lint code, e.g. `SAN-S001`.
@@ -121,6 +140,10 @@ impl Lint {
             Lint::UnhonorableStandardStyle => "SAN-M001",
             Lint::ConflictWithoutSiblings => "SAN-M002",
             Lint::AllScratch => "SAN-M003",
+            Lint::UvmFaultDominated => "SAN-P001",
+            Lint::AsyncZeroSlack => "SAN-P002",
+            Lint::ThrashPredicted => "SAN-P003",
+            Lint::PinnedBudgetExceeded => "SAN-P004",
         }
     }
 
@@ -145,6 +168,10 @@ impl Lint {
             Lint::UnhonorableStandardStyle => "kernel style unhonorable outside async modes",
             Lint::ConflictWithoutSiblings => "prefetch conflict declared with a single kernel",
             Lint::AllScratch => "every buffer is Scratch",
+            Lint::UvmFaultDominated => "UVM chosen but fault stalls predicted to dominate",
+            Lint::AsyncZeroSlack => "async mode with zero overlap slack",
+            Lint::ThrashPredicted => "footprint exceeds HBM carveout: thrash predicted",
+            Lint::PinnedBudgetExceeded => "pinned staging bytes exceed the budget",
         }
     }
 

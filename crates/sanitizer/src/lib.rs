@@ -25,6 +25,11 @@
 //!   [`ScheduleOutcome`](hetsim_runtime::stream::ScheduleOutcome)
 //!   (`SAN-S004`).
 //!
+//! Beyond correctness, [`advise`] runs the static *performance* advisor:
+//! it predicts each transfer mode's cost from workload structure alone,
+//! ranks all five modes, and emits the advisory `SAN-P*` lint family
+//! (see [`perf`]). The CLI exposes it as `hetsim advise`.
+//!
 //! Reports render as rustc-style text ([`Report::to_text`]) or JSON
 //! ([`Report::to_json`]), and [`Report::is_clean`] implements the
 //! `--deny warnings` policy. The CLI exposes all of this as
@@ -59,10 +64,14 @@
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod perf;
 pub mod program;
 pub mod stream;
 
 pub use diag::{Diagnostic, Lint, Report, Severity, Span};
+pub use perf::{
+    advise, BudgetCheck, DataflowAnalysis, ModeAdvice, ModePrediction, OverlapAnalysis, PerfConfig,
+};
 pub use program::check_program;
 pub use stream::{check_outcome, check_schedule};
 

@@ -65,7 +65,7 @@ pub use metrics::{
     StreamingHistogram,
 };
 pub use policy::{
-    Admission, AdmissionPolicy, ChaosFailover, FleetView, ModePacking, Placement, PlacementPolicy,
-    PolicyKind, ServingPolicy, UvmSpillover,
+    Admission, AdmissionPolicy, ChaosFailover, FleetView, ModeAdvisor, ModePacking, Placement,
+    PlacementPolicy, PolicyKind, ServingPolicy, UvmSpillover,
 };
 pub use topology::{ClusterTopology, PeerClass, PeerLink};

@@ -14,7 +14,7 @@
 //! from the serve seed and the request id), so a policy decision depends
 //! only on `(policy, view, request, seed)` and never on thread timing.
 //!
-//! Three implementations ship:
+//! Four implementations ship:
 //!
 //! * [`ModePacking`] — the fleet is split into an *explicit* lane
 //!   (async memcpy) and a *managed* lane (UVM + prefetch); requests are
@@ -27,6 +27,10 @@
 //!   rate; the policy walks healthy devices in load order, paying
 //!   recovery backoff plus the peer-link cost of re-staging the working
 //!   set on each hop, and quarantines devices that fail repeatedly.
+//! * [`ModeAdvisor`] — each request runs in the transfer mode the static
+//!   performance advisor predicts fastest for its workload × size, on
+//!   the least-loaded device with room; the serving-layer consumer of
+//!   the `SAN-P*` analysis.
 
 use crate::arrival::Request;
 use crate::topology::ClusterTopology;
@@ -458,6 +462,113 @@ impl ServingPolicy for ChaosFailover {
 }
 
 // ---------------------------------------------------------------------------
+// ModeAdvisor
+// ---------------------------------------------------------------------------
+
+/// Advisor-driven placement: each request runs in the transfer mode the
+/// static performance advisor (`hetsim_sanitizer::advise`, reached through
+/// `hetsim::verify::advise_program`) predicts fastest for its workload ×
+/// size on the paper's device model — no simulation, the prediction is
+/// closed-form. Requests land on the least-committed device with room for
+/// the working set, so the fleet is one shared pool with per-request mode
+/// selection rather than static mode lanes.
+///
+/// Advice is memoized per `(workload, size)` behind a mutex; the cache is
+/// a pure lookup table of a deterministic function, so placement decisions
+/// remain a function of `(view, request)` alone.
+pub struct ModeAdvisor {
+    /// The device model predictions are priced against.
+    pub device: hetsim_runtime::Device,
+    cache: std::sync::Mutex<
+        std::collections::HashMap<(&'static str, hetsim_workloads::InputSize), TransferMode>,
+    >,
+}
+
+impl std::fmt::Debug for ModeAdvisor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModeAdvisor")
+            .field("device", &self.device.name)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ModeAdvisor {
+    fn default() -> Self {
+        ModeAdvisor {
+            device: hetsim_runtime::Device::a100_epyc(),
+            cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
+impl ModeAdvisor {
+    /// The advisor's predicted-fastest mode for the request's workload ×
+    /// size, memoized. Unknown workload names (impossible for registry
+    /// arrivals) fall back to the explicit standard mode.
+    fn best_mode(&self, req: &Request) -> TransferMode {
+        let key = (req.workload, req.size);
+        if let Some(&mode) = self.cache.lock().expect("advice cache").get(&key) {
+            return mode;
+        }
+        let mode = match hetsim_workloads::suite::by_name(req.workload, req.size) {
+            Some(w) => hetsim::verify::advise_program(&w, &self.device).best().mode,
+            None => TransferMode::Standard,
+        };
+        self.cache.lock().expect("advice cache").insert(key, mode);
+        mode
+    }
+
+    /// Least-committed device that still fits `footprint` (ties break to
+    /// the lowest index).
+    fn fittest(&self, footprint: u64, view: &FleetView<'_>) -> Option<usize> {
+        view.devices
+            .iter()
+            .filter(|d| d.committed + footprint <= d.capacity)
+            .min_by_key(|d| (d.committed, d.index))
+            .map(|d| d.index)
+    }
+}
+
+impl AdmissionPolicy for ModeAdvisor {
+    fn admit(
+        &self,
+        _req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Admission {
+        if self.fittest(footprint, view).is_some() {
+            Admission::Accept
+        } else {
+            Admission::Shed {
+                reason: "no_capacity",
+            }
+        }
+    }
+}
+
+impl PlacementPolicy for ModeAdvisor {
+    fn place(
+        &self,
+        req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Placement {
+        let device = self
+            .fittest(footprint, view)
+            .expect("place called without admission");
+        Placement::clean(device, self.best_mode(req))
+    }
+}
+
+impl ServingPolicy for ModeAdvisor {
+    fn name(&self) -> &'static str {
+        "mode_advisor"
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PolicyKind
 // ---------------------------------------------------------------------------
 
@@ -470,18 +581,26 @@ pub enum PolicyKind {
     UvmSpillover,
     /// [`ChaosFailover`].
     ChaosFailover,
+    /// [`ModeAdvisor`].
+    ModeAdvisor,
 }
 
 impl PolicyKind {
     /// All shipped policies, in canonical order.
-    pub const ALL: [PolicyKind; 3] = [
+    pub const ALL: [PolicyKind; 4] = [
         PolicyKind::ModePacking,
         PolicyKind::UvmSpillover,
         PolicyKind::ChaosFailover,
+        PolicyKind::ModeAdvisor,
     ];
 
     /// The canonical CLI names, aligned with [`PolicyKind::ALL`].
-    pub const NAMES: [&'static str; 3] = ["mode_packing", "uvm_spillover", "chaos_failover"];
+    pub const NAMES: [&'static str; 4] = [
+        "mode_packing",
+        "uvm_spillover",
+        "chaos_failover",
+        "mode_advisor",
+    ];
 
     /// Parses a CLI name.
     pub fn by_name(name: &str) -> Option<PolicyKind> {
@@ -489,6 +608,7 @@ impl PolicyKind {
             "mode_packing" => Some(PolicyKind::ModePacking),
             "uvm_spillover" => Some(PolicyKind::UvmSpillover),
             "chaos_failover" => Some(PolicyKind::ChaosFailover),
+            "mode_advisor" => Some(PolicyKind::ModeAdvisor),
             _ => None,
         }
     }
@@ -499,6 +619,7 @@ impl PolicyKind {
             PolicyKind::ModePacking => "mode_packing",
             PolicyKind::UvmSpillover => "uvm_spillover",
             PolicyKind::ChaosFailover => "chaos_failover",
+            PolicyKind::ModeAdvisor => "mode_advisor",
         }
     }
 
@@ -508,6 +629,7 @@ impl PolicyKind {
             PolicyKind::ModePacking => Box::new(ModePacking::default()),
             PolicyKind::UvmSpillover => Box::new(UvmSpillover::default()),
             PolicyKind::ChaosFailover => Box::new(ChaosFailover::default()),
+            PolicyKind::ModeAdvisor => Box::new(ModeAdvisor::default()),
         }
     }
 }
@@ -728,6 +850,38 @@ mod tests {
             p.admit(&req(3), 1 << 20, &view, &mut rng(3)),
             Admission::Accept,
             "failover never sheds"
+        );
+    }
+
+    #[test]
+    fn mode_advisor_places_predicted_best_mode_on_least_loaded_fit() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100 << 20);
+        devs[0].committed = 50 << 20;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+        };
+        let p = ModeAdvisor::default();
+        let r = req(0); // vector_seq @ tiny
+        let placed = p.place(&r, 1 << 20, &view, &mut rng(0));
+        assert_eq!(placed.device, 1, "least committed wins");
+        assert_eq!(placed.queue_delay, Nanos::ZERO);
+        assert_eq!(placed.gpu_scale, 1.0);
+        // The mode is the advisor's pick for this workload, and the
+        // memoized second call agrees.
+        let w = hetsim_workloads::suite::by_name(r.workload, r.size).unwrap();
+        let advised = hetsim::verify::advise_program(&w, &p.device).best().mode;
+        assert_eq!(placed.mode, advised);
+        let again = p.place(&r, 1 << 20, &view, &mut rng(0));
+        assert_eq!(again.mode, advised);
+        // Nothing fits: shed, not panic.
+        assert_eq!(
+            p.admit(&r, 200 << 20, &view, &mut rng(0)),
+            Admission::Shed {
+                reason: "no_capacity"
+            }
         );
     }
 

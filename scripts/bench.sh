@@ -17,6 +17,10 @@
 #   * the on-disk result cache — cold vs warm Fig 7/8 grid reruns, with
 #     byte-identity and zero-warm-miss gates and (in full mode) a hard
 #     >= 5x incremental-speedup assertion;
+#   * the memo/trace-merge overhead — a --self-profile grid rerun plus a
+#     traced five-mode run, so the sweep executor's bookkeeping cost
+#     (vs pure simulation time) is recorded per PR alongside the
+#     serial-vs-threads4 walls it explains;
 #   * the hetsim-bench binaries (fig07 regeneration, sampling ablation),
 #     plain std::time::Instant timings with no external framework.
 #
@@ -140,15 +144,50 @@ check_stage() {
 
 run_stage fig7_micro_grid_serial "$out/micro1.txt" \
   "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1
+FIG7_SERIAL_MS=$TIMED_MS
 run_stage fig7_micro_grid_threads4 "$out/micro4.txt" \
   "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
+FIG7_T4_MS=$TIMED_MS
 check_stage fig7_determinism cmp -s "$out/micro1.txt" "$out/micro4.txt"
 
 run_stage fig8_apps_grid_serial "$out/apps1.txt" \
   "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1
+FIG8_SERIAL_MS=$TIMED_MS
 run_stage fig8_apps_grid_threads4 "$out/apps4.txt" \
   "$CLI" apps --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4
+FIG8_T4_MS=$TIMED_MS
 check_stage fig8_determinism cmp -s "$out/apps1.txt" "$out/apps4.txt"
+
+# Memo/trace-merge overhead (ROADMAP's sweep-throughput item asked why
+# threads=4 was slower than serial on this 1-core host). The grid rerun
+# under --self-profile makes the CLI report how much wall time the
+# sharded memo spent on bookkeeping versus simulating, and a traced
+# five-mode run reports the serial trace-merge tail. Both are recorded
+# in the baseline next to the serial-vs-threads4 walls they explain —
+# profiling shows memo + merge are sub-millisecond, so any remaining gap
+# is core oversubscription (see "host_parallelism"), not the executor.
+scrape_ms() { # FILE PATTERN -> the number in the first "<PATTERN> N ms"-ish match
+  grep -o "$2" "$1" 2>/dev/null | grep -o '[0-9][0-9.]*' | head -1 || true
+}
+MEMO_OVERHEAD_MS=0
+MEMO_SIMULATE_MS=0
+TRACE_MERGE_MS=0
+if run_stage fig7_selfprof_grid "$out/selfprof7.txt" \
+  "$CLI" micro --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 4 --self-profile; then
+  MEMO_OVERHEAD_MS="$(scrape_ms "$out/fig7_selfprof_grid.err" \
+    'memo overhead [0-9.]* ms')"
+  MEMO_SIMULATE_MS="$(scrape_ms "$out/fig7_selfprof_grid.err" \
+    '[0-9.]* ms simulating')"
+fi
+if run_stage trace_merge_selfprof "$out/mergeprof.txt" \
+  "$CLI" run vector_seq --size "$GRID_SIZE" --runs "$GRID_RUNS" --threads 1 \
+  --trace "$out/selfprof_trace.json" --self-profile; then
+  TRACE_MERGE_MS="$(scrape_ms "$out/trace_merge_selfprof.err" \
+    'trace merge [0-9.]* ms')"
+fi
+MEMO_OVERHEAD_MS="${MEMO_OVERHEAD_MS:-0}"
+MEMO_SIMULATE_MS="${MEMO_SIMULATE_MS:-0}"
+TRACE_MERGE_MS="${TRACE_MERGE_MS:-0}"
 
 # Incremental sweep: the Fig 7/8 grids against the on-disk result cache.
 # The cold pass fills a fresh store (all misses), the warm pass replays
@@ -282,6 +321,15 @@ cat > "$RESULT" <<EOF
     "events": $TRACE_EVENTS,
     "wall_ms": $TRACE_MS,
     "events_per_sec": $TRACE_EPS
+  },
+  "parallel_overhead": {
+    "fig7_serial_wall_ms": $FIG7_SERIAL_MS,
+    "fig7_threads4_wall_ms": $FIG7_T4_MS,
+    "fig8_serial_wall_ms": $FIG8_SERIAL_MS,
+    "fig8_threads4_wall_ms": $FIG8_T4_MS,
+    "memo_overhead_ms": $MEMO_OVERHEAD_MS,
+    "memo_simulate_ms": $MEMO_SIMULATE_MS,
+    "trace_merge_ms": $TRACE_MERGE_MS
   },
   "result_cache": {
     "fig7": {"cold_wall_ms": $FIG7_COLD_MS, "warm_wall_ms": $FIG7_WARM_MS,

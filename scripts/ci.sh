@@ -29,6 +29,23 @@ echo "==> spec sanitizer gate (hetsim check --all --deny warnings)"
 ./target/release/hetsim-cli check --all --deny warnings --format json > /dev/null
 ./target/release/hetsim-cli check --all --deny warnings
 
+echo "==> transfer-mode advisor gate (hetsim advise --all)"
+# The static advisor must run clean over the whole registry (text and
+# JSON surfaces) — its top-1 accuracy against the simulator is pinned by
+# tests/advisor_validation.rs; this gate pins the CLI plumbing. A single
+# overlap-free workload is also checked under --deny so the SAN-P lint
+# exit path stays wired.
+./target/release/hetsim-cli advise --all --size tiny > /dev/null
+./target/release/hetsim-cli advise --all --size tiny --format json > /dev/null
+if ./target/release/hetsim-cli advise vector_seq --size tiny --deny warnings \
+  > /dev/null 2>&1; then
+  echo "FAIL: advise --deny warnings did not fail on a workload with advisories"
+  exit 1
+fi
+
+echo "==> JSON schema golden gate (check/advise --format json)"
+scripts/schema_gate.sh
+
 echo "==> crate lint-attribute gate"
 for lib in crates/*/src/lib.rs; do
   for attr in '#!\[forbid(unsafe_code)\]' '#!\[warn(missing_docs)\]'; do
@@ -106,7 +123,7 @@ echo "==> serve determinism gate (fleet reports + streamed traces, threads 1 vs 
 # The serving layer's contract: a fixed (policy, mix, seed) cell produces
 # byte-identical report JSON and streamed fleet traces at any worker
 # thread count, for every shipped policy.
-for policy in mode_packing uvm_spillover chaos_failover; do
+for policy in mode_packing uvm_spillover chaos_failover mode_advisor; do
   HETSIM_THREADS=1 ./target/release/hetsim-cli serve --policy "$policy" \
     --mix bursty --rate 400 --seed 11 --gpus 4 --requests 120 --size tiny \
     --format json --trace-stream "$out/serve_t1_$policy.jsonl" \

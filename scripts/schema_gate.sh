@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# JSON output-schema golden gate for the machine-readable CLI surfaces.
+#
+# `check --format json` and `advise --format json` are consumed by
+# scripts and CI, so their *shape* — the set of key paths with coarse
+# value kinds — is pinned in scripts/golden/*.schema. A renamed or
+# dropped field fails CI even though the values themselves (timings,
+# advisory counts, rationale strings) move with the cost model.
+#
+# Usage:
+#   scripts/schema_gate.sh           # compare live output against goldens
+#   scripts/schema_gate.sh --update  # regenerate the goldens in place
+#
+# Numbers are normalized to one "number" kind: JSON has a single number
+# type, and a field that happens to be integral in one cell (e.g. a 0.0
+# serialized as "0") must not flap the schema.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI=./target/release/hetsim-cli
+if [[ ! -x "$CLI" ]]; then
+  echo "==> building release CLI for the schema gate"
+  cargo build --release -q -p hetsim-cli
+fi
+if ! command -v python3 >/dev/null 2>&1; then
+  echo "schema gate: python3 not available; skipping"
+  exit 0
+fi
+
+GOLDEN=scripts/golden
+UPDATE=0
+if [[ "${1:-}" == "--update" ]]; then
+  UPDATE=1
+  mkdir -p "$GOLDEN"
+fi
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+schema_of() { # JSON_FILE -> sorted key paths on stdout
+  python3 - "$1" <<'PY'
+import json, sys
+
+def kind(v):
+    if isinstance(v, bool):
+        return "bool"
+    if isinstance(v, (int, float)):
+        return "number"
+    if isinstance(v, str):
+        return "string"
+    return "null"
+
+def walk(v, path, out):
+    if isinstance(v, dict):
+        if not v:
+            out.add((path or "(root)") + ": empty object")
+        for k, x in v.items():
+            walk(x, f"{path}.{k}" if path else k, out)
+    elif isinstance(v, list):
+        if not v:
+            out.add((path or "(root)") + "[]: empty array")
+        for x in v:
+            walk(x, path + "[]", out)
+    else:
+        out.add(f"{path or '(root)'}: {kind(v)}")
+
+paths = set()
+walk(json.load(open(sys.argv[1])), "", paths)
+print("\n".join(sorted(paths)))
+PY
+}
+
+gate() { # NAME JSON_FILE — diff (or rewrite) the golden for one surface
+  local name="$1" json="$2"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$json" \
+    || { echo "FAIL: $name output is not valid JSON"; exit 1; }
+  schema_of "$json" > "$out/$name.schema"
+  if [[ $UPDATE -eq 1 ]]; then
+    cp "$out/$name.schema" "$GOLDEN/$name.schema"
+    echo "updated $GOLDEN/$name.schema"
+    return 0
+  fi
+  [[ -f "$GOLDEN/$name.schema" ]] \
+    || { echo "FAIL: $GOLDEN/$name.schema missing (run scripts/schema_gate.sh --update)"; exit 1; }
+  diff -u "$GOLDEN/$name.schema" "$out/$name.schema" \
+    || { echo "FAIL: $name --format json schema drifted from the golden"; exit 1; }
+  echo "schema ok: $name"
+}
+
+"$CLI" check --all --deny warnings --format json > "$out/check.json"
+gate check "$out/check.json"
+
+"$CLI" advise --all --size tiny --format json > "$out/advise.json"
+gate advise "$out/advise.json"

@@ -1,0 +1,188 @@
+//! Differential validation of the static performance advisor.
+//!
+//! The advisor's central claim is that the winning transfer mode is
+//! predictable from workload structure alone — no simulation. This
+//! harness makes that claim falsifiable the same way the stream-hazard
+//! lints are: sweep the whole workload registry × input sizes × devices,
+//! ask the advisor for its top-ranked mode, run the simulator's
+//! noise-free base pipeline for all five modes, and compare winners.
+//!
+//! Assertions, in order of strength:
+//!
+//! 1. **Agreement** — the advisor's pick matches the measured winner on at
+//!    least [`MIN_AGREEMENT`] of cells.
+//! 2. **Bounded misses** — on every disagreeing cell, the advisor's pick
+//!    measures within [`MISS_RATIO`] of the true winner, so a miss is
+//!    never a catastrophic recommendation.
+//! 3. **Zero false positives at `--deny warnings`** — on cells where the
+//!    advisor's pick IS the measured winner, no `SAN-P*` lint may target
+//!    that mode (the advisor never warns about the right answer).
+//!
+//! The comparison metric is `alloc + memcpy + kernel` from
+//! [`Runner::run_base`]: mode-independent system overhead excluded,
+//! measurement noise excluded (the advisor models the noise-free run).
+
+use hetsim_runtime::{Device, Runner, TransferMode};
+use hetsim_sanitizer::{advise, PerfConfig};
+use hetsim_workloads::suite;
+use hetsim_workloads::InputSize;
+
+/// Minimum fraction of cells where the advisor's top-ranked mode must
+/// equal the simulator's measured winner.
+const MIN_AGREEMENT: f64 = 0.90;
+
+/// On a disagreeing cell, `measured(advised pick) / measured(winner)`
+/// must stay under this pinned ratio.
+const MISS_RATIO: f64 = 1.05;
+
+/// The devices swept: the paper's platform plus a reduced-L1 variant
+/// (128 KiB shared carveout halves the L1 and cools the prefetch-mode
+/// L2-warm bonus), exercising device sensitivity in both models.
+fn devices() -> Vec<Device> {
+    let base = Device::a100_epyc();
+    let mut small_l1 = Device::a100_epyc();
+    small_l1.name = "a100_small_l1";
+    small_l1.gpu = small_l1.gpu.with_carveout(
+        hetsim_mem::carveout::Carveout::with_shared_kib(128).expect("valid carveout"),
+    );
+    vec![base, small_l1]
+}
+
+/// Sizes swept: kept to the two smallest so the full 22-workload × 2-device
+/// grid stays fast in debug builds; the advisor's cost primitives scale
+/// with bytes, not with distinct code paths, so larger sizes add cells but
+/// not new behavior.
+const SIZES: [InputSize; 2] = [InputSize::Tiny, InputSize::Small];
+
+struct Cell {
+    workload: &'static str,
+    size: InputSize,
+    device: &'static str,
+    advised: TransferMode,
+    measured_winner: TransferMode,
+    /// measured(advised) / measured(winner), ≥ 1.
+    miss_ratio: f64,
+    /// SAN-P lint codes that target the advised mode.
+    false_positives: Vec<String>,
+}
+
+fn sweep() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for device in devices() {
+        let runner = Runner::new(device.clone());
+        for entry in suite::all_entries() {
+            for size in SIZES {
+                let w = (entry.build)(size);
+                let advice = advise(&w, &device, &PerfConfig::default());
+                let advised = advice.best().mode;
+
+                let mut measured: Vec<(TransferMode, u64)> = TransferMode::ALL
+                    .iter()
+                    .map(|&mode| {
+                        let r = runner.run_base(&w, mode);
+                        (mode, (r.alloc + r.memcpy + r.kernel).as_nanos())
+                    })
+                    .collect();
+                measured.sort_by_key(|&(_, t)| t);
+                let (winner, winner_t) = measured[0];
+                let advised_t = measured
+                    .iter()
+                    .find(|&&(m, _)| m == advised)
+                    .expect("advised mode measured")
+                    .1;
+
+                // Lints whose message names the advised mode.
+                let tag = format!("`{}`", advised.name());
+                let false_positives: Vec<String> = advice
+                    .report
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.code().starts_with("SAN-P") && d.message.contains(&tag))
+                    .map(|d| d.code().to_string())
+                    .collect();
+
+                cells.push(Cell {
+                    workload: entry.name,
+                    size,
+                    device: device.name,
+                    advised,
+                    measured_winner: winner,
+                    miss_ratio: advised_t as f64 / winner_t.max(1) as f64,
+                    false_positives,
+                });
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn advisor_matches_simulator_on_registry_sweep() {
+    let cells = sweep();
+    assert!(!cells.is_empty());
+
+    let misses: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.advised != c.measured_winner)
+        .collect();
+    let agreement = 1.0 - misses.len() as f64 / cells.len() as f64;
+
+    let mut detail = String::new();
+    for c in &misses {
+        detail.push_str(&format!(
+            "  {} {} on {}: advised {}, measured winner {} (x{:.4})\n",
+            c.workload,
+            c.size,
+            c.device,
+            c.advised.name(),
+            c.measured_winner.name(),
+            c.miss_ratio,
+        ));
+    }
+    println!(
+        "advisor agreement: {}/{} cells ({:.1}%)\n{}",
+        cells.len() - misses.len(),
+        cells.len(),
+        agreement * 100.0,
+        detail
+    );
+
+    assert!(
+        agreement >= MIN_AGREEMENT,
+        "advisor agreed on only {:.1}% of {} cells (need ≥ {:.0}%):\n{}",
+        agreement * 100.0,
+        cells.len(),
+        MIN_AGREEMENT * 100.0,
+        detail
+    );
+
+    for c in &misses {
+        assert!(
+            c.miss_ratio <= MISS_RATIO,
+            "{} {} on {}: advised {} measures x{:.4} of winner {} (cap {MISS_RATIO})",
+            c.workload,
+            c.size,
+            c.device,
+            c.advised.name(),
+            c.miss_ratio,
+            c.measured_winner.name(),
+        );
+    }
+}
+
+#[test]
+fn no_false_positive_lints_on_winning_cells() {
+    for c in sweep() {
+        if c.advised == c.measured_winner {
+            assert!(
+                c.false_positives.is_empty(),
+                "{} {} on {}: advisor picked the measured winner {} yet lints it: {:?}",
+                c.workload,
+                c.size,
+                c.device,
+                c.advised.name(),
+                c.false_positives,
+            );
+        }
+    }
+}
