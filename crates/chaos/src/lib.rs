@@ -23,6 +23,10 @@
 //! * [`SimError`] — the typed, panic-free failure surface: exhausted
 //!   budgets, impossible plans, and the stream watchdog's
 //!   [`Deadlock`](SimError::Deadlock)/[`Timeout`](SimError::Timeout).
+//! * [`FleetFaultPlan`] / [`HealthTimeline`] — the fleet-scale
+//!   counterpart: a seeded device-lifecycle model (degrade → quarantine →
+//!   drain → recover) whose per-device health state machine the serving
+//!   layer replays for its availability sweeps.
 //! * [`ChaosCtx`] — the per-run injection context the runtime threads
 //!   through its pipeline, which both decides faults (one serial
 //!   [`SimRng`](hetsim_engine::rng::SimRng) stream per run) and books every
@@ -37,10 +41,12 @@
 
 pub mod ctx;
 pub mod error;
+pub mod lifecycle;
 pub mod plan;
 pub mod policy;
 
 pub use ctx::{ChaosCtx, ChaosOverhead, ChaosReport, FaultKind};
 pub use error::SimError;
+pub use lifecycle::{FleetFaultPlan, HealthState, HealthTimeline, LifecycleEvent, LifecyclePhase};
 pub use plan::FaultPlan;
 pub use policy::RecoveryPolicy;

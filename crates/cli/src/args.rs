@@ -71,6 +71,15 @@ pub struct Args {
     /// `--requests N`: offered requests per serve cell (default 200,
     /// nonzero).
     pub requests: u64,
+    /// `--chaos`: arm the serve command's resilience layer (device
+    /// lifecycle faults, SLO deadlines, availability sweep).
+    pub chaos: bool,
+    /// `--intensities X1,X2,...`: fault-intensity grid for
+    /// `serve --chaos` (each finite and in `[0, 1]`).
+    pub intensities: Option<Vec<f64>>,
+    /// `--deadline MS`: per-request SLO budget in milliseconds for
+    /// `serve` (finite and positive; default 50).
+    pub deadline_ms: Option<f64>,
     /// `--cache off|on|DIR`: on-disk base-run result cache. `on` uses
     /// `target/hetsim-cache`, a path roots the store there, `off`
     /// disables. Unset falls back to the `HETSIM_CACHE` env var with the
@@ -109,6 +118,9 @@ impl Default for Args {
             rate: None,
             gpus: 4,
             requests: 200,
+            chaos: false,
+            intensities: None,
+            deadline_ms: None,
             cache: None,
         }
     }
@@ -193,6 +205,31 @@ impl Args {
                         return None;
                     }
                     args.rates = Some(rates);
+                }
+                "--chaos" => args.chaos = true,
+                "--intensities" => {
+                    let list = it.next()?;
+                    let mut xs = Vec::new();
+                    for part in list.split(',') {
+                        let x: f64 = part.trim().parse().ok()?;
+                        if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+                            return None;
+                        }
+                        xs.push(x);
+                    }
+                    if xs.is_empty() {
+                        return None;
+                    }
+                    args.intensities = Some(xs);
+                }
+                "--deadline" => {
+                    // Zero or negative budgets would shed every request;
+                    // reject them at the parse boundary like --rate.
+                    let ms: f64 = it.next()?.parse().ok()?;
+                    if !ms.is_finite() || ms <= 0.0 {
+                        return None;
+                    }
+                    args.deadline_ms = Some(ms);
                 }
                 "--policy" => args.policy = Some(it.next()?.clone()),
                 "--cache" => args.cache = Some(it.next()?.clone()),
@@ -450,6 +487,41 @@ mod tests {
         assert!(Args::parse(&v(&["serve", "--rate", "inf"])).is_none());
         assert!(Args::parse(&v(&["serve", "--gpus", "0"])).is_none());
         assert!(Args::parse(&v(&["serve", "--requests", "0"])).is_none());
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let (_, a) = Args::parse(&v(&[
+            "serve",
+            "--chaos",
+            "--intensities",
+            "0.0, 0.5,1.0",
+            "--deadline",
+            "25.5",
+        ]))
+        .unwrap();
+        assert!(a.chaos);
+        assert_eq!(a.intensities, Some(vec![0.0, 0.5, 1.0]));
+        assert_eq!(a.deadline_ms, Some(25.5));
+        let (_, a) = Args::parse(&v(&["serve"])).unwrap();
+        assert!(!a.chaos);
+        assert_eq!(a.intensities, None);
+        assert_eq!(a.deadline_ms, None);
+    }
+
+    #[test]
+    fn rejects_bad_resilience_flags() {
+        assert!(Args::parse(&v(&["serve", "--intensities", ""])).is_none());
+        assert!(Args::parse(&v(&["serve", "--intensities", "0.5,1.5"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--intensities", "-0.1"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--intensities", "nan"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--intensities", "0.5,nope"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--intensities"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--deadline", "0"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--deadline", "-5"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--deadline", "inf"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--deadline", "abc"])).is_none());
+        assert!(Args::parse(&v(&["serve", "--deadline"])).is_none());
     }
 
     #[test]

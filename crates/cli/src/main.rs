@@ -59,12 +59,16 @@
 //!
 //! `serve` puts a multi-GPU fleet under open-loop traffic
 //! (`hetsim-serve`): seeded Poisson/bursty/diurnal arrivals drawn from
-//! the workload registry, admission + placement through one of the three
+//! the workload registry, admission + placement through one of the five
 //! shipped policies (or all of them), and a report of p50/p99/p999
-//! latency, goodput, and per-device utilization. A single-cell run can
-//! export the fleet schedule with `--trace`/`--trace-stream`; reports and
-//! traces are byte-identical at any `--threads N` for a fixed seed. See
-//! `docs/SERVING.md` for the architecture.
+//! latency, goodput, SLO attainment, and per-device utilization.
+//! `serve --chaos` arms the fleet resilience layer — seeded
+//! device-lifecycle faults, SLO deadlines, deadline-budgeted retries and
+//! hedging — and sweeps availability curves over a fault-intensity grid.
+//! A single-cell run can export the fleet schedule with
+//! `--trace`/`--trace-stream`; reports and traces are byte-identical at
+//! any `--threads N` for a fixed seed. See `docs/SERVING.md` for the
+//! architecture.
 
 use hetsim::batch::{InterJobPipeline, JobStages};
 use hetsim::cache::{CacheChoice, DiskCache};
@@ -235,6 +239,8 @@ fn print_usage() {
          \u{20}  chaos [W...] [--all] [--rates L]   fault-injection sweep: degradation curves\n\
          \u{20}  serve [--policy P] [--mix M]       GPU fleet under open-loop traffic: latency,\n\
          \u{20}        [--rate R] [--gpus N]        goodput, and per-device utilization\n\
+         \u{20}        [--chaos [--intensities L]]  resilience mode: lifecycle faults, SLO\n\
+         \u{20}        [--deadline MS]              deadlines, availability curves\n\
          \u{20}  cache stats|clear                  inspect or empty the on-disk result cache\n\
          options: --size tiny|small|medium|large|super|mega  --runs N  --csv\n\
          \u{20}        --cache off|on|DIR            on-disk result cache for base runs\n\
@@ -248,8 +254,10 @@ fn print_usage() {
          \u{20}        --format text|json            check report rendering\n\
          \u{20}        --verify-specs                run `check` on the involved specs first\n\
          \u{20}        --seed N --seeds N --retries N --rates R1,R2,...   chaos sweep grid\n\
-         \u{20}        --policy mode_packing|uvm_spillover|chaos_failover|mode_advisor|all\n\
+         \u{20}        --policy mode_packing|uvm_spillover|chaos_failover|mode_advisor|\n\
+         \u{20}                      slo_deadline|all\n\
          \u{20}        --mix poisson|bursty|diurnal  --rate R  --gpus N  --requests N   serve\n\
+         \u{20}        --chaos  --intensities X1,X2,...  --deadline MS    serve resilience\n\
          \u{20}        --threads N   worker threads for sweeps (default: HETSIM_THREADS,\n\
          \u{20}                      then machine parallelism; output is identical at any N)\n\
          `run --help` lists every valid workload name."
@@ -796,17 +804,24 @@ fn cmd_chaos(args: &Args) -> Result<(), String> {
 /// full grid through the pool executor. Reports and traces are
 /// byte-identical at any `--threads N` for a fixed seed.
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    use hetsim_engine::time::Nanos;
+    use hetsim_runtime::FleetFaultPlan;
     use hetsim_serve::{
-        ArrivalMix, ClusterTopology, Fleet, PolicyKind, ServeConfig, ServeReport, ServeSweep,
+        ArrivalMix, ArrivalPlan, AvailabilityCell, AvailabilityReport, AvailabilitySweep,
+        ClusterTopology, Fleet, PolicyKind, ResilienceConfig, ServeConfig, ServeReport, ServeSweep,
     };
     if args.help {
         println!(
             "usage: hetsim-cli serve [--policy P|all] [--mix M] [--rate R | --rates R1,R2,...]\n\
              \u{20}       [--gpus N] [--requests N] [--size S] [--seed N] [--format json]\n\
              \u{20}       [--out FILE] [--csv] [--trace FILE | --trace-stream FILE]\n\
+             \u{20}       [--chaos [--intensities X1,X2,...] [--deadline MS]]\n\
              policies: {}   (default: all)\n\
              mixes:    {}   (default: poisson)\n\
-             Requests draw uniformly from the full workload registry at --size.",
+             Requests draw uniformly from the full workload registry at --size.\n\
+             --chaos arms the resilience layer: seeded device-lifecycle faults at each\n\
+             intensity (default grid 0.0,0.5,1.0), SLO deadlines (--deadline, default\n\
+             50 ms), deadline-budgeted retries/hedging, and availability curves.",
             PolicyKind::NAMES.join(" "),
             ArrivalMix::NAMES.join(" "),
         );
@@ -831,22 +846,49 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         None => vec![args.rate.unwrap_or(100.0)],
     };
+    if !args.chaos && (args.intensities.is_some() || args.deadline_ms.is_some()) {
+        return Err("serve: --intensities/--deadline require --chaos".into());
+    }
+    let slo_budget = match args.deadline_ms {
+        Some(ms) => Nanos::from_secs_f64(ms / 1_000.0),
+        None => ArrivalPlan::DEFAULT_SLO_BUDGET,
+    };
+    let intensities: Vec<f64> = args
+        .intensities
+        .clone()
+        .unwrap_or_else(|| AvailabilitySweep::DEFAULT_INTENSITIES.to_vec());
+    if args.chaos {
+        // Surface impossible fault plans before any simulation, like the
+        // chaos command does.
+        for &x in &intensities {
+            FleetFaultPlan::at_intensity(args.seed, x)
+                .validate()
+                .map_err(|e| format!("serve --chaos: invalid plan at intensity {x}: {e}"))?;
+        }
+    }
     reject_trace_and_stream("serve", args)?;
-    let single_cell = policies.len() == 1 && rates.len() == 1;
+    let single_cell =
+        policies.len() == 1 && rates.len() == 1 && (!args.chaos || intensities.len() == 1);
     if (args.trace.is_some() || args.trace_stream.is_some()) && !single_cell {
         return Err(
-            "serve: tracing needs a single (policy, rate) cell — pick one --policy and one --rate"
+            "serve: tracing needs a single cell — pick one --policy, one --rate, and (with \
+             --chaos) one intensity"
                 .into(),
         );
     }
 
     eprintln!(
-        "serve @ {} [{mix_name}]: {} gpus, {} requests/cell, {} policies x {} rates",
+        "serve @ {} [{mix_name}]: {} gpus, {} requests/cell, {} policies x {} rates{}",
         args.size,
         args.gpus,
         args.requests,
         policies.len(),
         rates.len(),
+        if args.chaos {
+            format!(" x {} intensities", intensities.len())
+        } else {
+            String::new()
+        },
     );
     let fleet = Fleet::with_experiment(
         ClusterTopology::nvlink_mesh(args.gpus),
@@ -854,14 +896,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         experiment(args),
     );
 
-    let report = if single_cell {
-        let mix = ArrivalMix::by_name(mix_name, rates[0]).expect("mix validated at parse");
-        let outcome = fleet.serve(&ServeConfig {
-            policy: policies[0],
-            mix,
-            seed: args.seed,
-            requests: args.requests,
-        });
+    // The single-cell schedule export, shared by both modes.
+    let export = |outcome: &hetsim_serve::FleetOutcome| -> Result<(), String> {
         let cap = outcome.trace_events().max(1);
         let config = hetsim_trace::TraceConfig::default().with_capacity(cap);
         if let Some(path) = args.trace_stream.as_deref() {
@@ -871,6 +907,71 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             let trace = outcome.trace(config);
             write_trace(&trace, path)?;
         }
+        Ok(())
+    };
+
+    if args.chaos {
+        let report = if single_cell {
+            let mix = ArrivalMix::by_name(mix_name, rates[0]).expect("mix validated at parse");
+            let res = ResilienceConfig {
+                plan: FleetFaultPlan::at_intensity(args.seed, intensities[0]),
+                slo_budget,
+                ..ResilienceConfig::default()
+            };
+            let outcome = fleet.serve_resilient(
+                &ServeConfig {
+                    policy: policies[0],
+                    mix,
+                    seed: args.seed,
+                    requests: args.requests,
+                },
+                &res,
+            );
+            export(&outcome)?;
+            AvailabilityReport {
+                cells: vec![AvailabilityCell {
+                    intensity: intensities[0],
+                    report: outcome.report,
+                }],
+            }
+        } else {
+            AvailabilitySweep {
+                policies,
+                rates,
+                intensities,
+                mix: mix_name.to_string(),
+                seed: args.seed,
+                requests: args.requests,
+                slo_budget,
+            }
+            .run(&fleet)
+        };
+        match args.format.as_deref() {
+            Some("json") => print!("{}", report.to_json()),
+            _ => {
+                emit(&report.to_table(), args.csv);
+                if let [cell] = report.cells.as_slice() {
+                    emit(&cell.report.device_table(), args.csv);
+                }
+            }
+        }
+        if let Some(path) = args.out.as_deref() {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        return Ok(());
+    }
+
+    let report = if single_cell {
+        let mix = ArrivalMix::by_name(mix_name, rates[0]).expect("mix validated at parse");
+        let outcome = fleet.serve(&ServeConfig {
+            policy: policies[0],
+            mix,
+            seed: args.seed,
+            requests: args.requests,
+        });
+        export(&outcome)?;
         ServeReport {
             cells: vec![outcome.report],
         }

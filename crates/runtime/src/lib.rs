@@ -35,7 +35,10 @@ pub mod timeline;
 
 pub use alloc::AllocModel;
 pub use device::Device;
-pub use hetsim_chaos::{ChaosOverhead, ChaosReport, FaultPlan, RecoveryPolicy, SimError};
+pub use hetsim_chaos::{
+    ChaosOverhead, ChaosReport, FaultPlan, FleetFaultPlan, HealthState, HealthTimeline,
+    LifecycleEvent, LifecyclePhase, RecoveryPolicy, SimError,
+};
 pub use mode::TransferMode;
 pub use program::{BufferRole, BufferSpec, BufferSpecError, GpuProgram, PageTouch};
 pub use report::RunReport;

@@ -158,6 +158,19 @@ pub struct Request {
     pub workload: &'static str,
     /// Input size the workload is built at.
     pub size: InputSize,
+    /// SLO deadline: the completion instant after which the response no
+    /// longer counts toward SLO attainment. Always `arrival + budget`;
+    /// resilience policies spend the remaining budget on retries and
+    /// hedges, and deadline-aware admission sheds predicted misses.
+    pub deadline: Nanos,
+}
+
+impl Request {
+    /// The request's remaining SLO budget at sim time `now` (zero once
+    /// the deadline has passed).
+    pub fn remaining_budget(&self, now: Nanos) -> Nanos {
+        self.deadline.saturating_sub(now)
+    }
 }
 
 /// A generated arrival sequence plus the parameters that produced it.
@@ -192,6 +205,30 @@ impl ArrivalPlan {
         catalog: &[&'static str],
         size: InputSize,
     ) -> ArrivalPlan {
+        Self::generate_with_deadline(mix, seed, count, catalog, size, Self::DEFAULT_SLO_BUDGET)
+    }
+
+    /// The default per-request SLO budget (arrival → deadline): 50 ms,
+    /// generous next to the calibrated per-request service times so that
+    /// deadline-unaware runs behave exactly as before deadlines existed.
+    pub const DEFAULT_SLO_BUDGET: Nanos = Nanos::from_millis(50);
+
+    /// [`ArrivalPlan::generate`] with an explicit SLO budget: every
+    /// request's deadline is `arrival + budget`. The budget does not
+    /// touch the RNG stream, so plans at different budgets share the
+    /// identical arrival sequence.
+    ///
+    /// # Panics
+    ///
+    /// As [`ArrivalPlan::generate`].
+    pub fn generate_with_deadline(
+        mix: ArrivalMix,
+        seed: u64,
+        count: u64,
+        catalog: &[&'static str],
+        size: InputSize,
+        budget: Nanos,
+    ) -> ArrivalPlan {
         assert!(!catalog.is_empty(), "arrival catalog must not be empty");
         assert!(count > 0, "arrival plan needs at least one request");
         let mut rng = SimRng::seed_from_parts(&["serve.arrival", mix.name(), size.name()], seed);
@@ -205,11 +242,13 @@ impl ArrivalPlan {
             let gap_s = -u.ln() / rate;
             clock_ns += (gap_s * 1e9) as u64;
             let workload = catalog[rng.below(catalog.len() as u64) as usize];
+            let arrival = Nanos::from_nanos(clock_ns);
             requests.push(Request {
                 id,
-                arrival: Nanos::from_nanos(clock_ns),
+                arrival,
                 workload,
                 size,
+                deadline: arrival + budget,
             });
         }
         ArrivalPlan {
@@ -306,6 +345,31 @@ mod tests {
         assert!((peak - 180.0).abs() < 1e-9, "peak {peak}");
         assert!((trough - 20.0).abs() < 1e-9, "trough {trough}");
         assert!((mix.rate_at(0.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadlines_are_arrival_plus_budget() {
+        let budget = Nanos::from_millis(5);
+        let plan = ArrivalPlan::generate_with_deadline(
+            poisson(100.0),
+            7,
+            50,
+            &CATALOG,
+            InputSize::Tiny,
+            budget,
+        );
+        for r in &plan.requests {
+            assert_eq!(r.deadline, r.arrival + budget);
+            assert_eq!(r.remaining_budget(r.arrival), budget);
+            assert_eq!(r.remaining_budget(r.deadline + budget), Nanos::ZERO);
+        }
+        // The default entry point applies DEFAULT_SLO_BUDGET without
+        // perturbing the arrival sequence.
+        let default = ArrivalPlan::generate(poisson(100.0), 7, 50, &CATALOG, InputSize::Tiny);
+        for (a, b) in plan.requests.iter().zip(&default.requests) {
+            assert_eq!(a.arrival, b.arrival, "budget must not shift arrivals");
+            assert_eq!(b.deadline, b.arrival + ArrivalPlan::DEFAULT_SLO_BUDGET);
+        }
     }
 
     #[test]

@@ -27,13 +27,16 @@
 
 use crate::arrival::{ArrivalMix, ArrivalPlan};
 use crate::metrics::{DeviceUtilization, LatencyAccumulator, PolicyReport, ServeReport};
-use crate::policy::{Admission, DeviceView, FleetView, PolicyKind, ServingPolicy};
+use crate::policy::{Admission, DeviceView, FleetView, ModeCosts, PolicyKind, ServingPolicy};
+use crate::resilience::ResilienceConfig;
 use crate::topology::ClusterTopology;
 use hetsim::batch::JobStages;
 use hetsim::{pool, Experiment};
 use hetsim_engine::rng::SimRng;
 use hetsim_engine::time::Nanos;
-use hetsim_runtime::{GpuProgram, TransferMode};
+use hetsim_runtime::{
+    ChaosOverhead, GpuProgram, HealthState, HealthTimeline, LifecycleEvent, TransferMode,
+};
 use hetsim_trace::{Category, Dim, Trace, TraceBuilder, TraceConfig, TraceSink};
 use hetsim_workloads::spec::Workload;
 use hetsim_workloads::{suite, InputSize};
@@ -77,6 +80,14 @@ pub struct CompletedRequest {
     /// Devices that failed a placement attempt before this one, in
     /// attempt order.
     pub failed_devices: Vec<usize>,
+    /// The request's SLO deadline (arrival + budget).
+    pub deadline: Nanos,
+    /// Additive recovery cost the resilience layer charged this request
+    /// (retry backoff, abandoned partial work, re-staging, degraded
+    /// service). All-zero for a fault-free run.
+    pub recovery: ChaosOverhead,
+    /// Whether the request was hedged off a degraded primary onto a peer.
+    pub hedged: bool,
 }
 
 impl CompletedRequest {
@@ -115,6 +126,11 @@ pub struct FleetOutcome {
     pub shed: Vec<ShedRequest>,
     /// Fleet size (device count).
     pub devices: usize,
+    /// Device-lifecycle transitions the fault plan produced, sorted by
+    /// `(time, device)`. Empty for a fault-free run.
+    pub lifecycle: Vec<LifecycleEvent>,
+    /// Requests hedged onto a peer device.
+    pub hedges: usize,
 }
 
 /// Internal per-device scheduling state for the serial pass.
@@ -165,9 +181,15 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// The transfer modes the shipped policies can place requests in;
-    /// the prewarm grid covers exactly these.
-    const PREWARM_MODES: [TransferMode; 2] = [TransferMode::Async, TransferMode::UvmPrefetchAsync];
+    /// The transfer modes a shipped policy or the SLO degradation ladder
+    /// can place requests in; the prewarm grid covers exactly these.
+    const PREWARM_MODES: [TransferMode; 5] = [
+        TransferMode::Async,
+        TransferMode::UvmPrefetchAsync,
+        TransferMode::UvmPrefetch,
+        TransferMode::Uvm,
+        TransferMode::Standard,
+    ];
 
     /// Builds a fleet over `topology` serving the full workload registry
     /// at `size`, and prewarms the cost model: one deterministic base
@@ -244,6 +266,47 @@ impl Fleet {
         self.serve_plan(&plan, policy.as_ref(), config.seed)
     }
 
+    /// Plays one serving cell under a fault plan: like [`Fleet::serve`],
+    /// but with `res.slo_budget` as every request's deadline budget and
+    /// the device-lifecycle timeline of `res.plan` driving health,
+    /// deadline-budgeted retries, and hedging. At intensity zero the
+    /// timeline is empty and the outcome is byte-identical to
+    /// [`Fleet::serve`] with the same config (given the default budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `res.plan` fails [`validation`](hetsim_runtime::FleetFaultPlan::validate).
+    pub fn serve_resilient(&self, config: &ServeConfig, res: &ResilienceConfig) -> FleetOutcome {
+        res.plan
+            .validate()
+            .expect("resilience fault plan must be valid");
+        let policy = config.policy.build();
+        let plan = ArrivalPlan::generate_with_deadline(
+            config.mix,
+            config.seed,
+            config.requests,
+            &self.catalog,
+            self.size,
+            res.slo_budget,
+        );
+        // A deterministic timeline horizon: the last arrival plus the SLO
+        // budget plus one full episode cycle of margin. Work queued past
+        // it simply sees a recovered fleet.
+        let last = plan
+            .requests
+            .last()
+            .map(|r| r.arrival)
+            .unwrap_or(Nanos::ZERO);
+        let margin = res.plan.degrade_lead + res.plan.repair + res.plan.drain + res.plan.cooldown;
+        let horizon = last + res.slo_budget + margin;
+        let timeline = HealthTimeline::generate(&res.plan, self.topology.len(), horizon);
+        let resilience = Resilience {
+            timeline,
+            cfg: *res,
+        };
+        self.run_plan(&plan, policy.as_ref(), config.seed, Some(&resilience))
+    }
+
     /// [`Fleet::serve`] with an explicit plan and policy instance (the
     /// extension point for custom policies).
     pub fn serve_plan(
@@ -252,14 +315,33 @@ impl Fleet {
         policy: &dyn ServingPolicy,
         seed: u64,
     ) -> FleetOutcome {
+        self.run_plan(plan, policy, seed, None)
+    }
+
+    /// The single serial pass shared by the fault-free and resilient
+    /// entry points. When `res` is `None` *or its timeline is empty*, the
+    /// resilient branches are never entered — zero extra arithmetic, zero
+    /// extra RNG draws — which is what makes an intensity-zero resilient
+    /// run byte-identical to the plain one.
+    fn run_plan(
+        &self,
+        plan: &ArrivalPlan,
+        policy: &dyn ServingPolicy,
+        seed: u64,
+        res: Option<&Resilience>,
+    ) -> FleetOutcome {
         let n = self.topology.len();
         let mut states = vec![DeviceState::default(); n];
         let mut completed = Vec::new();
         let mut shed = Vec::new();
         let mut failovers = 0usize;
+        let mut hedges = 0usize;
+        let mut recovery_total = ChaosOverhead::default();
         // O(1)-per-sample latency accounting: exact for small cells,
         // fixed-memory streaming histogram past the exact limit.
         let mut latency = LatencyAccumulator::new();
+        // An armed-but-quiet timeline behaves exactly like no timeline.
+        let active = res.filter(|r| !r.timeline.is_empty());
 
         for req in &plan.requests {
             let catalog_idx = self
@@ -275,14 +357,28 @@ impl Fleet {
                 .enumerate()
                 .map(|(index, s)| {
                     let committed = s.settle(req.arrival);
+                    let base_capacity = self.topology.capacity(index);
+                    let (capacity, health) = match active {
+                        Some(r) => {
+                            let f = r.timeline.capacity_factor(index, req.arrival);
+                            let cap = if f < 1.0 {
+                                (base_capacity as f64 * f) as u64
+                            } else {
+                                base_capacity
+                            };
+                            (cap, r.timeline.state(index, req.arrival))
+                        }
+                        None => (base_capacity, HealthState::Healthy),
+                    };
                     DeviceView {
                         index,
                         cpu_free: s.cpu_free,
                         gpu_free: s.gpu_free,
                         committed,
-                        capacity: self.topology.capacity(index),
+                        capacity,
                         inflight: s.inflight.len(),
                         consecutive_failures: s.consecutive_failures,
+                        health,
                     }
                 })
                 .collect();
@@ -290,6 +386,7 @@ impl Fleet {
                 now: req.arrival,
                 devices: &views,
                 topology: &self.topology,
+                costs: ModeCosts::from_fn(|mode| self.stages(catalog_idx, mode, req.id)),
             };
 
             // One deterministic RNG per request, independent of every
@@ -325,22 +422,181 @@ impl Fleet {
                 states[failed].consecutive_failures += 1;
             }
             failovers += placement.failed_devices.len();
-            let d = placement.device;
-            states[d].consecutive_failures = 0;
 
-            let release = req.arrival + placement.queue_delay;
-            let run_stages = JobStages {
-                cpu: stages.cpu,
-                gpu: gpu_dur,
+            let base_release = req.arrival + placement.queue_delay;
+            let mut failed_devices = placement.failed_devices;
+            let mut recovery = ChaosOverhead::default();
+            let mut hedged = false;
+
+            // Resolve (device, release, stages) — trivially on the
+            // fault-free path, through the deadline-budgeted attempt walk
+            // when a lifecycle timeline is armed.
+            let resolved: Result<(usize, Nanos, JobStages), &'static str> = match active {
+                None => Ok((
+                    placement.device,
+                    base_release,
+                    JobStages {
+                        cpu: stages.cpu,
+                        gpu: gpu_dur,
+                    },
+                )),
+                Some(r) => {
+                    let tl = &r.timeline;
+                    let cfg = &r.cfg;
+                    // Candidate order: the policy's pick, then peers by
+                    // queue depth. The walk is bounded by the retry
+                    // budget and by the deadline: a hop is only taken if
+                    // backoff + re-staging still make the SLO.
+                    let mut order: Vec<usize> = Vec::with_capacity(n);
+                    order.push(placement.device);
+                    let mut rest: Vec<usize> = (0..n).filter(|&i| i != placement.device).collect();
+                    rest.sort_by_key(|&i| (views[i].gpu_free, i));
+                    order.extend(rest);
+                    let max_attempts = (cfg.recovery.max_retries as usize + 1).min(order.len());
+
+                    let mut committed: Option<(usize, Nanos, JobStages)> = None;
+                    // A primary that can run the request late (degraded
+                    // or just queued): kept as the fallback if no peer
+                    // beats the deadline.
+                    let mut fallback: Option<(usize, Nanos, JobStages, Nanos)> = None;
+                    let mut pending_backoff = Nanos::ZERO;
+                    let mut hedge_pending = false;
+                    let mut saw_viable = false;
+
+                    for (attempt, &cand) in order.iter().take(max_attempts).enumerate() {
+                        // The hop cost: backoff owed from a previous
+                        // failure, plus re-staging the working set over
+                        // the (possibly degraded) peer link.
+                        let mut hop = ChaosOverhead::default();
+                        let mut release = base_release;
+                        if attempt > 0 {
+                            hop.system += pending_backoff;
+                            release += pending_backoff;
+                            let link = tl
+                                .link_factor(placement.device, release)
+                                .max(tl.link_factor(cand, release));
+                            let restage = self
+                                .topology
+                                .peer_transfer_time(placement.device, cand, footprint)
+                                .scale(link);
+                            hop.memcpy += restage;
+                            release += restage;
+                        }
+                        if !tl.accepts(cand, release) {
+                            // Failed before any data moved: only the
+                            // backoff is sunk.
+                            recovery.system += hop.system;
+                            pending_backoff = cfg.recovery.backoff(attempt as u32);
+                            states[cand].consecutive_failures += 1;
+                            failed_devices.push(cand);
+                            failovers += 1;
+                            continue;
+                        }
+                        let penalty = tl.service_penalty(cand, release);
+                        let slow_gpu = if penalty > 1.0 {
+                            gpu_dur.scale(penalty)
+                        } else {
+                            gpu_dur
+                        };
+                        let rs = JobStages {
+                            cpu: stages.cpu,
+                            gpu: slow_gpu,
+                        };
+                        let s = &states[cand];
+                        let cpu_start = release.max(s.cpu_free);
+                        let done = (cpu_start + rs.cpu).max(s.gpu_free) + rs.gpu;
+                        let quarantined_mid_run = tl
+                            .next_quarantine_start(cand, release)
+                            .map(|q| q <= done)
+                            .unwrap_or(false);
+                        if quarantined_mid_run {
+                            // The attempt started and died mid-run:
+                            // backoff, re-staging, and the partial work
+                            // are all sunk cost.
+                            let q = tl
+                                .next_quarantine_start(cand, release)
+                                .expect("checked above");
+                            recovery.system += hop.system + q.saturating_sub(cpu_start);
+                            recovery.memcpy += hop.memcpy;
+                            pending_backoff = cfg.recovery.backoff(attempt as u32);
+                            states[cand].consecutive_failures += 1;
+                            failed_devices.push(cand);
+                            failovers += 1;
+                            continue;
+                        }
+                        let extra_kernel = slow_gpu.saturating_sub(gpu_dur);
+                        if done > req.deadline {
+                            saw_viable = true;
+                            if attempt == 0 {
+                                fallback = Some((cand, release, rs, extra_kernel));
+                                if cfg.hedging && penalty > 1.0 {
+                                    // Late *because it degraded*: hedge
+                                    // onto a peer if one makes the SLO.
+                                    hedge_pending = true;
+                                    continue;
+                                }
+                                // Late from plain queueing: run it late,
+                                // exactly like the fault-free path.
+                                break;
+                            }
+                            // A hop that still misses is not worth paying
+                            // for.
+                            continue;
+                        }
+                        // Commit: the hop that lands charges its backoff
+                        // and re-staging; a degraded device charges its
+                        // service slowdown.
+                        recovery.system += hop.system;
+                        recovery.memcpy += hop.memcpy;
+                        recovery.kernel += extra_kernel;
+                        hedged = hedge_pending && attempt > 0;
+                        committed = Some((cand, release, rs));
+                        break;
+                    }
+                    if committed.is_none() {
+                        if let Some((cand, release, rs, extra_kernel)) = fallback {
+                            // No peer beats the deadline: run late on the
+                            // primary rather than shed runnable work.
+                            recovery.kernel += extra_kernel;
+                            committed = Some((cand, release, rs));
+                        }
+                    }
+                    committed.ok_or(if saw_viable {
+                        "deadline_exhausted"
+                    } else {
+                        "fleet_unavailable"
+                    })
+                }
             };
+
+            let (d, release, run_stages) = match resolved {
+                Ok(t) => t,
+                Err(reason) => {
+                    // Attempts exhausted: shed post-admission; the wasted
+                    // attempt work still lands in the ledger.
+                    add_overhead(&mut recovery_total, recovery);
+                    shed.push(ShedRequest {
+                        id: req.id,
+                        arrival: req.arrival,
+                        reason,
+                    });
+                    continue;
+                }
+            };
+            states[d].consecutive_failures = 0;
+            if hedged {
+                hedges += 1;
+            }
+            add_overhead(&mut recovery_total, recovery);
+
             let (cpu_start, gpu_start) = {
                 let s = &mut states[d];
                 two_stage_step(release, run_stages, &mut s.cpu_free, &mut s.gpu_free)
             };
-            let done = gpu_start + gpu_dur;
+            let done = gpu_start + run_stages.gpu;
             latency.observe(done - req.arrival);
             let s = &mut states[d];
-            s.busy += gpu_dur;
+            s.busy += run_stages.gpu;
             s.completed += 1;
             s.inflight.push((done, footprint));
             let committed_now: u64 = s.inflight.iter().map(|&(_, b)| b).sum();
@@ -356,8 +612,11 @@ impl Fleet {
                 cpu_start,
                 cpu_dur: stages.cpu,
                 gpu_start,
-                gpu_dur,
-                failed_devices: placement.failed_devices,
+                gpu_dur: run_stages.gpu,
+                failed_devices,
+                deadline: req.deadline,
+                recovery,
+                hedged,
             });
         }
 
@@ -383,6 +642,10 @@ impl Fleet {
             })
             .collect();
 
+        let deadline_misses = completed
+            .iter()
+            .filter(|c| c.completion() > c.deadline)
+            .count();
         let report = PolicyReport {
             policy: policy.name().to_string(),
             mix: plan.mix.name().to_string(),
@@ -392,6 +655,14 @@ impl Fleet {
             completed: completed.len(),
             shed: shed.len(),
             failovers,
+            hedges,
+            deadline_misses,
+            slo_attainment: if plan.requests.is_empty() {
+                0.0
+            } else {
+                (completed.len() - deadline_misses) as f64 / plan.requests.len() as f64
+            },
+            recovery: recovery_total,
             horizon,
             goodput_rps: if horizon_s > 0.0 {
                 completed.len() as f64 / horizon_s
@@ -407,8 +678,26 @@ impl Fleet {
             completed,
             shed,
             devices: n,
+            lifecycle: active.map(|r| r.timeline.events()).unwrap_or_default(),
+            hedges,
         }
     }
+}
+
+/// The armed state one resilient run carries: the generated health
+/// timeline plus the configuration that produced it.
+struct Resilience {
+    timeline: HealthTimeline,
+    cfg: ResilienceConfig,
+}
+
+/// Accumulates one request's recovery ledger into the run total
+/// (component-wise, preserving separability).
+fn add_overhead(total: &mut ChaosOverhead, part: ChaosOverhead) {
+    total.alloc += part.alloc;
+    total.memcpy += part.memcpy;
+    total.kernel += part.kernel;
+    total.system += part.system;
 }
 
 /// Mixes a serve seed and a request id into one RNG index (SplitMix-style
@@ -442,6 +731,8 @@ impl FleetOutcome {
     pub fn trace_events(&self) -> usize {
         2 * self.completed.len()
             + self.shed.len()
+            + self.lifecycle.len()
+            + self.hedges
             + self
                 .completed
                 .iter()
@@ -451,6 +742,17 @@ impl FleetOutcome {
 
     fn render(&self, mut b: TraceBuilder) -> Trace {
         let fleet = b.track("fleet");
+        // Lifecycle transitions first: the fault plan's schedule is the
+        // backdrop the per-request events play against.
+        for e in &self.lifecycle {
+            b.instant_at(
+                fleet,
+                Category::Chaos,
+                format!("{}[gpu{}]", e.phase.name(), e.device),
+                e.at.as_nanos(),
+                None,
+            );
+        }
         for s in &self.shed {
             b.instant_at(
                 fleet,
@@ -471,6 +773,15 @@ impl FleetOutcome {
                 format!("failover[{}]", c.id),
                 c.arrival.as_nanos(),
                 Some(("hops", c.failed_devices.len() as f64)),
+            );
+        }
+        for c in self.completed.iter().filter(|c| c.hedged) {
+            b.instant_at(
+                fleet,
+                Category::Chaos,
+                format!("hedge[{}]", c.id),
+                c.arrival.as_nanos(),
+                None,
             );
         }
         for d in 0..self.devices {
@@ -653,6 +964,52 @@ mod tests {
                 assert!(c.latency() >= c.gpu_dur);
             }
         }
+    }
+
+    #[test]
+    fn resilient_at_intensity_zero_is_plain_serve() {
+        // The separability anchor: an armed-but-quiet resilience config
+        // must reproduce the fault-free schedule exactly.
+        let fleet = small_fleet(2);
+        for kind in [PolicyKind::ChaosFailover, PolicyKind::SloDeadline] {
+            let cfg = config(kind, 30);
+            let plain = fleet.serve(&cfg);
+            let res = fleet.serve_resilient(&cfg, &ResilienceConfig::default());
+            assert_eq!(plain.report, res.report, "{}", kind.name());
+            assert_eq!(plain.completed, res.completed);
+            assert_eq!(plain.shed, res.shed);
+            assert!(res.lifecycle.is_empty());
+            assert_eq!(res.hedges, 0);
+        }
+    }
+
+    #[test]
+    fn faults_charge_the_recovery_ledger() {
+        let fleet = small_fleet(2);
+        let cfg = config(PolicyKind::ChaosFailover, 60);
+        let res = ResilienceConfig::at_intensity(cfg.seed, 1.0);
+        let out = fleet.serve_resilient(&cfg, &res);
+        assert!(
+            !out.lifecycle.is_empty(),
+            "full intensity must produce lifecycle episodes"
+        );
+        assert_eq!(out.report.offered, out.report.completed + out.report.shed);
+        // The run ledger covers at least every completed request's
+        // charges (shed attempts add more, never less).
+        let mut sum = ChaosOverhead::default();
+        for c in &out.completed {
+            add_overhead(&mut sum, c.recovery);
+        }
+        assert!(out.report.recovery.total() >= sum.total());
+        assert_eq!(
+            out.hedges,
+            out.completed.iter().filter(|c| c.hedged).count()
+        );
+        // Determinism: the same armed run reproduces itself.
+        let again = fleet.serve_resilient(&cfg, &res);
+        assert_eq!(out.report, again.report);
+        assert_eq!(out.completed, again.completed);
+        assert_eq!(out.lifecycle, again.lifecycle);
     }
 
     #[test]

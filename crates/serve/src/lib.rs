@@ -35,6 +35,10 @@
 //! 5. [`metrics`] turns completions into percentile/goodput/utilization
 //!    reports; [`fleet::FleetOutcome::trace`] renders the schedule as a
 //!    labeled trace for Perfetto.
+//! 6. [`resilience`] arms the loop with a device-lifecycle fault plan:
+//!    health-aware placement, SLO deadlines with deadline-budgeted
+//!    retries and hedging, and `(policy × rate × intensity)`
+//!    availability sweeps.
 //!
 //! # Determinism
 //!
@@ -56,6 +60,7 @@ pub mod arrival;
 pub mod fleet;
 pub mod metrics;
 pub mod policy;
+pub mod resilience;
 pub mod topology;
 
 pub use arrival::{ArrivalMix, ArrivalPlan, Request};
@@ -65,7 +70,9 @@ pub use metrics::{
     StreamingHistogram,
 };
 pub use policy::{
-    Admission, AdmissionPolicy, ChaosFailover, FleetView, ModeAdvisor, ModePacking, Placement,
-    PlacementPolicy, PolicyKind, ServingPolicy, UvmSpillover,
+    predicted_completion, Admission, AdmissionPolicy, ChaosFailover, FleetView, ModeAdvisor,
+    ModeCosts, ModePacking, Placement, PlacementPolicy, PolicyKind, ServingPolicy, SloDeadline,
+    UvmSpillover,
 };
+pub use resilience::{AvailabilityCell, AvailabilityReport, AvailabilitySweep, ResilienceConfig};
 pub use topology::{ClusterTopology, PeerClass, PeerLink};

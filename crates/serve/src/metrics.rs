@@ -29,6 +29,7 @@
 
 use hetsim_counters::report::Table;
 use hetsim_engine::time::Nanos;
+use hetsim_runtime::ChaosOverhead;
 
 /// Number of sub-bucket bits per power of two in [`StreamingHistogram`]:
 /// 128 sub-buckets per octave.
@@ -363,6 +364,18 @@ pub struct PolicyReport {
     pub shed: usize,
     /// Failed placement attempts absorbed by failover.
     pub failovers: usize,
+    /// Requests whose work moved to a peer device mid-flight because the
+    /// primary degraded and the deadline budget still allowed re-staging.
+    pub hedges: usize,
+    /// Completed requests that finished past their SLO deadline.
+    pub deadline_misses: usize,
+    /// Fraction of *offered* requests that completed within their
+    /// deadline (`0.0` for an empty cell — never NaN).
+    pub slo_attainment: f64,
+    /// Additive recovery cost charged by the resilience layer (retry
+    /// backoff, abandoned partial work, re-staging transfers, degraded
+    /// service), separable per the chaos contract.
+    pub recovery: ChaosOverhead,
     /// End of the simulated schedule (last GPU-stage completion).
     pub horizon: Nanos,
     /// Completed requests per second of horizon.
@@ -375,8 +388,9 @@ pub struct PolicyReport {
 
 impl PolicyReport {
     /// The summary row of this cell (shared column layout with
-    /// [`ServeReport::to_table`]).
-    fn table_row(&self) -> Vec<String> {
+    /// [`ServeReport::to_table`]; the availability sweep prepends an
+    /// intensity column).
+    pub(crate) fn table_row(&self) -> Vec<String> {
         vec![
             self.policy.clone(),
             self.mix.clone(),
@@ -385,6 +399,9 @@ impl PolicyReport {
             self.completed.to_string(),
             self.shed.to_string(),
             self.failovers.to_string(),
+            self.hedges.to_string(),
+            self.deadline_misses.to_string(),
+            format!("{:.4}", self.slo_attainment),
             format!("{:.3}", self.latency.p50.as_millis_f64()),
             format!("{:.3}", self.latency.p99.as_millis_f64()),
             format!("{:.3}", self.latency.p999.as_millis_f64()),
@@ -446,6 +463,9 @@ impl PolicyReport {
         format!(
             "{{\"policy\": {}, \"mix\": {}, \"rate_rps\": {:.4}, \"seed\": {}, \
              \"offered\": {}, \"completed\": {}, \"shed\": {}, \"failovers\": {}, \
+             \"hedges\": {}, \"deadline_misses\": {}, \"slo_attainment\": {:.6}, \
+             \"recovery\": {{\"alloc_ns\": {}, \"memcpy_ns\": {}, \"kernel_ns\": {}, \
+             \"system_ns\": {}}}, \
              \"horizon_ns\": {}, \"goodput_rps\": {:.6}, \
              \"latency\": {{\"count\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \
              \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}, \
@@ -458,6 +478,13 @@ impl PolicyReport {
             self.completed,
             self.shed,
             self.failovers,
+            self.hedges,
+            self.deadline_misses,
+            self.slo_attainment,
+            self.recovery.alloc.as_nanos(),
+            self.recovery.memcpy.as_nanos(),
+            self.recovery.kernel.as_nanos(),
+            self.recovery.system.as_nanos(),
             self.horizon.as_nanos(),
             self.goodput_rps,
             self.latency.count,
@@ -480,7 +507,7 @@ pub struct ServeReport {
 
 impl ServeReport {
     /// The shared summary-table column layout.
-    pub const COLUMNS: [&'static str; 12] = [
+    pub const COLUMNS: [&'static str; 15] = [
         "policy",
         "mix",
         "rate_rps",
@@ -488,6 +515,9 @@ impl ServeReport {
         "completed",
         "shed",
         "failovers",
+        "hedges",
+        "misses",
+        "slo",
         "p50_ms",
         "p99_ms",
         "p999_ms",
@@ -773,6 +803,10 @@ mod tests {
             completed: 9,
             shed: 1,
             failovers: 0,
+            hedges: 0,
+            deadline_misses: 1,
+            slo_attainment: 0.8,
+            recovery: ChaosOverhead::default(),
             horizon: Nanos::from_millis(100),
             goodput_rps: 90.0,
             latency: LatencyStats::from_samples(&ns(&[1_000_000, 2_000_000, 3_000_000])),
@@ -784,6 +818,45 @@ mod tests {
                 peak_committed: 1 << 20,
             }],
         }
+    }
+
+    #[test]
+    fn fully_shed_cell_renders_zeros_not_nan() {
+        // A cell where every request was shed (or a device completed
+        // nothing) must report a zero-count latency record and finite
+        // ratios — never NaN, never a panic.
+        let cell = PolicyReport {
+            policy: "slo_deadline".into(),
+            mix: "poisson".into(),
+            rate_rps: 400.0,
+            seed: 7,
+            offered: 5,
+            completed: 0,
+            shed: 5,
+            failovers: 0,
+            hedges: 0,
+            deadline_misses: 0,
+            slo_attainment: 0.0,
+            recovery: ChaosOverhead::default(),
+            horizon: Nanos::ZERO,
+            goodput_rps: 0.0,
+            latency: LatencyStats::from_samples(&[]),
+            per_device: vec![DeviceUtilization {
+                device: "gpu0".into(),
+                completed: 0,
+                busy: Nanos::ZERO,
+                utilization: 0.0,
+                peak_committed: 0,
+            }],
+        };
+        assert_eq!(cell.latency.count, 0);
+        let csv = cell.to_table().to_csv();
+        assert!(!csv.contains("NaN"), "table must stay finite: {csv}");
+        let json = cell.to_json_value();
+        assert!(json.contains("\"completed\": 0"));
+        assert!(json.contains("\"slo_attainment\": 0.000000"));
+        assert!(!json.contains("NaN"), "json must stay finite: {json}");
+        assert!(!cell.device_table().to_csv().contains("NaN"));
     }
 
     #[test]
@@ -808,6 +881,8 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"policy\": \"mode_packing\""));
         assert!(json.contains("\"p999_ns\""));
+        assert!(json.contains("\"slo_attainment\": 0.800000"));
+        assert!(json.contains("\"recovery\": {\"alloc_ns\": 0"));
         assert!(json.contains("\"devices\": ["));
         assert!(json.ends_with("]\n}\n"));
         // Balanced braces/brackets (cheap well-formedness check without a

@@ -31,12 +31,17 @@
 //!   performance advisor predicts fastest for its workload × size, on
 //!   the least-loaded device with room; the serving-layer consumer of
 //!   the `SAN-P*` analysis.
+//! * [`SloDeadline`] — SLO-aware admission: sheds by *predicted deadline
+//!   miss* (memoized cost estimates plus current queue depth), and walks
+//!   the overload degradation ladder ([`ModeCosts::LADDER`]) to cheaper
+//!   transfer modes before giving up on a request.
 
 use crate::arrival::Request;
 use crate::topology::ClusterTopology;
+use hetsim::batch::JobStages;
 use hetsim_engine::rng::SimRng;
 use hetsim_engine::time::Nanos;
-use hetsim_runtime::{RecoveryPolicy, TransferMode};
+use hetsim_runtime::{HealthState, RecoveryPolicy, TransferMode};
 
 /// One device's scheduling state as a policy sees it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +60,10 @@ pub struct DeviceView {
     pub inflight: usize,
     /// Consecutive failed placement attempts (chaos bookkeeping).
     pub consecutive_failures: u32,
+    /// Lifecycle health at the deciding instant. Always
+    /// [`HealthState::Healthy`] on a fault-free run; under a
+    /// `FleetFaultPlan` this is the device's state machine position.
+    pub health: HealthState,
 }
 
 /// The fleet snapshot a policy decides against.
@@ -66,6 +75,10 @@ pub struct FleetView<'a> {
     pub devices: &'a [DeviceView],
     /// The cluster's device + peer-link model.
     pub topology: &'a ClusterTopology,
+    /// Memoized cost estimates for the deciding request, one
+    /// [`JobStages`] per rung of the degradation ladder — what
+    /// deadline-aware policies predict completions with.
+    pub costs: ModeCosts,
 }
 
 impl FleetView<'_> {
@@ -78,6 +91,71 @@ impl FleetView<'_> {
     pub fn total_capacity(&self) -> u64 {
         self.devices.iter().map(|d| d.capacity).sum()
     }
+}
+
+/// The deciding request's memoized cost estimates, one per rung of the
+/// overload degradation ladder.
+///
+/// The estimates come from the fleet's `Experiment`-memoized base runs
+/// (the same numbers the scheduler will charge if the request lands), so
+/// a policy predicting a completion with them is consistent with the
+/// clock the report is measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModeCosts {
+    entries: [(TransferMode, JobStages); ModeCosts::LADDER.len()],
+}
+
+impl ModeCosts {
+    /// The overload degradation ladder, preferred mode first: the same
+    /// walk as the chaos [`RecoveryPolicy`]'s mode degradation
+    /// (`uvm_prefetch_async → uvm_prefetch → uvm → standard`). A
+    /// deadline-aware policy tries each rung in order before shedding.
+    pub const LADDER: [TransferMode; 4] = [
+        TransferMode::UvmPrefetchAsync,
+        TransferMode::UvmPrefetch,
+        TransferMode::Uvm,
+        TransferMode::Standard,
+    ];
+
+    /// Builds the table by pricing every ladder rung through `stages`.
+    pub fn from_fn(mut stages: impl FnMut(TransferMode) -> JobStages) -> ModeCosts {
+        ModeCosts {
+            entries: ModeCosts::LADDER.map(|mode| (mode, stages(mode))),
+        }
+    }
+
+    /// All-zero estimates — the deadline-unaware placeholder (every
+    /// prediction collapses to "free", so nothing is ever shed by it).
+    pub fn zero() -> ModeCosts {
+        ModeCosts::from_fn(|_| JobStages {
+            cpu: Nanos::ZERO,
+            gpu: Nanos::ZERO,
+        })
+    }
+
+    /// The estimate for `mode`, if it is on the ladder.
+    pub fn get(&self, mode: TransferMode) -> Option<JobStages> {
+        self.entries
+            .iter()
+            .find(|(m, _)| *m == mode)
+            .map(|&(_, s)| s)
+    }
+
+    /// Ladder rungs with their estimates, preferred mode first.
+    pub fn ladder(&self) -> impl Iterator<Item = (TransferMode, JobStages)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+/// Predicted completion of a request released at `now` on device `d`,
+/// costing `stages` — a pure peek of the fleet's two-stage recurrence
+/// (CPU stage behind `cpu_free`, GPU stage behind `gpu_free`) that
+/// mutates nothing.
+pub fn predicted_completion(now: Nanos, d: &DeviceView, stages: JobStages) -> Nanos {
+    let cpu_start = now.max(d.cpu_free);
+    let cpu_done = cpu_start + stages.cpu;
+    let gpu_start = cpu_done.max(d.gpu_free);
+    gpu_start + stages.gpu
 }
 
 /// An admission decision.
@@ -404,28 +482,28 @@ impl PlacementPolicy for ChaosFailover {
         view: &FleetView<'_>,
         rng: &mut SimRng,
     ) -> Placement {
-        // Healthy devices in load order; quarantined ones only as a last
-        // resort (appended so the walk still terminates fleet-wide).
+        // Healthy devices in load order; quarantined ones — by failure
+        // streak or by lifecycle state — only as a last resort (appended
+        // so the walk still terminates fleet-wide).
+        let sidelined = |d: &DeviceView| {
+            d.consecutive_failures >= self.quarantine_threshold || !d.health.accepts_work()
+        };
         let mut order: Vec<usize> = view
             .devices
             .iter()
-            .filter(|d| d.consecutive_failures < self.quarantine_threshold)
+            .filter(|d| !sidelined(d))
             .map(|d| d.index)
             .collect();
         let quarantined: Vec<usize> = view
             .devices
             .iter()
-            .filter(|d| d.consecutive_failures >= self.quarantine_threshold)
+            .filter(|d| sidelined(d))
             .map(|d| d.index)
             .collect();
         order.extend(quarantined);
         order.sort_by_key(|&d| {
             let dev = &view.devices[d];
-            (
-                dev.consecutive_failures >= self.quarantine_threshold,
-                dev.committed,
-                d,
-            )
+            (sidelined(dev), dev.committed, d)
         });
 
         let mut delay = Nanos::ZERO;
@@ -569,6 +647,119 @@ impl ServingPolicy for ModeAdvisor {
 }
 
 // ---------------------------------------------------------------------------
+// SloDeadline
+// ---------------------------------------------------------------------------
+
+/// SLO-aware admission and deadline-driven placement.
+///
+/// Admission sheds by **predicted deadline miss**, not by capacity: a
+/// request is accepted iff *some* `(device, ladder mode)` pair — healthy
+/// device with HBM room, any rung of [`ModeCosts::LADDER`] — is
+/// predicted (via [`predicted_completion`] over the memoized cost
+/// estimates plus the device's current queue frontiers) to finish by the
+/// request's deadline. A fleet with plenty of free HBM but a deep queue
+/// honestly sheds, and one rung of the ladder making the deadline is
+/// enough to admit.
+///
+/// Placement walks the ladder preferred-mode-first: for each rung it
+/// picks the serving device with the earliest predicted completion, and
+/// takes the first rung that makes the deadline — the *overload
+/// degradation ladder*: under load a request degrades to a cheaper
+/// transfer mode before the fleet gives up on it. If no rung makes it
+/// (only possible when placement is driven without admission), the
+/// request lands on the globally earliest-finishing pair anyway.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SloDeadline;
+
+impl SloDeadline {
+    /// The earliest-finishing serving device for `stages`, among devices
+    /// that admit work and fit `footprint`: `(device, predicted done)`.
+    fn best_device(
+        &self,
+        footprint: u64,
+        stages: JobStages,
+        view: &FleetView<'_>,
+    ) -> Option<(usize, Nanos)> {
+        view.devices
+            .iter()
+            .filter(|d| d.health.accepts_work() && d.committed + footprint <= d.capacity)
+            .map(|d| (d.index, predicted_completion(view.now, d, stages)))
+            .min_by_key(|&(index, done)| (done, index))
+    }
+}
+
+impl AdmissionPolicy for SloDeadline {
+    fn admit(
+        &self,
+        req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Admission {
+        let mut any_device = false;
+        for (_, stages) in view.costs.ladder() {
+            if let Some((_, done)) = self.best_device(footprint, stages, view) {
+                any_device = true;
+                if done <= req.deadline {
+                    return Admission::Accept;
+                }
+            }
+        }
+        if any_device {
+            Admission::Shed {
+                reason: "predicted_deadline_miss",
+            }
+        } else {
+            Admission::Shed {
+                reason: "no_capacity",
+            }
+        }
+    }
+}
+
+impl PlacementPolicy for SloDeadline {
+    fn place(
+        &self,
+        req: &Request,
+        footprint: u64,
+        view: &FleetView<'_>,
+        _rng: &mut SimRng,
+    ) -> Placement {
+        let mut fallback: Option<(TransferMode, usize, Nanos)> = None;
+        for (mode, stages) in view.costs.ladder() {
+            if let Some((device, done)) = self.best_device(footprint, stages, view) {
+                if done <= req.deadline {
+                    return Placement::clean(device, mode);
+                }
+                if fallback.is_none_or(|(_, _, best)| done < best) {
+                    fallback = Some((mode, device, done));
+                }
+            }
+        }
+        // Post-admission this is unreachable; standalone placement still
+        // lands somewhere sensible instead of panicking.
+        match fallback {
+            Some((mode, device, _)) => Placement::clean(device, mode),
+            None => {
+                let device = view
+                    .devices
+                    .iter()
+                    .min_by_key(|d| (d.committed, d.index))
+                    .expect("fleet has at least one device")
+                    .index;
+                Placement::clean(device, ModeCosts::LADDER[ModeCosts::LADDER.len() - 1])
+            }
+        }
+    }
+}
+
+impl ServingPolicy for SloDeadline {
+    fn name(&self) -> &'static str {
+        "slo_deadline"
+    }
+}
+
+// ---------------------------------------------------------------------------
 // PolicyKind
 // ---------------------------------------------------------------------------
 
@@ -583,23 +774,27 @@ pub enum PolicyKind {
     ChaosFailover,
     /// [`ModeAdvisor`].
     ModeAdvisor,
+    /// [`SloDeadline`].
+    SloDeadline,
 }
 
 impl PolicyKind {
     /// All shipped policies, in canonical order.
-    pub const ALL: [PolicyKind; 4] = [
+    pub const ALL: [PolicyKind; 5] = [
         PolicyKind::ModePacking,
         PolicyKind::UvmSpillover,
         PolicyKind::ChaosFailover,
         PolicyKind::ModeAdvisor,
+        PolicyKind::SloDeadline,
     ];
 
     /// The canonical CLI names, aligned with [`PolicyKind::ALL`].
-    pub const NAMES: [&'static str; 4] = [
+    pub const NAMES: [&'static str; 5] = [
         "mode_packing",
         "uvm_spillover",
         "chaos_failover",
         "mode_advisor",
+        "slo_deadline",
     ];
 
     /// Parses a CLI name.
@@ -609,6 +804,7 @@ impl PolicyKind {
             "uvm_spillover" => Some(PolicyKind::UvmSpillover),
             "chaos_failover" => Some(PolicyKind::ChaosFailover),
             "mode_advisor" => Some(PolicyKind::ModeAdvisor),
+            "slo_deadline" => Some(PolicyKind::SloDeadline),
             _ => None,
         }
     }
@@ -620,6 +816,7 @@ impl PolicyKind {
             PolicyKind::UvmSpillover => "uvm_spillover",
             PolicyKind::ChaosFailover => "chaos_failover",
             PolicyKind::ModeAdvisor => "mode_advisor",
+            PolicyKind::SloDeadline => "slo_deadline",
         }
     }
 
@@ -630,6 +827,7 @@ impl PolicyKind {
             PolicyKind::UvmSpillover => Box::new(UvmSpillover::default()),
             PolicyKind::ChaosFailover => Box::new(ChaosFailover::default()),
             PolicyKind::ModeAdvisor => Box::new(ModeAdvisor::default()),
+            PolicyKind::SloDeadline => Box::new(SloDeadline),
         }
     }
 }
@@ -649,6 +847,7 @@ mod tests {
                 capacity,
                 inflight: 0,
                 consecutive_failures: 0,
+                health: HealthState::Healthy,
             })
             .collect()
     }
@@ -659,6 +858,7 @@ mod tests {
             arrival: Nanos::ZERO,
             workload: "vector_seq",
             size: InputSize::Tiny,
+            deadline: Nanos::from_millis(50),
         }
     }
 
@@ -676,6 +876,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ModePacking {
             managed_threshold: 50,
@@ -702,6 +903,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ModePacking {
             managed_threshold: 50,
@@ -725,6 +927,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ModePacking {
             managed_threshold: 50,
@@ -748,6 +951,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         // 250 committed of 200 capacity: below the 300 limit.
         assert_eq!(p.admit(&req(0), 40, &view, &mut rng(0)), Admission::Accept);
@@ -769,6 +973,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = UvmSpillover {
             thrash_penalty: 4.0,
@@ -785,6 +990,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &fits,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         assert_eq!(p.place(&req(1), 10, &view, &mut rng(1)).gpu_scale, 1.0);
     }
@@ -797,6 +1003,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ChaosFailover {
             fault_rate: 0.9, // almost always hop
@@ -819,6 +1026,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ChaosFailover {
             fault_rate: 0.0, // first healthy attempt succeeds
@@ -838,6 +1046,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ChaosFailover {
             fault_rate: 1.0,
@@ -862,6 +1071,7 @@ mod tests {
             now: Nanos::ZERO,
             devices: &devs,
             topology: &topo,
+            costs: ModeCosts::zero(),
         };
         let p = ModeAdvisor::default();
         let r = req(0); // vector_seq @ tiny
@@ -879,6 +1089,128 @@ mod tests {
         // Nothing fits: shed, not panic.
         assert_eq!(
             p.admit(&r, 200 << 20, &view, &mut rng(0)),
+            Admission::Shed {
+                reason: "no_capacity"
+            }
+        );
+    }
+
+    #[test]
+    fn failover_sidelines_lifecycle_quarantined_devices() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        devs[0].health = HealthState::Draining;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+            costs: ModeCosts::zero(),
+        };
+        let p = ChaosFailover {
+            fault_rate: 0.0,
+            ..ChaosFailover::default()
+        };
+        let placed = p.place(&req(0), 1 << 20, &view, &mut rng(0));
+        assert_eq!(placed.device, 1, "non-admitting device goes to the back");
+    }
+
+    #[test]
+    fn slo_deadline_sheds_predicted_misses() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        // Both devices' GPU queues drain long after the 50 ms deadline.
+        for d in &mut devs {
+            d.gpu_free = Nanos::from_millis(100);
+        }
+        let costs = ModeCosts::from_fn(|_| JobStages {
+            cpu: Nanos::from_micros(10),
+            gpu: Nanos::from_micros(10),
+        });
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+            costs,
+        };
+        let p = SloDeadline;
+        assert_eq!(
+            p.admit(&req(0), 10, &view, &mut rng(0)),
+            Admission::Shed {
+                reason: "predicted_deadline_miss"
+            }
+        );
+        // An idle fleet admits and places in the preferred rung.
+        let idle = devices(2, 100);
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &idle,
+            topology: &topo,
+            costs,
+        };
+        assert_eq!(p.admit(&req(1), 10, &view, &mut rng(1)), Admission::Accept);
+        let placed = p.place(&req(1), 10, &view, &mut rng(1));
+        assert_eq!(placed.mode, ModeCosts::LADDER[0]);
+        assert_eq!(placed.gpu_scale, 1.0);
+    }
+
+    #[test]
+    fn slo_deadline_walks_the_ladder_before_shedding() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let devs = devices(2, 100);
+        // The preferred rungs blow the deadline; standard makes it.
+        let costs = ModeCosts::from_fn(|mode| JobStages {
+            cpu: Nanos::ZERO,
+            gpu: if mode == TransferMode::Standard {
+                Nanos::from_millis(1)
+            } else {
+                Nanos::from_millis(100)
+            },
+        });
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+            costs,
+        };
+        let p = SloDeadline;
+        assert_eq!(p.admit(&req(0), 10, &view, &mut rng(0)), Admission::Accept);
+        let placed = p.place(&req(0), 10, &view, &mut rng(0));
+        assert_eq!(
+            placed.mode,
+            TransferMode::Standard,
+            "the ladder walks down to the rung that makes the deadline"
+        );
+    }
+
+    #[test]
+    fn slo_deadline_ignores_devices_that_refuse_work() {
+        let topo = ClusterTopology::nvlink_mesh(2);
+        let mut devs = devices(2, 100);
+        devs[0].health = HealthState::Quarantined;
+        let costs = ModeCosts::from_fn(|_| JobStages {
+            cpu: Nanos::ZERO,
+            gpu: Nanos::from_micros(1),
+        });
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+            costs,
+        };
+        let p = SloDeadline;
+        assert_eq!(p.admit(&req(0), 10, &view, &mut rng(0)), Admission::Accept);
+        let placed = p.place(&req(0), 10, &view, &mut rng(0));
+        assert_eq!(placed.device, 1, "quarantined device skipped");
+        // No device admits work at all: shed by capacity, not deadline.
+        devs[1].health = HealthState::Draining;
+        let view = FleetView {
+            now: Nanos::ZERO,
+            devices: &devs,
+            topology: &topo,
+            costs,
+        };
+        assert_eq!(
+            p.admit(&req(1), 10, &view, &mut rng(1)),
             Admission::Shed {
                 reason: "no_capacity"
             }

@@ -270,6 +270,15 @@ run_stage serve_latency_sweep_threads4 "$out/serve4.txt" \
   --seed 42 --gpus 4 --requests "$SERVE_REQUESTS" --size "$CHAOS_SIZE" --threads 4
 check_stage serve_determinism cmp -s "$out/serve1.txt" "$out/serve4.txt"
 
+# The resilience layer's availability sweep: every policy across a
+# fault-intensity ramp at a mid-ladder rate, the hot path behind
+# `hetsim-cli serve --chaos`. Intensity 0 rides along as the fault-free
+# control row, so this stage also times the separability-gated code path.
+run_stage serve_availability_sweep "$out/serve_chaos.txt" \
+  "$CLI" serve --chaos --policy all --mix poisson --rates 200,800 \
+  --intensities 0,0.5,1 --seed 42 --gpus 4 --requests "$SERVE_REQUESTS" \
+  --size "$CHAOS_SIZE" --threads 1
+
 # Streaming trace export: a five-mode sweep drained to JSONL during the
 # merge. The wall time covers simulation + export (the export is the
 # delta over an untraced run, which the grid stages above record); the

@@ -123,7 +123,7 @@ echo "==> serve determinism gate (fleet reports + streamed traces, threads 1 vs 
 # The serving layer's contract: a fixed (policy, mix, seed) cell produces
 # byte-identical report JSON and streamed fleet traces at any worker
 # thread count, for every shipped policy.
-for policy in mode_packing uvm_spillover chaos_failover mode_advisor; do
+for policy in mode_packing uvm_spillover chaos_failover mode_advisor slo_deadline; do
   HETSIM_THREADS=1 ./target/release/hetsim-cli serve --policy "$policy" \
     --mix bursty --rate 400 --seed 11 --gpus 4 --requests 120 --size tiny \
     --format json --trace-stream "$out/serve_t1_$policy.jsonl" \
@@ -141,6 +141,52 @@ for policy in mode_packing uvm_spillover chaos_failover mode_advisor; do
 done
 cmp -s "$out/serve1_mode_packing.json" "$out/serve1_uvm_spillover.json" \
   && { echo "FAIL: different policies produced identical serve reports"; exit 1; }
+
+echo "==> serve-resilience determinism gate (availability sweeps + fleet traces, threads 1 vs 4)"
+# The resilience layer's contract: a (policy x rate x intensity)
+# availability sweep renders byte-identically at any worker-thread count,
+# a single resilient cell's streamed fleet trace is thread-invariant and
+# carries the lifecycle instants, and intensity 0 reproduces the plain
+# serve report exactly (separability on the real binary).
+HETSIM_THREADS=1 ./target/release/hetsim-cli serve --chaos --policy all \
+  --mix poisson --rates 200,400 --intensities 0,0.5,1 --seed 11 --gpus 3 \
+  --requests 80 --size tiny --format json > "$out/avail1.json" 2> /dev/null
+HETSIM_THREADS=4 ./target/release/hetsim-cli serve --chaos --policy all \
+  --mix poisson --rates 200,400 --intensities 0,0.5,1 --seed 11 --gpus 3 \
+  --requests 80 --size tiny --format json > "$out/avail4.json" 2> /dev/null
+cmp "$out/avail1.json" "$out/avail4.json" \
+  || { echo "FAIL: availability sweep differs across thread counts"; exit 1; }
+for t in 1 4; do
+  HETSIM_THREADS=$t ./target/release/hetsim-cli serve --chaos \
+    --policy chaos_failover --mix poisson --rate 400 --intensities 1 \
+    --seed 7 --gpus 3 --requests 80 --size tiny --format json \
+    --trace-stream "$out/res_trace_t$t.jsonl" > /dev/null 2> /dev/null
+done
+cmp "$out/res_trace_t1.jsonl" "$out/res_trace_t4.jsonl" \
+  || { echo "FAIL: resilient fleet trace differs across thread counts"; exit 1; }
+grep -q 'quarantine\[gpu' "$out/res_trace_t1.jsonl" \
+  || { echo "FAIL: resilient trace lacks lifecycle instants"; exit 1; }
+HETSIM_THREADS=4 ./target/release/hetsim-cli serve --policy slo_deadline \
+  --mix poisson --rate 400 --seed 11 --gpus 3 --requests 80 --size tiny \
+  --format json > "$out/plain_cell.json" 2> /dev/null
+HETSIM_THREADS=4 ./target/release/hetsim-cli serve --chaos --policy slo_deadline \
+  --mix poisson --rate 400 --intensities 0 --seed 11 --gpus 3 --requests 80 \
+  --size tiny --format json > "$out/res_cell.json" 2> /dev/null
+if command -v python3 > /dev/null; then
+  python3 - "$out/plain_cell.json" "$out/res_cell.json" <<'PY' \
+    || { echo "FAIL: intensity-0 resilient cell differs from plain serve"; exit 1; }
+import json, sys
+plain = json.load(open(sys.argv[1]))["cells"][0]
+res = json.load(open(sys.argv[2]))["cells"][0]
+assert res["intensity"] == 0.0, res["intensity"]
+assert res["report"] == plain, "reports diverge at intensity 0"
+PY
+else
+  # Structural fallback: the embedded report must appear verbatim inside
+  # the availability cell.
+  grep -q "\"policy\": \"slo_deadline\"" "$out/res_cell.json" \
+    || { echo "FAIL: resilient cell lacks the embedded report"; exit 1; }
+fi
 
 echo "==> result-cache correctness gate (cold vs warm, byte-identical, no warm misses)"
 # The incremental-sweep contract on the real binary: a warm rerun against

@@ -83,6 +83,74 @@ fn streaming_percentiles_track_the_exact_oracle_across_mixes_and_seeds() {
 }
 
 #[test]
+fn exact_regime_holds_through_the_spill_boundary_under_a_fleet_run() {
+    // A cell that completes *exactly* EXACT_LIMIT requests must stay in
+    // the exact regime: the report's percentiles are the sorted-sample
+    // oracle's, bit for bit, with no histogram error introduced one
+    // sample early.
+    let fleet = Fleet::nvlink(4, InputSize::Tiny);
+    let outcome = fleet.serve(&config("poisson", 42));
+    assert_eq!(outcome.report.offered, REQUESTS as usize);
+
+    let fleet_exact = Fleet::nvlink(4, InputSize::Tiny);
+    let cfg = ServeConfig {
+        requests: LatencyAccumulator::EXACT_LIMIT as u64,
+        ..config("poisson", 42)
+    };
+    let out = fleet_exact.serve(&cfg);
+    assert_eq!(
+        out.report.completed,
+        LatencyAccumulator::EXACT_LIMIT,
+        "boundary cell must complete its entire offered load"
+    );
+    let samples: Vec<_> = out.completed.iter().map(|c| c.latency()).collect();
+    let oracle = LatencyStats::from_samples(&samples);
+    assert_eq!(
+        out.report.latency, oracle,
+        "at exactly EXACT_LIMIT samples the report must be the oracle"
+    );
+
+    // The accumulator itself: the 8192nd sample does not spill; the
+    // 8193rd does, and count/mean/max survive the handoff exactly.
+    let mut acc = LatencyAccumulator::new();
+    for &s in &samples {
+        acc.observe(s);
+    }
+    assert!(!acc.is_streaming(), "EXACT_LIMIT samples must stay exact");
+    assert_eq!(acc.finalize(), oracle);
+    acc.observe(oracle.max);
+    assert!(acc.is_streaming(), "one more sample must trigger the spill");
+    let spilled = acc.finalize();
+    assert_eq!(spilled.count, LatencyAccumulator::EXACT_LIMIT + 1);
+    assert_eq!(spilled.max, oracle.max);
+}
+
+#[test]
+fn one_request_past_the_boundary_streams_within_the_bound() {
+    let fleet = Fleet::nvlink(4, InputSize::Tiny);
+    let cfg = ServeConfig {
+        requests: LatencyAccumulator::EXACT_LIMIT as u64 + 1,
+        ..config("poisson", 42)
+    };
+    let out = fleet.serve(&cfg);
+    assert_eq!(out.report.completed, LatencyAccumulator::EXACT_LIMIT + 1);
+
+    let samples: Vec<_> = out.completed.iter().map(|c| c.latency()).collect();
+    let oracle = LatencyStats::from_samples(&samples);
+    let stats = out.report.latency;
+    assert_eq!(stats.count, oracle.count, "count stays exact past spill");
+    assert_eq!(stats.mean, oracle.mean, "mean stays exact past spill");
+    assert_eq!(stats.max, oracle.max, "max stays exact past spill");
+    for (what, est, ex) in [
+        ("p50", stats.p50, oracle.p50),
+        ("p99", stats.p99, oracle.p99),
+        ("p999", stats.p999, oracle.p999),
+    ] {
+        assert_within_bound(&format!("boundary+1/{what}"), est.as_nanos(), ex.as_nanos());
+    }
+}
+
+#[test]
 fn streaming_reports_are_byte_identical_across_thread_counts() {
     let render = || {
         let fleet = Fleet::nvlink(4, InputSize::Tiny);
